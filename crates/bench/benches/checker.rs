@@ -1,0 +1,45 @@
+//! Criterion bench: witness construction + FEC/Seq checking as history
+//! size grows.
+
+use bayou_bench::workload::{session_scripts, WorkloadConfig};
+use bayou_core::{BayouCluster, ClusterConfig, RunTrace};
+use bayou_data::{KvOp, KvStore};
+use bayou_spec::{build_witness, check_fec, check_seq, CheckOptions};
+use bayou_types::{Level, VirtualTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn record_trace(ops_per_session: usize) -> RunTrace<KvOp> {
+    let mut wl = WorkloadConfig::small(3);
+    wl.ops_per_session = ops_per_session;
+    let cfg = ClusterConfig::new(3, 99);
+    let mut cluster: BayouCluster<KvStore> = BayouCluster::new(cfg);
+    cluster.run_sessions(session_scripts::<KvStore>(&wl, 99))
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    for ops in [5usize, 15, 30] {
+        let trace = record_trace(ops);
+        g.bench_with_input(
+            BenchmarkId::new("witness_and_fec_seq", ops * 3),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let w = build_witness::<KvStore>(trace).unwrap();
+                    let opts = CheckOptions::with_horizon(VirtualTime::from_millis(400));
+                    let fec = check_fec::<KvStore>(&w, Level::Weak, &opts);
+                    let seq = check_seq::<KvStore>(&w, Level::Strong);
+                    assert!(fec.ok() && seq.ok());
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_checker
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end simulated-cluster throughput — how many
+//! client operations per wall-clock second the whole stack (simulator +
+//! links + RB + Paxos + Bayou replica) processes.
+
+use bayou_core::{BayouCluster, ClusterConfig, ProtocolMode};
+use bayou_data::{Counter, CounterOp};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn run_cluster(mode: ProtocolMode, ops: usize) {
+    let cfg = ClusterConfig::new(3, 42).with_mode(mode);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+    for k in 0..ops {
+        cluster.invoke_at(
+            VirtualTime::from_micros(100 * k as u64 + 1),
+            ReplicaId::new((k % 3) as u32),
+            CounterOp::Add(1),
+            Level::Weak,
+        );
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    assert!(trace.events.iter().all(|e| !e.is_pending()));
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    let ops = 100usize;
+    g.throughput(Throughput::Elements(ops as u64));
+    for (name, mode) in [
+        ("original", ProtocolMode::Original),
+        ("improved", ProtocolMode::Improved),
+    ] {
+        g.bench_with_input(BenchmarkId::new("weak_ops", name), &mode, |b, &mode| {
+            b.iter(|| run_cluster(mode, ops))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: relation algebra (the checker's inner loops).
+
+use bayou_spec::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain(n: usize) -> Relation {
+    Relation::from_pairs(n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+fn bench_relation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relation");
+    for n in [32usize, 128, 256] {
+        let r = chain(n);
+        g.bench_with_input(BenchmarkId::new("transitive_closure", n), &r, |b, r| {
+            b.iter(|| r.transitive_closure())
+        });
+        g.bench_with_input(BenchmarkId::new("is_acyclic", n), &r, |b, r| {
+            b.iter(|| r.is_acyclic())
+        });
+    }
+    let t = Relation::from_total_order(&(0..64).collect::<Vec<_>>());
+    g.bench_function("is_total_order_64", |b| b.iter(|| t.is_total_order()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_relation
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: StateObject execute/rollback throughput — the cost
+//! of Bayou's speculation machinery (Algorithm 3 vs checkpoint-replay).
+
+use bayou_data::{ReplayState, Script, ScriptOp, StateObject, UndoLogState};
+use bayou_types::{Dot, ReplicaId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn ops(n: usize) -> Vec<ScriptOp> {
+    (0..n)
+        .map(|i| ScriptOp::incr(format!("r{}", i % 8), 1))
+        .collect()
+}
+
+fn bench_state_objects(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_object");
+    let workload = ops(64);
+
+    g.bench_function("undo_log_execute_64", |b| {
+        b.iter_batched(
+            UndoLogState::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("replay_execute_64", |b| {
+        b.iter_batched(
+            ReplayState::<Script>::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("undo_log_execute_rollback_64", |b| {
+        b.iter_batched(
+            UndoLogState::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                }
+                for i in (0..workload.len()).rev() {
+                    so.rollback(Dot::new(ReplicaId::new(0), i as u64 + 1));
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("replay_execute_rollback_64", |b| {
+        b.iter_batched(
+            ReplayState::<Script>::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                }
+                for i in (0..workload.len()).rev() {
+                    so.rollback(Dot::new(ReplicaId::new(0), i as u64 + 1));
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_state_objects
+}
+criterion_main!(benches);

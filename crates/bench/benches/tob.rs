@@ -1,0 +1,42 @@
+//! Criterion bench: TOB implementations under identical load (A2's
+//! wall-clock companion).
+
+use bayou_broadcast::{PaxosTob, SequencerTob, Tob};
+use bayou_core::{BayouCluster, ProtocolMode};
+use bayou_data::{Counter, CounterOp};
+use bayou_sim::SimConfig;
+use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run<T: Tob<Req<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T) {
+    let mut cluster: BayouCluster<Counter, T> =
+        BayouCluster::with_tob(SimConfig::new(3, 7), ProtocolMode::Improved, mk);
+    for k in 0..50usize {
+        cluster.invoke_at(
+            VirtualTime::from_millis(1 + 2 * k as u64),
+            ReplicaId::new((k % 3) as u32),
+            CounterOp::Add(1),
+            Level::Strong,
+        );
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    assert_eq!(trace.tob_order.len(), 50);
+}
+
+fn bench_tob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tob");
+    g.bench_function("paxos_50_strong_ops", |b| {
+        b.iter(|| run(|_| PaxosTob::<Req<CounterOp>>::with_defaults(3)))
+    });
+    g.bench_function("sequencer_50_strong_ops", |b| {
+        b.iter(|| run(|_| SequencerTob::<Req<CounterOp>>::new(3)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tob
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! **A3 — anomaly rates**: how often is temporary reordering actually
+//! observable, as a function of clock skew and network delay?
+//!
+//! Temporary operation reordering requires the timestamp order and the
+//! TOB order to disagree *while a client is looking*. This experiment
+//! sweeps clock offset between replicas and reports, per configuration,
+//! the fraction of runs whose witness violates `RVal(weak)` (recall
+//! `FEC` still holds — the paper's point is that the anomaly is benign
+//! but unavoidable) and the rollback volume.
+
+use crate::workload::{session_scripts, WorkloadConfig};
+use bayou_core::{BayouCluster, ClusterConfig};
+use bayou_data::AppendList;
+use bayou_sim::{ClockConfig, SimConfig};
+use bayou_spec::{build_witness, check_bec, check_fec, CheckOptions};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+
+/// Measurements for one skew setting.
+#[derive(Debug, Clone)]
+pub struct AnomalyPoint {
+    /// Clock offset applied to replica 1 (microseconds).
+    pub skew_us: i64,
+    /// Runs with observable reordering (witness `RVal(weak)` violated).
+    pub reordering_runs: usize,
+    /// Runs in which `FEC(weak)` nevertheless held (expected: all).
+    pub fec_ok_runs: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// Mean rollbacks per run across replicas.
+    pub mean_rollbacks: f64,
+}
+
+/// Outcome of the anomaly-rate sweep.
+#[derive(Debug, Clone)]
+pub struct AnomalyResult {
+    /// One point per skew setting.
+    pub points: Vec<AnomalyPoint>,
+}
+
+impl AnomalyResult {
+    /// Whether the sweep shows the expected shape: FEC always holds, and
+    /// larger skew produces at least as much reordering/rollback
+    /// pressure as no skew.
+    pub fn matches_paper(&self) -> bool {
+        let fec_always = self.points.iter().all(|p| p.fec_ok_runs == p.runs);
+        let first = self.points.first();
+        let last = self.points.last();
+        let pressure = match (first, last) {
+            (Some(f), Some(l)) => l.mean_rollbacks >= f.mean_rollbacks,
+            _ => false,
+        };
+        fec_always && pressure
+    }
+
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.skew_us),
+                    format!("{}/{}", p.reordering_runs, p.runs),
+                    format!("{}/{}", p.fec_ok_runs, p.runs),
+                    format!("{:.1}", p.mean_rollbacks),
+                ]
+            })
+            .collect();
+        format!(
+            "{}\nFEC(weak) holds everywhere while reordering pressure rises with skew: {}",
+            crate::render_table(
+                &["skew (us)", "runs w/ reordering", "FEC ok", "mean rollbacks"],
+                &rows
+            ),
+            self.matches_paper()
+        )
+    }
+}
+
+/// Sweeps clock skew over `runs_per_point` seeds per point.
+pub fn anomalies(runs_per_point: u64) -> AnomalyResult {
+    let mut points = Vec::new();
+    for &skew_us in &[0i64, 2_000, 10_000, 50_000] {
+        let mut point = AnomalyPoint {
+            skew_us,
+            reordering_runs: 0,
+            fec_ok_runs: 0,
+            runs: 0,
+            mean_rollbacks: 0.0,
+        };
+        let mut rollbacks = 0u64;
+        for seed in 0..runs_per_point {
+            let n = 3;
+            let mut wl = WorkloadConfig::small(n);
+            wl.ops_per_session = 8;
+            wl.strong_ratio = 0.15;
+            wl.read_ratio = 0.4;
+            wl.think_time = VirtualTime::from_micros(300);
+            let mut sim = SimConfig::new(n, 0xA3_000 + seed)
+                .with_clock(ReplicaId::new(1), ClockConfig::with_offset(-skew_us));
+            sim.max_time = VirtualTime::from_secs(30);
+            let cfg = ClusterConfig::new(n, 0xA3_000 + seed).with_sim(sim);
+            let mut cluster: BayouCluster<AppendList> = BayouCluster::new(cfg);
+            let trace = cluster.run_sessions(session_scripts::<AppendList>(&wl, seed));
+
+            point.runs += 1;
+            for r in ReplicaId::all(n) {
+                rollbacks += cluster.replica(r).stats().rollbacks;
+            }
+            let witness = build_witness::<AppendList>(&trace).expect("well-formed");
+            let opts = CheckOptions::with_horizon(VirtualTime::from_millis(400));
+            if !check_bec::<AppendList>(&witness, Level::Weak, &opts).ok() {
+                point.reordering_runs += 1;
+            }
+            if check_fec::<AppendList>(&witness, Level::Weak, &opts).ok() {
+                point.fec_ok_runs += 1;
+            }
+        }
+        point.mean_rollbacks = rollbacks as f64 / point.runs.max(1) as f64;
+        points.push(point);
+    }
+    AnomalyResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fec_holds_at_every_skew_setting() {
+        let r = anomalies(4);
+        assert!(r.matches_paper(), "{}", r.render());
+        assert_eq!(r.points.len(), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! **A4 — baselines**: Bayou's mixed consistency vs the two
+//! single-consistency designs it interpolates between.
+//!
+//! * **eventual-only** (Bayou over [`bayou_core::NullTob`]): always
+//!   available, but nothing ever stabilises — strong semantics are
+//!   unobtainable;
+//! * **strong-only** (every operation strong): everything stabilises,
+//!   but nothing is available during a partition;
+//! * **Bayou**: weak ops available during the partition *and* a single
+//!   final order afterwards.
+//!
+//! Measured on an identical workload with a partition in the middle of
+//! the run.
+
+use bayou_broadcast::PaxosTob;
+use bayou_core::{BayouCluster, NullTob, ProtocolMode};
+use bayou_data::{KvOp, KvStore};
+use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, SimConfig};
+use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+
+/// Metrics for one system design.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Operations answered during the partition window.
+    pub answered_in_partition: usize,
+    /// Operations invoked during the partition window.
+    pub invoked_in_partition: usize,
+    /// Operations whose final position stabilised by the end of the run.
+    pub stabilized: usize,
+    /// Total operations invoked.
+    pub total: usize,
+}
+
+/// Outcome of the A4 baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Bayou with weak ops (strong ratio 0): available + stabilising.
+    pub bayou: SystemStats,
+    /// Eventual-only (NullTob): available, never stabilises.
+    pub eventual_only: SystemStats,
+    /// Strong-only: unavailable under partition, stabilises.
+    pub strong_only: SystemStats,
+}
+
+impl BaselineResult {
+    /// Whether the comparison shows the expected trade-off triangle.
+    pub fn matches_paper(&self) -> bool {
+        self.bayou.answered_in_partition == self.bayou.invoked_in_partition
+            && self.bayou.stabilized == self.bayou.total
+            && self.eventual_only.answered_in_partition == self.eventual_only.invoked_in_partition
+            && self.eventual_only.stabilized == 0
+            && self.strong_only.answered_in_partition < self.strong_only.invoked_in_partition
+            && self.strong_only.stabilized == self.strong_only.total
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let row = |name: &str, s: &SystemStats| {
+            vec![
+                name.to_string(),
+                format!("{}/{}", s.answered_in_partition, s.invoked_in_partition),
+                format!("{}/{}", s.stabilized, s.total),
+            ]
+        };
+        let rows = vec![
+            row("Bayou (mixed)", &self.bayou),
+            row("eventual-only", &self.eventual_only),
+            row("strong-only", &self.strong_only),
+        ];
+        format!(
+            "{}\nBayou is the only design both available under partition and stabilising: {}",
+            crate::render_table(
+                &["system", "answered during partition", "stabilised by end"],
+                &rows
+            ),
+            self.matches_paper()
+        )
+    }
+}
+
+const PARTITION_START_MS: u64 = 50;
+const PARTITION_END_MS: u64 = 600;
+
+fn workload_times(ops: usize) -> Vec<(VirtualTime, ReplicaId)> {
+    (0..ops)
+        .map(|k| {
+            (
+                VirtualTime::from_millis(10 + 40 * k as u64),
+                ReplicaId::new((k % 3) as u32),
+            )
+        })
+        .collect()
+}
+
+fn in_partition(t: VirtualTime) -> bool {
+    t >= VirtualTime::from_millis(PARTITION_START_MS)
+        && t < VirtualTime::from_millis(PARTITION_END_MS)
+}
+
+fn partitioned_sim(seed: u64) -> SimConfig {
+    let ms = VirtualTime::from_millis;
+    let mut net = NetworkConfig::default();
+    net.partitions = PartitionSchedule::new(vec![Partition::split_at(
+        ms(PARTITION_START_MS),
+        ms(PARTITION_END_MS),
+        1,
+        3,
+    )]);
+    let mut sim = SimConfig::new(3, seed).with_net(net);
+    sim.max_time = VirtualTime::from_secs(30);
+    sim
+}
+
+fn stats_from<TOB>(
+    mut cluster: BayouCluster<KvStore, TOB>,
+    level: Level,
+    ops: usize,
+) -> SystemStats
+where
+    TOB: bayou_broadcast::Tob<Req<KvOp>>,
+{
+    for (k, (at, r)) in workload_times(ops).into_iter().enumerate() {
+        cluster.invoke_at(at, r, KvOp::put(format!("k{k}"), k as i64), level);
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    let mut s = SystemStats::default();
+    for e in &trace.events {
+        s.total += 1;
+        let invoked_in = in_partition(e.invoked_at);
+        if invoked_in {
+            s.invoked_in_partition += 1;
+            // "answered during the partition": response arrived before the heal
+            if let Some(ret) = e.returned_at {
+                if in_partition(ret) {
+                    s.answered_in_partition += 1;
+                }
+            }
+        }
+        if trace.tob_delivered(e.meta.id()) {
+            s.stabilized += 1;
+        }
+    }
+    s
+}
+
+/// Runs the A4 comparison.
+pub fn baselines() -> BaselineResult {
+    let ops = 20;
+    let bayou = stats_from(
+        BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
+            PaxosTob::<Req<KvOp>>::with_defaults(3)
+        }),
+        Level::Weak,
+        ops,
+    );
+    let eventual_only = stats_from(
+        BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
+            NullTob::<Req<KvOp>>::new()
+        }),
+        Level::Weak,
+        ops,
+    );
+    let strong_only = stats_from(
+        BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
+            PaxosTob::<Req<KvOp>>::with_defaults(3)
+        }),
+        Level::Strong,
+        ops,
+    );
+    BaselineResult {
+        bayou,
+        eventual_only,
+        strong_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trade_off_triangle_holds() {
+        let r = baselines();
+        assert!(r.matches_paper(), "{}", r.render());
+    }
+
+    #[test]
+    fn strong_only_answers_everything_eventually() {
+        let r = baselines();
+        // blocked during the partition, but everything stabilises after
+        assert_eq!(
+            r.strong_only.stabilized, r.strong_only.total,
+            "{}",
+            r.render()
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! **E2 — Figure 2**: circular causality, and its elimination by
+//! Algorithm 2.
+//!
+//! Two concurrent weak appends: `append(x)` on `P` and `append(y)` on
+//! `Q`, with `y` carrying the lower timestamp but committing *after* `x`.
+//! In the original protocol, `P` speculatively executes `y` before `x`
+//! (returning `"ayx"` for `x`), while `Q`'s delayed execution of its own
+//! `y` happens only after `y` is TOB-delivered — so `y` returns the
+//! *committed-order* value `"axy"`. Each return value causally depends on
+//! the other operation: a cycle in happens-before (`NCC` is violated).
+//!
+//! The improved protocol (Algorithm 2) executes a weak operation
+//! immediately at invocation, before processing any message — on the same
+//! schedule `y` returns `"ay"` and the cycle disappears.
+
+use bayou_core::{BayouCluster, ClusterConfig, ProtocolMode};
+use bayou_data::{AppendList, ListOp};
+use bayou_spec::{build_witness, check_ncc};
+use bayou_types::{Level, ReplicaId, Value, VirtualTime};
+
+/// Outcome of the Figure 2 reproduction, for one protocol mode.
+#[derive(Debug, Clone)]
+pub struct Fig2Run {
+    /// Response of `append(x)` on `P`.
+    pub append_x: Value,
+    /// Response of `append(y)` on `Q`.
+    pub append_y: Value,
+    /// Whether the witness exhibits a happens-before cycle (`NCC`
+    /// violated).
+    pub circular: bool,
+}
+
+/// Outcome of the Figure 2 reproduction (both protocol modes on the same
+/// schedule).
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Original Bayou (Algorithm 1): exhibits circular causality.
+    pub original: Fig2Run,
+    /// Improved Bayou (Algorithm 2): does not.
+    pub improved: Fig2Run,
+}
+
+impl Fig2Result {
+    /// Whether the outcome matches the paper's Figure 2 discussion.
+    pub fn matches_paper(&self) -> bool {
+        self.original.append_x == Value::from("ayx")
+            && self.original.append_y == Value::from("axy")
+            && self.original.circular
+            && !self.improved.circular
+    }
+
+    /// Renders the result as a report fragment.
+    pub fn render(&self) -> String {
+        format!(
+            "original (Algorithm 1): append(x) -> {}  append(y) -> {}  circular causality = {}\n\
+             improved (Algorithm 2): append(x) -> {}  append(y) -> {}  circular causality = {}\n\
+             reproduces paper       = {}",
+            self.original.append_x,
+            self.original.append_y,
+            self.original.circular,
+            self.improved.append_x,
+            self.improved.append_y,
+            self.improved.circular,
+            self.matches_paper()
+        )
+    }
+}
+
+fn run_mode(mode: ProtocolMode) -> Fig2Run {
+    let ms = VirtualTime::from_millis;
+    let leader = ReplicaId::new(0);
+    let p = ReplicaId::new(1);
+    let q = ReplicaId::new(2);
+
+    let mut sim = bayou_sim::SimConfig::new(3, 0xF2);
+    sim.net = bayou_sim::NetworkConfig::fixed(ms(1))
+        // y's direct submission to the leader is slow, so x commits first
+        .with_link_delay(q, leader, ms(50))
+        // y's reliable broadcast reaches P quickly (before x is invoked)
+        .with_link_delay(q, p, ms(3));
+    sim.max_time = ms(4_000);
+    // Q's local execution of y is delayed until after y's TOB delivery
+    let sim = sim.with_internal_defer(q, ms(97), ms(250));
+
+    let cfg = ClusterConfig::new(3, 0xF2).with_mode(mode).with_sim(sim);
+    let mut cluster: BayouCluster<AppendList> = BayouCluster::new(cfg);
+
+    cluster.invoke_at(ms(1), p, ListOp::append("a"), Level::Weak);
+    cluster.invoke_at(ms(98), q, ListOp::append("y"), Level::Weak);
+    cluster.invoke_at(ms(103), p, ListOp::append("x"), Level::Weak);
+    let trace = cluster.run_until(ms(4_000));
+
+    let value_of = |r: ReplicaId, no: u64| -> Value {
+        trace
+            .events
+            .iter()
+            .find(|e| e.meta.dot == bayou_types::Dot::new(r, no))
+            .and_then(|e| e.value.clone())
+            .unwrap_or(Value::None)
+    };
+    let append_y = value_of(q, 1);
+    let append_x = value_of(p, 2);
+    cluster.assert_convergence(&[]);
+
+    let witness = build_witness::<AppendList>(&trace).expect("well-formed run");
+    let ncc = check_ncc(&witness);
+
+    Fig2Run {
+        append_x,
+        append_y,
+        circular: !ncc.ok,
+    }
+}
+
+/// Runs the Figure 2 schedule under both protocol modes.
+pub fn fig2() -> Fig2Result {
+    Fig2Result {
+        original: run_mode(ProtocolMode::Original),
+        improved: run_mode(ProtocolMode::Improved),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_reproduces_exactly() {
+        let r = fig2();
+        assert_eq!(
+            r.original.append_x,
+            Value::from("ayx"),
+            "{}",
+            r.render()
+        );
+        assert_eq!(
+            r.original.append_y,
+            Value::from("axy"),
+            "{}",
+            r.render()
+        );
+        assert!(r.original.circular, "{}", r.render());
+        assert!(!r.improved.circular, "{}", r.render());
+        assert!(r.matches_paper());
+    }
+
+    #[test]
+    fn improved_mode_returns_immediate_tentative_values() {
+        let r = fig2();
+        // Algorithm 2 answers y from Q's local state at invocation: [a, y]
+        assert_eq!(r.improved.append_y, Value::from("ay"));
+    }
+}

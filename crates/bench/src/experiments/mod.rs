@@ -1,0 +1,21 @@
+//! Experiment drivers. See the crate docs for the experiment index.
+
+mod ablation;
+mod anomalies;
+mod baselines;
+mod fig1;
+mod fig2;
+mod progress;
+mod theorem1;
+mod theorems;
+mod tob_ablation;
+
+pub use ablation::{ablation, AblationResult, ModeStats};
+pub use anomalies::{anomalies, AnomalyPoint, AnomalyResult};
+pub use baselines::{baselines, BaselineResult, SystemStats};
+pub use fig1::{fig1, Fig1Result};
+pub use fig2::{fig2, Fig2Result, Fig2Run};
+pub use progress::{progress, progress_clock_skew, ProgressPoint, ProgressResult, SkewResult};
+pub use theorem1::{theorem1, Theorem1Result};
+pub use theorems::{theorems, TheoremSweep};
+pub use tob_ablation::{tob_ablation, AblationTobResult, TobStats};

@@ -1,0 +1,252 @@
+//! **E3 — §2.3**: Bayou is not bounded wait-free.
+//!
+//! A saturating weak-update load is applied to a cluster with one slow
+//! replica `Rs`. In the original protocol, the response to an invocation
+//! is produced by a later `execute` internal step — and under sustained
+//! input pressure those internal steps starve behind the ever-growing
+//! message backlog, so a growing fraction of `Rs`'s invocations are still
+//! unanswered when the run is cut off, and the answered ones take longer
+//! and longer. The improved protocol (Algorithm 2) answers a weak
+//! operation *within* the invocation step itself — a bounded number of
+//! protocol steps — so every invocation dispatched is answered
+//! immediately no matter how saturated the replica is.
+//!
+//! The second part reproduces the paper's counter-argument to "just slow
+//! the clock of `Rs`": giving `Rs` a slow clock makes its requests sort
+//! into the distant past at other replicas, causing a growing number of
+//! rollbacks there.
+
+use bayou_core::{BayouCluster, ClusterConfig, ProtocolMode};
+use bayou_data::{Counter, CounterOp};
+use bayou_sim::{ClockConfig, CpuConfig, NetworkConfig, SimConfig};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+
+/// One sampled point of the latency curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressPoint {
+    /// Invocation index on the slow replica (bucketed).
+    pub index: usize,
+    /// Mean dispatch-to-response latency in the bucket (answered ops).
+    pub latency: VirtualTime,
+}
+
+/// Measurements for one protocol mode at one cutoff.
+#[derive(Debug, Clone, Default)]
+pub struct ModeProgress {
+    /// Latency curve over the slow replica's *answered* invocations.
+    pub curve: Vec<ProgressPoint>,
+    /// Invocations dispatched on the slow replica by the cutoff.
+    pub dispatched: usize,
+    /// Of those, the number still unanswered at the cutoff.
+    pub unanswered: usize,
+}
+
+/// Outcome of the §2.3 progress experiment.
+#[derive(Debug, Clone)]
+pub struct ProgressResult {
+    /// Original protocol at the 1 s cutoff.
+    pub original_short: ModeProgress,
+    /// Original protocol at the 2 s cutoff (starvation grows with time).
+    pub original_long: ModeProgress,
+    /// Improved protocol at the 2 s cutoff.
+    pub improved: ModeProgress,
+}
+
+impl ProgressResult {
+    /// Whether the result shows the paper's claim: the original
+    /// protocol's unanswered backlog grows with the run length, while
+    /// the improved protocol answers everything it dispatches, fast.
+    pub fn matches_paper(&self) -> bool {
+        let starves = self.original_long.unanswered > self.original_short.unanswered
+            && self.original_long.unanswered > 0;
+        let improved_flat = self.improved.unanswered == 0
+            && self
+                .improved
+                .curve
+                .iter()
+                .all(|p| p.latency < VirtualTime::from_millis(2));
+        starves && improved_flat
+    }
+
+    /// Renders the report fragment.
+    pub fn render(&self) -> String {
+        let fmt_mode = |m: &ModeProgress| {
+            let curve = m
+                .curve
+                .iter()
+                .map(|p| format!("#{}:{}", p.index, p.latency))
+                .collect::<Vec<_>>()
+                .join("  ");
+            format!(
+                "dispatched={} unanswered={} answered-latency: {}",
+                m.dispatched, m.unanswered, curve
+            )
+        };
+        format!(
+            "original @1s: {}\n\
+             original @2s: {}\n\
+             improved @2s: {}\n\
+             original starves & starvation grows with run length, improved bounded: {}",
+            fmt_mode(&self.original_short),
+            fmt_mode(&self.original_long),
+            fmt_mode(&self.improved),
+            self.matches_paper()
+        )
+    }
+}
+
+/// Load profile: one weak update per replica every 2 ms over the whole
+/// window; the slow replica's handlers cost 500 µs, so the ~5 events per
+/// operation it must process outpace the arrival rate and its backlog
+/// grows without bound while the load lasts.
+fn run_mode(mode: ProtocolMode, cutoff: VirtualTime, buckets: usize) -> ModeProgress {
+    let ms = VirtualTime::from_millis;
+    let n = 3;
+    let slow = ReplicaId::new(2);
+    let mut sim = SimConfig::new(n, 0x23)
+        .with_net(NetworkConfig::fixed(ms(1)))
+        .with_cpu(
+            slow,
+            CpuConfig {
+                base_cost: VirtualTime::from_micros(500),
+                slowdown: 1.0,
+            },
+        );
+    sim.max_time = cutoff;
+    let cfg = ClusterConfig::new(n, 0x23).with_mode(mode).with_sim(sim);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+
+    let period = ms(2);
+    let total = (cutoff.as_millis() / period.as_millis()) as usize;
+    for k in 0..total {
+        for r in ReplicaId::all(n) {
+            let at = ms(2) + VirtualTime::from_nanos(period.as_nanos() * k as u64)
+                + VirtualTime::from_micros(100 * r.index() as u64);
+            cluster.invoke_at(at, r, CounterOp::Add(1), Level::Weak);
+        }
+    }
+    let trace = cluster.run_until(cutoff);
+
+    let mut events: Vec<_> = trace.events.iter().filter(|e| e.replica == slow).collect();
+    events.sort_by_key(|e| e.meta.dot);
+    let dispatched = events.len();
+    let mut latencies: Vec<VirtualTime> = Vec::new();
+    let mut unanswered = 0usize;
+    for e in &events {
+        match e.returned_at {
+            Some(ret) => latencies.push(ret - e.invoked_at),
+            None => unanswered += 1,
+        }
+    }
+    let per_bucket = (latencies.len() / buckets).max(1);
+    let curve = latencies
+        .chunks(per_bucket)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let mean = chunk.iter().map(|l| l.as_nanos()).sum::<u64>() / chunk.len() as u64;
+            ProgressPoint {
+                index: b * per_bucket,
+                latency: VirtualTime::from_nanos(mean),
+            }
+        })
+        .collect();
+    ModeProgress {
+        curve,
+        dispatched,
+        unanswered,
+    }
+}
+
+/// Runs the §2.3 experiment: the original protocol at two cutoffs (the
+/// backlog grows with time) and the improved protocol for contrast.
+pub fn progress() -> ProgressResult {
+    let buckets = 5;
+    ProgressResult {
+        original_short: run_mode(ProtocolMode::Original, VirtualTime::from_secs(1), buckets),
+        original_long: run_mode(ProtocolMode::Original, VirtualTime::from_secs(2), buckets),
+        improved: run_mode(ProtocolMode::Improved, VirtualTime::from_secs(2), buckets),
+    }
+}
+
+/// Outcome of the clock-slowdown counter-argument experiment.
+#[derive(Debug, Clone)]
+pub struct SkewResult {
+    /// Rollbacks on the fast replicas with perfect clocks.
+    pub rollbacks_no_skew: u64,
+    /// Rollbacks on the fast replicas when `Rs` runs a slow clock.
+    pub rollbacks_with_skew: u64,
+}
+
+impl SkewResult {
+    /// Whether the slow clock caused substantially more rollbacks.
+    pub fn matches_paper(&self) -> bool {
+        self.rollbacks_with_skew > self.rollbacks_no_skew.saturating_mul(2)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "rollbacks on fast replicas: no skew = {}, Rs clock at 0.2x = {} (ratio {:.1}x)\n\
+             slow clock provokes rollback storms: {}",
+            self.rollbacks_no_skew,
+            self.rollbacks_with_skew,
+            self.rollbacks_with_skew as f64 / self.rollbacks_no_skew.max(1) as f64,
+            self.matches_paper()
+        )
+    }
+}
+
+/// Runs the clock-slowdown variant: slowing `Rs`'s clock shifts its
+/// requests into the past and provokes rollbacks at the other replicas.
+pub fn progress_clock_skew() -> SkewResult {
+    let run = |rate: f64| -> u64 {
+        let ms = VirtualTime::from_millis;
+        let n = 3;
+        let rs = ReplicaId::new(2);
+        let mut sim = SimConfig::new(n, 0x24)
+            .with_net(NetworkConfig::fixed(ms(1)))
+            .with_clock(rs, ClockConfig::with_rate(rate));
+        sim.max_time = VirtualTime::from_secs(30);
+        let cfg = ClusterConfig::new(n, 0x24)
+            .with_mode(ProtocolMode::Original)
+            .with_sim(sim);
+        let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+        for k in 0..100u64 {
+            for r in ReplicaId::all(n) {
+                let at = ms(2 + 5 * k) + VirtualTime::from_micros(150 * r.index() as u64);
+                cluster.invoke_at(at, r, CounterOp::Add(1), Level::Weak);
+            }
+        }
+        cluster.run_until(VirtualTime::from_secs(30));
+        // rollbacks on the *fast* replicas
+        cluster.replica(ReplicaId::new(0)).stats().rollbacks
+            + cluster.replica(ReplicaId::new(1)).stats().rollbacks
+    };
+    SkewResult {
+        rollbacks_no_skew: run(1.0),
+        rollbacks_with_skew: run(0.2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_starves_improved_stays_bounded() {
+        let r = progress();
+        assert!(r.matches_paper(), "{}", r.render());
+        assert_eq!(r.improved.unanswered, 0, "{}", r.render());
+        assert!(
+            r.original_long.unanswered > 0,
+            "original must starve: {}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn slow_clock_provokes_rollbacks_elsewhere() {
+        let r = progress_clock_skew();
+        assert!(r.matches_paper(), "{}", r.render());
+    }
+}

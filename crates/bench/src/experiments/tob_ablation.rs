@@ -1,0 +1,127 @@
+//! **A2 — ablation**: Paxos TOB vs sequencer TOB.
+//!
+//! The sequencer is cheaper (two message delays, no quorum round) but its
+//! safety depends on Ω never nominating two leaders; Paxos pays more
+//! messages for Ω-independent safety. This ablation measures the price in
+//! a benign stable run: messages per delivered operation and mean
+//! commit (stabilisation) latency.
+
+use bayou_broadcast::{PaxosTob, SequencerTob};
+use bayou_core::{BayouCluster, ProtocolMode};
+use bayou_data::{Counter, CounterOp};
+use bayou_sim::{NetworkConfig, SimConfig};
+use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+
+/// Metrics for one TOB implementation.
+#[derive(Debug, Clone, Default)]
+pub struct TobStats {
+    /// Messages sent per TOB-delivered operation.
+    pub msgs_per_op: f64,
+    /// Mean invocation→commit latency.
+    pub commit_latency: VirtualTime,
+    /// Operations committed.
+    pub committed: usize,
+}
+
+/// Outcome of the A2 ablation.
+#[derive(Debug, Clone)]
+pub struct AblationTobResult {
+    /// Multi-Paxos TOB.
+    pub paxos: TobStats,
+    /// Fixed-sequencer TOB.
+    pub sequencer: TobStats,
+}
+
+impl AblationTobResult {
+    /// Whether the ablation shows the expected shape: both commit
+    /// everything; the sequencer uses fewer messages.
+    pub fn matches_paper(&self) -> bool {
+        self.paxos.committed == self.sequencer.committed
+            && self.sequencer.msgs_per_op < self.paxos.msgs_per_op
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            vec![
+                "ops committed".into(),
+                self.paxos.committed.to_string(),
+                self.sequencer.committed.to_string(),
+            ],
+            vec![
+                "messages / op".into(),
+                format!("{:.1}", self.paxos.msgs_per_op),
+                format!("{:.1}", self.sequencer.msgs_per_op),
+            ],
+            vec![
+                "mean commit latency".into(),
+                format!("{}", self.paxos.commit_latency),
+                format!("{}", self.sequencer.commit_latency),
+            ],
+        ];
+        format!(
+            "{}\nsequencer cheaper in the benign case (safety costs messages): {}",
+            crate::render_table(&["metric", "Paxos", "Sequencer"], &rows),
+            self.matches_paper()
+        )
+    }
+}
+
+const OPS: usize = 30;
+
+fn measure<T, MkT>(mk: MkT) -> TobStats
+where
+    T: bayou_broadcast::Tob<Req<CounterOp>>,
+    MkT: FnMut(ReplicaId) -> T,
+{
+    let ms = VirtualTime::from_millis;
+    let n = 3;
+    let mut sim = SimConfig::new(n, 0xA2).with_net(NetworkConfig::fixed(ms(1)));
+    sim.max_time = VirtualTime::from_secs(60);
+    let mut cluster: BayouCluster<Counter, T> =
+        BayouCluster::with_tob(sim, ProtocolMode::Improved, mk);
+    for k in 0..OPS {
+        let r = ReplicaId::new((k % n) as u32);
+        // strong ops: the response time *is* the commit latency
+        cluster.invoke_at(ms(2 + 20 * k as u64), r, CounterOp::Add(1), Level::Strong);
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(60));
+    let committed = trace
+        .events
+        .iter()
+        .filter(|e| !e.is_pending())
+        .count();
+    let total_latency: u64 = trace
+        .events
+        .iter()
+        .filter_map(|e| e.returned_at.map(|ret| (ret - e.invoked_at).as_nanos()))
+        .sum();
+    let msgs = cluster.metrics().messages_sent;
+    TobStats {
+        msgs_per_op: msgs as f64 / committed.max(1) as f64,
+        commit_latency: VirtualTime::from_nanos(total_latency / committed.max(1) as u64),
+        committed,
+    }
+}
+
+/// Runs the A2 ablation in a benign stable configuration.
+pub fn tob_ablation() -> AblationTobResult {
+    let n = 3;
+    AblationTobResult {
+        paxos: measure(|_| PaxosTob::<Req<CounterOp>>::with_defaults(n)),
+        sequencer: measure(|_| SequencerTob::<Req<CounterOp>>::new(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_tobs_commit_everything_and_sequencer_is_cheaper() {
+        let r = tob_ablation();
+        assert_eq!(r.paxos.committed, OPS, "{}", r.render());
+        assert_eq!(r.sequencer.committed, OPS, "{}", r.render());
+        assert!(r.matches_paper(), "{}", r.render());
+    }
+}

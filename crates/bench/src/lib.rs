@@ -1,0 +1,82 @@
+//! Experiment drivers regenerating every figure, example execution and
+//! theorem-level claim of *Bayou revisited*, plus the workload
+//! generators and ablation studies that quantify the design choices.
+//!
+//! Each experiment is a plain function returning a structured, printable
+//! result, so the same code backs the unit tests (which assert the
+//! *shape* of each result — who wins, what fails, what grows), the
+//! `figures` binary (which renders EXPERIMENTS.md) and the criterion
+//! benches.
+//!
+//! | id | paper artefact | driver |
+//! |----|----------------|--------|
+//! | E1 | Figure 1 (temporary operation reordering) | [`experiments::fig1`] |
+//! | E2 | Figure 2 (circular causality) | [`experiments::fig2`] |
+//! | E3 | §2.3 (no bounded wait-freedom) | [`experiments::progress`] |
+//! | E4 | Theorem 2 (FEC(weak) ∧ Seq(strong), stable runs) | [`experiments::theorems`] |
+//! | E5 | Theorem 3 (FEC(weak) only, async runs) | [`experiments::theorems`] |
+//! | E6 | Theorem 1 (impossibility) | [`experiments::theorem1`] |
+//! | A1 | ablation: Algorithm 1 vs Algorithm 2 | [`experiments::ablation`] |
+//! | A2 | ablation: Paxos TOB vs sequencer TOB | [`experiments::tob_ablation`] |
+//! | A3 | anomaly rates vs skew / strong ratio | [`experiments::anomalies`] |
+//! | A4 | Bayou vs eventual-only vs strong-only | [`experiments::baselines`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;
+
+/// Renders a simple aligned text table (markdown-flavoured).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("| name      | value |"));
+        assert!(t.contains("| long-name | 2     |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

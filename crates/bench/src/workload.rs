@@ -1,0 +1,154 @@
+//! Workload generators: randomized session scripts for theorem sweeps
+//! and load profiles for the progress/anomaly experiments.
+
+use bayou_core::{Invocation, SessionScript};
+use bayou_data::{DataType, RandomOp};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a randomized session workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of replicas (one session each).
+    pub n: usize,
+    /// Operations per session.
+    pub ops_per_session: usize,
+    /// Fraction of operations invoked at the strong level.
+    pub strong_ratio: f64,
+    /// Fraction of operations drawn from the read-only alphabet.
+    pub read_ratio: f64,
+    /// Think time between a response and the next invocation.
+    pub think_time: VirtualTime,
+}
+
+impl WorkloadConfig {
+    /// A small mixed workload suitable for checker sweeps.
+    pub fn small(n: usize) -> Self {
+        WorkloadConfig {
+            n,
+            ops_per_session: 5,
+            strong_ratio: 0.3,
+            read_ratio: 0.3,
+            think_time: VirtualTime::from_millis(2),
+        }
+    }
+}
+
+/// Generates one closed-loop session script per replica.
+pub fn session_scripts<F>(config: &WorkloadConfig, seed: u64) -> Vec<SessionScript<F::Op>>
+where
+    F: DataType + RandomOp,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    ReplicaId::all(config.n)
+        .map(|r| {
+            let steps = (0..config.ops_per_session)
+                .map(|_| {
+                    let op = if rng.gen_bool(config.read_ratio) {
+                        // draw until read-only (alphabets are mixed)
+                        let mut op = F::random_op(&mut rng);
+                        for _ in 0..64 {
+                            if F::is_read_only(&op) {
+                                break;
+                            }
+                            op = F::random_op(&mut rng);
+                        }
+                        op
+                    } else {
+                        F::random_update(&mut rng)
+                    };
+                    let level = if rng.gen_bool(config.strong_ratio) {
+                        Level::Strong
+                    } else {
+                        Level::Weak
+                    };
+                    Invocation::new(op, level)
+                })
+                .collect();
+            let mut script = SessionScript::new(r, steps);
+            script.think_time = config.think_time;
+            script.start_at = VirtualTime::from_millis(1 + r.index() as u64);
+            script
+        })
+        .collect()
+}
+
+/// An open-loop uniform load: `per_replica` weak updating invocations per
+/// replica, one every `period`, staggered across replicas.
+pub fn open_loop_updates<F>(
+    n: usize,
+    per_replica: usize,
+    period: VirtualTime,
+    seed: u64,
+) -> Vec<(VirtualTime, ReplicaId, F::Op)>
+where
+    F: DataType + RandomOp,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n * per_replica);
+    for k in 0..per_replica {
+        for r in ReplicaId::all(n) {
+            let at = VirtualTime::from_nanos(
+                1_000_000 + k as u64 * period.as_nanos() + r.index() as u64 * 1_000,
+            );
+            out.push((at, r, F::random_update(&mut rng)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_data::KvStore;
+
+    #[test]
+    fn scripts_cover_every_replica() {
+        let cfg = WorkloadConfig::small(4);
+        let scripts = session_scripts::<KvStore>(&cfg, 7);
+        assert_eq!(scripts.len(), 4);
+        for (i, s) in scripts.iter().enumerate() {
+            assert_eq!(s.replica, ReplicaId::new(i as u32));
+            assert_eq!(s.steps.len(), 5);
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let cfg = WorkloadConfig::small(2);
+        let a = session_scripts::<KvStore>(&cfg, 9);
+        let b = session_scripts::<KvStore>(&cfg, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.steps, y.steps);
+        }
+        let c = session_scripts::<KvStore>(&cfg, 10);
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.steps != y.steps),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn strong_ratio_zero_means_all_weak() {
+        let cfg = WorkloadConfig {
+            strong_ratio: 0.0,
+            ..WorkloadConfig::small(2)
+        };
+        for s in session_scripts::<KvStore>(&cfg, 3) {
+            assert!(s.steps.iter().all(|i| i.level == Level::Weak));
+        }
+    }
+
+    #[test]
+    fn open_loop_is_sorted_and_sized() {
+        let load = open_loop_updates::<KvStore>(3, 4, VirtualTime::from_millis(5), 2);
+        assert_eq!(load.len(), 12);
+        for w in load.windows(2) {
+            assert!(w[0].0 <= w[1].0 || w[0].0.as_nanos() % 5_000_000 != 0);
+        }
+        for (_, _, op) in &load {
+            assert!(!KvStore::is_read_only(op));
+        }
+    }
+}

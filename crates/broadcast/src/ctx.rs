@@ -1,0 +1,148 @@
+//! Context adapter that re-wraps message types between protocol layers.
+
+use bayou_types::{Context, ReplicaId, TimerId, Timestamp, VirtualTime};
+
+/// Adapts a [`Context`] over an outer (composed) message type into a
+/// [`Context`] over an inner (layer-local) message type, by wrapping every
+/// outgoing message with a function.
+///
+/// This is what lets the Bayou replica own a single wire enum while its
+/// embedded reliable-broadcast and total-order-broadcast components each
+/// send their own message types.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_broadcast::MapCtx;
+/// use bayou_types::Context;
+///
+/// #[derive(Debug, Clone)]
+/// enum Wire {
+///     A(u32),
+/// }
+///
+/// fn layer_logic(ctx: &mut dyn Context<u32>) {
+///     ctx.send(bayou_types::ReplicaId::new(0), 7);
+/// }
+///
+/// fn composed(ctx: &mut dyn Context<Wire>) {
+///     let mut inner = MapCtx::new(ctx, Wire::A);
+///     layer_logic(&mut inner);
+/// }
+/// ```
+pub struct MapCtx<'a, I, O> {
+    outer: &'a mut dyn Context<O>,
+    wrap: fn(I) -> O,
+}
+
+impl<'a, I, O> MapCtx<'a, I, O> {
+    /// Wraps `outer`, converting each sent message with `wrap`.
+    pub fn new(outer: &'a mut dyn Context<O>, wrap: fn(I) -> O) -> Self {
+        MapCtx { outer, wrap }
+    }
+}
+
+impl<I, O> Context<I> for MapCtx<'_, I, O> {
+    fn id(&self) -> ReplicaId {
+        self.outer.id()
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.outer.cluster_size()
+    }
+
+    fn now(&self) -> VirtualTime {
+        self.outer.now()
+    }
+
+    fn clock(&mut self) -> Timestamp {
+        self.outer.clock()
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: I) {
+        self.outer.send(to, (self.wrap)(msg));
+    }
+
+    fn set_timer(&mut self, delay: VirtualTime) -> TimerId {
+        self.outer.set_timer(delay)
+    }
+
+    fn random(&mut self) -> u64 {
+        self.outer.random()
+    }
+
+    fn omega(&mut self) -> ReplicaId {
+        self.outer.omega()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Collect {
+        sent: Vec<(ReplicaId, String)>,
+        clock: i64,
+        timers: u64,
+    }
+
+    impl Context<String> for Collect {
+        fn id(&self) -> ReplicaId {
+            ReplicaId::new(3)
+        }
+        fn cluster_size(&self) -> usize {
+            5
+        }
+        fn now(&self) -> VirtualTime {
+            VirtualTime::from_millis(8)
+        }
+        fn clock(&mut self) -> Timestamp {
+            self.clock += 1;
+            Timestamp::new(self.clock)
+        }
+        fn send(&mut self, to: ReplicaId, msg: String) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _d: VirtualTime) -> TimerId {
+            self.timers += 1;
+            TimerId::new(self.timers)
+        }
+        fn random(&mut self) -> u64 {
+            99
+        }
+        fn omega(&mut self) -> ReplicaId {
+            ReplicaId::new(0)
+        }
+    }
+
+    #[test]
+    fn wraps_sends_and_delegates_everything_else() {
+        let mut outer = Collect::default();
+        {
+            let mut inner: MapCtx<'_, u32, String> =
+                MapCtx::new(&mut outer, |v| format!("msg:{v}"));
+            assert_eq!(inner.id(), ReplicaId::new(3));
+            assert_eq!(inner.cluster_size(), 5);
+            assert_eq!(inner.now(), VirtualTime::from_millis(8));
+            assert_eq!(inner.clock(), Timestamp::new(1));
+            assert_eq!(inner.random(), 99);
+            assert_eq!(inner.omega(), ReplicaId::new(0));
+            let t = inner.set_timer(VirtualTime::from_millis(1));
+            assert_eq!(t, TimerId::new(1));
+            inner.send(ReplicaId::new(1), 42);
+        }
+        assert_eq!(outer.sent, vec![(ReplicaId::new(1), "msg:42".to_string())]);
+    }
+
+    #[test]
+    fn nested_mapping_composes() {
+        let mut outer = Collect::default();
+        {
+            let mut mid: MapCtx<'_, u32, String> = MapCtx::new(&mut outer, |v| format!("L1:{v}"));
+            let mut inner: MapCtx<'_, bool, u32> = MapCtx::new(&mut mid, |b| b as u32);
+            inner.send(ReplicaId::new(2), true);
+        }
+        assert_eq!(outer.sent, vec![(ReplicaId::new(2), "L1:1".to_string())]);
+    }
+}

@@ -1,0 +1,1023 @@
+//! Multi-Paxos-based Total Order Broadcast.
+//!
+//! One single-decree Paxos instance per *slot*; a leader elected by the Ω
+//! failure detector amortises phase 1 over all slots of its ballot.
+//! Safety (agreement on each slot, hence a single total order) follows
+//! from quorum intersection and holds in **all** runs — even when Ω
+//! misbehaves and several replicas believe they lead. Liveness requires a
+//! stable run with a majority of correct, connected replicas: exactly the
+//! TOB contract the paper assumes (consensus solvable only with Ω).
+//!
+//! On top of raw slot decisions the implementation provides the paper's
+//! extra TOB guarantees:
+//!
+//! * **sender FIFO** via the deterministic [`FifoRelease`] gate;
+//! * the **relay guarantee** (RB-delivered ⇒ eventually TOB-delivered)
+//!   via [`Tob::ensure`]: any replica can (re-)submit a payload, and the
+//!   submit pump keeps nagging the current leader until the payload is
+//!   decided;
+//! * **catch-up** for replicas that missed decisions during a partition,
+//!   driven by `DecideAck`/`Catchup` exchanges.
+
+use crate::fifo::FifoRelease;
+use crate::tob::{Tob, TobDelivery};
+use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A Paxos ballot: `(round, leader)`, ordered lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// Monotonically increasing round number.
+    pub round: u64,
+    /// The replica leading the ballot.
+    pub leader: ReplicaId,
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.leader)
+    }
+}
+
+/// A value proposed/decided in a slot: a payload tagged with its
+/// originating `(sender, seq)` broadcast identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<M> {
+    sender: ReplicaId,
+    seq: u64,
+    payload: M,
+}
+
+impl<M> Entry<M> {
+    fn key(&self) -> (ReplicaId, u64) {
+        (self.sender, self.seq)
+    }
+}
+
+/// Wire messages of [`PaxosTob`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMsg<M> {
+    /// Client-side pump: hand payloads to the (believed) leader.
+    Submit {
+        /// Entries the sender wants ordered.
+        entries: Vec<Entry<M>>,
+        /// The sender's contiguous decided prefix (for catch-up).
+        decided_upto: u64,
+    },
+    /// Phase-1a: a candidate leader solicits promises.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+    },
+    /// Phase-1b: a promise not to accept lower ballots, carrying
+    /// previously accepted values.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// `(slot, accepted-ballot, entry)` for every accepted slot.
+        accepted: Vec<(u64, Ballot, Entry<M>)>,
+        /// The promiser's contiguous decided prefix.
+        decided_upto: u64,
+    },
+    /// Phase-2a: the leader asks acceptors to accept a value in a slot.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// The slot.
+        slot: u64,
+        /// The proposed entry.
+        entry: Entry<M>,
+    },
+    /// Phase-2b: an acceptor accepted the value.
+    Accepted {
+        /// The accepted ballot.
+        ballot: Ballot,
+        /// The slot.
+        slot: u64,
+    },
+    /// Learn: the value of a slot is decided.
+    Decide {
+        /// The slot.
+        slot: u64,
+        /// The decided entry.
+        entry: Entry<M>,
+    },
+    /// Acknowledges a contiguous decided prefix (flow control for
+    /// catch-up; doubles as a status/gap report).
+    DecideAck {
+        /// Slots `< upto` are decided at the sender.
+        upto: u64,
+    },
+    /// Bulk re-delivery of decided slots `first..first+entries.len()`.
+    Catchup {
+        /// First slot in the batch.
+        first: u64,
+        /// Decided entries, one per consecutive slot.
+        entries: Vec<Entry<M>>,
+    },
+}
+
+/// Tuning knobs for [`PaxosTob`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaxosConfig {
+    /// Period of the retry/catch-up pump.
+    pub pump_period: VirtualTime,
+    /// Maximum entries per `Submit`/`Catchup` batch.
+    pub batch_limit: usize,
+}
+
+impl Default for PaxosConfig {
+    fn default() -> Self {
+        PaxosConfig {
+            pump_period: VirtualTime::from_millis(40),
+            batch_limit: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Role<M> {
+    Follower,
+    Preparing {
+        ballot: Ballot,
+        /// Promises received, including our own.
+        promises: HashMap<ReplicaId, Vec<(u64, Ballot, Entry<M>)>>,
+    },
+    Leading {
+        ballot: Ballot,
+    },
+}
+
+/// Multi-Paxos Total Order Broadcast. See the module docs.
+#[derive(Debug)]
+pub struct PaxosTob<M> {
+    n: usize,
+    config: PaxosConfig,
+
+    // -- acceptor state --------------------------------------------------
+    promised: Ballot,
+    accepted: BTreeMap<u64, (Ballot, Entry<M>)>,
+
+    // -- learner state ---------------------------------------------------
+    decided: BTreeMap<u64, Entry<M>>,
+    decided_keys: HashSet<(ReplicaId, u64)>,
+    /// Slots `< prefix` are decided contiguously.
+    prefix: u64,
+    /// Slots `< fifo_cursor` have been pushed through the FIFO gate.
+    fifo_cursor: u64,
+    fifo: FifoRelease<Entry<M>>,
+    delivered: u64,
+
+    // -- proposer state ---------------------------------------------------
+    role: Role<M>,
+    next_slot: u64,
+    /// Proposals in flight under our ballot: slot → (entry, acks).
+    inflight: BTreeMap<u64, (Entry<M>, HashSet<ReplicaId>)>,
+    /// Payloads we must get ordered (ours or actively submitted), not
+    /// yet decided.
+    pending: VecDeque<Entry<M>>,
+    pending_keys: HashSet<(ReplicaId, u64)>,
+    /// Relayed payloads (from [`Tob::ensure`]) held in standby: they are
+    /// promoted to `pending` only by the pump, so a relay can never
+    /// overtake the origin's own submission order.
+    standby: VecDeque<Entry<M>>,
+    standby_keys: HashSet<(ReplicaId, u64)>,
+    /// Keys proposed under the current ballot (avoid double-proposing).
+    proposed_keys: HashSet<(ReplicaId, u64)>,
+    /// What we believe each peer has decided (drives catch-up).
+    acked_upto: Vec<u64>,
+    /// Our own replica index (set in `on_start`).
+    me: Option<ReplicaId>,
+
+    pump_timer: Option<TimerId>,
+}
+
+impl<M: Clone + fmt::Debug> PaxosTob<M> {
+    /// Creates a Paxos endpoint for a cluster of `n` replicas.
+    pub fn new(n: usize, config: PaxosConfig) -> Self {
+        PaxosTob {
+            n,
+            config,
+            promised: Ballot::default(),
+            accepted: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            decided_keys: HashSet::new(),
+            prefix: 0,
+            fifo_cursor: 0,
+            fifo: FifoRelease::new(n),
+            delivered: 0,
+            role: Role::Follower,
+            next_slot: 0,
+            inflight: BTreeMap::new(),
+            pending: VecDeque::new(),
+            pending_keys: HashSet::new(),
+            standby: VecDeque::new(),
+            standby_keys: HashSet::new(),
+            proposed_keys: HashSet::new(),
+            acked_upto: vec![0; n],
+            me: None,
+            pump_timer: None,
+        }
+    }
+
+    /// With default tuning.
+    pub fn with_defaults(n: usize) -> Self {
+        Self::new(n, PaxosConfig::default())
+    }
+
+    /// The decided log known to this replica: `(slot, sender, seq)` per
+    /// decided slot, in slot order. Diagnostic/inspection API.
+    pub fn decided_log(&self) -> Vec<(u64, ReplicaId, u64)> {
+        self.decided
+            .iter()
+            .map(|(slot, e)| (*slot, e.sender, e.seq))
+            .collect()
+    }
+
+    fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn is_known(&self, key: (ReplicaId, u64)) -> bool {
+        self.decided_keys.contains(&key)
+            || self.pending_keys.contains(&key)
+            || self.standby_keys.contains(&key)
+    }
+
+    fn enqueue(&mut self, entry: Entry<M>, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let key = entry.key();
+        if self.decided_keys.contains(&key) || self.pending_keys.contains(&key) {
+            self.ensure_pump(ctx);
+            return;
+        }
+        // an actively-submitted entry outranks its standby (relay) copy
+        if self.standby_keys.remove(&key) {
+            self.standby.retain(|e| e.key() != key);
+        }
+        self.pending_keys.insert(key);
+        self.pending.push_back(entry);
+        self.try_propose(ctx);
+        self.ensure_pump(ctx);
+    }
+
+    /// Proposes pending entries if we are leading.
+    fn try_propose(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let Role::Leading { ballot } = self.role else {
+            return;
+        };
+        let pending: Vec<Entry<M>> = self.pending.iter().cloned().collect();
+        for entry in pending {
+            if self.proposed_keys.contains(&entry.key()) || self.decided_keys.contains(&entry.key())
+            {
+                continue;
+            }
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.propose_at(ballot, slot, entry, ctx);
+        }
+    }
+
+    fn propose_at(
+        &mut self,
+        ballot: Ballot,
+        slot: u64,
+        entry: Entry<M>,
+        ctx: &mut dyn Context<PaxosMsg<M>>,
+    ) {
+        self.proposed_keys.insert(entry.key());
+        // the leader is its own acceptor
+        self.accepted.insert(slot, (ballot, entry.clone()));
+        let mut acks = HashSet::new();
+        acks.insert(ctx.id());
+        self.inflight.insert(slot, (entry.clone(), acks));
+        let me = ctx.id();
+        for to in ReplicaId::all(self.n) {
+            if to != me {
+                ctx.send(
+                    to,
+                    PaxosMsg::Accept {
+                        ballot,
+                        slot,
+                        entry: entry.clone(),
+                    },
+                );
+            }
+        }
+        // single-replica cluster: quorum of one is immediate
+        self.check_decided(slot, ctx);
+    }
+
+    fn check_decided(&mut self, slot: u64, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let quorum = self.quorum();
+        let decided_entry = match self.inflight.get(&slot) {
+            Some((entry, acks)) if acks.len() >= quorum => Some(entry.clone()),
+            _ => None,
+        };
+        if let Some(entry) = decided_entry {
+            self.inflight.remove(&slot);
+            let me = ctx.id();
+            for to in ReplicaId::all(self.n) {
+                if to != me {
+                    ctx.send(
+                        to,
+                        PaxosMsg::Decide {
+                            slot,
+                            entry: entry.clone(),
+                        },
+                    );
+                }
+            }
+            self.learn(slot, entry);
+        }
+    }
+
+    /// Records a decided slot and advances the contiguous prefix.
+    fn learn(&mut self, slot: u64, entry: Entry<M>) {
+        if self.decided.contains_key(&slot) {
+            return;
+        }
+        self.decided_keys.insert(entry.key());
+        if self.pending_keys.remove(&entry.key()) {
+            self.pending.retain(|e| e.key() != entry.key());
+        }
+        if self.standby_keys.remove(&entry.key()) {
+            self.standby.retain(|e| e.key() != entry.key());
+        }
+        self.decided.insert(slot, entry);
+        while self.decided.contains_key(&self.prefix) {
+            self.prefix += 1;
+        }
+    }
+
+    /// Emits deliveries for all decided-but-unprocessed slots below the
+    /// prefix.
+    fn drain_deliveries(&mut self) -> Vec<TobDelivery<M>> {
+        let mut out = Vec::new();
+        // process slots [processed, prefix): processed tracked implicitly
+        // by removing nothing; track with a cursor stored in `fifo_cursor`.
+        while self.fifo_cursor() < self.prefix {
+            let slot = self.fifo_cursor();
+            let entry = self.decided.get(&slot).expect("prefix implies decided").clone();
+            self.set_fifo_cursor(slot + 1);
+            for e in self.fifo.push(entry.sender, entry.seq, entry) {
+                out.push(TobDelivery {
+                    sender: e.sender,
+                    seq: e.seq,
+                    tob_no: self.delivered,
+                    payload: e.payload,
+                });
+                self.delivered += 1;
+            }
+        }
+        out
+    }
+
+    fn fifo_cursor(&self) -> u64 {
+        self.fifo_cursor
+    }
+
+    fn set_fifo_cursor(&mut self, v: u64) {
+        self.fifo_cursor = v;
+    }
+
+    fn start_prepare(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let ballot = Ballot {
+            round: self.promised.round + 1,
+            leader: ctx.id(),
+        };
+        self.promised = ballot;
+        self.proposed_keys.clear();
+        self.inflight.clear();
+        let own: Vec<(u64, Ballot, Entry<M>)> = self
+            .accepted
+            .iter()
+            .map(|(s, (b, e))| (*s, *b, e.clone()))
+            .collect();
+        let mut promises = HashMap::new();
+        promises.insert(ctx.id(), own);
+        self.role = Role::Preparing { ballot, promises };
+        let me = ctx.id();
+        for to in ReplicaId::all(self.n) {
+            if to != me {
+                ctx.send(to, PaxosMsg::Prepare { ballot });
+            }
+        }
+        // single-replica cluster completes phase 1 immediately
+        self.maybe_finish_prepare(ctx);
+    }
+
+    fn maybe_finish_prepare(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let (ballot, merged) = match &self.role {
+            Role::Preparing { ballot, promises } if promises.len() >= self.quorum() => {
+                // merge: per slot, keep the value accepted at the highest
+                // ballot
+                let mut merged: BTreeMap<u64, (Ballot, Entry<M>)> = BTreeMap::new();
+                for acc in promises.values() {
+                    for (slot, b, e) in acc {
+                        match merged.get(slot) {
+                            Some((mb, _)) if mb >= b => {}
+                            _ => {
+                                merged.insert(*slot, (*b, e.clone()));
+                            }
+                        }
+                    }
+                }
+                (*ballot, merged)
+            }
+            _ => return,
+        };
+        self.role = Role::Leading { ballot };
+        // re-propose every accepted-but-undecided slot under our ballot
+        let mut max_slot = self.decided.keys().next_back().copied();
+        for (slot, (_b, entry)) in &merged {
+            max_slot = Some(max_slot.map_or(*slot, |m| m.max(*slot)));
+            if !self.decided.contains_key(slot) {
+                self.propose_at(ballot, *slot, entry.clone(), ctx);
+            }
+        }
+        self.next_slot = max_slot.map_or(0, |m| m + 1).max(self.next_slot);
+        self.try_propose(ctx);
+    }
+
+    fn send_catchup(&mut self, to: ReplicaId, from_slot: u64, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        if from_slot >= self.prefix {
+            return;
+        }
+        let limit = self.config.batch_limit as u64;
+        let until = (from_slot + limit).min(self.prefix);
+        let entries: Vec<Entry<M>> = (from_slot..until)
+            .map(|s| self.decided[&s].clone())
+            .collect();
+        ctx.send(
+            to,
+            PaxosMsg::Catchup {
+                first: from_slot,
+                entries,
+            },
+        );
+    }
+
+    fn needs_pump(&self) -> bool {
+        !self.pending.is_empty()
+            || !self.standby.is_empty()
+            || !self.inflight.is_empty()
+            || matches!(self.role, Role::Preparing { .. })
+            || self.has_gap()
+            || self.leading_with_laggards()
+    }
+
+    fn has_gap(&self) -> bool {
+        self.decided
+            .keys()
+            .next_back()
+            .map(|max| *max + 1 > self.prefix)
+            .unwrap_or(false)
+    }
+
+    fn leading_with_laggards(&self) -> bool {
+        matches!(self.role, Role::Leading { .. })
+            && self
+                .acked_upto
+                .iter()
+                .enumerate()
+                .any(|(i, a)| Some(ReplicaId::new(i as u32)) != self.me && *a < self.prefix)
+    }
+
+    fn ensure_pump(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        if self.pump_timer.is_none() && self.needs_pump() {
+            self.pump_timer = Some(ctx.set_timer(self.config.pump_period));
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let me = ctx.id();
+        let leader = ctx.omega();
+
+        // step down if Ω no longer trusts us
+        if leader != me && !matches!(self.role, Role::Follower) {
+            self.role = Role::Follower;
+            self.inflight.clear();
+            self.proposed_keys.clear();
+        }
+
+        if leader == me {
+            // promote relayed standby entries: the pump is their (paced)
+            // proposal path
+            while let Some(e) = self.standby.pop_front() {
+                self.standby_keys.remove(&e.key());
+                if !self.is_known(e.key()) {
+                    self.pending_keys.insert(e.key());
+                    self.pending.push_back(e);
+                }
+            }
+            match self.role {
+                Role::Leading { .. } => {
+                    // retransmit inflight proposals
+                    let inflight: Vec<(u64, Entry<M>, Ballot)> = match self.role {
+                        Role::Leading { ballot } => self
+                            .inflight
+                            .iter()
+                            .map(|(s, (e, _))| (*s, e.clone(), ballot))
+                            .collect(),
+                        _ => unreachable!(),
+                    };
+                    for (slot, entry, ballot) in inflight {
+                        for to in ReplicaId::all(self.n) {
+                            if to != me {
+                                ctx.send(
+                                    to,
+                                    PaxosMsg::Accept {
+                                        ballot,
+                                        slot,
+                                        entry: entry.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    // catch up laggards
+                    for peer in ReplicaId::all(self.n) {
+                        if peer != me && self.acked_upto[peer.index()] < self.prefix {
+                            let from = self.acked_upto[peer.index()];
+                            self.send_catchup(peer, from, ctx);
+                        }
+                    }
+                    self.try_propose(ctx);
+                }
+                Role::Preparing { .. } => {
+                    // retry phase 1 with a higher ballot (lost messages or
+                    // competition)
+                    self.start_prepare(ctx);
+                }
+                Role::Follower => {
+                    if !self.pending.is_empty()
+                        || !self.standby.is_empty()
+                        || self.has_gap()
+                        || self.prefix > 0
+                    {
+                        self.start_prepare(ctx);
+                    }
+                }
+            }
+        } else {
+            // follower: nag the leader with pending and relayed payloads
+            if !self.pending.is_empty() || !self.standby.is_empty() {
+                let entries: Vec<Entry<M>> = self
+                    .pending
+                    .iter()
+                    .chain(self.standby.iter())
+                    .take(self.config.batch_limit)
+                    .cloned()
+                    .collect();
+                ctx.send(
+                    leader,
+                    PaxosMsg::Submit {
+                        entries,
+                        decided_upto: self.prefix,
+                    },
+                );
+            }
+            if self.has_gap() {
+                ctx.send(leader, PaxosMsg::DecideAck { upto: self.prefix });
+            }
+        }
+
+        self.pump_timer = None;
+        self.ensure_pump(ctx);
+    }
+}
+
+impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
+    type Msg = PaxosMsg<M>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        self.me = Some(ctx.id());
+    }
+
+    fn cast(&mut self, seq: u64, payload: M, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let entry = Entry {
+            sender: ctx.id(),
+            seq,
+            payload,
+        };
+        let leader = ctx.omega();
+        if leader == ctx.id() {
+            self.enqueue(entry, ctx);
+            if matches!(self.role, Role::Follower) {
+                self.start_prepare(ctx);
+            }
+        } else {
+            ctx.send(
+                leader,
+                PaxosMsg::Submit {
+                    entries: vec![entry.clone()],
+                    decided_upto: self.prefix,
+                },
+            );
+            // keep a local copy in pending so the pump retries
+            if !self.is_known(entry.key()) {
+                self.pending_keys.insert(entry.key());
+                self.pending.push_back(entry);
+            }
+            self.ensure_pump(ctx);
+        }
+    }
+
+    fn ensure(
+        &mut self,
+        sender: ReplicaId,
+        seq: u64,
+        payload: M,
+        ctx: &mut dyn Context<PaxosMsg<M>>,
+    ) {
+        let entry = Entry {
+            sender,
+            seq,
+            payload,
+        };
+        if !self.is_known(entry.key()) {
+            // Relayed entries are *not* proposed inline: the origin's own
+            // Submit (or our next pump tick) drives them. This keeps the
+            // relay a safety net rather than a second proposal path that
+            // could overtake the origin's submissions.
+            self.standby_keys.insert(entry.key());
+            self.standby.push_back(entry);
+            self.ensure_pump(ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: PaxosMsg<M>,
+        ctx: &mut dyn Context<PaxosMsg<M>>,
+    ) -> Vec<TobDelivery<M>> {
+        match msg {
+            PaxosMsg::Submit {
+                entries,
+                decided_upto,
+            } => {
+                self.acked_upto[from.index()] =
+                    self.acked_upto[from.index()].max(decided_upto);
+                for e in entries {
+                    self.enqueue(e, ctx);
+                }
+                // help a lagging submitter catch up
+                if decided_upto < self.prefix {
+                    self.send_catchup(from, decided_upto, ctx);
+                }
+            }
+            PaxosMsg::Prepare { ballot } => {
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    if !matches!(self.role, Role::Follower) {
+                        self.role = Role::Follower;
+                        self.inflight.clear();
+                        self.proposed_keys.clear();
+                    }
+                    let accepted: Vec<(u64, Ballot, Entry<M>)> = self
+                        .accepted
+                        .iter()
+                        .map(|(s, (b, e))| (*s, *b, e.clone()))
+                        .collect();
+                    ctx.send(
+                        from,
+                        PaxosMsg::Promise {
+                            ballot,
+                            accepted,
+                            decided_upto: self.prefix,
+                        },
+                    );
+                }
+                self.ensure_pump(ctx);
+            }
+            PaxosMsg::Promise {
+                ballot,
+                accepted,
+                decided_upto,
+            } => {
+                self.acked_upto[from.index()] =
+                    self.acked_upto[from.index()].max(decided_upto);
+                if let Role::Preparing {
+                    ballot: my_ballot,
+                    promises,
+                } = &mut self.role
+                {
+                    if *my_ballot == ballot {
+                        promises.insert(from, accepted);
+                        self.maybe_finish_prepare(ctx);
+                    }
+                }
+            }
+            PaxosMsg::Accept {
+                ballot,
+                slot,
+                entry,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.accepted.insert(slot, (ballot, entry));
+                    ctx.send(ballot.leader, PaxosMsg::Accepted { ballot, slot });
+                }
+            }
+            PaxosMsg::Accepted { ballot, slot } => {
+                if let Role::Leading { ballot: my_ballot } = self.role {
+                    if my_ballot == ballot {
+                        if let Some((_, acks)) = self.inflight.get_mut(&slot) {
+                            acks.insert(from);
+                        }
+                        self.check_decided(slot, ctx);
+                    }
+                }
+            }
+            PaxosMsg::Decide { slot, entry } => {
+                self.learn(slot, entry);
+                ctx.send(from, PaxosMsg::DecideAck { upto: self.prefix });
+                self.ensure_pump(ctx);
+            }
+            PaxosMsg::DecideAck { upto } => {
+                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(upto);
+                if upto < self.prefix {
+                    self.send_catchup(from, upto, ctx);
+                }
+            }
+            PaxosMsg::Catchup { first, entries } => {
+                for (k, e) in entries.into_iter().enumerate() {
+                    self.learn(first + k as u64, e);
+                }
+                if self.prefix > 0 {
+                    ctx.send(from, PaxosMsg::DecideAck { upto: self.prefix });
+                }
+                self.ensure_pump(ctx);
+            }
+        }
+        self.drain_deliveries()
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        ctx: &mut dyn Context<PaxosMsg<M>>,
+    ) -> Vec<TobDelivery<M>> {
+        if self.pump_timer == Some(timer) {
+            self.pump(ctx);
+        }
+        self.drain_deliveries()
+    }
+
+    fn owns_timer(&self, timer: TimerId) -> bool {
+        self.pump_timer == Some(timer)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, Sim, SimConfig, Stability};
+    use bayou_types::Process;
+
+    /// A process exposing one PaxosTob over `String` payloads.
+    #[derive(Debug)]
+    struct TobProc {
+        tob: PaxosTob<String>,
+        next_seq: u64,
+        delivered: Vec<TobDelivery<String>>,
+        out: Vec<String>,
+    }
+
+    impl TobProc {
+        fn new(n: usize) -> Self {
+            TobProc {
+                tob: PaxosTob::with_defaults(n),
+                next_seq: 0,
+                delivered: Vec::new(),
+                out: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for TobProc {
+        type Msg = PaxosMsg<String>;
+        type Input = String;
+        type Output = String;
+
+        fn on_message(
+            &mut self,
+            from: ReplicaId,
+            msg: PaxosMsg<String>,
+            ctx: &mut dyn Context<PaxosMsg<String>>,
+        ) {
+            for d in self.tob.on_message(from, msg, ctx) {
+                self.out.push(d.payload.clone());
+                self.delivered.push(d);
+            }
+        }
+
+        fn on_timer(&mut self, t: TimerId, ctx: &mut dyn Context<PaxosMsg<String>>) {
+            if self.tob.owns_timer(t) {
+                for d in self.tob.on_timer(t, ctx) {
+                    self.out.push(d.payload.clone());
+                    self.delivered.push(d);
+                }
+            }
+        }
+
+        fn on_input(&mut self, payload: String, ctx: &mut dyn Context<PaxosMsg<String>>) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.tob.cast(seq, payload, ctx);
+        }
+
+        fn drain_outputs(&mut self) -> Vec<String> {
+            std::mem::take(&mut self.out)
+        }
+    }
+
+    fn ms(v: u64) -> VirtualTime {
+        VirtualTime::from_millis(v)
+    }
+
+    fn orders_of(sim: &Sim<TobProc>, n: usize) -> Vec<Vec<String>> {
+        ReplicaId::all(n)
+            .map(|r| {
+                sim.process(r)
+                    .delivered
+                    .iter()
+                    .map(|d| d.payload.clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_replicas_deliver_same_total_order() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 21).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        for k in 0..9u64 {
+            let r = ReplicaId::new((k % n as u64) as u32);
+            sim.schedule_input(ms(1 + 7 * k), r, format!("m{k}"));
+        }
+        sim.run_until(ms(5_000));
+        let orders = orders_of(&sim, n);
+        assert_eq!(orders[0].len(), 9, "all 9 delivered: {:?}", orders[0]);
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+        // tob_no is the position
+        for r in ReplicaId::all(n) {
+            for (i, d) in sim.process(r).delivered.iter().enumerate() {
+                assert_eq!(d.tob_no, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sender_fifo_is_respected() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 33).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        // replica 2 casts 5 messages in a burst
+        for k in 0..5u64 {
+            sim.schedule_input(ms(1), ReplicaId::new(2), format!("r2-{k}"));
+        }
+        sim.run_until(ms(5_000));
+        let order = &orders_of(&sim, n)[0];
+        let r2_msgs: Vec<&String> = order.iter().filter(|m| m.starts_with("r2-")).collect();
+        let expected: Vec<String> = (0..5).map(|k| format!("r2-{k}")).collect();
+        assert_eq!(
+            r2_msgs.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            expected.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partitioned_minority_catches_up_after_heal() {
+        let n = 3;
+        let mut net = NetworkConfig::default();
+        net.partitions = PartitionSchedule::new(vec![Partition::isolate(
+            ms(0),
+            ms(1_000),
+            ReplicaId::new(2),
+            n,
+        )]);
+        let cfg = SimConfig::new(n, 9).with_net(net).with_max_time(ms(6_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        sim.schedule_input(ms(10), ReplicaId::new(0), "a".into());
+        sim.schedule_input(ms(20), ReplicaId::new(1), "b".into());
+        // the isolated replica casts too; its message must be ordered
+        // after the heal
+        sim.schedule_input(ms(30), ReplicaId::new(2), "c".into());
+        sim.run_until(ms(6_000));
+        let orders = orders_of(&sim, n);
+        assert_eq!(orders[0].len(), 3, "got {:?}", orders[0]);
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+    }
+
+    #[test]
+    fn no_progress_without_quorum() {
+        let n = 3;
+        // all three replicas isolated from each other, forever (within the
+        // horizon)
+        let mut net = NetworkConfig::default();
+        net.partitions = PartitionSchedule::new(vec![Partition::new(
+            ms(0),
+            ms(100_000),
+            vec![
+                vec![ReplicaId::new(0)],
+                vec![ReplicaId::new(1)],
+                vec![ReplicaId::new(2)],
+            ],
+        )]);
+        let cfg = SimConfig::new(n, 9)
+            .with_net(net)
+            .with_stability(Stability::Asynchronous)
+            .with_max_time(ms(3_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        sim.schedule_input(ms(10), ReplicaId::new(0), "x".into());
+        sim.run_until(ms(3_000));
+        for r in ReplicaId::all(n) {
+            assert!(
+                sim.process(r).delivered.is_empty(),
+                "no delivery without a quorum"
+            );
+        }
+    }
+
+    #[test]
+    fn survives_leader_crash() {
+        let n = 3;
+        // R0 is the initial leader; it crashes after the first message is
+        // decided. Ω (stable) then nominates R1.
+        let cfg = SimConfig::new(n, 14)
+            .with_crash(ms(500), ReplicaId::new(0))
+            .with_max_time(ms(8_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        sim.schedule_input(ms(10), ReplicaId::new(1), "pre".into());
+        sim.schedule_input(ms(1_000), ReplicaId::new(2), "post".into());
+        sim.run_until(ms(8_000));
+        for r in [ReplicaId::new(1), ReplicaId::new(2)] {
+            let order: Vec<String> = sim
+                .process(r)
+                .delivered
+                .iter()
+                .map(|d| d.payload.clone())
+                .collect();
+            assert_eq!(order, vec!["pre".to_string(), "post".to_string()]);
+        }
+    }
+
+    #[test]
+    fn single_replica_cluster_decides_immediately() {
+        let cfg = SimConfig::new(1, 4).with_max_time(ms(2_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(1));
+        sim.schedule_input(ms(1), ReplicaId::new(0), "solo".into());
+        sim.run_until(ms(2_000));
+        let d = &sim.process(ReplicaId::new(0)).delivered;
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].payload, "solo");
+        assert_eq!(d[0].tob_no, 0);
+    }
+
+    #[test]
+    fn ballots_order_lexicographically() {
+        let a = Ballot {
+            round: 1,
+            leader: ReplicaId::new(2),
+        };
+        let b = Ballot {
+            round: 2,
+            leader: ReplicaId::new(0),
+        };
+        assert!(a < b);
+        let c = Ballot {
+            round: 1,
+            leader: ReplicaId::new(3),
+        };
+        assert!(a < c);
+        assert_eq!(a.to_string(), "b1.R2");
+    }
+
+    #[test]
+    fn duplicate_submissions_decide_once() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 77).with_max_time(ms(4_000));
+        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        sim.schedule_input(ms(5), ReplicaId::new(1), "only".into());
+        sim.run_until(ms(4_000));
+        for r in ReplicaId::all(n) {
+            let count = sim
+                .process(r)
+                .delivered
+                .iter()
+                .filter(|d| d.payload == "only")
+                .count();
+            assert_eq!(count, 1, "exactly-once delivery at {r}");
+        }
+    }
+}

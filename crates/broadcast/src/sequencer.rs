@@ -1,0 +1,379 @@
+//! Sequencer-based Total Order Broadcast (ablation baseline).
+
+use crate::fifo::FifoRelease;
+use crate::tob::{Tob, TobDelivery};
+use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Wire messages of [`SequencerTob`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequencerMsg<M> {
+    /// Hand a payload to the believed sequencer.
+    Submit {
+        /// Originating replica of the broadcast.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The payload.
+        payload: M,
+    },
+    /// The sequencer's ordering decision.
+    Order {
+        /// Global sequence number assigned by the sequencer.
+        global: u64,
+        /// Originating replica.
+        sender: ReplicaId,
+        /// Origin sequence number.
+        seq: u64,
+        /// The payload.
+        payload: M,
+    },
+}
+
+/// A fixed-sequencer Total Order Broadcast: the replica trusted by Ω
+/// stamps each submission with the next global sequence number and
+/// broadcasts the decision; replicas deliver in stamp order.
+///
+/// This is the classic "simplest TOB" design and the **ablation baseline
+/// (experiment A2)** against [`crate::PaxosTob`]. It is cheap — two
+/// message delays, `O(n)` messages per broadcast — but its safety
+/// *depends on Ω*: if the failure detector ever nominates two sequencers
+/// simultaneously (which it may, outside stable runs), two replicas can
+/// be told conflicting orders for the same stamp, and this implementation
+/// keeps whichever arrives first. The Paxos variant pays more messages to
+/// remove exactly that dependency. Use the sequencer only in stable
+/// configurations with a fixed leader.
+#[derive(Debug)]
+pub struct SequencerTob<M> {
+    n: usize,
+    /// Decisions received, by global stamp.
+    log: BTreeMap<u64, (ReplicaId, u64, M)>,
+    /// Stamps `< cursor` have been pushed to the FIFO gate.
+    cursor: u64,
+    fifo: FifoRelease<(ReplicaId, u64, M)>,
+    delivered: u64,
+    /// Sequencer state: the next stamp to assign.
+    next_stamp: u64,
+    /// Pending payloads awaiting an `Order` (retried by the pump).
+    pending: VecDeque<(ReplicaId, u64, M)>,
+    pending_keys: HashSet<(ReplicaId, u64)>,
+    ordered_keys: HashSet<(ReplicaId, u64)>,
+    pump_timer: Option<TimerId>,
+    pump_period: VirtualTime,
+}
+
+impl<M: Clone + fmt::Debug> SequencerTob<M> {
+    /// Creates a sequencer-TOB endpoint for a cluster of `n` replicas.
+    pub fn new(n: usize) -> Self {
+        SequencerTob {
+            n,
+            log: BTreeMap::new(),
+            cursor: 0,
+            fifo: FifoRelease::new(n),
+            delivered: 0,
+            next_stamp: 0,
+            pending: VecDeque::new(),
+            pending_keys: HashSet::new(),
+            ordered_keys: HashSet::new(),
+            pump_timer: None,
+            pump_period: VirtualTime::from_millis(40),
+        }
+    }
+
+    fn submit(
+        &mut self,
+        sender: ReplicaId,
+        seq: u64,
+        payload: M,
+        ctx: &mut dyn Context<SequencerMsg<M>>,
+    ) {
+        let key = (sender, seq);
+        if self.ordered_keys.contains(&key) || self.pending_keys.contains(&key) {
+            return;
+        }
+        self.pending_keys.insert(key);
+        self.pending.push_back((sender, seq, payload));
+        self.flush(ctx);
+        if self.pump_timer.is_none() && !self.pending.is_empty() {
+            self.pump_timer = Some(ctx.set_timer(self.pump_period));
+        }
+    }
+
+    /// If we are the sequencer, stamp and broadcast everything pending;
+    /// otherwise forward pending submissions to the believed sequencer.
+    fn flush(&mut self, ctx: &mut dyn Context<SequencerMsg<M>>) {
+        let me = ctx.id();
+        let leader = ctx.omega();
+        if leader == me {
+            while let Some((sender, seq, payload)) = self.pending.pop_front() {
+                self.pending_keys.remove(&(sender, seq));
+                if self.ordered_keys.contains(&(sender, seq)) {
+                    continue;
+                }
+                let global = self.next_stamp;
+                self.next_stamp += 1;
+                for to in ReplicaId::all(self.n) {
+                    if to != me {
+                        ctx.send(
+                            to,
+                            SequencerMsg::Order {
+                                global,
+                                sender,
+                                seq,
+                                payload: payload.clone(),
+                            },
+                        );
+                    }
+                }
+                self.record(global, sender, seq, payload);
+            }
+        } else {
+            for (sender, seq, payload) in &self.pending {
+                ctx.send(
+                    leader,
+                    SequencerMsg::Submit {
+                        sender: *sender,
+                        seq: *seq,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn record(&mut self, global: u64, sender: ReplicaId, seq: u64, payload: M) {
+        self.ordered_keys.insert((sender, seq));
+        if self.pending_keys.remove(&(sender, seq)) {
+            self.pending.retain(|(s, q, _)| (*s, *q) != (sender, seq));
+        }
+        self.log.entry(global).or_insert((sender, seq, payload));
+        // a (naive) sequencer taking over mid-stream continues above
+        // everything it has seen
+        self.next_stamp = self.next_stamp.max(global + 1);
+    }
+
+    fn drain(&mut self) -> Vec<TobDelivery<M>> {
+        let mut out = Vec::new();
+        while let Some((sender, seq, payload)) = self.log.get(&self.cursor).cloned() {
+            self.cursor += 1;
+            for (s, q, p) in self.fifo.push(sender, seq, (sender, seq, payload)) {
+                out.push(TobDelivery {
+                    sender: s,
+                    seq: q,
+                    tob_no: self.delivered,
+                    payload: p,
+                });
+                self.delivered += 1;
+            }
+        }
+        out
+    }
+}
+
+impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
+    type Msg = SequencerMsg<M>;
+
+    fn on_start(&mut self, _ctx: &mut dyn Context<SequencerMsg<M>>) {}
+
+    fn cast(&mut self, seq: u64, payload: M, ctx: &mut dyn Context<SequencerMsg<M>>) {
+        let me = ctx.id();
+        self.submit(me, seq, payload, ctx);
+    }
+
+    fn ensure(
+        &mut self,
+        sender: ReplicaId,
+        seq: u64,
+        payload: M,
+        ctx: &mut dyn Context<SequencerMsg<M>>,
+    ) {
+        self.submit(sender, seq, payload, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ReplicaId,
+        msg: SequencerMsg<M>,
+        ctx: &mut dyn Context<SequencerMsg<M>>,
+    ) -> Vec<TobDelivery<M>> {
+        match msg {
+            SequencerMsg::Submit {
+                sender,
+                seq,
+                payload,
+            } => {
+                self.submit(sender, seq, payload, ctx);
+            }
+            SequencerMsg::Order {
+                global,
+                sender,
+                seq,
+                payload,
+            } => {
+                self.record(global, sender, seq, payload);
+            }
+        }
+        self.drain()
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        ctx: &mut dyn Context<SequencerMsg<M>>,
+    ) -> Vec<TobDelivery<M>> {
+        if self.pump_timer == Some(timer) {
+            self.pump_timer = None;
+            self.flush(ctx);
+            if !self.pending.is_empty() || self.log.keys().next_back().is_some_and(|m| *m + 1 > self.cursor)
+            {
+                self.pump_timer = Some(ctx.set_timer(self.pump_period));
+            }
+        }
+        self.drain()
+    }
+
+    fn owns_timer(&self, timer: TimerId) -> bool {
+        self.pump_timer == Some(timer)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_sim::{Sim, SimConfig};
+    use bayou_types::Process;
+
+    #[derive(Debug)]
+    struct SeqProc {
+        tob: SequencerTob<String>,
+        next_seq: u64,
+        delivered: Vec<TobDelivery<String>>,
+    }
+
+    impl Process for SeqProc {
+        type Msg = SequencerMsg<String>;
+        type Input = String;
+        type Output = ();
+
+        fn on_message(
+            &mut self,
+            from: ReplicaId,
+            msg: Self::Msg,
+            ctx: &mut dyn Context<Self::Msg>,
+        ) {
+            let batch = self.tob.on_message(from, msg, ctx);
+            self.delivered.extend(batch);
+        }
+
+        fn on_timer(&mut self, t: TimerId, ctx: &mut dyn Context<Self::Msg>) {
+            if self.tob.owns_timer(t) {
+                let batch = self.tob.on_timer(t, ctx);
+                self.delivered.extend(batch);
+            }
+        }
+
+        fn on_input(&mut self, payload: String, ctx: &mut dyn Context<Self::Msg>) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.tob.cast(seq, payload, ctx);
+        }
+
+        fn drain_outputs(&mut self) -> Vec<()> {
+            Vec::new()
+        }
+    }
+
+    fn ms(v: u64) -> VirtualTime {
+        VirtualTime::from_millis(v)
+    }
+
+    #[test]
+    fn fixed_leader_orders_everything_identically() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 31).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, |_| SeqProc {
+            tob: SequencerTob::new(n),
+            next_seq: 0,
+            delivered: Vec::new(),
+        });
+        for k in 0..9u64 {
+            sim.schedule_input(
+                ms(1 + 5 * k),
+                ReplicaId::new((k % 3) as u32),
+                format!("m{k}"),
+            );
+        }
+        sim.run_until(ms(5_000));
+        let orders: Vec<Vec<String>> = (0..n as u32)
+            .map(|i| {
+                sim.process(ReplicaId::new(i))
+                    .delivered
+                    .iter()
+                    .map(|d| d.payload.clone())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(orders[0].len(), 9, "{:?}", orders[0]);
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+        // tob_no is dense and ascending everywhere
+        for i in 0..n as u32 {
+            for (k, d) in sim.process(ReplicaId::new(i)).delivered.iter().enumerate() {
+                assert_eq!(d.tob_no, k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sender_fifo_holds_for_bursts() {
+        let n = 2;
+        let cfg = SimConfig::new(n, 9).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, |_| SeqProc {
+            tob: SequencerTob::new(n),
+            next_seq: 0,
+            delivered: Vec::new(),
+        });
+        for k in 0..5u64 {
+            sim.schedule_input(ms(1), ReplicaId::new(1), format!("b{k}"));
+        }
+        sim.run_until(ms(5_000));
+        let order: Vec<String> = sim
+            .process(ReplicaId::new(0))
+            .delivered
+            .iter()
+            .map(|d| d.payload.clone())
+            .collect();
+        assert_eq!(order, vec!["b0", "b1", "b2", "b3", "b4"]);
+    }
+
+    #[test]
+    fn duplicates_from_pump_are_suppressed() {
+        let n = 3;
+        // large delays force the pump to re-submit before the Order comes
+        // back — deliveries must still be exactly-once
+        let cfg = SimConfig::new(n, 12)
+            .with_net(bayou_sim::NetworkConfig::fixed(ms(60)))
+            .with_max_time(ms(10_000));
+        let mut sim = Sim::new(cfg, |_| SeqProc {
+            tob: SequencerTob::new(n),
+            next_seq: 0,
+            delivered: Vec::new(),
+        });
+        sim.schedule_input(ms(1), ReplicaId::new(2), "solo".to_string());
+        sim.run_until(ms(10_000));
+        for i in 0..n as u32 {
+            let count = sim
+                .process(ReplicaId::new(i))
+                .delivered
+                .iter()
+                .filter(|d| d.payload == "solo")
+                .count();
+            assert_eq!(count, 1, "exactly-once at R{i}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The Total Order Broadcast abstraction.
+
+use bayou_types::{Context, ReplicaId, TimerId};
+use std::fmt;
+
+/// A message delivered by Total Order Broadcast.
+///
+/// `tob_no` is the paper's `tobNo(m)`: the global delivery index, equal on
+/// every replica for the same message. `(sender, seq)` identifies the
+/// broadcast: `seq` is the dense per-sender TOB-cast counter that the FIFO
+/// guarantee is defined over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TobDelivery<M> {
+    /// The replica that TOB-cast the message.
+    pub sender: ReplicaId,
+    /// The sender's dense TOB-cast sequence number (0-based).
+    pub seq: u64,
+    /// Global delivery index (0-based), identical on all replicas.
+    pub tob_no: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Total Order Broadcast, as required by the paper (§2.1 and A.2.1):
+///
+/// * **Total order & agreement** — all replicas deliver the same messages
+///   in the same order (safety, in *all* runs).
+/// * **Sender FIFO** — deliveries respect the order in which each replica
+///   TOB-cast its messages.
+/// * **Relay guarantee** — if a message was both RB-cast and TOB-cast by
+///   some (possibly faulty) replica and RB-delivered by a correct
+///   replica, then all correct replicas eventually TOB-deliver it: any
+///   replica holding the payload may call [`Tob::ensure`] to take over
+///   dissemination.
+/// * **Liveness only in stable runs** — progress requires the Ω failure
+///   detector to stabilise; in asynchronous runs `cast` may never lead to
+///   a delivery (which is exactly how the paper's Theorem 3 run plays
+///   out).
+///
+/// Implementations are embedded components: the owner routes messages and
+/// timers to them and forwards the returned [`TobDelivery`] batches.
+pub trait Tob<M: Clone + fmt::Debug> {
+    /// Wire message type of the implementation.
+    type Msg: Clone + fmt::Debug;
+
+    /// Called once when the owning replica starts.
+    fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg>);
+
+    /// TOB-casts a payload with the caller's dense per-sender sequence
+    /// number `seq` (the caller maintains the counter; numbers must start
+    /// at 0 and increase by exactly 1 per cast).
+    fn cast(&mut self, seq: u64, payload: M, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Takes over dissemination of another replica's broadcast (e.g.
+    /// after RB-delivering its payload), making the relay guarantee hold
+    /// even when the origin crashes or is partitioned away.
+    fn ensure(&mut self, sender: ReplicaId, seq: u64, payload: M, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Handles a protocol message; returns TOB-deliveries in order.
+    fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: Self::Msg,
+        ctx: &mut dyn Context<Self::Msg>,
+    ) -> Vec<TobDelivery<M>>;
+
+    /// Handles a timer fire (only called when [`Tob::owns_timer`] is
+    /// true); may produce deliveries.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>)
+        -> Vec<TobDelivery<M>>;
+
+    /// Whether `timer` was armed by this component.
+    fn owns_timer(&self, timer: TimerId) -> bool;
+
+    /// Number of messages TOB-delivered so far (the next `tob_no`).
+    fn delivered_count(&self) -> u64;
+}

@@ -1,0 +1,176 @@
+//! Client-facing input/output types and the recorded run trace.
+
+use bayou_types::{Level, ReplicaId, ReqId, ReqMeta, Value, VirtualTime};
+
+/// A client invocation: one operation at one consistency level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation<Op> {
+    /// The operation, drawn from `ops(F)`.
+    pub op: Op,
+    /// Weak (tentative response) or strong (stable response).
+    pub level: Level,
+}
+
+impl<Op> Invocation<Op> {
+    /// Creates an invocation.
+    pub fn new(op: Op, level: Level) -> Self {
+        Invocation { op, level }
+    }
+
+    /// A weak invocation.
+    pub fn weak(op: Op) -> Self {
+        Invocation {
+            op,
+            level: Level::Weak,
+        }
+    }
+
+    /// A strong invocation.
+    pub fn strong(op: Op) -> Self {
+        Invocation {
+            op,
+            level: Level::Strong,
+        }
+    }
+}
+
+/// A response returned to the client.
+///
+/// Per the paper (§2.1 footnote 3), each invocation yields exactly one
+/// response: tentative for weak operations, stable for strong ones.
+///
+/// `exec_trace` is the instrumentation the correctness witness needs: the
+/// identifiers of the requests that were executed (and not rolled back)
+/// on the replica's state object *at the moment this response was
+/// computed* — the paper's `exec(e)` from the proof of Theorem 2. It is
+/// genuinely observable information (it is how the response value came to
+/// be), not an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Metadata of the request being answered.
+    pub meta: ReqMeta,
+    /// The return value.
+    pub value: Value,
+    /// The state-object trace used to compute `value`, excluding the
+    /// request itself.
+    pub exec_trace: Vec<ReqId>,
+}
+
+/// One history event: an invocation together with everything observed
+/// about it during the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord<Op> {
+    /// Request metadata (timestamp, dot, level).
+    pub meta: ReqMeta,
+    /// The operation.
+    pub op: Op,
+    /// The replica (session) the operation was invoked on.
+    pub replica: ReplicaId,
+    /// Virtual time of the invocation.
+    pub invoked_at: VirtualTime,
+    /// Virtual time the response was returned, or `None` if pending.
+    pub returned_at: Option<VirtualTime>,
+    /// The returned value, or `None` if pending (the paper's `∇`).
+    pub value: Option<Value>,
+    /// The `exec(e)` trace captured with the response.
+    pub exec_trace: Option<Vec<ReqId>>,
+    /// Whether the request was TOB-cast (`tob(e)` in the proofs).
+    pub tob_cast: bool,
+}
+
+impl<Op> EventRecord<Op> {
+    /// Whether the operation is pending (never returned in this run).
+    pub fn is_pending(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+/// Everything recorded about one simulated run: the observable history
+/// plus the instrumentation needed to build the abstract-execution
+/// witness of Theorems 2 and 3.
+#[derive(Debug, Clone)]
+pub struct RunTrace<Op> {
+    /// One record per invocation, in invocation order.
+    pub events: Vec<EventRecord<Op>>,
+    /// The TOB delivery order (the paper's `tobNo`), identical on all
+    /// replicas; request ids in delivery order.
+    pub tob_order: Vec<ReqId>,
+    /// Virtual time at the end of the run.
+    pub end_time: VirtualTime,
+    /// Whether the run reached quiescence.
+    pub quiescent: bool,
+}
+
+impl<Op> RunTrace<Op> {
+    /// The paper's `tobNo(m)`: position of a request in the TOB delivery
+    /// order, or `None` if never TOB-delivered (`⊥`).
+    pub fn tob_no(&self, id: ReqId) -> Option<usize> {
+        self.tob_order.iter().position(|r| *r == id)
+    }
+
+    /// Whether `tobdel(e)` holds for the request.
+    pub fn tob_delivered(&self, id: ReqId) -> bool {
+        self.tob_no(id).is_some()
+    }
+
+    /// Events that never returned.
+    pub fn pending(&self) -> impl Iterator<Item = &EventRecord<Op>> {
+        self.events.iter().filter(|e| e.is_pending())
+    }
+
+    /// Looks up an event by request id.
+    pub fn event(&self, id: ReqId) -> Option<&EventRecord<Op>> {
+        self.events.iter().find(|e| e.meta.id() == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_types::{Dot, Timestamp};
+
+    fn meta(n: u64) -> ReqMeta {
+        ReqMeta {
+            timestamp: Timestamp::new(n as i64),
+            dot: Dot::new(ReplicaId::new(0), n),
+            level: Level::Weak,
+        }
+    }
+
+    fn record(n: u64, value: Option<Value>) -> EventRecord<&'static str> {
+        EventRecord {
+            meta: meta(n),
+            op: "op",
+            replica: ReplicaId::new(0),
+            invoked_at: VirtualTime::from_millis(n),
+            returned_at: value.as_ref().map(|_| VirtualTime::from_millis(n + 1)),
+            value,
+            exec_trace: None,
+            tob_cast: true,
+        }
+    }
+
+    #[test]
+    fn invocation_constructors() {
+        assert_eq!(Invocation::weak("x").level, Level::Weak);
+        assert_eq!(Invocation::strong("x").level, Level::Strong);
+        assert_eq!(Invocation::new("x", Level::Weak), Invocation::weak("x"));
+    }
+
+    #[test]
+    fn trace_lookups() {
+        let trace = RunTrace {
+            events: vec![record(1, Some(Value::Unit)), record(2, None)],
+            tob_order: vec![meta(1).id()],
+            end_time: VirtualTime::from_secs(1),
+            quiescent: true,
+        };
+        assert_eq!(trace.tob_no(meta(1).id()), Some(0));
+        assert_eq!(trace.tob_no(meta(2).id()), None);
+        assert!(trace.tob_delivered(meta(1).id()));
+        assert!(!trace.tob_delivered(meta(2).id()));
+        assert_eq!(trace.pending().count(), 1);
+        assert!(trace.event(meta(2).id()).unwrap().is_pending());
+        assert!(trace.event(meta(9).id()).is_none());
+    }
+}

@@ -1,0 +1,476 @@
+//! The cluster harness: `n` Bayou replicas in the simulator, with
+//! open-loop and closed-loop clients and history recording.
+
+use crate::api::{EventRecord, Invocation, Response, RunTrace};
+use crate::replica::{BayouReplica, ProtocolMode};
+use bayou_broadcast::{PaxosConfig, PaxosTob, Tob};
+use bayou_data::DataType;
+use bayou_sim::{OutputRecord, Sim, SimConfig};
+use bayou_types::{Level, ReplicaId, Req, ReqId, VirtualTime};
+use std::collections::HashMap;
+
+/// Configuration of a simulated Bayou cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The underlying simulator configuration (network, clocks, CPUs,
+    /// stability, crashes, limits).
+    pub sim: SimConfig,
+    /// Protocol variant (Algorithm 1 or Algorithm 2).
+    pub mode: ProtocolMode,
+    /// Tuning of the default Paxos TOB.
+    pub paxos: PaxosConfig,
+}
+
+impl ClusterConfig {
+    /// A default configuration: `n` replicas, improved protocol, stable
+    /// run, ~1 ms network.
+    pub fn new(n: usize, seed: u64) -> Self {
+        ClusterConfig {
+            sim: SimConfig::new(n, seed),
+            mode: ProtocolMode::default(),
+            paxos: PaxosConfig::default(),
+        }
+    }
+
+    /// Sets the protocol mode (builder style).
+    pub fn with_mode(mut self, mode: ProtocolMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the simulator configuration (builder style).
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+}
+
+/// A closed-loop client session bound to one replica: each step is
+/// invoked only after the previous step's response arrived (plus a think
+/// time), which keeps the recorded history well-formed (sequential
+/// sessions, as the paper requires).
+#[derive(Debug, Clone)]
+pub struct SessionScript<Op> {
+    /// The replica this session talks to.
+    pub replica: ReplicaId,
+    /// The operations to invoke, in order.
+    pub steps: Vec<Invocation<Op>>,
+    /// Pause between a response and the next invocation.
+    pub think_time: VirtualTime,
+    /// When to issue the first invocation.
+    pub start_at: VirtualTime,
+}
+
+impl<Op> SessionScript<Op> {
+    /// Creates a session with 1 ms think time starting at 1 ms.
+    pub fn new(replica: ReplicaId, steps: Vec<Invocation<Op>>) -> Self {
+        SessionScript {
+            replica,
+            steps,
+            think_time: VirtualTime::from_millis(1),
+            start_at: VirtualTime::from_millis(1),
+        }
+    }
+}
+
+/// `n` Bayou replicas wired over the simulator with the chosen TOB.
+///
+/// See the crate-level example.
+pub struct BayouCluster<F, T = PaxosTob<Req<<F as DataType>::Op>>>
+where
+    F: DataType,
+    T: Tob<Req<F::Op>>,
+{
+    sim: Sim<BayouReplica<F, T>>,
+    n: usize,
+    responses: Vec<OutputRecord<Response>>,
+    quiescent: bool,
+}
+
+impl<F: DataType> BayouCluster<F, PaxosTob<Req<F::Op>>> {
+    /// Creates a cluster with the default (Paxos) TOB.
+    pub fn new(config: ClusterConfig) -> Self {
+        let n = config.sim.n;
+        let mode = config.mode;
+        let paxos = config.paxos;
+        Self::with_tob(config.sim, mode, move |_| PaxosTob::new(n, paxos))
+    }
+}
+
+impl<F, T> BayouCluster<F, T>
+where
+    F: DataType,
+    T: Tob<Req<F::Op>>,
+{
+    /// Creates a cluster with a custom TOB per replica (e.g.
+    /// [`crate::NullTob`] for the eventual-only baseline, or
+    /// `SequencerTob` for the A2 ablation).
+    pub fn with_tob(
+        sim_config: SimConfig,
+        mode: ProtocolMode,
+        mut make_tob: impl FnMut(ReplicaId) -> T,
+    ) -> Self {
+        let n = sim_config.n;
+        let sim = Sim::new(sim_config, |id| {
+            BayouReplica::new(n, mode, make_tob(id))
+        });
+        BayouCluster {
+            sim,
+            n,
+            responses: Vec::new(),
+            quiescent: false,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cluster is empty (never true; clusters have ≥ 1
+    /// replica).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Read access to a replica.
+    pub fn replica(&self, r: ReplicaId) -> &BayouReplica<F, T> {
+        self.sim.process(r)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.sim.now()
+    }
+
+    /// The per-replica CPU backlog (for the §2.3 experiment).
+    pub fn backlog(&self, r: ReplicaId) -> VirtualTime {
+        self.sim.backlog(r)
+    }
+
+    /// Simulator metrics.
+    pub fn metrics(&self) -> &bayou_sim::Metrics {
+        self.sim.metrics()
+    }
+
+    /// Schedules an open-loop invocation.
+    pub fn invoke_at(&mut self, at: VirtualTime, replica: ReplicaId, op: F::Op, level: Level) {
+        self.sim
+            .schedule_input(at, replica, Invocation::new(op, level));
+    }
+
+    /// Runs until quiescence or the configured limits; returns the
+    /// recorded trace.
+    pub fn run(&mut self) -> RunTrace<F::Op> {
+        self.run_until(VirtualTime::MAX)
+    }
+
+    /// Runs until the deadline (or quiescence/limits) and records.
+    pub fn run_until(&mut self, deadline: VirtualTime) -> RunTrace<F::Op> {
+        let report = self.sim.run_until(deadline);
+        self.responses.extend(report.outputs);
+        self.quiescent = report.quiescent;
+        self.build_trace()
+    }
+
+    /// Runs closed-loop sessions to completion (or until the simulation
+    /// limits stop progress) and returns the recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two sessions target the same replica — the paper's model
+    /// has one session per replica.
+    pub fn run_sessions(&mut self, scripts: Vec<SessionScript<F::Op>>) -> RunTrace<F::Op> {
+        let mut cursors: HashMap<ReplicaId, (SessionScript<F::Op>, usize)> = HashMap::new();
+        for s in scripts {
+            assert!(
+                !cursors.contains_key(&s.replica),
+                "one session per replica: {} already has one",
+                s.replica
+            );
+            if !s.steps.is_empty() {
+                self.sim
+                    .schedule_input(s.start_at, s.replica, s.steps[0].clone());
+            }
+            cursors.insert(s.replica, (s, 1));
+        }
+        loop {
+            let stepped = self.sim.step_one();
+            for out in self.sim.take_outputs() {
+                if let Some((script, next)) = cursors.get_mut(&out.replica) {
+                    if *next < script.steps.len() {
+                        let inv = script.steps[*next].clone();
+                        *next += 1;
+                        let at = out.time + script.think_time;
+                        self.sim.schedule_input(at, out.replica, inv);
+                    }
+                }
+                self.responses.push(out);
+            }
+            if !stepped {
+                break;
+            }
+        }
+        self.quiescent = true; // step_one drained everything reachable
+        self.build_trace()
+    }
+
+    /// Asserts that all replicas have converged: identical committed
+    /// lists, empty tentative lists, and identical materialised states.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) if any replica disagrees. `skip` lists
+    /// replicas excluded from the check (e.g. crashed ones).
+    pub fn assert_convergence(&self, skip: &[ReplicaId]) {
+        let alive: Vec<ReplicaId> = ReplicaId::all(self.n)
+            .filter(|r| !skip.contains(r))
+            .collect();
+        let Some(first) = alive.first() else {
+            return;
+        };
+        let committed = self.replica(*first).committed_ids();
+        let state = self.replica(*first).materialize();
+        for r in &alive[1..] {
+            assert_eq!(
+                self.replica(*r).committed_ids(),
+                committed,
+                "committed lists diverge between {first} and {r}"
+            );
+            assert!(
+                self.replica(*r).tentative_ids().is_empty(),
+                "replica {r} still has tentative requests"
+            );
+            assert_eq!(
+                self.replica(*r).materialize(),
+                state,
+                "states diverge between {first} and {r}"
+            );
+        }
+        assert!(
+            self.replica(*first).tentative_ids().is_empty(),
+            "replica {first} still has tentative requests"
+        );
+    }
+
+    /// Builds the recorded trace from journals and collected responses.
+    fn build_trace(&self) -> RunTrace<F::Op> {
+        let mut events: Vec<EventRecord<F::Op>> = Vec::new();
+        for r in ReplicaId::all(self.n) {
+            events.extend(self.replica(r).journal().iter().cloned());
+        }
+        // fill in responses (exactly one per request)
+        let mut by_id: HashMap<ReqId, usize> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.meta.id(), i))
+            .collect();
+        for out in &self.responses {
+            let idx = *by_id
+                .get(&out.output.meta.id())
+                .expect("response for unknown request");
+            let ev = &mut events[idx];
+            assert!(
+                ev.value.is_none(),
+                "duplicate response for request {}",
+                ev.meta.id()
+            );
+            ev.returned_at = Some(out.time);
+            ev.value = Some(out.output.value.clone());
+            ev.exec_trace = Some(out.output.exec_trace.clone());
+        }
+        by_id.clear();
+
+        // TOB order: take the longest view; all views must be prefixes
+        let mut tob_order: Vec<ReqId> = Vec::new();
+        for r in ReplicaId::all(self.n) {
+            let view = self.replica(r).tob_order();
+            let shorter = view.len().min(tob_order.len());
+            assert_eq!(
+                &view[..shorter],
+                &tob_order[..shorter],
+                "TOB orders disagree at replica {r} — total order broken"
+            );
+            if view.len() > tob_order.len() {
+                tob_order = view.to_vec();
+            }
+        }
+
+        events.sort_by_key(|e| (e.invoked_at, e.meta.dot));
+        RunTrace {
+            events,
+            tob_order,
+            end_time: self.sim.now(),
+            quiescent: self.quiescent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_data::{AppendList, Counter, CounterOp, KvOp, KvStore, ListOp};
+    use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, Stability};
+    use bayou_types::Value;
+
+    fn ms(v: u64) -> VirtualTime {
+        VirtualTime::from_millis(v)
+    }
+
+    #[test]
+    fn weak_and_strong_ops_complete_in_a_stable_run() {
+        let mut c: BayouCluster<KvStore> = BayouCluster::new(ClusterConfig::new(3, 1));
+        c.invoke_at(ms(1), ReplicaId::new(0), KvOp::put("k", 1), Level::Weak);
+        c.invoke_at(
+            ms(50),
+            ReplicaId::new(1),
+            KvOp::put_if_absent("k", 2),
+            Level::Strong,
+        );
+        c.invoke_at(ms(400), ReplicaId::new(2), KvOp::get("k"), Level::Weak);
+        let trace = c.run_until(ms(5_000));
+        assert_eq!(trace.events.len(), 3);
+        for e in &trace.events {
+            assert!(!e.is_pending(), "event {} pending", e.meta.id());
+        }
+        // the strong putIfAbsent must have failed: the weak put committed
+        // first (it was invoked 49ms earlier and the network is ~1ms)
+        let strong = trace
+            .events
+            .iter()
+            .find(|e| e.meta.level == Level::Strong)
+            .unwrap();
+        assert_eq!(strong.value, Some(Value::Bool(false)));
+        c.assert_convergence(&[]);
+    }
+
+    #[test]
+    fn replicas_converge_to_the_same_list() {
+        let mut c: BayouCluster<AppendList> = BayouCluster::new(ClusterConfig::new(3, 7));
+        for k in 0..6u64 {
+            let r = ReplicaId::new((k % 3) as u32);
+            c.invoke_at(ms(1 + k), r, ListOp::append(format!("e{k}")), Level::Weak);
+        }
+        let trace = c.run_until(ms(10_000));
+        assert!(trace.events.iter().all(|e| !e.is_pending()));
+        c.assert_convergence(&[]);
+        // all six elements present exactly once
+        let state = c.replica(ReplicaId::new(0)).materialize();
+        assert_eq!(state.len(), 6);
+    }
+
+    #[test]
+    fn tob_order_is_recorded_and_covers_all_updates() {
+        let mut c: BayouCluster<Counter> = BayouCluster::new(ClusterConfig::new(2, 3));
+        c.invoke_at(ms(1), ReplicaId::new(0), CounterOp::Add(1), Level::Weak);
+        c.invoke_at(ms(2), ReplicaId::new(1), CounterOp::Add(2), Level::Weak);
+        let trace = c.run_until(ms(5_000));
+        assert_eq!(trace.tob_order.len(), 2);
+        for e in &trace.events {
+            assert!(trace.tob_delivered(e.meta.id()));
+        }
+    }
+
+    #[test]
+    fn weak_ro_in_improved_mode_stays_local() {
+        let mut c: BayouCluster<Counter> = BayouCluster::new(ClusterConfig::new(2, 3));
+        c.invoke_at(ms(1), ReplicaId::new(0), CounterOp::Read, Level::Weak);
+        let trace = c.run_until(ms(2_000));
+        assert_eq!(trace.events.len(), 1);
+        let e = &trace.events[0];
+        assert!(!e.tob_cast);
+        assert_eq!(e.value, Some(Value::Int(0)));
+        assert!(trace.tob_order.is_empty());
+    }
+
+    #[test]
+    fn strong_ops_block_under_partition_weak_ops_do_not() {
+        let n = 3;
+        let mut net = NetworkConfig::default();
+        // partition the whole run: no quorum for anyone
+        net.partitions = PartitionSchedule::new(vec![Partition::new(
+            ms(0),
+            ms(100_000),
+            vec![vec![ReplicaId::new(0)], vec![ReplicaId::new(1)], vec![
+                ReplicaId::new(2),
+            ]],
+        )]);
+        let sim = SimConfig::new(n, 5)
+            .with_net(net)
+            .with_stability(Stability::Asynchronous)
+            .with_max_time(ms(3_000));
+        let cfg = ClusterConfig::new(n, 5).with_sim(sim);
+        let mut c: BayouCluster<KvStore> = BayouCluster::new(cfg);
+        c.invoke_at(ms(1), ReplicaId::new(0), KvOp::put("a", 1), Level::Weak);
+        c.invoke_at(ms(2), ReplicaId::new(1), KvOp::put("b", 2), Level::Strong);
+        let trace = c.run_until(ms(3_000));
+        let weak = trace.events.iter().find(|e| e.meta.level == Level::Weak).unwrap();
+        let strong = trace
+            .events
+            .iter()
+            .find(|e| e.meta.level == Level::Strong)
+            .unwrap();
+        assert!(!weak.is_pending(), "weak ops are highly available");
+        assert!(strong.is_pending(), "strong ops need consensus");
+    }
+
+    #[test]
+    fn sessions_run_sequentially_per_replica() {
+        let mut c: BayouCluster<Counter> = BayouCluster::new(ClusterConfig::new(2, 9));
+        let trace = c.run_sessions(vec![
+            SessionScript::new(
+                ReplicaId::new(0),
+                vec![
+                    Invocation::weak(CounterOp::Add(1)),
+                    Invocation::weak(CounterOp::Read),
+                    Invocation::strong(CounterOp::AddAndGet(10)),
+                ],
+            ),
+            SessionScript::new(
+                ReplicaId::new(1),
+                vec![
+                    Invocation::weak(CounterOp::Add(5)),
+                    Invocation::strong(CounterOp::Read),
+                ],
+            ),
+        ]);
+        assert_eq!(trace.events.len(), 5);
+        assert!(trace.events.iter().all(|e| !e.is_pending()));
+        // per-session, returns precede next invokes
+        for r in [ReplicaId::new(0), ReplicaId::new(1)] {
+            let mut last_return = VirtualTime::ZERO;
+            for e in trace.events.iter().filter(|e| e.replica == r) {
+                assert!(e.invoked_at >= last_return, "session overlap at {r}");
+                last_return = e.returned_at.unwrap();
+            }
+        }
+        c.assert_convergence(&[]);
+        // final counter value: 1 + 10 + 5 = 16
+        assert_eq!(c.replica(ReplicaId::new(0)).materialize(), 16);
+    }
+
+    #[test]
+    fn deterministic_traces_for_fixed_seed() {
+        let run = |seed: u64| {
+            let mut c: BayouCluster<AppendList> =
+                BayouCluster::new(ClusterConfig::new(3, seed));
+            for k in 0..5u64 {
+                c.invoke_at(
+                    ms(1 + k * 2),
+                    ReplicaId::new((k % 3) as u32),
+                    ListOp::append(format!("{k}")),
+                    Level::Weak,
+                );
+            }
+            let t = c.run_until(ms(5_000));
+            (
+                t.tob_order.clone(),
+                t.events
+                    .iter()
+                    .map(|e| (e.meta.id(), e.value.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

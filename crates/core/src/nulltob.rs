@@ -1,0 +1,120 @@
+//! A Total Order Broadcast that never delivers: Bayou minus consensus.
+
+use bayou_broadcast::{Tob, TobDelivery};
+use bayou_types::{Context, ReplicaId, TimerId};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A [`Tob`] implementation that swallows every cast and never delivers.
+///
+/// Plugging `NullTob` into [`crate::BayouReplica`] yields the
+/// *eventual-only* baseline system: requests are ordered purely by
+/// `(timestamp, dot)` on the tentative list and never commit. Because
+/// there is then only **one** way of ordering operations, the system is
+/// free of temporary operation reordering (it satisfies `BEC(weak, F)`
+/// with `ar` = timestamp order) — the paper's observation that the
+/// anomaly appears only when two incompatible orderings coexist. Strong
+/// operations, of course, never return.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_core::NullTob;
+/// use bayou_broadcast::Tob;
+///
+/// let t: NullTob<String> = NullTob::new();
+/// assert_eq!(t.delivered_count(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NullTob<M> {
+    _marker: PhantomData<fn() -> M>,
+}
+
+/// `NullTob` sends no messages; this uninhabited-in-practice unit type is
+/// its wire format.
+impl<M> NullTob<M> {
+    /// Creates the null TOB.
+    pub fn new() -> Self {
+        NullTob {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M: Clone + fmt::Debug> Tob<M> for NullTob<M> {
+    type Msg = ();
+
+    fn on_start(&mut self, _ctx: &mut dyn Context<()>) {}
+
+    fn cast(&mut self, _seq: u64, _payload: M, _ctx: &mut dyn Context<()>) {}
+
+    fn ensure(&mut self, _sender: ReplicaId, _seq: u64, _payload: M, _ctx: &mut dyn Context<()>) {}
+
+    fn on_message(
+        &mut self,
+        _from: ReplicaId,
+        _msg: (),
+        _ctx: &mut dyn Context<()>,
+    ) -> Vec<TobDelivery<M>> {
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut dyn Context<()>) -> Vec<TobDelivery<M>> {
+        Vec::new()
+    }
+
+    fn owns_timer(&self, _timer: TimerId) -> bool {
+        false
+    }
+
+    fn delivered_count(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_types::{Timestamp, VirtualTime};
+
+    struct NoCtx;
+    impl Context<()> for NoCtx {
+        fn id(&self) -> ReplicaId {
+            ReplicaId::new(0)
+        }
+        fn cluster_size(&self) -> usize {
+            1
+        }
+        fn now(&self) -> VirtualTime {
+            VirtualTime::ZERO
+        }
+        fn clock(&mut self) -> Timestamp {
+            Timestamp::new(0)
+        }
+        fn send(&mut self, _to: ReplicaId, _m: ()) {
+            panic!("NullTob must never send");
+        }
+        fn set_timer(&mut self, _d: VirtualTime) -> TimerId {
+            panic!("NullTob must never arm timers");
+        }
+        fn random(&mut self) -> u64 {
+            0
+        }
+        fn omega(&mut self) -> ReplicaId {
+            ReplicaId::new(0)
+        }
+    }
+
+    #[test]
+    fn swallows_everything() {
+        let mut t: NullTob<u32> = NullTob::new();
+        let mut ctx = NoCtx;
+        t.on_start(&mut ctx);
+        t.cast(0, 7, &mut ctx);
+        t.ensure(ReplicaId::new(1), 0, 8, &mut ctx);
+        assert!(t.on_message(ReplicaId::new(1), (), &mut ctx).is_empty());
+        assert!(t.on_timer(TimerId::new(1), &mut ctx).is_empty());
+        assert!(!t.owns_timer(TimerId::new(1)));
+        assert_eq!(t.delivered_count(), 0);
+    }
+}

@@ -1,0 +1,699 @@
+//! The Bayou replica: Algorithm 1 (and its Algorithm 2 modification),
+//! line by line.
+
+use crate::api::{EventRecord, Invocation, Response};
+use bayou_broadcast::{LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
+use bayou_data::{DataType, ReplayState, StateObject};
+use bayou_types::{
+    Context, Dot, Process, ReplicaId, Req, ReqId, TimerId, Value, VirtualTime,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which variant of the protocol a replica runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMode {
+    /// Algorithm 1 as published: every request is RB-cast *and* TOB-cast
+    /// at invocation; responses are produced by the speculative
+    /// execution. Exhibits circular causality (Figure 2) and unbounded
+    /// weak-operation latency (§2.3).
+    Original,
+    /// Algorithm 2: strong requests are TOB-cast only; weak requests
+    /// execute immediately on the current state (the response is computed
+    /// before any messages are processed) and are then rolled back and
+    /// re-enter the speculative order; weak read-only requests are purely
+    /// local. Prevents circular causality and makes weak operations
+    /// bounded wait-free (Appendix A.1).
+    #[default]
+    Improved,
+}
+
+/// The payload carried by Reliable Broadcast: the request plus the dense
+/// per-sender TOB-cast sequence number, so that any replica RB-delivering
+/// it can take over TOB dissemination ([`Tob::ensure`]) — the paper's
+/// requirement that an RB-delivered message is eventually TOB-delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReq<Op> {
+    /// The request.
+    pub req: Req<Op>,
+    /// The origin's dense TOB-cast counter value for this request.
+    pub tob_seq: u64,
+}
+
+/// Wire messages of a Bayou replica: reliable-broadcast frames or
+/// TOB-implementation messages.
+#[derive(Debug, Clone)]
+pub enum BayouMsg<Op, TM> {
+    /// A reliable-broadcast link frame.
+    Rb(LinkMsg<RbMsg<WireReq<Op>>>),
+    /// A message of the Total Order Broadcast implementation.
+    Tob(TM),
+}
+
+/// Counters describing one replica's protocol activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Client invocations handled.
+    pub invocations: u64,
+    /// `execute` internal steps (including re-executions).
+    pub executions: u64,
+    /// `rollback` internal steps.
+    pub rollbacks: u64,
+    /// TOB deliveries processed.
+    pub tob_deliveries: u64,
+    /// RB deliveries processed (remote only).
+    pub rb_deliveries: u64,
+}
+
+/// A Bayou replica (Algorithm 1 of the paper) for data type `F` over a
+/// Total Order Broadcast implementation `T`.
+///
+/// The field and method names mirror the pseudocode: `committed`,
+/// `tentative`, `executed`, `to_be_executed`, `to_be_rolled_back`,
+/// `reqs_awaiting_resp`, `adjust_tentative_order`, `adjust_execution`.
+/// Rollback and execute are *separate internal steps*
+/// ([`Process::on_internal`]) so the simulator can count and charge them
+/// individually — the §2.3 progress experiment depends on this.
+pub struct BayouReplica<F: DataType, T: Tob<Req<F::Op>>> {
+    mode: ProtocolMode,
+    state: ReplayState<F>,
+    curr_event_no: u64,
+    committed: Vec<Req<F::Op>>,
+    tentative: Vec<Req<F::Op>>,
+    executed: Vec<Req<F::Op>>,
+    to_be_executed: Vec<Req<F::Op>>,
+    to_be_rolled_back: Vec<Req<F::Op>>,
+    reqs_awaiting_resp: HashMap<ReqId, Option<(Value, Vec<ReqId>)>>,
+    rb: ReliableBroadcast<WireReq<F::Op>>,
+    tob: T,
+    tob_seq: u64,
+    tob_order: Vec<ReqId>,
+    outputs: Vec<Response>,
+    stats: ReplicaStats,
+    journal: Vec<EventRecord<F::Op>>,
+}
+
+impl<F, T> BayouReplica<F, T>
+where
+    F: DataType,
+    T: Tob<Req<F::Op>>,
+{
+    /// Creates a replica for a cluster of `n` replicas with the given TOB
+    /// implementation.
+    pub fn new(n: usize, mode: ProtocolMode, tob: T) -> Self {
+        BayouReplica {
+            mode,
+            state: ReplayState::new(),
+            curr_event_no: 0,
+            committed: Vec::new(),
+            tentative: Vec::new(),
+            executed: Vec::new(),
+            to_be_executed: Vec::new(),
+            to_be_rolled_back: Vec::new(),
+            reqs_awaiting_resp: HashMap::new(),
+            rb: ReliableBroadcast::new(n, VirtualTime::from_millis(60)),
+            tob,
+            tob_seq: 0,
+            tob_order: Vec::new(),
+            outputs: Vec::new(),
+            stats: ReplicaStats::default(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// The protocol mode this replica runs.
+    pub fn mode(&self) -> ProtocolMode {
+        self.mode
+    }
+
+    /// Protocol activity counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Ids on the committed list, in TOB delivery order (`tobNo` order).
+    pub fn committed_ids(&self) -> Vec<ReqId> {
+        self.committed.iter().map(|r| r.id()).collect()
+    }
+
+    /// Ids on the tentative list, in `(timestamp, dot)` order.
+    pub fn tentative_ids(&self) -> Vec<ReqId> {
+        self.tentative.iter().map(|r| r.id()).collect()
+    }
+
+    /// Ids of currently executed (not rolled back) requests, in execution
+    /// order.
+    pub fn executed_ids(&self) -> Vec<ReqId> {
+        self.executed.iter().map(|r| r.id()).collect()
+    }
+
+    /// The current evaluation order `committed · tentative` (ids).
+    pub fn current_order(&self) -> Vec<ReqId> {
+        self.committed
+            .iter()
+            .chain(self.tentative.iter())
+            .map(|r| r.id())
+            .collect()
+    }
+
+    /// Materialises the replica's current logical state.
+    pub fn materialize(&self) -> F::State {
+        self.state.materialize()
+    }
+
+    /// Number of requests whose responses are still owed to clients.
+    pub fn awaiting_responses(&self) -> usize {
+        self.reqs_awaiting_resp.len()
+    }
+
+    /// The TOB delivery order observed by this replica (ids, in `tobNo`
+    /// order). A prefix of every other replica's view.
+    pub fn tob_order(&self) -> &[ReqId] {
+        &self.tob_order
+    }
+
+    /// The invocation journal: one [`EventRecord`] per invocation handled
+    /// by this replica, with response fields unset (the harness fills
+    /// them in from the output stream).
+    pub fn journal(&self) -> &[EventRecord<F::Op>] {
+        &self.journal
+    }
+
+    /// Read access to the TOB component (diagnostics).
+    pub fn tob(&self) -> &T {
+        &self.tob
+    }
+
+    fn committed_contains(&self, id: ReqId) -> bool {
+        self.committed.iter().any(|x| x.id() == id)
+    }
+
+    fn executed_contains(&self, id: ReqId) -> bool {
+        self.executed.iter().any(|x| x.id() == id)
+    }
+
+    /// Lines 16–21: insert `r` into the tentative list by
+    /// `(timestamp, dot)` and re-plan execution.
+    fn adjust_tentative_order(&mut self, r: Req<F::Op>) {
+        debug_assert!(
+            !self.tentative.iter().any(|x| x.id() == r.id()),
+            "request {} already tentative",
+            r.id()
+        );
+        let pos = self
+            .tentative
+            .iter()
+            .position(|x| r < *x)
+            .unwrap_or(self.tentative.len());
+        self.tentative.insert(pos, r);
+        self.adjust_execution();
+    }
+
+    /// Lines 35–40: reconcile the executed prefix with the new evaluation
+    /// order, scheduling rollbacks and (re-)executions.
+    fn adjust_execution(&mut self) {
+        let new_order: Vec<Req<F::Op>> = self
+            .committed
+            .iter()
+            .chain(self.tentative.iter())
+            .cloned()
+            .collect();
+        let lcp = self
+            .executed
+            .iter()
+            .zip(new_order.iter())
+            .take_while(|(a, b)| a.id() == b.id())
+            .count();
+        let out_of_order = self.executed.split_off(lcp);
+        let executed_ids: Vec<ReqId> = self.executed.iter().map(|r| r.id()).collect();
+        self.to_be_executed = new_order
+            .into_iter()
+            .filter(|r| !executed_ids.contains(&r.id()))
+            .collect();
+        self.to_be_rolled_back.extend(out_of_order.into_iter().rev());
+    }
+
+    /// Lines 27–34: TOB delivery fixes the final position of `r`.
+    fn handle_tob_deliver(&mut self, r: Req<F::Op>) {
+        self.stats.tob_deliveries += 1;
+        self.tob_order.push(r.id());
+        debug_assert!(!self.committed_contains(r.id()), "duplicate TOB delivery");
+        self.committed.push(r.clone());
+        self.tentative.retain(|x| x.id() != r.id());
+        self.adjust_execution();
+        // allow the state object to drop checkpoints of the stable prefix
+        let stable = self
+            .executed
+            .iter()
+            .zip(self.committed.iter())
+            .take_while(|(e, c)| e.id() == c.id())
+            .count();
+        self.state.truncate_checkpoints(stable);
+        if self.reqs_awaiting_resp.contains_key(&r.id()) && self.executed_contains(r.id()) {
+            if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&r.id()) {
+                self.outputs.push(Response {
+                    meta: r.meta(),
+                    value,
+                    exec_trace: trace,
+                });
+            }
+            // a `None` stored response cannot happen here: r ∈ executed
+            // implies the execute step stored or returned it already
+        }
+    }
+
+    fn handle_rb_deliver(
+        &mut self,
+        wire: WireReq<F::Op>,
+        ctx: &mut dyn Context<BayouMsg<F::Op, T::Msg>>,
+    ) {
+        let r = wire.req;
+        if r.origin() == ctx.id() {
+            return; // lines 23–24: issued locally
+        }
+        self.stats.rb_deliveries += 1;
+        // Relay guarantee: an RB-delivered request must eventually be
+        // TOB-delivered even if its origin crashed or is partitioned away.
+        {
+            let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+            self.tob.ensure(r.origin(), wire.tob_seq, r.clone(), &mut tctx);
+        }
+        if !self.committed_contains(r.id()) && !self.tentative.iter().any(|x| x.id() == r.id()) {
+            self.adjust_tentative_order(r);
+        }
+    }
+
+    fn broadcast_req(
+        &mut self,
+        r: &Req<F::Op>,
+        ctx: &mut dyn Context<BayouMsg<F::Op, T::Msg>>,
+        rb_too: bool,
+    ) {
+        let seq = self.tob_seq;
+        self.tob_seq += 1;
+        if rb_too {
+            let wire = WireReq {
+                req: r.clone(),
+                tob_seq: seq,
+            };
+            let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
+            self.rb.broadcast(wire, &mut rctx);
+        }
+        let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+        self.tob.cast(seq, r.clone(), &mut tctx);
+    }
+
+    fn deliver_batch(&mut self, batch: Vec<TobDelivery<Req<F::Op>>>) {
+        for d in batch {
+            self.handle_tob_deliver(d.payload);
+        }
+    }
+}
+
+impl<F, T> Process for BayouReplica<F, T>
+where
+    F: DataType,
+    T: Tob<Req<F::Op>>,
+{
+    type Msg = BayouMsg<F::Op, T::Msg>;
+    type Input = Invocation<F::Op>;
+    type Output = Response;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+        self.tob.on_start(&mut tctx);
+    }
+
+    /// Lines 9–15 (Algorithm 1) / Algorithm 2.
+    fn on_input(&mut self, inv: Invocation<F::Op>, ctx: &mut dyn Context<Self::Msg>) {
+        self.stats.invocations += 1;
+        self.curr_event_no += 1;
+        let r = Req::new(
+            ctx.clock(),
+            Dot::new(ctx.id(), self.curr_event_no),
+            inv.level,
+            inv.op,
+        );
+        let tob_cast = match self.mode {
+            ProtocolMode::Original => true,
+            ProtocolMode::Improved => r.level.is_strong() || !F::is_read_only(&r.op),
+        };
+        self.journal.push(EventRecord {
+            meta: r.meta(),
+            op: r.op.clone(),
+            replica: ctx.id(),
+            invoked_at: ctx.now(),
+            returned_at: None,
+            value: None,
+            exec_trace: None,
+            tob_cast,
+        });
+        match self.mode {
+            ProtocolMode::Original => {
+                self.broadcast_req(&r, ctx, true);
+                self.adjust_tentative_order(r.clone());
+                self.reqs_awaiting_resp.insert(r.id(), None);
+            }
+            ProtocolMode::Improved => {
+                if r.level.is_weak() {
+                    // Execute immediately on the current state; the
+                    // tentative response reflects exactly what this
+                    // replica has executed so far (no concurrent request
+                    // can sneak in front — this is what prevents circular
+                    // causality).
+                    let trace_before = self.state.trace().to_vec();
+                    let value = self.state.execute(r.id(), &r.op);
+                    self.outputs.push(Response {
+                        meta: r.meta(),
+                        value,
+                        exec_trace: trace_before,
+                    });
+                    self.state.rollback(r.id());
+                    if !F::is_read_only(&r.op) {
+                        self.broadcast_req(&r, ctx, true);
+                        self.adjust_tentative_order(r);
+                    }
+                } else {
+                    self.reqs_awaiting_resp.insert(r.id(), None);
+                    self.broadcast_req(&r, ctx, false);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
+        match msg {
+            BayouMsg::Rb(frame) => {
+                let delivered = {
+                    let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
+                    self.rb.on_message(from, frame, &mut rctx)
+                };
+                for (_id, wire) in delivered {
+                    self.handle_rb_deliver(wire, ctx);
+                }
+            }
+            BayouMsg::Tob(tm) => {
+                let batch = {
+                    let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+                    self.tob.on_message(from, tm, &mut tctx)
+                };
+                self.deliver_batch(batch);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>) {
+        let mine = {
+            let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
+            self.rb.on_timer(timer, &mut rctx)
+        };
+        if mine {
+            return;
+        }
+        if self.tob.owns_timer(timer) {
+            let batch = {
+                let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+                self.tob.on_timer(timer, &mut tctx)
+            };
+            self.deliver_batch(batch);
+        }
+    }
+
+    /// Lines 41–55: one `rollback` or one `execute` step.
+    fn on_internal(&mut self, _ctx: &mut dyn Context<Self::Msg>) -> bool {
+        if !self.to_be_rolled_back.is_empty() {
+            let head = self.to_be_rolled_back.remove(0);
+            self.state.rollback(head.id());
+            self.stats.rollbacks += 1;
+            return true;
+        }
+        if !self.to_be_executed.is_empty() {
+            let head = self.to_be_executed.remove(0);
+            let trace_before = self.state.trace().to_vec();
+            let value = self.state.execute(head.id(), &head.op);
+            self.stats.executions += 1;
+            if self.reqs_awaiting_resp.contains_key(&head.id()) {
+                if head.level.is_weak() || self.committed_contains(head.id()) {
+                    self.outputs.push(Response {
+                        meta: head.meta(),
+                        value,
+                        exec_trace: trace_before,
+                    });
+                    self.reqs_awaiting_resp.remove(&head.id());
+                } else {
+                    self.reqs_awaiting_resp
+                        .insert(head.id(), Some((value, trace_before)));
+                }
+            }
+            self.executed.push(head);
+            return true;
+        }
+        false
+    }
+
+    fn drain_outputs(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.outputs)
+    }
+}
+
+impl<F: DataType, T: Tob<Req<F::Op>> + fmt::Debug> fmt::Debug for BayouReplica<F, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BayouReplica")
+            .field("mode", &self.mode)
+            .field("committed", &self.committed_ids())
+            .field("tentative", &self.tentative_ids())
+            .field("executed", &self.executed_ids())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+// unit tests live in harness.rs where a full cluster is available; pure
+// list-surgery behaviours are tested here through a stub TOB.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nulltob::NullTob;
+    use bayou_data::{AppendList, ListOp};
+    use bayou_types::{Level, Timestamp};
+
+    struct StubCtx {
+        clock: i64,
+        id: ReplicaId,
+    }
+
+    impl<M> Context<M> for StubCtx {
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+        fn cluster_size(&self) -> usize {
+            2
+        }
+        fn now(&self) -> VirtualTime {
+            VirtualTime::ZERO
+        }
+        fn clock(&mut self) -> Timestamp {
+            self.clock += 1;
+            Timestamp::new(self.clock)
+        }
+        fn send(&mut self, _to: ReplicaId, _m: M) {}
+        fn set_timer(&mut self, _d: VirtualTime) -> TimerId {
+            TimerId::new(0)
+        }
+        fn random(&mut self) -> u64 {
+            0
+        }
+        fn omega(&mut self) -> ReplicaId {
+            ReplicaId::new(0)
+        }
+    }
+
+    type R = BayouReplica<AppendList, NullTob<Req<ListOp>>>;
+
+    fn replica(mode: ProtocolMode) -> (R, StubCtx) {
+        (
+            BayouReplica::new(2, mode, NullTob::new()),
+            StubCtx {
+                clock: 0,
+                id: ReplicaId::new(0),
+            },
+        )
+    }
+
+    fn drive(r: &mut R, ctx: &mut StubCtx) {
+        while r.on_internal(ctx) {}
+    }
+
+    #[test]
+    fn original_mode_returns_tentative_response_at_execution() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
+        assert!(r.drain_outputs().is_empty(), "response needs an execute step");
+        drive(&mut r, &mut ctx);
+        let out = r.drain_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::from("a"));
+        assert!(out[0].exec_trace.is_empty());
+    }
+
+    #[test]
+    fn improved_mode_weak_response_is_immediate() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Improved);
+        r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
+        let out = r.drain_outputs();
+        assert_eq!(out.len(), 1, "improved mode responds at invoke");
+        assert_eq!(out[0].value, Value::from("a"));
+        drive(&mut r, &mut ctx);
+        // the op re-executed into the tentative order
+        assert_eq!(r.executed_ids().len(), 1);
+    }
+
+    #[test]
+    fn improved_mode_weak_ro_is_local_only() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Improved);
+        r.on_input(Invocation::weak(ListOp::Read), &mut ctx);
+        let out = r.drain_outputs();
+        assert_eq!(out[0].value, Value::from(""));
+        drive(&mut r, &mut ctx);
+        assert!(r.tentative_ids().is_empty(), "RO op never enters tentative");
+        assert!(r.executed_ids().is_empty());
+    }
+
+    #[test]
+    fn tentative_order_sorts_by_timestamp_then_dot() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        // local op with clock 1
+        r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        // remote op with an older timestamp must sort in front
+        let remote = Req::new(
+            Timestamp::new(0),
+            Dot::new(ReplicaId::new(1), 1),
+            Level::Weak,
+            ListOp::append("y"),
+        );
+        r.handle_rb_deliver(
+            WireReq {
+                req: remote,
+                tob_seq: 0,
+            },
+            &mut ctx,
+        );
+        drive(&mut r, &mut ctx);
+        assert_eq!(r.stats().rollbacks, 1, "x must be rolled back");
+        assert_eq!(r.materialize(), vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn own_rb_delivery_is_ignored() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        let own = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Weak,
+            ListOp::append("x"),
+        );
+        r.handle_rb_deliver(
+            WireReq {
+                req: own,
+                tob_seq: 0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.tentative_ids().len(), 1, "no duplicate insertion");
+    }
+
+    #[test]
+    fn tob_delivery_moves_req_to_committed() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        let req = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Weak,
+            ListOp::append("x"),
+        );
+        r.handle_tob_deliver(req);
+        assert_eq!(r.committed_ids().len(), 1);
+        assert!(r.tentative_ids().is_empty());
+        drive(&mut r, &mut ctx);
+        // already executed in the right order: no rollback
+        assert_eq!(r.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn commit_of_earlier_remote_req_forces_rollback_and_reexecution() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        assert_eq!(r.materialize(), vec!["x".to_string()]);
+        // a remote request commits first (TOB order beats timestamps)
+        let remote = Req::new(
+            Timestamp::new(100),
+            Dot::new(ReplicaId::new(1), 1),
+            Level::Weak,
+            ListOp::append("z"),
+        );
+        r.handle_tob_deliver(remote);
+        drive(&mut r, &mut ctx);
+        assert_eq!(r.stats().rollbacks, 1);
+        assert_eq!(r.materialize(), vec!["z".to_string(), "x".to_string()]);
+        assert_eq!(r.executed_ids().len(), 2);
+    }
+
+    #[test]
+    fn strong_op_response_waits_for_commit_in_original_mode() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::strong(ListOp::Duplicate), &mut ctx);
+        drive(&mut r, &mut ctx);
+        assert!(
+            r.drain_outputs().is_empty(),
+            "strong response must wait for TOB"
+        );
+        assert_eq!(r.awaiting_responses(), 1);
+        // commit it
+        let req = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Strong,
+            ListOp::Duplicate,
+        );
+        r.handle_tob_deliver(req);
+        drive(&mut r, &mut ctx);
+        let out = r.drain_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::from(""));
+        assert_eq!(r.awaiting_responses(), 0);
+    }
+
+    #[test]
+    fn strong_op_in_improved_mode_never_enters_tentative() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Improved);
+        r.on_input(Invocation::strong(ListOp::append("s")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        assert!(r.tentative_ids().is_empty());
+        assert!(r.executed_ids().is_empty());
+        assert_eq!(r.awaiting_responses(), 1);
+    }
+
+    #[test]
+    fn current_order_is_committed_then_tentative() {
+        let (mut r, mut ctx) = replica(ProtocolMode::Original);
+        r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
+        r.on_input(Invocation::weak(ListOp::append("b")), &mut ctx);
+        drive(&mut r, &mut ctx);
+        let t1 = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Weak,
+            ListOp::append("a"),
+        );
+        r.handle_tob_deliver(t1.clone());
+        let order = r.current_order();
+        assert_eq!(order[0], t1.id());
+        assert_eq!(order.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Replicated data types and state objects for the Bayou Revisited
+//! reproduction.
+//!
+//! The paper models system semantics as a replicated data type `F`: a
+//! specification that, for every operation and every *operation context*
+//! (the set of previously-visible operations plus their arbitration order),
+//! defines the correct return value. Because Bayou executes all operations
+//! sequentially on every replica, a *sequential* specification suffices
+//! (§3.4, footnote 5): the context is always a totally-ordered list of
+//! operations, and the correct return value is obtained by replaying that
+//! list. The [`DataType`] trait captures exactly this.
+//!
+//! The crate provides:
+//!
+//! * a family of concrete data types used throughout the reproduction —
+//!   [`AppendList`] (the list of Figures 1 and 2, with `append` and
+//!   `duplicate`), [`RwRegister`], [`Counter`], [`KvStore`] (with
+//!   `putIfAbsent`, the paper's motivating strong operation),
+//!   [`AddRemoveSet`], [`Bank`] and [`Calendar`] (Bayou's original
+//!   meeting-scheduler application), and [`Script`] — a register-file
+//!   program type matching the instruction model of Algorithm 3;
+//! * the [`StateObject`] abstraction of Algorithm 1 (`state.execute` /
+//!   `state.rollback`) with two implementations: [`UndoLogState`]
+//!   (Algorithm 3, verbatim: a register file plus an undo log) and
+//!   [`ReplayState`] (checkpoint-per-execute, works for arbitrary `F`);
+//! * helpers to replay contexts and compute specification-prescribed
+//!   return values, used by the correctness checkers in `bayou-spec`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayou_data::{AppendList, DataType, ListOp};
+//! use bayou_types::Value;
+//!
+//! let mut s = <AppendList as DataType>::State::default();
+//! assert_eq!(AppendList::apply(&mut s, &ListOp::append("a")), Value::from("a"));
+//! assert_eq!(AppendList::apply(&mut s, &ListOp::append("x")), Value::from("ax"));
+//! assert_eq!(AppendList::apply(&mut s, &ListOp::Duplicate), Value::from("axax"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod calendar;
+mod counter;
+mod datatype;
+mod kv;
+mod list;
+mod register;
+mod set;
+mod state_object;
+mod undo;
+
+pub use bank::{Bank, BankOp};
+pub use calendar::{Calendar, CalendarOp};
+pub use counter::{Counter, CounterOp};
+pub use datatype::{
+    apply_all, commutes, expected_value, replay, DataType, RandomOp,
+};
+pub use kv::{KvOp, KvStore};
+pub use list::{AppendList, ListOp};
+pub use register::{RegisterOp, RwRegister};
+pub use set::{AddRemoveSet, SetOp};
+pub use state_object::{ReplayState, StateObject};
+pub use undo::{Expr, Instr, Script, ScriptOp, UndoLogState};

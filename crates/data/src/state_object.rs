@@ -1,0 +1,239 @@
+//! The `StateObject` abstraction of Algorithm 1 and its generic
+//! checkpoint-based implementation.
+
+use crate::datatype::DataType;
+use bayou_types::ReqId;
+
+/// The `state` object of Algorithm 1: executes requests and can roll back
+/// the *most recently executed* not-yet-rolled-back request.
+///
+/// Bayou's `adjustExecution` only ever revokes a suffix of the executed
+/// sequence, popping requests in reverse execution order (the
+/// `toBeRolledBack` list is `reverse(outOfOrder)`), so implementations may
+/// assume strictly LIFO rollback and should panic on misuse — a rollback
+/// of anything but the latest executed request indicates a protocol bug,
+/// not a recoverable condition.
+///
+/// The *current trace* (the paper's `α` in Appendix A.2.2) is the sequence
+/// of executed-and-not-rolled-back requests; responses must be consistent
+/// with a deterministic serial execution of the trace.
+pub trait StateObject<F: DataType> {
+    /// Executes `op` on behalf of request `id`, mutating the state and
+    /// returning the operation's return value.
+    fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value;
+
+    /// Rolls back request `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the most recently executed request still on
+    /// the trace (see the LIFO discipline above).
+    fn rollback(&mut self, id: ReqId);
+
+    /// The current trace `α`: executed-and-not-rolled-back request ids,
+    /// in execution order.
+    fn trace(&self) -> &[ReqId];
+
+    /// Materialises the current logical state (primarily for tests and
+    /// convergence checks).
+    fn materialize(&self) -> F::State;
+}
+
+/// A [`StateObject`] for arbitrary data types, implemented by
+/// checkpointing the state before every execute.
+///
+/// Rollback restores the saved pre-state. Memory use is proportional to
+/// the number of outstanding speculative executions, which in Bayou is
+/// bounded by the tentative-list length.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_data::{Counter, CounterOp, ReplayState, StateObject};
+/// use bayou_types::{Dot, ReplicaId, Value};
+///
+/// let mut so = ReplayState::<Counter>::new();
+/// let id = Dot::new(ReplicaId::new(0), 1);
+/// assert_eq!(so.execute(id, &CounterOp::AddAndGet(5)), Value::Int(5));
+/// so.rollback(id);
+/// assert_eq!(so.materialize(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayState<F: DataType> {
+    state: F::State,
+    /// `(request, pre-state)` for each executed request, oldest first.
+    checkpoints: Vec<(ReqId, F::State)>,
+    trace: Vec<ReqId>,
+}
+
+impl<F: DataType> ReplayState<F> {
+    /// Creates a state object with the data type's initial state.
+    pub fn new() -> Self {
+        ReplayState {
+            state: F::State::default(),
+            checkpoints: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Number of requests currently on the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Read-only view of the current logical state.
+    pub fn state(&self) -> &F::State {
+        &self.state
+    }
+
+    /// Discards checkpoints for a committed prefix of the trace.
+    ///
+    /// Committed requests can never be rolled back, so their pre-states
+    /// are dead weight; the protocol calls this as its committed list
+    /// grows. `committed_len` is the length of the stable prefix.
+    pub fn truncate_checkpoints(&mut self, committed_len: usize) {
+        if committed_len == 0 {
+            return;
+        }
+        let keep = self
+            .checkpoints
+            .iter()
+            .position(|(id, _)| {
+                self.trace
+                    .iter()
+                    .position(|t| t == id)
+                    .map(|pos| pos >= committed_len)
+                    .unwrap_or(true)
+            })
+            .unwrap_or(self.checkpoints.len());
+        self.checkpoints.drain(..keep);
+    }
+}
+
+impl<F: DataType> Default for ReplayState<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: DataType> StateObject<F> for ReplayState<F> {
+    fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value {
+        self.checkpoints.push((id, self.state.clone()));
+        self.trace.push(id);
+        F::apply(&mut self.state, op)
+    }
+
+    fn rollback(&mut self, id: ReqId) {
+        let last = self
+            .trace
+            .last()
+            .copied()
+            .expect("rollback on an empty trace");
+        assert_eq!(
+            last, id,
+            "non-LIFO rollback: asked to roll back {id} but the most recent request is {last}"
+        );
+        self.trace.pop();
+        let (cid, pre) = self
+            .checkpoints
+            .pop()
+            .expect("trace non-empty but no checkpoint available (was it truncated too early?)");
+        debug_assert_eq!(cid, id);
+        self.state = pre;
+    }
+
+    fn trace(&self) -> &[ReqId] {
+        &self.trace
+    }
+
+    fn materialize(&self) -> F::State {
+        self.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppendList, Counter, CounterOp, ListOp};
+    use bayou_types::{Dot, ReplicaId, Value};
+
+    fn id(n: u64) -> ReqId {
+        Dot::new(ReplicaId::new(0), n)
+    }
+
+    #[test]
+    fn execute_builds_trace() {
+        let mut so = ReplayState::<AppendList>::new();
+        so.execute(id(1), &ListOp::append("a"));
+        so.execute(id(2), &ListOp::append("b"));
+        assert_eq!(so.trace(), &[id(1), id(2)]);
+        assert_eq!(so.materialize(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(so.len(), 2);
+        assert!(!so.is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_pre_state() {
+        let mut so = ReplayState::<AppendList>::new();
+        so.execute(id(1), &ListOp::append("a"));
+        let v = so.execute(id(2), &ListOp::Duplicate);
+        assert_eq!(v, Value::from("aa"));
+        so.rollback(id(2));
+        assert_eq!(so.materialize(), vec!["a".to_string()]);
+        assert_eq!(so.trace(), &[id(1)]);
+    }
+
+    #[test]
+    fn execute_rollback_is_identity() {
+        let mut so = ReplayState::<Counter>::new();
+        so.execute(id(1), &CounterOp::Add(10));
+        let snapshot = so.materialize();
+        so.execute(id(2), &CounterOp::Add(5));
+        so.execute(id(3), &CounterOp::AddAndGet(1));
+        so.rollback(id(3));
+        so.rollback(id(2));
+        assert_eq!(so.materialize(), snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-LIFO rollback")]
+    fn non_lifo_rollback_panics() {
+        let mut so = ReplayState::<Counter>::new();
+        so.execute(id(1), &CounterOp::Add(1));
+        so.execute(id(2), &CounterOp::Add(2));
+        so.rollback(id(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn rollback_on_empty_panics() {
+        let mut so = ReplayState::<Counter>::new();
+        so.rollback(id(1));
+    }
+
+    #[test]
+    fn truncate_checkpoints_keeps_rollback_of_suffix_working() {
+        let mut so = ReplayState::<Counter>::new();
+        so.execute(id(1), &CounterOp::Add(1));
+        so.execute(id(2), &CounterOp::Add(2));
+        so.execute(id(3), &CounterOp::Add(4));
+        so.truncate_checkpoints(2); // ids 1 and 2 committed
+        so.rollback(id(3));
+        assert_eq!(so.materialize(), 3);
+        assert_eq!(so.trace(), &[id(1), id(2)]);
+    }
+
+    #[test]
+    fn truncate_checkpoints_zero_is_noop() {
+        let mut so = ReplayState::<Counter>::new();
+        so.execute(id(1), &CounterOp::Add(1));
+        so.truncate_checkpoints(0);
+        so.rollback(id(1));
+        assert_eq!(so.materialize(), 0);
+    }
+}

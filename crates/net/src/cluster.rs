@@ -1,0 +1,447 @@
+//! The live cluster: replica threads plus the router.
+
+use crate::router::{run_router, Frame, PartitionControl};
+use bayou_types::{Context, Process, ReplicaId, TimerId, Timestamp, VirtualTime};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`LiveCluster`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Seed for the replicas' random streams.
+    pub seed: u64,
+    /// Artificial one-way message delay added by the router.
+    pub delay: Duration,
+}
+
+impl LiveConfig {
+    /// `n` replicas, no artificial delay.
+    pub fn new(n: usize) -> Self {
+        LiveConfig {
+            n,
+            seed: 0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Sets the artificial delay (builder style).
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+enum ReplicaEvent<P: Process> {
+    Input(P::Input),
+    Stop(Sender<P>),
+}
+
+/// A running in-process cluster of `n` replicas executing a
+/// [`Process`].
+///
+/// See the crate-level example. Outputs from all replicas arrive on a
+/// single channel ([`LiveCluster::recv_output`]); faults are injected
+/// through [`LiveCluster::control`].
+pub struct LiveCluster<P: Process> {
+    inputs: Vec<Sender<ReplicaEvent<P>>>,
+    outputs: Receiver<(ReplicaId, P::Output)>,
+    ctl: Arc<PartitionControl>,
+    threads: Vec<JoinHandle<()>>,
+    n: usize,
+}
+
+impl<P> LiveCluster<P>
+where
+    P: Process + Send + 'static,
+    P::Msg: Send + 'static,
+    P::Input: Send + 'static,
+    P::Output: Send + 'static,
+{
+    /// Spawns the cluster; `make(id, n)` builds each replica's process.
+    pub fn new(config: LiveConfig, mut make: impl FnMut(ReplicaId, usize) -> P) -> Self {
+        let n = config.n;
+        assert!(n > 0, "cluster must contain at least one replica");
+        let ctl = PartitionControl::new(n);
+        let (net_tx, net_rx) = unbounded::<Frame<P::Msg>>();
+        let (out_tx, out_rx) = unbounded::<(ReplicaId, P::Output)>();
+
+        let mut inputs = Vec::with_capacity(n);
+        let mut inbox_txs = Vec::with_capacity(n);
+        let mut inbox_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<(ReplicaId, P::Msg)>();
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+
+        let mut threads = Vec::with_capacity(n + 1);
+        let router_ctl = Arc::clone(&ctl);
+        let delay = config.delay;
+        threads.push(
+            std::thread::Builder::new()
+                .name("bayou-router".into())
+                .spawn(move || run_router(net_rx, inbox_txs, router_ctl, delay))
+                .expect("spawn router"),
+        );
+
+        for (i, inbox) in inbox_rxs.into_iter().enumerate() {
+            let id = ReplicaId::new(i as u32);
+            let process = make(id, n);
+            let (ev_tx, ev_rx) = unbounded::<ReplicaEvent<P>>();
+            inputs.push(ev_tx);
+            let net = net_tx.clone();
+            let out = out_tx.clone();
+            let rctl = Arc::clone(&ctl);
+            let seed = config.seed.wrapping_add(i as u64);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bayou-replica-{i}"))
+                    .spawn(move || replica_loop(id, n, process, ev_rx, inbox, net, out, rctl, seed))
+                    .expect("spawn replica"),
+            );
+        }
+
+        LiveCluster {
+            inputs,
+            outputs: out_rx,
+            ctl,
+            threads,
+            n,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cluster is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The fault-injection control surface (partitions, crashes, Ω).
+    pub fn control(&self) -> &PartitionControl {
+        &self.ctl
+    }
+
+    /// Sends a client input to a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica id is out of range.
+    pub fn invoke(&self, replica: ReplicaId, input: P::Input) {
+        self.inputs[replica.index()]
+            .send(ReplicaEvent::Input(input))
+            .expect("replica thread alive");
+    }
+
+    /// Waits up to `timeout` for the next output from any replica.
+    pub fn recv_output(&self, timeout: Duration) -> Option<(ReplicaId, P::Output)> {
+        self.outputs.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any outputs that are immediately available.
+    pub fn try_outputs(&self) -> Vec<(ReplicaId, P::Output)> {
+        let mut out = Vec::new();
+        while let Ok(o) = self.outputs.try_recv() {
+            out.push(o);
+        }
+        out
+    }
+
+    /// Stops all threads and returns the final process states (for
+    /// convergence inspection).
+    pub fn shutdown(self) -> Vec<P> {
+        let mut processes = Vec::with_capacity(self.n);
+        for tx in &self.inputs {
+            let (ret_tx, ret_rx) = bounded(1);
+            if tx.send(ReplicaEvent::Stop(ret_tx)).is_ok() {
+                if let Ok(p) = ret_rx.recv_timeout(Duration::from_secs(5)) {
+                    processes.push(p);
+                }
+            }
+        }
+        drop(self.inputs);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        processes
+    }
+}
+
+struct LiveCtx<'a, M> {
+    id: ReplicaId,
+    n: usize,
+    start: Instant,
+    net: &'a Sender<Frame<M>>,
+    timers: &'a mut BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    timer_counter: &'a mut u64,
+    last_clock: &'a mut i64,
+    rng_state: &'a mut u64,
+    ctl: &'a PartitionControl,
+}
+
+impl<M> Context<M> for LiveCtx<'_, M> {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn clock(&mut self) -> Timestamp {
+        let raw = self.start.elapsed().as_micros() as i64;
+        let v = if raw > *self.last_clock {
+            raw
+        } else {
+            *self.last_clock + 1
+        };
+        *self.last_clock = v;
+        Timestamp::new(v)
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: M) {
+        let _ = self.net.send(Frame {
+            from: self.id,
+            to,
+            msg,
+        });
+    }
+
+    fn set_timer(&mut self, delay: VirtualTime) -> TimerId {
+        *self.timer_counter += 1;
+        let id = *self.timer_counter;
+        self.timers.push(std::cmp::Reverse((
+            Instant::now() + Duration::from_nanos(delay.as_nanos()),
+            id,
+        )));
+        TimerId::new(id)
+    }
+
+    fn random(&mut self) -> u64 {
+        // xorshift64*: deterministic per replica, dependency-free
+        let mut x = *self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn omega(&mut self) -> ReplicaId {
+        self.ctl.leader()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replica_loop<P>(
+    id: ReplicaId,
+    n: usize,
+    mut process: P,
+    events: Receiver<ReplicaEvent<P>>,
+    inbox: Receiver<(ReplicaId, P::Msg)>,
+    net: Sender<Frame<P::Msg>>,
+    out: Sender<(ReplicaId, P::Output)>,
+    ctl: Arc<PartitionControl>,
+    seed: u64,
+) where
+    P: Process,
+{
+    let start = Instant::now();
+    let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut timer_counter = 0u64;
+    let mut last_clock = i64::MIN;
+    let mut rng_state = seed | 1;
+
+    macro_rules! ctx {
+        () => {
+            LiveCtx {
+                id,
+                n,
+                start,
+                net: &net,
+                timers: &mut timers,
+                timer_counter: &mut timer_counter,
+                last_clock: &mut last_clock,
+                rng_state: &mut rng_state,
+                ctl: &ctl,
+            }
+        };
+    }
+
+    process.on_start(&mut ctx!());
+
+    loop {
+        // 1. fire due timers
+        let now = Instant::now();
+        while let Some(std::cmp::Reverse((due, tid))) = timers.peek().copied() {
+            if due > now {
+                break;
+            }
+            timers.pop();
+            process.on_timer(TimerId::new(tid), &mut ctx!());
+        }
+        // 2. run internal steps until passive
+        while process.on_internal(&mut ctx!()) {}
+        // 3. flush outputs
+        for o in process.drain_outputs() {
+            let _ = out.send((id, o));
+        }
+        // 4. wait for the next event (or the next timer deadline)
+        let timeout = timers
+            .peek()
+            .map(|std::cmp::Reverse((due, _))| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(10));
+        crossbeam::channel::select! {
+            recv(events) -> ev => match ev {
+                Ok(ReplicaEvent::Input(input)) => {
+                    if !ctl.is_crashed(id) {
+                        process.on_input(input, &mut ctx!());
+                    }
+                }
+                Ok(ReplicaEvent::Stop(ret)) => {
+                    let _ = ret.send(process);
+                    return;
+                }
+                Err(_) => return,
+            },
+            recv(inbox) -> msg => match msg {
+                Ok((from, m)) => {
+                    if !ctl.is_crashed(id) {
+                        process.on_message(from, m, &mut ctx!());
+                    }
+                }
+                Err(_) => return,
+            },
+            default(timeout) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_broadcast::PaxosTob;
+    use bayou_core::{BayouReplica, Invocation, ProtocolMode, Response};
+    use bayou_data::{Counter, CounterOp, KvOp, KvStore};
+    use bayou_types::{Level, Value};
+
+    type LiveBayou<F> = LiveCluster<
+        BayouReplica<F, PaxosTob<bayou_types::Req<<F as bayou_data::DataType>::Op>>>,
+    >;
+
+    fn bayou_cluster<F: bayou_data::DataType>(n: usize) -> LiveBayou<F> {
+        LiveCluster::new(LiveConfig::new(n), |_, n| {
+            BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+        })
+    }
+
+    fn wait_for(
+        cluster: &LiveBayou<KvStore>,
+        mut pred: impl FnMut(&Response) -> bool,
+    ) -> Option<Response> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if let Some((_, r)) = cluster.recv_output(Duration::from_millis(100)) {
+                if pred(&r) {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn weak_and_strong_ops_complete_live() {
+        let cluster = bayou_cluster::<KvStore>(3);
+        cluster.invoke(ReplicaId::new(0), Invocation::weak(KvOp::put("k", 7)));
+        let weak = wait_for(&cluster, |r| r.meta.level == Level::Weak).expect("weak response");
+        assert_eq!(weak.value, Value::None); // no previous binding
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.invoke(
+            ReplicaId::new(1),
+            Invocation::strong(KvOp::put_if_absent("k", 9)),
+        );
+        let strong =
+            wait_for(&cluster, |r| r.meta.level == Level::Strong).expect("strong response");
+        assert_eq!(strong.value, Value::Bool(false), "weak put won the race");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicas_converge_after_shutdown() {
+        let cluster = bayou_cluster::<KvStore>(3);
+        for k in 0..5 {
+            let r = ReplicaId::new(k % 3);
+            cluster.invoke(r, Invocation::weak(KvOp::put(format!("k{k}"), k as i64)));
+        }
+        // wait for all five weak responses, then let TOB settle
+        for _ in 0..5 {
+            assert!(cluster.recv_output(Duration::from_secs(5)).is_some());
+        }
+        std::thread::sleep(Duration::from_millis(600));
+        let replicas = cluster.shutdown();
+        assert_eq!(replicas.len(), 3);
+        let s0 = replicas[0].materialize();
+        assert_eq!(s0.len(), 5);
+        for r in &replicas[1..] {
+            assert_eq!(r.materialize(), s0, "replicas diverged");
+            assert!(r.tentative_ids().is_empty());
+        }
+        assert_eq!(replicas[0].committed_ids(), replicas[1].committed_ids());
+    }
+
+    #[test]
+    fn strong_ops_block_under_partition_and_resume_after_heal() {
+        let cluster = bayou_cluster::<KvStore>(3);
+        // full partition: every replica alone
+        cluster.control().partition(vec![
+            vec![ReplicaId::new(0)],
+            vec![ReplicaId::new(1)],
+            vec![ReplicaId::new(2)],
+        ]);
+        cluster.invoke(ReplicaId::new(0), Invocation::weak(KvOp::put("w", 1)));
+        let weak = cluster.recv_output(Duration::from_secs(5));
+        assert!(weak.is_some(), "weak op available under partition");
+        cluster.invoke(ReplicaId::new(1), Invocation::strong(KvOp::get("w")));
+        let strong = cluster.recv_output(Duration::from_millis(400));
+        assert!(strong.is_none(), "strong op must block without quorum");
+        cluster.control().heal();
+        let strong = wait_for(&cluster, |r| r.meta.level == Level::Strong);
+        assert!(strong.is_some(), "strong op completes after heal");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn counter_sessions_accumulate() {
+        let cluster: LiveBayou<Counter> = LiveCluster::new(LiveConfig::new(2), |_, n| {
+            BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+        });
+        for _ in 0..10 {
+            cluster.invoke(ReplicaId::new(0), Invocation::weak(CounterOp::Add(1)));
+        }
+        let mut got = 0;
+        while got < 10 {
+            assert!(
+                cluster.recv_output(Duration::from_secs(5)).is_some(),
+                "missing weak response"
+            );
+            got += 1;
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        let replicas = cluster.shutdown();
+        assert_eq!(replicas[0].materialize(), 10);
+        assert_eq!(replicas[1].materialize(), 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! A live, threaded runtime for the protocols of the Bayou Revisited
+//! reproduction.
+//!
+//! Where `bayou-sim` executes protocols deterministically in virtual
+//! time, this crate runs the *same* [`bayou_types::Process`]
+//! implementations as a real in-process cluster: one OS thread per
+//! replica, crossbeam channels as links, a router thread that injects
+//! configurable delay, partitions and crash faults, and wall-clock
+//! timers. It exists to demonstrate that the protocol code is
+//! runtime-agnostic and to host the `examples/live_cluster.rs` demo and
+//! wall-clock benches.
+//!
+//! The Ω failure detector is provided by the router (which knows which
+//! replicas are crashed) through a shared atomic cell — replicas read it
+//! through [`bayou_types::Context::omega`] exactly as in the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayou_core::{BayouReplica, Invocation, ProtocolMode};
+//! use bayou_broadcast::PaxosTob;
+//! use bayou_data::{Counter, CounterOp};
+//! use bayou_net::{LiveCluster, LiveConfig};
+//! use bayou_types::{ReplicaId};
+//! use std::time::Duration;
+//!
+//! let cfg = LiveConfig::new(3);
+//! let mut cluster = LiveCluster::new(cfg, |_, n| {
+//!     BayouReplica::<Counter, _>::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+//! });
+//! cluster.invoke(ReplicaId::new(0), Invocation::weak(CounterOp::Add(5)));
+//! let (_, resp) = cluster
+//!     .recv_output(Duration::from_secs(5))
+//!     .expect("weak op responds");
+//! assert_eq!(resp.value, bayou_types::Value::Unit);
+//! let replicas = cluster.shutdown();
+//! assert_eq!(replicas.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod router;
+
+pub use cluster::{LiveCluster, LiveConfig};
+pub use router::PartitionControl;

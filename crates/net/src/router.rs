@@ -1,0 +1,211 @@
+//! The router thread: delivers messages between replica threads,
+//! applying delay, partitions and crash faults.
+
+use bayou_types::ReplicaId;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A routed frame.
+pub(crate) struct Frame<M> {
+    pub from: ReplicaId,
+    pub to: ReplicaId,
+    pub msg: M,
+}
+
+/// Shared control surface for fault injection, used by
+/// [`crate::LiveCluster`] and readable from tests.
+///
+/// Partitions are block lists exactly as in the simulator: messages
+/// between different blocks are dropped (protocol-level retransmission
+/// recovers them after healing). Crashed replicas neither send nor
+/// receive, and the Ω leader cell is updated to the lowest-id live
+/// replica.
+#[derive(Debug)]
+pub struct PartitionControl {
+    blocks: Mutex<Option<Vec<Vec<ReplicaId>>>>,
+    crashed: Mutex<Vec<bool>>,
+    leader: AtomicU32,
+}
+
+impl PartitionControl {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        Arc::new(PartitionControl {
+            blocks: Mutex::new(None),
+            crashed: Mutex::new(vec![false; n]),
+            leader: AtomicU32::new(0),
+        })
+    }
+
+    /// Installs a partition (replaces any existing one).
+    pub fn partition(&self, blocks: Vec<Vec<ReplicaId>>) {
+        *self.blocks.lock() = Some(blocks);
+    }
+
+    /// Removes the partition.
+    pub fn heal(&self) {
+        *self.blocks.lock() = None;
+    }
+
+    /// Marks a replica as crashed.
+    pub fn crash(&self, r: ReplicaId) {
+        let mut crashed = self.crashed.lock();
+        if r.index() < crashed.len() {
+            crashed[r.index()] = true;
+        }
+        let leader = crashed
+            .iter()
+            .position(|c| !c)
+            .map(|i| i as u32)
+            .unwrap_or(0);
+        self.leader.store(leader, Ordering::SeqCst);
+    }
+
+    /// The current Ω output (lowest-id live replica).
+    pub fn leader(&self) -> ReplicaId {
+        ReplicaId::new(self.leader.load(Ordering::SeqCst))
+    }
+
+    /// Whether `r` has crashed.
+    pub fn is_crashed(&self, r: ReplicaId) -> bool {
+        self.crashed
+            .lock()
+            .get(r.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn separated(&self, a: ReplicaId, b: ReplicaId) -> bool {
+        let guard = self.blocks.lock();
+        let Some(blocks) = guard.as_ref() else {
+            return false;
+        };
+        if a == b {
+            return false;
+        }
+        let pos = |r: ReplicaId| blocks.iter().position(|blk| blk.contains(&r));
+        match (pos(a), pos(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => true,
+        }
+    }
+}
+
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    frame: Frame<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// The router loop: moves frames from the shared ingress channel to
+/// per-replica inboxes, applying the configured delay and the fault
+/// state. Exits when the ingress channel disconnects.
+pub(crate) fn run_router<M: Send>(
+    ingress: Receiver<Frame<M>>,
+    inboxes: Vec<Sender<(ReplicaId, M)>>,
+    ctl: Arc<PartitionControl>,
+    delay: Duration,
+) {
+    let mut heap: BinaryHeap<Delayed<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // deliver everything due
+        let now = Instant::now();
+        while let Some(top) = heap.peek() {
+            if top.due > now {
+                break;
+            }
+            let d = heap.pop().expect("peeked");
+            deliver(&inboxes, &ctl, d.frame);
+        }
+        let timeout = heap
+            .peek()
+            .map(|d| d.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20));
+        match ingress.recv_timeout(timeout) {
+            Ok(frame) => {
+                if delay.is_zero() {
+                    deliver(&inboxes, &ctl, frame);
+                } else {
+                    heap.push(Delayed {
+                        due: Instant::now() + delay,
+                        seq,
+                        frame,
+                    });
+                    seq += 1;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn deliver<M>(inboxes: &[Sender<(ReplicaId, M)>], ctl: &PartitionControl, frame: Frame<M>) {
+    // Fault model mirrors the simulator: crashed endpoints and partition
+    // crossings drop the frame; protocol retransmission recovers.
+    if ctl.is_crashed(frame.from) || ctl.is_crashed(frame.to) {
+        return;
+    }
+    if ctl.separated(frame.from, frame.to) {
+        return;
+    }
+    if let Some(tx) = inboxes.get(frame.to.index()) {
+        let _ = tx.send((frame.from, frame.msg)); // receiver gone = shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_control_blocks_and_heals() {
+        let ctl = PartitionControl::new(3);
+        let (a, b, c) = (ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2));
+        assert!(!ctl.separated(a, b));
+        ctl.partition(vec![vec![a], vec![b, c]]);
+        assert!(ctl.separated(a, b));
+        assert!(!ctl.separated(b, c));
+        ctl.heal();
+        assert!(!ctl.separated(a, b));
+    }
+
+    #[test]
+    fn unlisted_replica_is_isolated() {
+        let ctl = PartitionControl::new(3);
+        ctl.partition(vec![vec![ReplicaId::new(0)]]);
+        assert!(ctl.separated(ReplicaId::new(1), ReplicaId::new(2)));
+    }
+
+    #[test]
+    fn crash_updates_leader() {
+        let ctl = PartitionControl::new(3);
+        assert_eq!(ctl.leader(), ReplicaId::new(0));
+        ctl.crash(ReplicaId::new(0));
+        assert_eq!(ctl.leader(), ReplicaId::new(1));
+        assert!(ctl.is_crashed(ReplicaId::new(0)));
+        ctl.crash(ReplicaId::new(1));
+        assert_eq!(ctl.leader(), ReplicaId::new(2));
+    }
+}

@@ -1,0 +1,108 @@
+//! Run-wide counters collected by the simulator.
+
+use bayou_types::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters describing what happened during a simulated run.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_sim::Metrics;
+/// let m = Metrics::new(3);
+/// assert_eq!(m.messages_sent, 0);
+/// assert_eq!(m.steps.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to a handler.
+    pub messages_delivered: u64,
+    /// Messages dropped by a partition.
+    pub messages_dropped_partition: u64,
+    /// Messages dropped because the destination had crashed.
+    pub messages_dropped_crash: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Client inputs dispatched.
+    pub inputs: u64,
+    /// Internal protocol steps executed (rollbacks/executes in Bayou).
+    pub internal_steps: u64,
+    /// Total handler executions per replica.
+    pub steps: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for a cluster of `n` replicas.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            steps: vec![0; n],
+            ..Metrics::default()
+        }
+    }
+
+    /// Records one handler execution on `replica`.
+    pub(crate) fn count_step(&mut self, replica: ReplicaId) {
+        if let Some(s) = self.steps.get_mut(replica.index()) {
+            *s += 1;
+        }
+    }
+
+    /// Total handler executions across the cluster.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped(part)={} dropped(crash)={} timers={} inputs={} internal={} steps={:?}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped_partition,
+            self.messages_dropped_crash,
+            self.timers_fired,
+            self.inputs,
+            self.internal_steps,
+            self.steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m = Metrics::new(2);
+        assert_eq!(m.total_steps(), 0);
+        assert_eq!(m.steps, vec![0, 0]);
+    }
+
+    #[test]
+    fn count_step_increments_the_right_replica() {
+        let mut m = Metrics::new(3);
+        m.count_step(ReplicaId::new(1));
+        m.count_step(ReplicaId::new(1));
+        m.count_step(ReplicaId::new(2));
+        assert_eq!(m.steps, vec![0, 2, 1]);
+        assert_eq!(m.total_steps(), 3);
+    }
+
+    #[test]
+    fn count_step_ignores_out_of_range() {
+        let mut m = Metrics::new(1);
+        m.count_step(ReplicaId::new(9));
+        assert_eq!(m.total_steps(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Metrics::new(1).to_string().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Abstract executions `A = (H, vis, ar, par)` (§3.2).
+
+use crate::history::History;
+use crate::relation::Relation;
+
+/// An abstract execution: a history extended with a visibility relation,
+/// an arbitration total order, and a per-event *perceived* arbitration
+/// order `par(e)`.
+///
+/// `ar` and each `par(e)` are stored as permutations of event indices
+/// (in order); the corresponding strict total-order relations are derived
+/// on demand. `vis` is an explicit relation.
+#[derive(Debug, Clone)]
+pub struct AbstractExecution<Op> {
+    /// The underlying history.
+    pub history: History<Op>,
+    /// Visibility (`vis`): a natural, acyclic relation.
+    pub vis: Relation,
+    /// Arbitration: all event indices in `ar` order.
+    pub ar: Vec<usize>,
+    /// Perceived arbitration per event: `par[e]` lists all event indices
+    /// in the order perceived by event `e`.
+    pub par: Vec<Vec<usize>>,
+}
+
+impl<Op> AbstractExecution<Op> {
+    /// Creates an abstract execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ar` or any `par(e)` is not a permutation of all events,
+    /// or if `par` does not have one entry per event.
+    pub fn new(history: History<Op>, vis: Relation, ar: Vec<usize>, par: Vec<Vec<usize>>) -> Self {
+        let n = history.len();
+        assert_eq!(vis.len(), n, "vis carrier mismatch");
+        assert!(is_permutation(&ar, n), "ar must be a permutation of 0..n");
+        assert_eq!(par.len(), n, "par must have one order per event");
+        for (e, p) in par.iter().enumerate() {
+            assert!(
+                is_permutation(p, n),
+                "par({e}) must be a permutation of 0..n"
+            );
+        }
+        AbstractExecution {
+            history,
+            vis,
+            ar,
+            par,
+        }
+    }
+
+    /// Position of event `e` in `ar`.
+    pub fn ar_pos(&self, e: usize) -> usize {
+        self.ar.iter().position(|x| *x == e).expect("event in ar")
+    }
+
+    /// Whether `a` is arbitrated before `b`.
+    pub fn ar_before(&self, a: usize, b: usize) -> bool {
+        self.ar_pos(a) < self.ar_pos(b)
+    }
+
+    /// The `ar` relation as a [`Relation`].
+    pub fn ar_relation(&self) -> Relation {
+        Relation::from_total_order(&self.ar)
+    }
+
+    /// Whether `a` precedes `b` in `par(e)`.
+    pub fn par_before(&self, e: usize, a: usize, b: usize) -> bool {
+        let p = &self.par[e];
+        let pa = p.iter().position(|x| *x == a).expect("event in par");
+        let pb = p.iter().position(|x| *x == b).expect("event in par");
+        pa < pb
+    }
+
+    /// `vis⁻¹(e)`: the events visible to `e`, in ascending index order.
+    pub fn visible_to(&self, e: usize) -> Vec<usize> {
+        self.vis.predecessors(e)
+    }
+
+    /// The paper's `rank(S, rel, a)` for `rel = par(e)`: how many
+    /// elements of `S` are ordered before `a` by `par(e)`.
+    pub fn rank_par(&self, e: usize, set: &[usize], a: usize) -> usize {
+        set.iter().filter(|x| self.par_before(e, **x, a)).count()
+    }
+
+    /// The paper's `rank(S, ar, a)`.
+    pub fn rank_ar(&self, set: &[usize], a: usize) -> usize {
+        let pa = self.ar_pos(a);
+        set.iter().filter(|x| self.ar_pos(**x) < pa).count()
+    }
+}
+
+fn is_permutation(v: &[usize], n: usize) -> bool {
+    if v.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &x in v {
+        if x >= n || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HEvent;
+    use bayou_types::{Dot, Level, ReplicaId, Timestamp, Value, VirtualTime};
+
+    fn tiny_history(n: usize) -> History<&'static str> {
+        let events = (0..n)
+            .map(|i| HEvent {
+                id: Dot::new(ReplicaId::new(i as u32), 1),
+                op: "op",
+                rval: Some(Value::Unit),
+                session: ReplicaId::new(i as u32),
+                level: Level::Weak,
+                invoked_at: VirtualTime::from_millis(i as u64 * 10),
+                returned_at: Some(VirtualTime::from_millis(i as u64 * 10 + 1)),
+                timestamp: Timestamp::new(i as i64),
+                tob_cast: true,
+                tob_no: Some(i),
+                read_only: false,
+                exec_trace: None,
+            })
+            .collect();
+        History::from_events(events).unwrap()
+    }
+
+    fn exec3() -> AbstractExecution<&'static str> {
+        let h = tiny_history(3);
+        let vis = Relation::from_pairs(3, [(0, 1), (0, 2), (1, 2)]);
+        let ar = vec![0, 2, 1];
+        let par = vec![vec![0, 1, 2], vec![0, 2, 1], vec![0, 2, 1]];
+        AbstractExecution::new(h, vis, ar, par)
+    }
+
+    #[test]
+    fn positions_and_orderings() {
+        let a = exec3();
+        assert_eq!(a.ar_pos(0), 0);
+        assert_eq!(a.ar_pos(2), 1);
+        assert!(a.ar_before(0, 1));
+        assert!(a.ar_before(2, 1));
+        assert!(!a.ar_before(1, 2));
+        assert!(a.par_before(0, 1, 2), "event 0 perceives 1 before 2");
+        assert!(a.par_before(1, 2, 1));
+    }
+
+    #[test]
+    fn visibility_and_rank() {
+        let a = exec3();
+        assert_eq!(a.visible_to(2), vec![0, 1]);
+        // rank of event 1 within {0,1} under par(2) = [0,2,1]: only 0 is
+        // before 1
+        assert_eq!(a.rank_par(2, &[0, 1], 1), 1);
+        // under ar = [0,2,1]: same
+        assert_eq!(a.rank_ar(&[0, 1], 1), 1);
+        // rank of 2 within {0,1} under ar: 0 precedes 2
+        assert_eq!(a.rank_ar(&[0, 1], 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_ar_rejected() {
+        let h = tiny_history(2);
+        AbstractExecution::new(h, Relation::new(2), vec![0, 0], vec![vec![0, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one order per event")]
+    fn missing_par_rejected() {
+        let h = tiny_history(2);
+        AbstractExecution::new(h, Relation::new(2), vec![0, 1], vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,395 @@
+//! The correctness predicates of §4 and their composition into
+//! `BEC`, `FEC` and `Seq`.
+
+use crate::execution::AbstractExecution;
+use bayou_data::{expected_value, DataType};
+use bayou_types::{Level, VirtualTime};
+use std::fmt;
+
+/// Options controlling the finite-run approximation of the asymptotic
+/// predicates (`EV`, `CPar`).
+///
+/// On a finite trace, "all but finitely many" cannot be falsified;
+/// instead, pairs of events separated by at least [`CheckOptions::horizon`]
+/// are required to satisfy the limit behaviour. Set the horizon above the
+/// run's propagation bound (max network delay + partition length + clock
+/// skew window) for a sound check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Time after which the asymptotic predicates must have "settled".
+    pub horizon: VirtualTime,
+    /// Maximum number of violations to report per predicate.
+    pub max_violations: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            horizon: VirtualTime::from_millis(500),
+            max_violations: 8,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options with the given horizon.
+    pub fn with_horizon(horizon: VirtualTime) -> Self {
+        CheckOptions {
+            horizon,
+            ..CheckOptions::default()
+        }
+    }
+}
+
+/// The outcome of checking one predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateResult {
+    /// Predicate name, e.g. `"RVal(weak)"`.
+    pub name: String,
+    /// Whether the predicate holds.
+    pub ok: bool,
+    /// Human-readable descriptions of (up to `max_violations`)
+    /// violations.
+    pub violations: Vec<String>,
+}
+
+impl PredicateResult {
+    fn new(name: impl Into<String>, violations: Vec<String>) -> Self {
+        PredicateResult {
+            name: name.into(),
+            ok: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+impl fmt::Display for PredicateResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok {
+            write!(f, "{}: ok", self.name)
+        } else {
+            write!(f, "{}: FAILED ({} shown)", self.name, self.violations.len())?;
+            for v in &self.violations {
+                write!(f, "\n    - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The outcome of checking a composite guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Name of the guarantee, e.g. `"FEC(weak)"`.
+    pub guarantee: String,
+    /// Per-predicate results.
+    pub results: Vec<PredicateResult>,
+}
+
+impl CheckReport {
+    /// Whether every predicate holds.
+    pub fn ok(&self) -> bool {
+        self.results.iter().all(|r| r.ok)
+    }
+
+    /// The result for a specific predicate, if present.
+    pub fn predicate(&self, name: &str) -> Option<&PredicateResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}",
+            self.guarantee,
+            if self.ok() { "SATISFIED" } else { "VIOLATED" }
+        )?;
+        for r in &self.results {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+fn push_violation(violations: &mut Vec<String>, opts: &CheckOptions, msg: String) {
+    if violations.len() < opts.max_violations {
+        violations.push(msg);
+    }
+}
+
+/// **Eventual Visibility** (finite-run approximation): every event must
+/// be visible to all events invoked at least `horizon` after it
+/// returned.
+pub fn check_ev<Op>(a: &AbstractExecution<Op>, opts: &CheckOptions) -> PredicateResult {
+    let mut violations = Vec::new();
+    let mut total = 0usize;
+    let h = &a.history;
+    for (i, e) in h.events().iter().enumerate() {
+        let Some(ret) = e.returned_at else { continue };
+        for (j, e2) in h.events().iter().enumerate() {
+            if i == j || e2.invoked_at < ret.saturating_add(opts.horizon) {
+                continue;
+            }
+            if !a.vis.contains(i, j) {
+                total += 1;
+                push_violation(
+                    &mut violations,
+                    opts,
+                    format!(
+                        "{} (returned {}) not visible to {} (invoked {})",
+                        e.id, ret, e2.id, e2.invoked_at
+                    ),
+                );
+            }
+        }
+    }
+    let mut r = PredicateResult::new("EV", violations);
+    if total > r.violations.len() {
+        r.violations.push(format!("... {total} violations total"));
+    }
+    r
+}
+
+/// **No Circular Causality**: `hb = (so ∪ vis)⁺` must be acyclic.
+pub fn check_ncc<Op: Clone>(a: &AbstractExecution<Op>) -> PredicateResult {
+    let so = a.history.session_order();
+    let hb = so.union(&a.vis).transitive_closure();
+    let mut violations = Vec::new();
+    for i in 0..a.history.len() {
+        if hb.contains(i, i) {
+            violations.push(format!(
+                "event {} participates in a causality cycle",
+                a.history.events()[i].id
+            ));
+        }
+    }
+    PredicateResult::new("NCC", violations)
+}
+
+/// **RVal(l, F)**: every completed event at level `l` returns the value
+/// the specification prescribes for its context ordered by **`ar`**.
+pub fn check_rval<F>(a: &AbstractExecution<F::Op>, level: Level) -> PredicateResult
+where
+    F: DataType,
+{
+    check_values::<F>(a, level, false)
+}
+
+/// **FRVal(l, F)**: like `RVal` but contexts are ordered by the
+/// *perceived* arbitration **`par(e)`** — the fluctuating variant.
+pub fn check_frval<F>(a: &AbstractExecution<F::Op>, level: Level) -> PredicateResult
+where
+    F: DataType,
+{
+    check_values::<F>(a, level, true)
+}
+
+fn check_values<F>(a: &AbstractExecution<F::Op>, level: Level, fluctuating: bool) -> PredicateResult
+where
+    F: DataType,
+{
+    let name = if fluctuating {
+        format!("FRVal({level})")
+    } else {
+        format!("RVal({level})")
+    };
+    let mut violations = Vec::new();
+    for (i, e) in a.history.events().iter().enumerate() {
+        if e.level != level {
+            continue;
+        }
+        let Some(actual) = &e.rval else { continue };
+        let mut ctx = a.visible_to(i);
+        if fluctuating {
+            let par = &a.par[i];
+            ctx.sort_by_key(|x| par.iter().position(|p| p == x).expect("event in par"));
+        } else {
+            ctx.sort_by_key(|x| a.ar_pos(*x));
+        }
+        let ops: Vec<F::Op> = ctx
+            .iter()
+            .map(|x| a.history.events()[*x].op.clone())
+            .collect();
+        let expected = expected_value::<F>(&ops, &e.op);
+        if expected != *actual {
+            violations.push(format!(
+                "event {} ({:?}) returned {actual} but the specification gives {expected} \
+                 for its {}-ordered context of {} events",
+                e.id,
+                e.op,
+                if fluctuating { "par" } else { "ar" },
+                ctx.len()
+            ));
+        }
+    }
+    PredicateResult::new(name, violations)
+}
+
+/// **CPar(l)** (finite-run approximation): for every event `e`, the
+/// perceived position of `e` (its rank within the observer's visible
+/// set) must agree with `ar` for all observers at level `l` invoked at
+/// least `horizon` after `e`.
+pub fn check_cpar<Op>(
+    a: &AbstractExecution<Op>,
+    level: Level,
+    opts: &CheckOptions,
+) -> PredicateResult {
+    let mut violations = Vec::new();
+    let mut total = 0usize;
+    for (i, e) in a.history.events().iter().enumerate() {
+        for (j, e2) in a.history.events().iter().enumerate() {
+            if e2.level != level || !a.vis.contains(i, j) {
+                continue;
+            }
+            if e2.invoked_at < e.invoked_at.saturating_add(opts.horizon) {
+                continue; // within the convergence window
+            }
+            let visible = a.visible_to(j);
+            let perceived = a.rank_par(j, &visible, i);
+            let fin = a.rank_ar(&visible, i);
+            if perceived != fin {
+                total += 1;
+                push_violation(
+                    &mut violations,
+                    opts,
+                    format!(
+                        "late observer {} still perceives {} at rank {perceived} (final {fin})",
+                        e2.id, e.id
+                    ),
+                );
+            }
+        }
+    }
+    let mut r = PredicateResult::new(format!("CPar({level})"), violations);
+    if total > r.violations.len() {
+        r.violations.push(format!("... {total} violations total"));
+    }
+    r
+}
+
+/// **SinOrd(l)**: there is a set `E'` of pending events such that
+/// `visL = arL \ (E' × E)` — completed events see exactly their
+/// `ar`-predecessors.
+pub fn check_sin_ord<Op>(a: &AbstractExecution<Op>, level: Level) -> PredicateResult {
+    let mut violations = Vec::new();
+    let targets: Vec<usize> = a.history.level_indices(level);
+    let n = a.history.len();
+    for x in 0..n {
+        let pending = a.history.events()[x].is_pending();
+        // for completed x: vis(x,y) must equal ar(x,y) on all y in L.
+        // for pending x: either that, or vis(x,y) false for all y in L
+        // (x ∈ E').
+        let mut mismatches = Vec::new();
+        let mut all_invisible = true;
+        for &y in &targets {
+            if x == y {
+                continue;
+            }
+            let v = a.vis.contains(x, y);
+            let ar = a.ar_before(x, y);
+            if v {
+                all_invisible = false;
+            }
+            if v != ar {
+                mismatches.push(y);
+            }
+        }
+        if mismatches.is_empty() {
+            continue;
+        }
+        if pending && all_invisible {
+            // x ∈ E': its ar-edges towards L are uniformly removed
+            let only_missing = mismatches
+                .iter()
+                .all(|y| !a.vis.contains(x, *y) && a.ar_before(x, *y));
+            if only_missing {
+                continue;
+            }
+        }
+        violations.push(format!(
+            "event {} ({}): visibility to {} level-{level} events disagrees with ar",
+            a.history.events()[x].id,
+            if pending { "pending" } else { "completed" },
+            mismatches.len()
+        ));
+    }
+    PredicateResult::new(format!("SinOrd({level})"), violations)
+}
+
+/// **SessArb(l)**: session order into level-`l` events is respected by
+/// `ar`.
+pub fn check_sess_arb<Op: Clone>(a: &AbstractExecution<Op>, level: Level) -> PredicateResult {
+    let so = a.history.session_order();
+    let mut violations = Vec::new();
+    for x in 0..a.history.len() {
+        for y in a.history.level_indices(level) {
+            if x != y && so.contains(x, y) && !a.ar_before(x, y) {
+                violations.push(format!(
+                    "session order {} → {} not respected by ar",
+                    a.history.events()[x].id,
+                    a.history.events()[y].id
+                ));
+            }
+        }
+    }
+    PredicateResult::new(format!("SessArb({level})"), violations)
+}
+
+/// **`BEC(l, F) = EV ∧ NCC ∧ RVal(l, F)`** — Basic Eventual Consistency
+/// (§4.1).
+pub fn check_bec<F>(
+    a: &AbstractExecution<F::Op>,
+    level: Level,
+    opts: &CheckOptions,
+) -> CheckReport
+where
+    F: DataType,
+{
+    CheckReport {
+        guarantee: format!("BEC({level})"),
+        results: vec![
+            check_ev(a, opts),
+            check_ncc(a),
+            check_rval::<F>(a, level),
+        ],
+    }
+}
+
+/// **`FEC(l, F) = EV ∧ NCC ∧ FRVal(l, F) ∧ CPar(l)`** — Fluctuating
+/// Eventual Consistency, the paper's new criterion (§4.2).
+pub fn check_fec<F>(
+    a: &AbstractExecution<F::Op>,
+    level: Level,
+    opts: &CheckOptions,
+) -> CheckReport
+where
+    F: DataType,
+{
+    CheckReport {
+        guarantee: format!("FEC({level})"),
+        results: vec![
+            check_ev(a, opts),
+            check_ncc(a),
+            check_frval::<F>(a, level),
+            check_cpar(a, level, opts),
+        ],
+    }
+}
+
+/// **`Seq(l, F) = SinOrd(l) ∧ SessArb(l) ∧ RVal(l, F)`** — sequential
+/// consistency for level-`l` operations (§4.3).
+pub fn check_seq<F>(a: &AbstractExecution<F::Op>, level: Level) -> CheckReport
+where
+    F: DataType,
+{
+    CheckReport {
+        guarantee: format!("Seq({level})"),
+        results: vec![
+            check_sin_ord(a, level),
+            check_sess_arb(a, level),
+            check_rval::<F>(a, level),
+        ],
+    }
+}

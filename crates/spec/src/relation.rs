@@ -1,0 +1,335 @@
+//! Dense binary relations over event indices.
+
+use std::fmt;
+
+/// A binary relation over `{0, …, n-1}`, stored as a dense bit matrix.
+///
+/// Implements the relation algebra of the paper's §3.1: composition,
+/// transitive closure, restriction, inverses, and the acyclicity and
+/// total-order tests the predicates are defined with.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_spec::Relation;
+///
+/// let mut r = Relation::new(3);
+/// r.add(0, 1);
+/// r.add(1, 2);
+/// assert!(r.contains(0, 1));
+/// assert!(!r.contains(0, 2));
+/// let tc = r.transitive_closure();
+/// assert!(tc.contains(0, 2));
+/// assert!(tc.is_acyclic());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// The empty relation over `n` elements.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        Relation {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n.max(1)],
+        }
+    }
+
+    /// Builds a relation from pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut r = Relation::new(n);
+        for (a, b) in pairs {
+            r.add(a, b);
+        }
+        r
+    }
+
+    /// Builds the total order induced by a permutation `order` of
+    /// `0..n`: `order[i] → order[j]` for all `i < j`.
+    pub fn from_total_order(order: &[usize]) -> Self {
+        let n = order.len();
+        let mut r = Relation::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                r.add(order[i], order[j]);
+            }
+        }
+        r
+    }
+
+    /// The number of elements in the carrier set.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the carrier set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "index out of range");
+        self.bits[a * self.words_per_row + b / 64] |= 1 << (b % 64);
+    }
+
+    /// Removes the pair `(a, b)`.
+    pub fn remove(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "index out of range");
+        self.bits[a * self.words_per_row + b / 64] &= !(1 << (b % 64));
+    }
+
+    /// Whether `(a, b)` is in the relation.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && self.bits[a * self.words_per_row + b / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// The successors of `a`: `{b | a → b}`.
+    pub fn successors(&self, a: usize) -> Vec<usize> {
+        (0..self.n).filter(|b| self.contains(a, *b)).collect()
+    }
+
+    /// The predecessors of `b`: `{a | a → b}` (the inverse image).
+    pub fn predecessors(&self, b: usize) -> Vec<usize> {
+        (0..self.n).filter(|a| self.contains(*a, b)).collect()
+    }
+
+    /// The inverse relation.
+    pub fn inverse(&self) -> Relation {
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.contains(a, b) {
+                    r.add(b, a);
+                }
+            }
+        }
+        r
+    }
+
+    /// The union of two relations over the same carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if carriers differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "carrier mismatch");
+        let mut r = self.clone();
+        for (w, ow) in r.bits.iter_mut().zip(other.bits.iter()) {
+            *w |= ow;
+        }
+        r
+    }
+
+    /// Relational composition `self ; other`.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "carrier mismatch");
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.contains(a, b) {
+                    // r[a] |= other[b]
+                    for w in 0..self.words_per_row {
+                        r.bits[a * self.words_per_row + w] |=
+                            other.bits[b * other.words_per_row + w];
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// The transitive closure `rel⁺` (Floyd–Warshall on bit rows).
+    pub fn transitive_closure(&self) -> Relation {
+        let mut r = self.clone();
+        for k in 0..self.n {
+            for a in 0..self.n {
+                if r.contains(a, k) {
+                    for w in 0..self.words_per_row {
+                        let kw = r.bits[k * self.words_per_row + w];
+                        r.bits[a * self.words_per_row + w] |= kw;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Whether the relation is acyclic (no element reaches itself through
+    /// one or more steps).
+    pub fn is_acyclic(&self) -> bool {
+        let tc = self.transitive_closure();
+        (0..self.n).all(|a| !tc.contains(a, a))
+    }
+
+    /// Whether the relation is a (strict) total order: irreflexive,
+    /// transitive, and total.
+    pub fn is_total_order(&self) -> bool {
+        for a in 0..self.n {
+            if self.contains(a, a) {
+                return false;
+            }
+            for b in 0..self.n {
+                if a != b && !self.contains(a, b) && !self.contains(b, a) {
+                    return false;
+                }
+                for c in 0..self.n {
+                    if self.contains(a, b) && self.contains(b, c) && !self.contains(a, c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Restriction to a subset `keep` of the carrier (pairs with both
+    /// ends in `keep`).
+    pub fn restrict(&self, keep: &[bool]) -> Relation {
+        assert_eq!(keep.len(), self.n);
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            if !keep[a] {
+                continue;
+            }
+            for b in 0..self.n {
+                if keep[b] && self.contains(a, b) {
+                    r.add(a, b);
+                }
+            }
+        }
+        r
+    }
+
+    /// Number of pairs in the relation.
+    pub fn cardinality(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({} elems, {{", self.n)?;
+        let mut first = true;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.contains(a, b) {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}→{b}")?;
+                    first = false;
+                }
+            }
+        }
+        f.write_str("})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut r = Relation::new(4);
+        assert!(!r.contains(1, 2));
+        r.add(1, 2);
+        assert!(r.contains(1, 2));
+        assert!(!r.contains(2, 1));
+        r.remove(1, 2);
+        assert!(!r.contains(1, 2));
+        assert_eq!(r.cardinality(), 0);
+    }
+
+    #[test]
+    fn large_carrier_crosses_word_boundaries() {
+        let mut r = Relation::new(130);
+        r.add(0, 129);
+        r.add(129, 65);
+        assert!(r.contains(0, 129));
+        assert!(r.contains(129, 65));
+        assert!(!r.contains(65, 129));
+        let tc = r.transitive_closure();
+        assert!(tc.contains(0, 65));
+    }
+
+    #[test]
+    fn composition() {
+        let r = Relation::from_pairs(3, [(0, 1)]);
+        let s = Relation::from_pairs(3, [(1, 2)]);
+        let rs = r.compose(&s);
+        assert!(rs.contains(0, 2));
+        assert_eq!(rs.cardinality(), 1);
+    }
+
+    #[test]
+    fn closure_detects_cycles() {
+        let r = Relation::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!r.is_acyclic());
+        let dag = Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn total_order_detection() {
+        let t = Relation::from_total_order(&[2, 0, 1]);
+        assert!(t.is_total_order());
+        assert!(t.contains(2, 0));
+        assert!(t.contains(0, 1));
+        assert!(t.contains(2, 1));
+        let mut not_total = t.clone();
+        not_total.remove(2, 1);
+        assert!(!not_total.is_total_order());
+    }
+
+    #[test]
+    fn union_and_inverse() {
+        let r = Relation::from_pairs(3, [(0, 1)]);
+        let s = Relation::from_pairs(3, [(1, 2)]);
+        let u = r.union(&s);
+        assert!(u.contains(0, 1) && u.contains(1, 2));
+        let inv = u.inverse();
+        assert!(inv.contains(1, 0) && inv.contains(2, 1));
+        assert!(!inv.contains(0, 1));
+    }
+
+    #[test]
+    fn restriction() {
+        let r = Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]);
+        let keep = vec![true, false, true];
+        let res = r.restrict(&keep);
+        assert!(res.contains(0, 2));
+        assert!(!res.contains(0, 1));
+        assert!(!res.contains(1, 2));
+    }
+
+    #[test]
+    fn successors_predecessors() {
+        let r = Relation::from_pairs(4, [(0, 1), (0, 2), (3, 2)]);
+        assert_eq!(r.successors(0), vec![1, 2]);
+        assert_eq!(r.predecessors(2), vec![0, 3]);
+        assert!(r.successors(1).is_empty());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(0);
+        assert!(r.is_empty());
+        assert!(r.is_acyclic());
+        assert!(r.is_total_order());
+    }
+}

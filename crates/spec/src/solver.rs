@@ -1,0 +1,426 @@
+//! A brute-force satisfiability solver for small histories: does *any*
+//! abstract execution over `H` satisfy `BEC(weak, F) ∧ Seq(strong, F)`?
+//!
+//! This is the tool that demonstrates **Theorem 1** concretely: the
+//! adversarial four-event history produced by the `NaiveMixed` run in
+//! `tests/theorem1.rs` is proven unsatisfiable by exhaustive search over
+//! all arbitration orders and visibility relations, while its weak-only
+//! sub-history is satisfiable — temporary operation reordering is
+//! unavoidable, not an artefact of one protocol.
+//!
+//! The search enumerates:
+//!
+//! * every arbitration total order `ar` (all `n!` permutations);
+//! * every choice of the `SinOrd` escape set `E'` (subsets of pending
+//!   events);
+//! * for each completed weak event, every visible set whose
+//!   `ar`-ordered replay explains its return value.
+//!
+//! Constraints checked: `RVal(weak)`, `RVal(strong)`, `SinOrd(strong)`,
+//! `SessArb(strong)` and `NCC`. `EV` quantifies over infinite suffixes
+//! and cannot constrain a finite history, so it is (soundly for
+//! UNSAT results) omitted: if no execution exists even without `EV`,
+//! none exists with it.
+
+use crate::history::History;
+use crate::relation::Relation;
+use bayou_data::{expected_value, DataType};
+use bayou_types::{BayouError, Level};
+
+/// The outcome of a solver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A satisfying `(vis, ar)` exists; the witness `ar` is returned (as
+    /// event indices in arbitration order).
+    Satisfiable {
+        /// A satisfying arbitration order.
+        ar: Vec<usize>,
+    },
+    /// No abstract execution over the history satisfies
+    /// `BEC(weak) ∧ Seq(strong)`.
+    Unsatisfiable {
+        /// Number of arbitration orders examined.
+        ar_examined: usize,
+    },
+}
+
+impl SolveOutcome {
+    /// Whether a satisfying execution was found.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, SolveOutcome::Satisfiable { .. })
+    }
+}
+
+const MAX_EVENTS: usize = 8;
+const MAX_CHOICES: usize = 1 << 20;
+
+/// Exhaustively decides whether the history admits an abstract execution
+/// satisfying `BEC(weak, F) ∧ Seq(strong, F)`.
+///
+/// # Errors
+///
+/// Returns [`BayouError::HistoryTooLarge`] when the history exceeds
+/// [`MAX_EVENTS`](self) events or the weak-context search space explodes.
+pub fn solve_bec_weak_seq_strong<F>(
+    history: &History<F::Op>,
+) -> Result<SolveOutcome, BayouError>
+where
+    F: DataType,
+{
+    let n = history.len();
+    if n > MAX_EVENTS {
+        return Err(BayouError::HistoryTooLarge {
+            events: n,
+            limit: MAX_EVENTS,
+        });
+    }
+    if n == 0 {
+        return Ok(SolveOutcome::Satisfiable { ar: Vec::new() });
+    }
+
+    let so = history.session_order();
+    let strong: Vec<usize> = history.level_indices(Level::Strong);
+    let weak_completed: Vec<usize> = history
+        .level_indices(Level::Weak)
+        .into_iter()
+        .filter(|i| !history.events()[*i].is_pending())
+        .collect();
+    let pending: Vec<usize> = (0..n)
+        .filter(|i| history.events()[*i].is_pending())
+        .collect();
+
+    let mut ar: Vec<usize> = (0..n).collect();
+    let mut examined = 0usize;
+    loop {
+        examined += 1;
+        if let Some(found) =
+            try_arbitration::<F>(history, &so, &strong, &weak_completed, &pending, &ar)?
+        {
+            return Ok(SolveOutcome::Satisfiable { ar: found });
+        }
+        if !next_permutation(&mut ar) {
+            break;
+        }
+    }
+    Ok(SolveOutcome::Unsatisfiable {
+        ar_examined: examined,
+    })
+}
+
+/// Tries one arbitration order; returns a witness `ar` if satisfiable.
+fn try_arbitration<F>(
+    history: &History<F::Op>,
+    so: &Relation,
+    strong: &[usize],
+    weak_completed: &[usize],
+    pending: &[usize],
+    ar: &[usize],
+) -> Result<Option<Vec<usize>>, BayouError>
+where
+    F: DataType,
+{
+    let n = history.len();
+    let mut ar_pos = vec![0usize; n];
+    for (p, &e) in ar.iter().enumerate() {
+        ar_pos[e] = p;
+    }
+
+    // SessArb(strong): session order into strong events respected by ar
+    for &y in strong {
+        for x in 0..n {
+            if x != y && so.contains(x, y) && ar_pos[x] > ar_pos[y] {
+                return Ok(None);
+            }
+        }
+    }
+
+    // Enumerate E' ⊆ pending (SinOrd escape set)
+    for eprime_mask in 0u32..(1 << pending.len()) {
+        let in_eprime = |x: usize| -> bool {
+            pending
+                .iter()
+                .position(|p| *p == x)
+                .map(|i| eprime_mask >> i & 1 == 1)
+                .unwrap_or(false)
+        };
+
+        // vis into strong targets is fixed: ar-predecessors minus E'
+        let strong_ctx = |y: usize| -> Vec<usize> {
+            let mut ctx: Vec<usize> = (0..n)
+                .filter(|x| *x != y && ar_pos[*x] < ar_pos[y] && !in_eprime(*x))
+                .collect();
+            ctx.sort_by_key(|x| ar_pos[*x]);
+            ctx
+        };
+
+        // RVal(strong) for completed strong events
+        let mut strong_ok = true;
+        for &y in strong {
+            let Some(actual) = &history.events()[y].rval else {
+                continue;
+            };
+            let ops: Vec<F::Op> = strong_ctx(y)
+                .iter()
+                .map(|x| history.events()[*x].op.clone())
+                .collect();
+            if expected_value::<F>(&ops, &history.events()[y].op) != *actual {
+                strong_ok = false;
+                break;
+            }
+        }
+        if !strong_ok {
+            continue;
+        }
+
+        // For each completed weak event, enumerate compatible visible sets
+        let mut choices: Vec<Vec<u32>> = Vec::with_capacity(weak_completed.len());
+        let mut space = 1usize;
+        for &e in weak_completed {
+            let actual = history.events()[e].rval.as_ref().expect("completed");
+            let others: Vec<usize> = (0..n).filter(|x| *x != e).collect();
+            let mut compatible = Vec::new();
+            for mask in 0u32..(1 << others.len()) {
+                let mut ctx: Vec<usize> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| mask >> k & 1 == 1)
+                    .map(|(_, x)| *x)
+                    .collect();
+                ctx.sort_by_key(|x| ar_pos[*x]);
+                let ops: Vec<F::Op> = ctx
+                    .iter()
+                    .map(|x| history.events()[*x].op.clone())
+                    .collect();
+                if expected_value::<F>(&ops, &history.events()[e].op) == *actual {
+                    compatible.push(mask);
+                }
+            }
+            if compatible.is_empty() {
+                choices.clear();
+                break;
+            }
+            space = space.saturating_mul(compatible.len());
+            choices.push(compatible);
+        }
+        if choices.len() != weak_completed.len() {
+            continue; // some weak event unexplainable under this ar
+        }
+        if space > MAX_CHOICES {
+            return Err(BayouError::HistoryTooLarge {
+                events: n,
+                limit: MAX_EVENTS,
+            });
+        }
+
+        // DFS over the product of weak-context choices; NCC at the leaf
+        let mut pick = vec![0usize; weak_completed.len()];
+        'product: loop {
+            // build vis
+            let mut vis = Relation::new(n);
+            for &y in strong {
+                for x in strong_ctx(y) {
+                    vis.add(x, y);
+                }
+            }
+            for (k, &e) in weak_completed.iter().enumerate() {
+                let mask = choices[k][pick[k]];
+                let others: Vec<usize> = (0..n).filter(|x| *x != e).collect();
+                for (b, &x) in others.iter().enumerate() {
+                    if mask >> b & 1 == 1 {
+                        vis.add(x, e);
+                    }
+                }
+            }
+            // NCC: (so ∪ vis)+ acyclic
+            if so.union(&vis).is_acyclic() {
+                return Ok(Some(ar.to_vec()));
+            }
+            // advance the product counter
+            for k in 0..pick.len() {
+                pick[k] += 1;
+                if pick[k] < choices[k].len() {
+                    continue 'product;
+                }
+                pick[k] = 0;
+            }
+            break; // product exhausted (runs once when there are no weak events)
+        }
+    }
+    Ok(None)
+}
+
+/// Advances `v` to the next lexicographic permutation; `false` when
+/// wrapped.
+fn next_permutation(v: &mut [usize]) -> bool {
+    let n = v.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && v[i - 1] >= v[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        v.reverse();
+        return false;
+    }
+    let mut j = n - 1;
+    while v[j] <= v[i - 1] {
+        j -= 1;
+    }
+    v.swap(i - 1, j);
+    v[i..].reverse();
+    true
+}
+
+// NOTE: on wrap-around the slice is restored to ascending order.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HEvent;
+    use bayou_data::{AppendList, ListOp};
+    use bayou_types::{Dot, ReplicaId, Timestamp, Value, VirtualTime};
+
+    fn ev(
+        replica: u32,
+        no: u64,
+        invoked_ms: u64,
+        op: ListOp,
+        rval: Option<Value>,
+        level: Level,
+    ) -> HEvent<ListOp> {
+        HEvent {
+            id: Dot::new(ReplicaId::new(replica), no),
+            read_only: AppendList::is_read_only(&op),
+            op,
+            session: ReplicaId::new(replica),
+            level,
+            invoked_at: VirtualTime::from_millis(invoked_ms),
+            returned_at: rval.as_ref().map(|_| VirtualTime::from_millis(invoked_ms + 1)),
+            rval,
+            timestamp: Timestamp::new(invoked_ms as i64),
+            tob_cast: true,
+            tob_no: None,
+            exec_trace: None,
+        }
+    }
+
+    #[test]
+    fn next_permutation_enumerates_all() {
+        let mut v = vec![0usize, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut v) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert_eq!(v, vec![0, 1, 2], "wraps back to sorted");
+    }
+
+    #[test]
+    fn empty_and_single_histories_are_satisfiable() {
+        let h: History<ListOp> = History::from_events(vec![]).unwrap();
+        assert!(solve_bec_weak_seq_strong::<AppendList>(&h)
+            .unwrap()
+            .is_satisfiable());
+        let h = History::from_events(vec![ev(
+            0,
+            1,
+            0,
+            ListOp::append("a"),
+            Some(Value::from("a")),
+            Level::Weak,
+        )])
+        .unwrap();
+        assert!(solve_bec_weak_seq_strong::<AppendList>(&h)
+            .unwrap()
+            .is_satisfiable());
+    }
+
+    #[test]
+    fn consistent_weak_history_is_satisfiable() {
+        // a then b observed by a read as "ab": perfectly explainable
+        let h = History::from_events(vec![
+            ev(0, 1, 0, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(1, 1, 10, ListOp::append("b"), Some(Value::from("ab")), Level::Weak),
+            ev(2, 1, 20, ListOp::Read, Some(Value::from("ab")), Level::Weak),
+        ])
+        .unwrap();
+        assert!(solve_bec_weak_seq_strong::<AppendList>(&h)
+            .unwrap()
+            .is_satisfiable());
+    }
+
+    #[test]
+    fn contradictory_reads_are_unsatisfiable_even_without_strong_ops() {
+        // two reads that saw the two appends in opposite orders — no
+        // single ar explains both (this is permanent divergence, worse
+        // than temporary reordering)
+        let h = History::from_events(vec![
+            ev(0, 1, 0, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(1, 1, 0, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
+            ev(2, 1, 20, ListOp::Read, Some(Value::from("ab")), Level::Weak),
+            ev(3, 1, 20, ListOp::Read, Some(Value::from("ba")), Level::Weak),
+        ])
+        .unwrap();
+        assert!(!solve_bec_weak_seq_strong::<AppendList>(&h)
+            .unwrap()
+            .is_satisfiable());
+    }
+
+    #[test]
+    fn theorem_1_history_is_unsatisfiable() {
+        // The paper's Theorem 1 run, §5: weak updates a (on R1) and b (on
+        // R0), a weak read on R2 observing "ab" (so ar must put a before
+        // b), and a strong read on R0 session-after b returning only "b"
+        // (so by SinOrd: b visible, a not ⇒ b →ar c →ar a). Cycle.
+        let h = History::from_events(vec![
+            ev(0, 1, 1, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
+            ev(1, 1, 3, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(2, 1, 50, ListOp::Read, Some(Value::from("ab")), Level::Weak),
+            ev(0, 2, 60, ListOp::Read, Some(Value::from("b")), Level::Strong),
+        ])
+        .unwrap();
+        let outcome = solve_bec_weak_seq_strong::<AppendList>(&h).unwrap();
+        match outcome {
+            SolveOutcome::Unsatisfiable { ar_examined } => assert_eq!(ar_examined, 24),
+            SolveOutcome::Satisfiable { ar } => panic!("unexpectedly satisfiable with ar {ar:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem_1_weak_subhistory_is_satisfiable() {
+        // dropping the strong read makes the same history satisfiable —
+        // the contradiction comes precisely from mixing
+        let h = History::from_events(vec![
+            ev(0, 1, 1, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
+            ev(1, 1, 3, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(2, 1, 50, ListOp::Read, Some(Value::from("ab")), Level::Weak),
+        ])
+        .unwrap();
+        assert!(solve_bec_weak_seq_strong::<AppendList>(&h)
+            .unwrap()
+            .is_satisfiable());
+    }
+
+    #[test]
+    fn oversized_history_rejected() {
+        let events: Vec<HEvent<ListOp>> = (0..9)
+            .map(|i| {
+                ev(
+                    i,
+                    1,
+                    i as u64 * 10,
+                    ListOp::append("x"),
+                    Some(Value::from("x")),
+                    Level::Weak,
+                )
+            })
+            .collect();
+        let h = History::from_events(events).unwrap();
+        assert!(matches!(
+            solve_bec_weak_seq_strong::<AppendList>(&h),
+            Err(BayouError::HistoryTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Metamorphic laws of the correctness predicates: the strength
+//! relationships the paper states must hold for the executable checkers
+//! too.
+
+use bayou_core::{BayouCluster, ClusterConfig, Invocation, SessionScript};
+use bayou_data::{AppendList, KvOp, KvStore, ListOp};
+use bayou_spec::{
+    build_witness, check_bec, check_cpar, check_fec, check_frval, check_ncc, check_rval,
+    check_seq, CheckOptions,
+};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+fn witness_of(seed: u64) -> bayou_spec::AbstractExecution<KvOp> {
+    let mut cluster: BayouCluster<KvStore> = BayouCluster::new(ClusterConfig::new(3, seed));
+    let trace = cluster.run_sessions(vec![
+        SessionScript::new(
+            ReplicaId::new(0),
+            vec![
+                Invocation::weak(KvOp::put("a", 1)),
+                Invocation::strong(KvOp::put_if_absent("a", 2)),
+                Invocation::weak(KvOp::get("a")),
+            ],
+        ),
+        SessionScript::new(
+            ReplicaId::new(1),
+            vec![
+                Invocation::weak(KvOp::put("b", 3)),
+                Invocation::weak(KvOp::remove("a")),
+            ],
+        ),
+        SessionScript::new(
+            ReplicaId::new(2),
+            vec![Invocation::strong(KvOp::Size)],
+        ),
+    ]);
+    build_witness::<KvStore>(&trace).unwrap()
+}
+
+/// The paper: `BEC(l,F) > FEC(l,F)` — BEC is the special case of FEC
+/// where `par(e) = ar`. On any witness, BEC(l) passing implies FEC(l)
+/// passes.
+#[test]
+fn bec_implies_fec_on_witnesses() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let a = witness_of(seed);
+        let opts = CheckOptions::with_horizon(ms(400));
+        for level in [Level::Weak, Level::Strong] {
+            let bec = check_bec::<KvStore>(&a, level, &opts);
+            if bec.ok() {
+                let fec = check_fec::<KvStore>(&a, level, &opts);
+                assert!(fec.ok(), "seed {seed} {level}: BEC ok but FEC failed:\n{fec}");
+            }
+        }
+    }
+}
+
+/// `Seq(strong)` requires `RVal(strong)`; on witnesses from correct runs
+/// both must pass together with `FRVal(strong)` — and for strong events
+/// the perceived order coincides with `ar` (`par(e) = ar`), so the two
+/// value checks agree.
+#[test]
+fn strong_events_have_converged_perception() {
+    for seed in [7u64, 11, 13] {
+        let a = witness_of(seed);
+        let rval = check_rval::<KvStore>(&a, Level::Strong);
+        let frval = check_frval::<KvStore>(&a, Level::Strong);
+        assert_eq!(rval.ok, frval.ok, "seed {seed}");
+        assert!(rval.ok, "seed {seed}: {rval}");
+        let opts = CheckOptions::with_horizon(ms(400));
+        let cpar = check_cpar(&a, Level::Strong, &opts);
+        assert!(cpar.ok, "seed {seed}: {cpar}");
+    }
+}
+
+/// Horizon monotonicity: shrinking the asymptotic predicates' horizon can
+/// only add violations, never remove them.
+#[test]
+fn smaller_horizons_are_stricter() {
+    let a = witness_of(21);
+    let strict = CheckOptions::with_horizon(ms(2_000));
+    let loose = CheckOptions::with_horizon(ms(0));
+    // loose (horizon 0) examines every pair, strict only the late ones
+    let fec_strict = check_fec::<KvStore>(&a, Level::Weak, &strict);
+    assert!(fec_strict.ok(), "{fec_strict}");
+    // with horizon 0 the same witness may or may not pass; what must hold
+    // is that any pair passing at horizon 0 also passes at 2s. We check
+    // the contrapositive by counting violations.
+    let ev0 = bayou_spec::check_ev(&a, &loose);
+    let ev2 = bayou_spec::check_ev(&a, &strict);
+    assert!(
+        ev0.violations.len() >= ev2.violations.len(),
+        "horizon 0 must be at least as strict"
+    );
+}
+
+/// Sanity on a second data type: the full pipeline (run → witness →
+/// checks) holds for the list as well.
+#[test]
+fn list_pipeline_end_to_end() {
+    let mut cluster: BayouCluster<AppendList> = BayouCluster::new(ClusterConfig::new(2, 31));
+    cluster.invoke_at(ms(1), ReplicaId::new(0), ListOp::append("m"), Level::Weak);
+    cluster.invoke_at(ms(2), ReplicaId::new(1), ListOp::append("n"), Level::Weak);
+    cluster.invoke_at(ms(300), ReplicaId::new(0), ListOp::Read, Level::Strong);
+    let trace = cluster.run_until(VirtualTime::from_secs(10));
+    let a = build_witness::<AppendList>(&trace).unwrap();
+    let opts = CheckOptions::with_horizon(ms(200));
+    assert!(check_fec::<AppendList>(&a, Level::Weak, &opts).ok());
+    assert!(check_seq::<AppendList>(&a, Level::Strong).ok());
+    assert!(check_ncc(&a).ok);
+    // the strong read saw both appends in the final order
+    let strong = trace
+        .events
+        .iter()
+        .find(|e| e.meta.level == Level::Strong)
+        .unwrap();
+    let s = strong.value.as_ref().unwrap().as_str().unwrap();
+    assert_eq!(s.len(), 2);
+}

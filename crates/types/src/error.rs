@@ -1,0 +1,112 @@
+//! Error types.
+
+use crate::{ReplicaId, ReqId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the Bayou Revisited library.
+///
+/// Most protocol code is infallible by construction (a replica reacts to
+/// whatever arrives); errors arise at the API boundary — misconfigured
+/// clusters, operations submitted to crashed replicas, checker inputs that
+/// are not well-formed histories, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_types::BayouError;
+/// let e = BayouError::UnknownReplica(bayou_types::ReplicaId::new(9));
+/// assert!(e.to_string().contains("R9"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BayouError {
+    /// A replica identifier outside the configured cluster was used.
+    UnknownReplica(ReplicaId),
+    /// An operation was submitted to a replica that has crashed.
+    ReplicaCrashed(ReplicaId),
+    /// A cluster was configured with no replicas.
+    EmptyCluster,
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A request identifier was not found where it was required.
+    UnknownRequest(ReqId),
+    /// A recorded history is not well-formed (e.g. overlapping operations
+    /// in one session, or an operation following a pending one).
+    MalformedHistory(String),
+    /// The brute-force checker was given a history too large to enumerate.
+    HistoryTooLarge {
+        /// Number of events in the offending history.
+        events: usize,
+        /// Maximum number of events the solver accepts.
+        limit: usize,
+    },
+    /// A live-runtime replica thread disappeared or disconnected.
+    RuntimeDisconnected(ReplicaId),
+    /// A client waited longer than its configured deadline for a response.
+    ResponseTimeout(ReqId),
+}
+
+impl fmt::Display for BayouError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayouError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            BayouError::ReplicaCrashed(r) => write!(f, "replica {r} has crashed"),
+            BayouError::EmptyCluster => f.write_str("cluster must contain at least one replica"),
+            BayouError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BayouError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            BayouError::MalformedHistory(msg) => write!(f, "malformed history: {msg}"),
+            BayouError::HistoryTooLarge { events, limit } => write!(
+                f,
+                "history with {events} events exceeds solver limit of {limit}"
+            ),
+            BayouError::RuntimeDisconnected(r) => {
+                write!(f, "runtime for replica {r} disconnected")
+            }
+            BayouError::ResponseTimeout(id) => {
+                write!(f, "timed out waiting for response to request {id}")
+            }
+        }
+    }
+}
+
+impl Error for BayouError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dot;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<BayouError> = vec![
+            BayouError::UnknownReplica(ReplicaId::new(3)),
+            BayouError::ReplicaCrashed(ReplicaId::new(0)),
+            BayouError::EmptyCluster,
+            BayouError::InvalidConfig("n must be odd".into()),
+            BayouError::UnknownRequest(Dot::new(ReplicaId::new(1), 2)),
+            BayouError::MalformedHistory("overlap".into()),
+            BayouError::HistoryTooLarge {
+                events: 100,
+                limit: 8,
+            },
+            BayouError::RuntimeDisconnected(ReplicaId::new(2)),
+            BayouError::ResponseTimeout(Dot::new(ReplicaId::new(0), 7)),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn is_std_error_and_sendable() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<BayouError>();
+    }
+}

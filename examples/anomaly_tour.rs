@@ -1,0 +1,45 @@
+//! A guided tour of the paper's anomalies: Figure 1 (temporary operation
+//! reordering) and Figure 2 (circular causality), replayed exactly and
+//! verified by the formal checkers.
+//!
+//! Run with: `cargo run --example anomaly_tour`
+
+use bayou::bench::experiments::{fig1, fig2};
+
+fn main() {
+    println!("=== Figure 1: temporary operation reordering ===\n");
+    println!(
+        "Two replicas (plus a TOB leader) implement a replicated list.\n\
+         P appends 'a'; later P's weak append(x) races Q's strong duplicate().\n\
+         duplicate() has the LOWER timestamp, so P speculatively runs it first;\n\
+         but TOB commits append(x) first. The clients observe the two\n\
+         operations in OPPOSITE orders:\n"
+    );
+    let f1 = fig1();
+    println!("{}\n", f1.render());
+    assert!(f1.matches_paper());
+    println!(
+        "BEC(weak) cannot explain this history (the weak response used an\n\
+         order that contradicts the final one), but the paper's new criterion\n\
+         FEC(weak) — which lets the perceived order fluctuate before\n\
+         converging — holds. This is Theorem 2 in action.\n"
+    );
+
+    println!("=== Figure 2: circular causality ===\n");
+    println!(
+        "Two concurrent weak appends, x on P and y on Q. P speculatively\n\
+         executes y before x, so x's response reflects y. Q is slow: it only\n\
+         executes its own y after y's final position arrives via TOB, so y's\n\
+         response reflects x. Each return value causally depends on the other\n\
+         operation — a cycle:\n"
+    );
+    let f2 = fig2();
+    println!("{}\n", f2.render());
+    assert!(f2.matches_paper());
+    println!(
+        "The modified protocol (Algorithm 2) executes a weak operation\n\
+         immediately at invocation, before looking at any message — on the\n\
+         same schedule y answers '{}' and the cycle disappears (NCC holds).",
+        f2.improved.append_y
+    );
+}

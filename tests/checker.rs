@@ -1,0 +1,134 @@
+//! Integration tests of the formal framework against live protocol runs:
+//! the checkers must validate correct runs and reject doctored ones.
+
+use bayou::prelude::*;
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+fn recorded_run(seed: u64) -> (BayouCluster<AppendList>, RunTrace<ListOp>) {
+    let mut cluster: BayouCluster<AppendList> = BayouCluster::new(ClusterConfig::new(3, seed));
+    let trace = cluster.run_sessions(vec![
+        SessionScript::new(
+            ReplicaId::new(0),
+            vec![
+                Invocation::weak(ListOp::append("a")),
+                Invocation::weak(ListOp::Read),
+                Invocation::strong(ListOp::Duplicate),
+            ],
+        ),
+        SessionScript::new(
+            ReplicaId::new(1),
+            vec![
+                Invocation::weak(ListOp::append("b")),
+                Invocation::strong(ListOp::Size),
+            ],
+        ),
+        SessionScript::new(
+            ReplicaId::new(2),
+            vec![Invocation::weak(ListOp::append("c"))],
+        ),
+    ]);
+    (cluster, trace)
+}
+
+#[test]
+fn honest_runs_pass_fec_and_seq() {
+    for seed in [3, 7, 13, 29] {
+        let (_c, trace) = recorded_run(seed);
+        let w = build_witness::<AppendList>(&trace).unwrap();
+        let opts = CheckOptions::with_horizon(ms(400));
+        let fec = check_fec::<AppendList>(&w, Level::Weak, &opts);
+        assert!(fec.ok(), "seed {seed}: {fec}");
+        let seq = check_seq::<AppendList>(&w, Level::Strong);
+        assert!(seq.ok(), "seed {seed}: {seq}");
+    }
+}
+
+#[test]
+fn doctored_return_value_is_caught() {
+    let (_c, mut trace) = recorded_run(3);
+    // corrupt one weak return value
+    let idx = trace
+        .events
+        .iter()
+        .position(|e| e.meta.level == Level::Weak && e.value.is_some())
+        .unwrap();
+    trace.events[idx].value = Some(Value::from("bogus-value"));
+    let w = build_witness::<AppendList>(&trace).unwrap();
+    let opts = CheckOptions::with_horizon(ms(400));
+    let fec = check_fec::<AppendList>(&w, Level::Weak, &opts);
+    assert!(!fec.ok(), "corrupted rval must fail FRVal");
+}
+
+#[test]
+fn doctored_strong_value_fails_seq() {
+    let (_c, mut trace) = recorded_run(7);
+    let idx = trace
+        .events
+        .iter()
+        .position(|e| e.meta.level == Level::Strong && e.value.is_some())
+        .unwrap();
+    trace.events[idx].value = Some(Value::Int(-42));
+    let w = build_witness::<AppendList>(&trace).unwrap();
+    let seq = check_seq::<AppendList>(&w, Level::Strong);
+    assert!(!seq.ok(), "corrupted strong rval must fail RVal(strong)");
+}
+
+#[test]
+fn doctored_exec_trace_breaks_cpar_or_frval() {
+    let (_c, mut trace) = recorded_run(13);
+    // claim an event executed on an empty trace when it did not
+    let idx = trace
+        .events
+        .iter()
+        .position(|e| {
+            e.meta.level == Level::Weak
+                && e.exec_trace.as_ref().map(|t| !t.is_empty()).unwrap_or(false)
+        })
+        .expect("some weak op with a non-empty context");
+    trace.events[idx].exec_trace = Some(vec![]);
+    let w = build_witness::<AppendList>(&trace).unwrap();
+    let opts = CheckOptions::with_horizon(ms(400));
+    let fec = check_fec::<AppendList>(&w, Level::Weak, &opts);
+    assert!(!fec.ok(), "inconsistent exec trace must be caught");
+}
+
+#[test]
+fn eventual_only_baseline_satisfies_bec_weak() {
+    // Bayou over NullTob = single (timestamp) ordering: no temporary
+    // reordering, so even plain BEC(weak) holds on the witness, with ar
+    // being the request order (nothing ever TOB-delivers).
+    let sim = SimConfig::new(3, 11);
+    let mut cluster: BayouCluster<AppendList, NullTob<Req<ListOp>>> =
+        BayouCluster::with_tob(sim, ProtocolMode::Improved, |_| NullTob::new());
+    for k in 0..6u64 {
+        let r = ReplicaId::new((k % 3) as u32);
+        cluster.invoke_at(ms(1 + 10 * k), r, ListOp::append(format!("{k}")), Level::Weak);
+    }
+    // a late read to give EV something to observe
+    cluster.invoke_at(ms(400), ReplicaId::new(0), ListOp::Read, Level::Weak);
+    let trace = cluster.run_until(VirtualTime::from_secs(5));
+    assert!(trace.tob_order.is_empty(), "NullTob never delivers");
+    let w = build_witness::<AppendList>(&trace).unwrap();
+    let opts = CheckOptions::with_horizon(ms(400));
+    let bec = check_bec::<AppendList>(&w, Level::Weak, &opts);
+    assert!(bec.ok(), "{bec}");
+}
+
+#[test]
+fn solver_agrees_with_checker_on_tiny_runs() {
+    // record a tiny run, check the witness, and confirm the brute-force
+    // solver also finds BEC(weak) ∧ Seq(strong) satisfiable for it
+    let mut cluster: BayouCluster<AppendList> = BayouCluster::new(ClusterConfig::new(2, 5));
+    cluster.invoke_at(ms(1), ReplicaId::new(0), ListOp::append("a"), Level::Weak);
+    cluster.invoke_at(ms(200), ReplicaId::new(1), ListOp::Read, Level::Strong);
+    let trace = cluster.run_until(VirtualTime::from_secs(5));
+    let history = History::from_trace::<AppendList>(&trace).unwrap();
+    let outcome = solve_bec_weak_seq_strong::<AppendList>(&history).unwrap();
+    assert!(
+        outcome.is_satisfiable(),
+        "a quiet sequential run is explainable even under BEC"
+    );
+}

@@ -1,0 +1,122 @@
+//! Cross-crate convergence tests: all replicas agree on one committed
+//! order and one state, across data types, partitions and crashes.
+
+use bayou::prelude::*;
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+#[test]
+fn mixed_workload_converges_on_every_data_type() {
+    fn check<F: DataType + RandomOp>(seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cluster: BayouCluster<F> = BayouCluster::new(ClusterConfig::new(3, seed));
+        for k in 0..12u64 {
+            let r = ReplicaId::new((k % 3) as u32);
+            let level = if rng.gen_bool(0.25) {
+                Level::Strong
+            } else {
+                Level::Weak
+            };
+            cluster.invoke_at(ms(1 + 3 * k), r, F::random_update(&mut rng), level);
+        }
+        let trace = cluster.run_until(VirtualTime::from_secs(30));
+        assert!(
+            trace.events.iter().all(|e| !e.is_pending()),
+            "{}: pending ops in a stable run",
+            F::NAME
+        );
+        cluster.assert_convergence(&[]);
+        assert_eq!(trace.tob_order.len(), 12, "{}: all updates commit", F::NAME);
+    }
+    check::<AppendList>(1);
+    check::<KvStore>(2);
+    check::<Counter>(3);
+    check::<AddRemoveSet>(4);
+    check::<Bank>(5);
+    check::<Script>(6);
+    check::<Calendar>(7);
+    check::<RwRegister>(8);
+}
+
+#[test]
+fn convergence_after_partition_heals() {
+    let mut net = NetworkConfig::default();
+    net.partitions =
+        PartitionSchedule::new(vec![Partition::split_at(ms(10), ms(500), 1, 3)]);
+    let sim = SimConfig::new(3, 17).with_net(net);
+    let cfg = ClusterConfig::new(3, 17).with_sim(sim);
+    let mut cluster: BayouCluster<KvStore> = BayouCluster::new(cfg);
+    // updates on both sides of the partition
+    for k in 0..10u64 {
+        let r = ReplicaId::new((k % 3) as u32);
+        cluster.invoke_at(ms(20 + 30 * k), r, KvOp::put(format!("k{k}"), k as i64), Level::Weak);
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    assert!(trace.events.iter().all(|e| !e.is_pending()));
+    cluster.assert_convergence(&[]);
+    let state = cluster.replica(ReplicaId::new(0)).materialize();
+    assert_eq!(state.len(), 10, "no update lost across the partition");
+}
+
+#[test]
+fn convergence_despite_replica_crash() {
+    // 5 replicas so a quorum (3) survives the crash of one
+    let sim = SimConfig::new(5, 23).with_crash(ms(50), ReplicaId::new(4));
+    let cfg = ClusterConfig::new(5, 23).with_sim(sim);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+    for k in 0..8u64 {
+        // avoid invoking on the crashed replica after its crash
+        let r = ReplicaId::new((k % 4) as u32);
+        cluster.invoke_at(ms(1 + 20 * k), r, CounterOp::Add(1), Level::Weak);
+    }
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    assert!(trace.events.iter().all(|e| !e.is_pending()));
+    cluster.assert_convergence(&[ReplicaId::new(4)]);
+    assert_eq!(cluster.replica(ReplicaId::new(0)).materialize(), 8);
+}
+
+#[test]
+fn weak_rollbacks_preserve_exactly_once_application() {
+    // concurrent bursts with skewed clocks force rollbacks; every update
+    // must still be applied exactly once in the final state
+    let sim = SimConfig::new(3, 31)
+        .with_clock(ReplicaId::new(1), ClockConfig::with_offset(-30_000))
+        .with_clock(ReplicaId::new(2), ClockConfig::with_offset(25_000));
+    let cfg = ClusterConfig::new(3, 31).with_sim(sim);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+    for k in 0..15u64 {
+        let r = ReplicaId::new((k % 3) as u32);
+        cluster.invoke_at(ms(1 + k), r, CounterOp::Add(1), Level::Weak);
+    }
+    cluster.run_until(VirtualTime::from_secs(30));
+    cluster.assert_convergence(&[]);
+    let rollbacks: u64 = ReplicaId::all(3)
+        .map(|r| cluster.replica(r).stats().rollbacks)
+        .sum();
+    assert!(rollbacks > 0, "skewed clocks should force rollbacks");
+    assert_eq!(
+        cluster.replica(ReplicaId::new(0)).materialize(),
+        15,
+        "exactly-once despite {rollbacks} rollbacks"
+    );
+}
+
+#[test]
+fn strong_ops_see_all_prior_committed_updates() {
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(ClusterConfig::new(3, 41));
+    for k in 0..5u64 {
+        cluster.invoke_at(ms(1 + k), ReplicaId::new(0), CounterOp::Add(1), Level::Weak);
+    }
+    // by 500ms all five adds are committed; the strong read must see them
+    cluster.invoke_at(ms(500), ReplicaId::new(2), CounterOp::Read, Level::Strong);
+    let trace = cluster.run_until(VirtualTime::from_secs(30));
+    let strong = trace
+        .events
+        .iter()
+        .find(|e| e.meta.level == Level::Strong)
+        .unwrap();
+    assert_eq!(strong.value, Some(Value::Int(5)));
+}

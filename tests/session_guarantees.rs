@@ -1,0 +1,64 @@
+//! The cost of Algorithm 2 (paper, Appendix A.1.2): making weak
+//! operations bounded wait-free loses session guarantees such as
+//! read-your-writes. These tests pin down the trade-off on an identical
+//! adversarial schedule.
+
+use bayou::prelude::*;
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+/// Runs `add(1)` then `read()` back-to-back on a replica whose internal
+/// steps are stalled; returns the read's value.
+fn read_after_write(mode: ProtocolMode) -> Value {
+    let r0 = ReplicaId::new(0);
+    // the replica is busy: its internal (execute) steps are deferred
+    let sim = SimConfig::new(2, 77).with_internal_defer(r0, ms(5), ms(500));
+    let cfg = ClusterConfig::new(2, 77).with_mode(mode).with_sim(sim);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+    cluster.invoke_at(ms(10), r0, CounterOp::Add(1), Level::Weak);
+    cluster.invoke_at(ms(20), r0, CounterOp::Read, Level::Weak);
+    let trace = cluster.run_until(ms(5_000));
+    trace
+        .events
+        .iter()
+        .find(|e| e.op == CounterOp::Read)
+        .and_then(|e| e.value.clone())
+        .expect("read returns")
+}
+
+#[test]
+fn original_protocol_preserves_read_your_writes() {
+    // Algorithm 1: the read is a request like any other; it queues after
+    // the add in the tentative order and executes only once the add has
+    // executed — so it observes it.
+    assert_eq!(read_after_write(ProtocolMode::Original), Value::Int(1));
+}
+
+#[test]
+fn improved_protocol_can_lose_read_your_writes() {
+    // Algorithm 2: the read answers immediately from the current state.
+    // The add's speculative execution was rolled back at invocation and
+    // its re-execution is stuck behind the stalled internal steps, so the
+    // session's own write is invisible — the A.1.2 trade-off, observed.
+    assert_eq!(read_after_write(ProtocolMode::Improved), Value::Int(0));
+}
+
+#[test]
+fn improved_protocol_sees_own_writes_when_not_saturated() {
+    // without the stall, the re-execution happens before the read and
+    // read-your-writes holds in practice
+    let r0 = ReplicaId::new(0);
+    let cfg = ClusterConfig::new(2, 78).with_mode(ProtocolMode::Improved);
+    let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);
+    cluster.invoke_at(ms(10), r0, CounterOp::Add(1), Level::Weak);
+    cluster.invoke_at(ms(20), r0, CounterOp::Read, Level::Weak);
+    let trace = cluster.run_until(ms(5_000));
+    let read = trace
+        .events
+        .iter()
+        .find(|e| e.op == CounterOp::Read)
+        .unwrap();
+    assert_eq!(read.value, Some(Value::Int(1)));
+}
