@@ -1,14 +1,30 @@
 //! Criterion bench: StateObject execute/rollback throughput — the cost
-//! of Bayou's speculation machinery (Algorithm 3 vs checkpoint-replay).
+//! of Bayou's speculation machinery.
+//!
+//! Two families of measurements:
+//!
+//! * the original Algorithm 3 comparison on the register-file `Script`
+//!   type (undo log vs checkpoint replay vs generic deltas);
+//! * checkpoint-vs-delta on a [`KvStore`] pre-grown to 10³–10⁵ keys —
+//!   the case that motivates `DeltaState`: `ReplayState` clones the
+//!   whole map per execute (O(state)), `DeltaState` records one
+//!   displaced binding (O(op)), so the gap widens linearly with state
+//!   size. `BENCH_PR1.json` in the repo root archives these numbers.
 
-use bayou_data::{ReplayState, Script, ScriptOp, StateObject, UndoLogState};
-use bayou_types::{Dot, ReplicaId};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bayou_data::{
+    DeltaState, KvOp, KvStore, ReplayState, Script, ScriptOp, StateObject, UndoLogState,
+};
+use bayou_types::{Dot, ReplicaId, ReqId};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn ops(n: usize) -> Vec<ScriptOp> {
     (0..n)
         .map(|i| ScriptOp::incr(format!("r{}", i % 8), 1))
         .collect()
+}
+
+fn id(n: u64) -> ReqId {
+    Dot::new(ReplicaId::new(0), n)
 }
 
 fn bench_state_objects(c: &mut Criterion) {
@@ -20,7 +36,7 @@ fn bench_state_objects(c: &mut Criterion) {
             UndoLogState::new,
             |mut so| {
                 for (i, op) in workload.iter().enumerate() {
-                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                    so.execute(id(i as u64 + 1), op);
                 }
                 so
             },
@@ -33,7 +49,20 @@ fn bench_state_objects(c: &mut Criterion) {
             ReplayState::<Script>::new,
             |mut so| {
                 for (i, op) in workload.iter().enumerate() {
-                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                    so.execute(id(i as u64 + 1), op);
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("delta_execute_64", |b| {
+        b.iter_batched(
+            DeltaState::<Script>::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(id(i as u64 + 1), op);
                 }
                 so
             },
@@ -46,10 +75,10 @@ fn bench_state_objects(c: &mut Criterion) {
             UndoLogState::new,
             |mut so| {
                 for (i, op) in workload.iter().enumerate() {
-                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                    so.execute(id(i as u64 + 1), op);
                 }
                 for i in (0..workload.len()).rev() {
-                    so.rollback(Dot::new(ReplicaId::new(0), i as u64 + 1));
+                    so.rollback(id(i as u64 + 1));
                 }
                 so
             },
@@ -62,10 +91,26 @@ fn bench_state_objects(c: &mut Criterion) {
             ReplayState::<Script>::new,
             |mut so| {
                 for (i, op) in workload.iter().enumerate() {
-                    so.execute(Dot::new(ReplicaId::new(0), i as u64 + 1), op);
+                    so.execute(id(i as u64 + 1), op);
                 }
                 for i in (0..workload.len()).rev() {
-                    so.rollback(Dot::new(ReplicaId::new(0), i as u64 + 1));
+                    so.rollback(id(i as u64 + 1));
+                }
+                so
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("delta_execute_rollback_64", |b| {
+        b.iter_batched(
+            DeltaState::<Script>::new,
+            |mut so| {
+                for (i, op) in workload.iter().enumerate() {
+                    so.execute(id(i as u64 + 1), op);
+                }
+                for i in (0..workload.len()).rev() {
+                    so.rollback(id(i as u64 + 1));
                 }
                 so
             },
@@ -75,9 +120,57 @@ fn bench_state_objects(c: &mut Criterion) {
     g.finish();
 }
 
+/// A state object seeded with `keys` bindings — what a replica's state
+/// looks like after a long committed run.
+fn grown<S: StateObject<KvStore>>(keys: u64) -> (S, u64) {
+    let state = (0..keys)
+        .map(|k| (format!("key{k:06}"), k as i64))
+        .collect();
+    (S::with_state(state), 1)
+}
+
+/// One speculative window against a large state: execute 8 updates on
+/// existing keys, then roll all of them back (the replica's
+/// adjustExecution pattern). The state object ends exactly where it
+/// started, so one instance serves the whole measurement.
+fn speculate<S: StateObject<KvStore>>(so: &mut S, next: &mut u64, keys: u64) {
+    let base = *next;
+    for i in 0..8u64 {
+        let k = (base.wrapping_mul(31).wrapping_add(i * 7919)) % keys;
+        so.execute(id(base + i), &KvOp::put(format!("key{k:06}"), i as i64));
+    }
+    *next += 8;
+    for i in (0..8u64).rev() {
+        so.rollback(id(base + i));
+    }
+}
+
+fn bench_large_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_object_large");
+    for keys in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(
+            BenchmarkId::new("replay_kv_exec_rollback_8", keys),
+            &keys,
+            |b, &keys| {
+                let (mut so, mut next) = grown::<ReplayState<KvStore>>(keys);
+                b.iter(|| speculate(&mut so, &mut next, keys));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("delta_kv_exec_rollback_8", keys),
+            &keys,
+            |b, &keys| {
+                let (mut so, mut next) = grown::<DeltaState<KvStore>>(keys);
+                b.iter(|| speculate(&mut so, &mut next, keys));
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_state_objects
+    targets = bench_state_objects, bench_large_state
 }
 criterion_main!(benches);

@@ -5,10 +5,10 @@ use bayou_broadcast::{PaxosTob, SequencerTob, Tob};
 use bayou_core::{BayouCluster, ProtocolMode};
 use bayou_data::{Counter, CounterOp};
 use bayou_sim::SimConfig;
-use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+use bayou_types::{Level, ReplicaId, SharedReq, VirtualTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn run<T: Tob<Req<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T) {
+fn run<T: Tob<SharedReq<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T) {
     let mut cluster: BayouCluster<Counter, T> =
         BayouCluster::with_tob(SimConfig::new(3, 7), ProtocolMode::Improved, mk);
     for k in 0..50usize {
@@ -26,10 +26,10 @@ fn run<T: Tob<Req<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T) {
 fn bench_tob(c: &mut Criterion) {
     let mut g = c.benchmark_group("tob");
     g.bench_function("paxos_50_strong_ops", |b| {
-        b.iter(|| run(|_| PaxosTob::<Req<CounterOp>>::with_defaults(3)))
+        b.iter(|| run(|_| PaxosTob::<SharedReq<CounterOp>>::with_defaults(3)))
     });
     g.bench_function("sequencer_50_strong_ops", |b| {
-        b.iter(|| run(|_| SequencerTob::<Req<CounterOp>>::new(3)))
+        b.iter(|| run(|_| SequencerTob::<SharedReq<CounterOp>>::new(3)))
     });
     g.finish();
 }

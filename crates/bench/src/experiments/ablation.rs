@@ -58,8 +58,14 @@ impl AblationResult {
             ],
             vec![
                 "mean weak latency".to_string(),
-                format!("{}", VirtualTime::from_nanos(self.original.mean_weak_latency_ns)),
-                format!("{}", VirtualTime::from_nanos(self.improved.mean_weak_latency_ns)),
+                format!(
+                    "{}",
+                    VirtualTime::from_nanos(self.original.mean_weak_latency_ns)
+                ),
+                format!(
+                    "{}",
+                    VirtualTime::from_nanos(self.improved.mean_weak_latency_ns)
+                ),
             ],
             vec![
                 "rollbacks".to_string(),

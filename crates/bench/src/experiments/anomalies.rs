@@ -69,7 +69,12 @@ impl AnomalyResult {
         format!(
             "{}\nFEC(weak) holds everywhere while reordering pressure rises with skew: {}",
             crate::render_table(
-                &["skew (us)", "runs w/ reordering", "FEC ok", "mean rollbacks"],
+                &[
+                    "skew (us)",
+                    "runs w/ reordering",
+                    "FEC ok",
+                    "mean rollbacks"
+                ],
                 &rows
             ),
             self.matches_paper()

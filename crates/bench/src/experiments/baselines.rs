@@ -16,7 +16,7 @@ use bayou_broadcast::PaxosTob;
 use bayou_core::{BayouCluster, NullTob, ProtocolMode};
 use bayou_data::{KvOp, KvStore};
 use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, SimConfig};
-use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+use bayou_types::{Level, ReplicaId, SharedReq, VirtualTime};
 
 /// Metrics for one system design.
 #[derive(Debug, Clone, Default)]
@@ -99,25 +99,23 @@ fn in_partition(t: VirtualTime) -> bool {
 
 fn partitioned_sim(seed: u64) -> SimConfig {
     let ms = VirtualTime::from_millis;
-    let mut net = NetworkConfig::default();
-    net.partitions = PartitionSchedule::new(vec![Partition::split_at(
-        ms(PARTITION_START_MS),
-        ms(PARTITION_END_MS),
-        1,
-        3,
-    )]);
+    let net = NetworkConfig {
+        partitions: PartitionSchedule::new(vec![Partition::split_at(
+            ms(PARTITION_START_MS),
+            ms(PARTITION_END_MS),
+            1,
+            3,
+        )]),
+        ..Default::default()
+    };
     let mut sim = SimConfig::new(3, seed).with_net(net);
     sim.max_time = VirtualTime::from_secs(30);
     sim
 }
 
-fn stats_from<TOB>(
-    mut cluster: BayouCluster<KvStore, TOB>,
-    level: Level,
-    ops: usize,
-) -> SystemStats
+fn stats_from<TOB>(mut cluster: BayouCluster<KvStore, TOB>, level: Level, ops: usize) -> SystemStats
 where
-    TOB: bayou_broadcast::Tob<Req<KvOp>>,
+    TOB: bayou_broadcast::Tob<SharedReq<KvOp>>,
 {
     for (k, (at, r)) in workload_times(ops).into_iter().enumerate() {
         cluster.invoke_at(at, r, KvOp::put(format!("k{k}"), k as i64), level);
@@ -148,21 +146,21 @@ pub fn baselines() -> BaselineResult {
     let ops = 20;
     let bayou = stats_from(
         BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
-            PaxosTob::<Req<KvOp>>::with_defaults(3)
+            PaxosTob::<SharedReq<KvOp>>::with_defaults(3)
         }),
         Level::Weak,
         ops,
     );
     let eventual_only = stats_from(
         BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
-            NullTob::<Req<KvOp>>::new()
+            NullTob::<SharedReq<KvOp>>::new()
         }),
         Level::Weak,
         ops,
     );
     let strong_only = stats_from(
         BayouCluster::<KvStore, _>::with_tob(partitioned_sim(0xA4), ProtocolMode::Improved, |_| {
-            PaxosTob::<Req<KvOp>>::with_defaults(3)
+            PaxosTob::<SharedReq<KvOp>>::with_defaults(3)
         }),
         Level::Strong,
         ops,
@@ -189,7 +187,8 @@ mod tests {
         let r = baselines();
         // blocked during the partition, but everything stabilises after
         assert_eq!(
-            r.strong_only.stabilized, r.strong_only.total,
+            r.strong_only.stabilized,
+            r.strong_only.total,
             "{}",
             r.render()
         );

@@ -127,18 +127,8 @@ mod tests {
     #[test]
     fn figure_2_reproduces_exactly() {
         let r = fig2();
-        assert_eq!(
-            r.original.append_x,
-            Value::from("ayx"),
-            "{}",
-            r.render()
-        );
-        assert_eq!(
-            r.original.append_y,
-            Value::from("axy"),
-            "{}",
-            r.render()
-        );
+        assert_eq!(r.original.append_x, Value::from("ayx"), "{}", r.render());
+        assert_eq!(r.original.append_y, Value::from("axy"), "{}", r.render());
         assert!(r.original.circular, "{}", r.render());
         assert!(!r.improved.circular, "{}", r.render());
         assert!(r.matches_paper());

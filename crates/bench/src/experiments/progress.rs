@@ -120,7 +120,8 @@ fn run_mode(mode: ProtocolMode, cutoff: VirtualTime, buckets: usize) -> ModeProg
     let total = (cutoff.as_millis() / period.as_millis()) as usize;
     for k in 0..total {
         for r in ReplicaId::all(n) {
-            let at = ms(2) + VirtualTime::from_nanos(period.as_nanos() * k as u64)
+            let at = ms(2)
+                + VirtualTime::from_nanos(period.as_nanos() * k as u64)
                 + VirtualTime::from_micros(100 * r.index() as u64);
             cluster.invoke_at(at, r, CounterOp::Add(1), Level::Weak);
         }

@@ -101,10 +101,7 @@ pub fn theorem1() -> Theorem1Result {
     net.partitions = PartitionSchedule::new(vec![Partition::new(
         us(1_500),
         VirtualTime::from_secs(600),
-        vec![
-            vec![r1, r2],
-            vec![r0, ReplicaId::new(3), ReplicaId::new(4)],
-        ],
+        vec![vec![r1, r2], vec![r0, ReplicaId::new(3), ReplicaId::new(4)]],
     )]);
     let mut sim_cfg = SimConfig::new(n, 0x71).with_net(net);
     sim_cfg.max_time = ms(3_000);
@@ -131,20 +128,19 @@ pub fn theorem1() -> Theorem1Result {
     // Build the RunTrace-equivalent events for the history. Invocation
     // times are the schedule times; the dispatch order per session keeps
     // the history well-formed.
-    let mk = |out: &bayou_sim::OutputRecord<bayou_core::Response>,
-              op: ListOp,
-              invoked: VirtualTime| {
-        bayou_core::EventRecord {
-            meta: out.output.meta,
-            op,
-            replica: out.replica,
-            invoked_at: invoked,
-            returned_at: Some(out.time),
-            value: Some(out.output.value.clone()),
-            exec_trace: Some(out.output.exec_trace.clone()),
-            tob_cast: out.output.meta.level == Level::Strong,
-        }
-    };
+    let mk =
+        |out: &bayou_sim::OutputRecord<bayou_core::Response>, op: ListOp, invoked: VirtualTime| {
+            bayou_core::EventRecord {
+                meta: out.output.meta,
+                op,
+                replica: out.replica,
+                invoked_at: invoked,
+                returned_at: Some(out.time),
+                value: Some(out.output.value.clone()),
+                exec_trace: Some(out.output.exec_trace.clone()),
+                tob_cast: out.output.meta.level == Level::Strong,
+            }
+        };
     let trace: RunTrace<ListOp> = RunTrace {
         events: vec![
             mk(b, ListOp::append("b"), ms(1)),

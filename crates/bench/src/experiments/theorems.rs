@@ -4,7 +4,10 @@
 
 use crate::workload::{session_scripts, WorkloadConfig};
 use bayou_core::{BayouCluster, ClusterConfig};
-use bayou_data::{AddRemoveSet, AppendList, Bank, Counter, DataType, KvStore, RandomOp, Script};
+use bayou_data::{
+    AddRemoveSet, AppendList, Bank, Counter, DataType, InvertibleDataType, KvStore, RandomOp,
+    Script,
+};
 use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, SimConfig, Stability};
 use bayou_spec::{build_witness, check_bec, check_fec, check_seq, CheckOptions};
 use bayou_types::{Level, VirtualTime};
@@ -70,7 +73,7 @@ impl TheoremSweep {
 
 fn sweep_type<F>(sweep: &mut TheoremSweep, seeds: std::ops::Range<u64>)
 where
-    F: DataType + RandomOp,
+    F: DataType + InvertibleDataType + RandomOp,
 {
     let mut runs = 0usize;
     for seed in seeds {
@@ -83,7 +86,7 @@ where
 
 fn stable_run<F>(sweep: &mut TheoremSweep, seed: u64)
 where
-    F: DataType + RandomOp,
+    F: DataType + InvertibleDataType + RandomOp,
 {
     let n = 3;
     let wl = WorkloadConfig::small(n);
@@ -112,7 +115,7 @@ where
 
 fn async_run<F>(sweep: &mut TheoremSweep, seed: u64)
 where
-    F: DataType + RandomOp,
+    F: DataType + InvertibleDataType + RandomOp,
 {
     let n = 3;
     let ms = VirtualTime::from_millis;
@@ -120,13 +123,15 @@ where
     wl.strong_ratio = 0.2;
     // a long partition that heals before the end (weak ops stabilize),
     // plus asynchronous Ω: strong ops invoked during the partition stall
-    let mut net = NetworkConfig::default();
-    net.partitions = PartitionSchedule::new(vec![Partition::isolate(
-        ms(5),
-        ms(400),
-        bayou_types::ReplicaId::new(2),
-        n,
-    )]);
+    let net = NetworkConfig {
+        partitions: PartitionSchedule::new(vec![Partition::isolate(
+            ms(5),
+            ms(400),
+            bayou_types::ReplicaId::new(2),
+            n,
+        )]),
+        ..Default::default()
+    };
     let mut sim = SimConfig::new(n, seed)
         .with_net(net)
         .with_stability(Stability::Stable { gst: ms(450) });

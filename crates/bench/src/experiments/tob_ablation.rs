@@ -10,7 +10,7 @@ use bayou_broadcast::{PaxosTob, SequencerTob};
 use bayou_core::{BayouCluster, ProtocolMode};
 use bayou_data::{Counter, CounterOp};
 use bayou_sim::{NetworkConfig, SimConfig};
-use bayou_types::{Level, ReplicaId, Req, VirtualTime};
+use bayou_types::{Level, ReplicaId, SharedReq, VirtualTime};
 
 /// Metrics for one TOB implementation.
 #[derive(Debug, Clone, Default)]
@@ -71,7 +71,7 @@ const OPS: usize = 30;
 
 fn measure<T, MkT>(mk: MkT) -> TobStats
 where
-    T: bayou_broadcast::Tob<Req<CounterOp>>,
+    T: bayou_broadcast::Tob<SharedReq<CounterOp>>,
     MkT: FnMut(ReplicaId) -> T,
 {
     let ms = VirtualTime::from_millis;
@@ -86,11 +86,7 @@ where
         cluster.invoke_at(ms(2 + 20 * k as u64), r, CounterOp::Add(1), Level::Strong);
     }
     let trace = cluster.run_until(VirtualTime::from_secs(60));
-    let committed = trace
-        .events
-        .iter()
-        .filter(|e| !e.is_pending())
-        .count();
+    let committed = trace.events.iter().filter(|e| !e.is_pending()).count();
     let total_latency: u64 = trace
         .events
         .iter()
@@ -108,8 +104,8 @@ where
 pub fn tob_ablation() -> AblationTobResult {
     let n = 3;
     AblationTobResult {
-        paxos: measure(|_| PaxosTob::<Req<CounterOp>>::with_defaults(n)),
-        sequencer: measure(|_| SequencerTob::<Req<CounterOp>>::new(n)),
+        paxos: measure(|_| PaxosTob::<SharedReq<CounterOp>>::with_defaults(n)),
+        sequencer: measure(|_| SequencerTob::<SharedReq<CounterOp>>::new(n)),
     }
 }
 

@@ -74,9 +74,23 @@ pub struct PerfectLink<M> {
     inc: Vec<PeerIn>,
     armed: Option<TimerId>,
     period: VirtualTime,
+    burst: usize,
 }
 
 impl<M: Clone> PerfectLink<M> {
+    /// Per-peer cap on retransmissions per timer tick.
+    ///
+    /// Without a cap, a peer that stops acknowledging (crashed,
+    /// partitioned away, or simply CPU-saturated — the §2.3 starvation
+    /// experiment) makes every tick re-send its **entire** unacked
+    /// backlog: O(backlog) messages per tick, a quadratic message storm
+    /// that buries the network and the laggard. Capping the burst keeps
+    /// ticks O(1) while preserving reliable delivery: retransmission
+    /// proceeds from the *oldest* unacked sequence number, so once the
+    /// peer acks again the window slides forward and the backlog drains
+    /// in FIFO order.
+    pub const RETRANSMIT_BURST: usize = 64;
+
     /// Creates a link endpoint for a cluster of `n` replicas with the
     /// given retransmission period.
     pub fn new(n: usize, period: VirtualTime) -> Self {
@@ -85,6 +99,7 @@ impl<M: Clone> PerfectLink<M> {
             inc: (0..n).map(|_| PeerIn::default()).collect(),
             armed: None,
             period,
+            burst: Self::RETRANSMIT_BURST,
         }
     }
 
@@ -158,7 +173,7 @@ impl<M: Clone> PerfectLink<M> {
             if to == me {
                 continue;
             }
-            for (seq, payload) in &peer.unacked {
+            for (seq, payload) in peer.unacked.iter().take(self.burst) {
                 ctx.send(
                     to,
                     LinkMsg::Data {
@@ -254,9 +269,10 @@ mod tests {
 
     #[test]
     fn retransmits_across_a_partition() {
-        let mut net = NetworkConfig::default();
-        net.partitions =
-            PartitionSchedule::new(vec![Partition::split_at(ms(0), ms(500), 1, 2)]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::split_at(ms(0), ms(500), 1, 2)]),
+            ..Default::default()
+        };
         let cfg = SimConfig::new(2, 11).with_net(net).with_max_time(ms(2_000));
         let mut sim = Sim::new(cfg, |_| LinkProc::new(2));
         sim.schedule_input(ms(10), ReplicaId::new(0), (ReplicaId::new(1), 77));
@@ -301,17 +317,12 @@ mod tests {
         }
         let mut link: PerfectLink<u64> = PerfectLink::with_default_period(2);
         let mut ctx = NullCtx;
-        let d = LinkMsg::Data {
-            seq: 0,
-            payload: 9,
-        };
+        let d = LinkMsg::Data { seq: 0, payload: 9 };
         assert_eq!(
             link.on_message(ReplicaId::new(0), d.clone(), &mut ctx),
             vec![9]
         );
-        assert!(link
-            .on_message(ReplicaId::new(0), d, &mut ctx)
-            .is_empty());
+        assert!(link.on_message(ReplicaId::new(0), d, &mut ctx).is_empty());
         // out-of-order arrival then the gap filling in
         let d2 = LinkMsg::Data {
             seq: 2,
@@ -325,13 +336,8 @@ mod tests {
             link.on_message(ReplicaId::new(0), d2.clone(), &mut ctx),
             vec![11]
         );
-        assert_eq!(
-            link.on_message(ReplicaId::new(0), d1, &mut ctx),
-            vec![10]
-        );
-        assert!(link
-            .on_message(ReplicaId::new(0), d2, &mut ctx)
-            .is_empty());
+        assert_eq!(link.on_message(ReplicaId::new(0), d1, &mut ctx), vec![10]);
+        assert!(link.on_message(ReplicaId::new(0), d2, &mut ctx).is_empty());
     }
 
     #[test]

@@ -187,6 +187,15 @@ pub struct PaxosTob<M> {
     proposed_keys: HashSet<(ReplicaId, u64)>,
     /// What we believe each peer has decided (drives catch-up).
     acked_upto: Vec<u64>,
+    /// Slots already shipped to each peer in `Catchup` batches.
+    ///
+    /// Without this cursor, a lagging peer triggers a feedback storm:
+    /// every `DecideAck` behind our prefix provokes a full batch, every
+    /// batch provokes another ack, and overlapping loops re-ship the
+    /// same range thousands of times. Acks now ship only slots past the
+    /// cursor; the pump resets the cursor to the peer's acked prefix
+    /// once per period, which re-ships (bounded) after message loss.
+    catchup_sent: Vec<u64>,
     /// Our own replica index (set in `on_start`).
     me: Option<ReplicaId>,
 
@@ -216,6 +225,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             standby_keys: HashSet::new(),
             proposed_keys: HashSet::new(),
             acked_upto: vec![0; n],
+            catchup_sent: vec![0; n],
             me: None,
             pump_timer: None,
         }
@@ -358,7 +368,11 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         // by removing nothing; track with a cursor stored in `fifo_cursor`.
         while self.fifo_cursor() < self.prefix {
             let slot = self.fifo_cursor();
-            let entry = self.decided.get(&slot).expect("prefix implies decided").clone();
+            let entry = self
+                .decided
+                .get(&slot)
+                .expect("prefix implies decided")
+                .clone();
             self.set_fifo_cursor(slot + 1);
             for e in self.fifo.push(entry.sender, entry.seq, entry) {
                 out.push(TobDelivery {
@@ -441,18 +455,18 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
     }
 
     fn send_catchup(&mut self, to: ReplicaId, from_slot: u64, ctx: &mut dyn Context<PaxosMsg<M>>) {
-        if from_slot >= self.prefix {
-            return;
+        let start = from_slot.max(self.catchup_sent[to.index()]);
+        if start >= self.prefix {
+            return; // everything shipped already; the pump re-ships on loss
         }
         let limit = self.config.batch_limit as u64;
-        let until = (from_slot + limit).min(self.prefix);
-        let entries: Vec<Entry<M>> = (from_slot..until)
-            .map(|s| self.decided[&s].clone())
-            .collect();
+        let until = (start + limit).min(self.prefix);
+        let entries: Vec<Entry<M>> = (start..until).map(|s| self.decided[&s].clone()).collect();
+        self.catchup_sent[to.index()] = until;
         ctx.send(
             to,
             PaxosMsg::Catchup {
-                first: from_slot,
+                first: start,
                 entries,
             },
         );
@@ -536,10 +550,13 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                             }
                         }
                     }
-                    // catch up laggards
+                    // catch up laggards; shipped-but-unacked slots count
+                    // as lost after a full pump period and are re-shipped
                     for peer in ReplicaId::all(self.n) {
                         if peer != me && self.acked_upto[peer.index()] < self.prefix {
                             let from = self.acked_upto[peer.index()];
+                            self.catchup_sent[peer.index()] =
+                                self.catchup_sent[peer.index()].min(from);
                             self.send_catchup(peer, from, ctx);
                         }
                     }
@@ -658,8 +675,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 entries,
                 decided_upto,
             } => {
-                self.acked_upto[from.index()] =
-                    self.acked_upto[from.index()].max(decided_upto);
+                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(decided_upto);
                 for e in entries {
                     self.enqueue(e, ctx);
                 }
@@ -697,8 +713,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 accepted,
                 decided_upto,
             } => {
-                self.acked_upto[from.index()] =
-                    self.acked_upto[from.index()].max(decided_upto);
+                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(decided_upto);
                 if let Role::Preparing {
                     ballot: my_ballot,
                     promises,
@@ -898,13 +913,15 @@ mod tests {
     #[test]
     fn partitioned_minority_catches_up_after_heal() {
         let n = 3;
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::isolate(
-            ms(0),
-            ms(1_000),
-            ReplicaId::new(2),
-            n,
-        )]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::isolate(
+                ms(0),
+                ms(1_000),
+                ReplicaId::new(2),
+                n,
+            )]),
+            ..Default::default()
+        };
         let cfg = SimConfig::new(n, 9).with_net(net).with_max_time(ms(6_000));
         let mut sim = Sim::new(cfg, |_| TobProc::new(n));
         sim.schedule_input(ms(10), ReplicaId::new(0), "a".into());
@@ -924,16 +941,18 @@ mod tests {
         let n = 3;
         // all three replicas isolated from each other, forever (within the
         // horizon)
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::new(
-            ms(0),
-            ms(100_000),
-            vec![
-                vec![ReplicaId::new(0)],
-                vec![ReplicaId::new(1)],
-                vec![ReplicaId::new(2)],
-            ],
-        )]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::new(
+                ms(0),
+                ms(100_000),
+                vec![
+                    vec![ReplicaId::new(0)],
+                    vec![ReplicaId::new(1)],
+                    vec![ReplicaId::new(2)],
+                ],
+            )]),
+            ..Default::default()
+        };
         let cfg = SimConfig::new(n, 9)
             .with_net(net)
             .with_stability(Stability::Asynchronous)

@@ -55,11 +55,7 @@ impl<M: Clone> ReliableBroadcast<M> {
 
     /// RB-casts `payload`; returns its [`RbId`]. The caller should treat
     /// the message as locally RB-delivered at this point.
-    pub fn broadcast(
-        &mut self,
-        payload: M,
-        ctx: &mut dyn Context<LinkMsg<RbMsg<M>>>,
-    ) -> RbId {
+    pub fn broadcast(&mut self, payload: M, ctx: &mut dyn Context<LinkMsg<RbMsg<M>>>) -> RbId {
         let id = RbId {
             origin: ctx.id(),
             seq: self.next_seq,
@@ -90,11 +86,7 @@ impl<M: Clone> ReliableBroadcast<M> {
     }
 
     /// Handles a timer fire; returns `true` if it belonged to this layer.
-    pub fn on_timer(
-        &mut self,
-        timer: TimerId,
-        ctx: &mut dyn Context<LinkMsg<RbMsg<M>>>,
-    ) -> bool {
+    pub fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<LinkMsg<RbMsg<M>>>) -> bool {
         self.link.on_timer(timer, ctx)
     }
 
@@ -165,7 +157,11 @@ mod tests {
         let n = 4;
         let mut sim = Sim::new(SimConfig::new(n, 5), |_| RbProc::new(n));
         for k in 0..8u64 {
-            sim.schedule_input(ms(1 + k * 3), ReplicaId::new((k % n as u64) as u32), 100 + k);
+            sim.schedule_input(
+                ms(1 + k * 3),
+                ReplicaId::new((k % n as u64) as u32),
+                100 + k,
+            );
         }
         sim.run();
         for r in ReplicaId::all(n) {
@@ -179,13 +175,15 @@ mod tests {
     #[test]
     fn delivery_resumes_after_partition_heals() {
         let n = 3;
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::isolate(
-            ms(0),
-            ms(800),
-            ReplicaId::new(2),
-            n,
-        )]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::isolate(
+                ms(0),
+                ms(800),
+                ReplicaId::new(2),
+                n,
+            )]),
+            ..Default::default()
+        };
         let cfg = SimConfig::new(n, 5).with_net(net).with_max_time(ms(3_000));
         let mut sim = Sim::new(cfg, |_| RbProc::new(n));
         sim.schedule_input(ms(5), ReplicaId::new(0), 1);
@@ -212,7 +210,11 @@ mod tests {
         sim.run();
         for r in [ReplicaId::new(1), ReplicaId::new(2)] {
             let vals: Vec<u64> = sim.process(r).delivered.iter().map(|(_, v)| *v).collect();
-            assert_eq!(vals, vec![42], "replica {r} must deliver despite origin crash");
+            assert_eq!(
+                vals,
+                vec![42],
+                "replica {r} must deliver despite origin crash"
+            );
         }
     }
 

@@ -225,7 +225,12 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
         if self.pump_timer == Some(timer) {
             self.pump_timer = None;
             self.flush(ctx);
-            if !self.pending.is_empty() || self.log.keys().next_back().is_some_and(|m| *m + 1 > self.cursor)
+            if !self.pending.is_empty()
+                || self
+                    .log
+                    .keys()
+                    .next_back()
+                    .is_some_and(|m| *m + 1 > self.cursor)
             {
                 self.pump_timer = Some(ctx.set_timer(self.pump_period));
             }

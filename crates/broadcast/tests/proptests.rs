@@ -38,12 +38,7 @@ impl Process for TobProc {
         self.tob.on_start(ctx);
     }
 
-    fn on_message(
-        &mut self,
-        from: ReplicaId,
-        msg: Self::Msg,
-        ctx: &mut dyn Context<Self::Msg>,
-    ) {
+    fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
         let batch = self.tob.on_message(from, msg, ctx);
         self.delivered.extend(batch);
     }
@@ -123,13 +118,15 @@ proptest! {
         k in 1usize..3,
     ) {
         let n = 3;
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::split_at(
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::split_at(
             ms(cut_start),
             ms(cut_start + cut_len),
             k,
             n,
-        )]);
+        )]),
+            ..Default::default()
+        };
         let cfg = SimConfig::new(n, seed).with_net(net).with_max_time(ms(30_000));
         let mut sim = Sim::new(cfg, |_| TobProc::new(n));
         for i in 0..6u64 {

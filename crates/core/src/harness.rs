@@ -4,9 +4,9 @@
 use crate::api::{EventRecord, Invocation, Response, RunTrace};
 use crate::replica::{BayouReplica, ProtocolMode};
 use bayou_broadcast::{PaxosConfig, PaxosTob, Tob};
-use bayou_data::DataType;
+use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_sim::{OutputRecord, Sim, SimConfig};
-use bayou_types::{Level, ReplicaId, Req, ReqId, VirtualTime};
+use bayou_types::{Level, ReplicaId, ReqId, SharedReq, VirtualTime};
 use std::collections::HashMap;
 
 /// Configuration of a simulated Bayou cluster.
@@ -73,21 +73,27 @@ impl<Op> SessionScript<Op> {
     }
 }
 
-/// `n` Bayou replicas wired over the simulator with the chosen TOB.
+/// `n` Bayou replicas wired over the simulator with the chosen TOB and
+/// state object.
 ///
 /// See the crate-level example.
-pub struct BayouCluster<F, T = PaxosTob<Req<<F as DataType>::Op>>>
+pub struct BayouCluster<F, T = PaxosTob<SharedReq<<F as DataType>::Op>>, S = DeltaState<F>>
 where
     F: DataType,
-    T: Tob<Req<F::Op>>,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F> + Default,
 {
-    sim: Sim<BayouReplica<F, T>>,
+    sim: Sim<BayouReplica<F, T, S>>,
     n: usize,
     responses: Vec<OutputRecord<Response>>,
     quiescent: bool,
 }
 
-impl<F: DataType> BayouCluster<F, PaxosTob<Req<F::Op>>> {
+impl<F, S> BayouCluster<F, PaxosTob<SharedReq<F::Op>>, S>
+where
+    F: DataType,
+    S: StateObject<F> + Default,
+{
     /// Creates a cluster with the default (Paxos) TOB.
     pub fn new(config: ClusterConfig) -> Self {
         let n = config.sim.n;
@@ -97,10 +103,11 @@ impl<F: DataType> BayouCluster<F, PaxosTob<Req<F::Op>>> {
     }
 }
 
-impl<F, T> BayouCluster<F, T>
+impl<F, T, S> BayouCluster<F, T, S>
 where
     F: DataType,
-    T: Tob<Req<F::Op>>,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F> + Default,
 {
     /// Creates a cluster with a custom TOB per replica (e.g.
     /// [`crate::NullTob`] for the eventual-only baseline, or
@@ -111,9 +118,7 @@ where
         mut make_tob: impl FnMut(ReplicaId) -> T,
     ) -> Self {
         let n = sim_config.n;
-        let sim = Sim::new(sim_config, |id| {
-            BayouReplica::new(n, mode, make_tob(id))
-        });
+        let sim = Sim::new(sim_config, |id| BayouReplica::new(n, mode, make_tob(id)));
         BayouCluster {
             sim,
             n,
@@ -134,7 +139,7 @@ where
     }
 
     /// Read access to a replica.
-    pub fn replica(&self, r: ReplicaId) -> &BayouReplica<F, T> {
+    pub fn replica(&self, r: ReplicaId) -> &BayouReplica<F, T, S> {
         self.sim.process(r)
     }
 
@@ -386,15 +391,19 @@ mod tests {
     #[test]
     fn strong_ops_block_under_partition_weak_ops_do_not() {
         let n = 3;
-        let mut net = NetworkConfig::default();
         // partition the whole run: no quorum for anyone
-        net.partitions = PartitionSchedule::new(vec![Partition::new(
-            ms(0),
-            ms(100_000),
-            vec![vec![ReplicaId::new(0)], vec![ReplicaId::new(1)], vec![
-                ReplicaId::new(2),
-            ]],
-        )]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::new(
+                ms(0),
+                ms(100_000),
+                vec![
+                    vec![ReplicaId::new(0)],
+                    vec![ReplicaId::new(1)],
+                    vec![ReplicaId::new(2)],
+                ],
+            )]),
+            ..Default::default()
+        };
         let sim = SimConfig::new(n, 5)
             .with_net(net)
             .with_stability(Stability::Asynchronous)
@@ -404,7 +413,11 @@ mod tests {
         c.invoke_at(ms(1), ReplicaId::new(0), KvOp::put("a", 1), Level::Weak);
         c.invoke_at(ms(2), ReplicaId::new(1), KvOp::put("b", 2), Level::Strong);
         let trace = c.run_until(ms(3_000));
-        let weak = trace.events.iter().find(|e| e.meta.level == Level::Weak).unwrap();
+        let weak = trace
+            .events
+            .iter()
+            .find(|e| e.meta.level == Level::Weak)
+            .unwrap();
         let strong = trace
             .events
             .iter()
@@ -452,8 +465,7 @@ mod tests {
     #[test]
     fn deterministic_traces_for_fixed_seed() {
         let run = |seed: u64| {
-            let mut c: BayouCluster<AppendList> =
-                BayouCluster::new(ClusterConfig::new(3, seed));
+            let mut c: BayouCluster<AppendList> = BayouCluster::new(ClusterConfig::new(3, seed));
             for k in 0..5u64 {
                 c.invoke_at(
                     ms(1 + k * 2),

@@ -209,7 +209,11 @@ mod tests {
         let n = 2;
         let cfg = SimConfig::new(n, 3).with_max_time(ms(3_000));
         let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
-        sim.schedule_input(ms(1), ReplicaId::new(0), Invocation::weak(ListOp::append("a")));
+        sim.schedule_input(
+            ms(1),
+            ReplicaId::new(0),
+            Invocation::weak(ListOp::append("a")),
+        );
         let report = sim.run_until(ms(3_000));
         assert_eq!(report.outputs.len(), 1);
         assert_eq!(report.outputs[0].output.value, Value::from("a"));
@@ -228,8 +232,16 @@ mod tests {
             .with_net(NetworkConfig::fixed(ms(5)))
             .with_max_time(ms(3_000));
         let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
-        sim.schedule_input(ms(1), ReplicaId::new(0), Invocation::weak(ListOp::append("a")));
-        sim.schedule_input(ms(1), ReplicaId::new(1), Invocation::weak(ListOp::append("b")));
+        sim.schedule_input(
+            ms(1),
+            ReplicaId::new(0),
+            Invocation::weak(ListOp::append("a")),
+        );
+        sim.schedule_input(
+            ms(1),
+            ReplicaId::new(1),
+            Invocation::weak(ListOp::append("b")),
+        );
         sim.run_until(ms(3_000));
         let s0 = sim.process(ReplicaId::new(0)).materialize();
         let s1 = sim.process(ReplicaId::new(1)).materialize();
@@ -243,8 +255,16 @@ mod tests {
         let n = 3;
         let cfg = SimConfig::new(n, 8).with_max_time(ms(5_000));
         let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
-        sim.schedule_input(ms(1), ReplicaId::new(0), Invocation::strong(ListOp::append("x")));
-        sim.schedule_input(ms(2), ReplicaId::new(1), Invocation::strong(ListOp::append("y")));
+        sim.schedule_input(
+            ms(1),
+            ReplicaId::new(0),
+            Invocation::strong(ListOp::append("x")),
+        );
+        sim.schedule_input(
+            ms(2),
+            ReplicaId::new(1),
+            Invocation::strong(ListOp::append("y")),
+        );
         let report = sim.run_until(ms(5_000));
         assert_eq!(report.outputs.len(), 2);
         // all replicas applied the strong ops in the same TOB order

@@ -1,14 +1,37 @@
 //! The Bayou replica: Algorithm 1 (and its Algorithm 2 modification),
 //! line by line.
+//!
+//! # Hot-path engineering
+//!
+//! The pseudocode is O(1) per step only if its primitive operations are;
+//! this implementation keeps them so under load:
+//!
+//! * requests travel as [`SharedReq`] (`Arc<Req<_>>`) through the
+//!   tentative/committed/executed lists, reliable broadcast and TOB —
+//!   every hop is a pointer bump, never a payload clone;
+//! * state rollback uses the state object's undo records
+//!   ([`bayou_data::DeltaState`] by default) instead of O(state-size)
+//!   checkpoints, and the replica is generic over [`StateObject`] so the
+//!   checkpointing [`bayou_data::ReplayState`] remains available as the
+//!   reference implementation;
+//! * membership tests against the committed/tentative/executed lists go
+//!   through id hash-sets, and `adjustExecution` re-plans only the
+//!   changed suffix — under a commit storm the whole re-planning pass is
+//!   O(suffix), not O(n²);
+//! * checkpoints/undo records of the stable prefix are dropped
+//!   ([`StateObject::truncate_checkpoints`]) every time the committed
+//!   list grows, keeping rollback bookkeeping proportional to the
+//!   speculative window rather than the lifetime of the replica.
 
 use crate::api::{EventRecord, Invocation, Response};
 use bayou_broadcast::{LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
-use bayou_data::{DataType, ReplayState, StateObject};
+use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_types::{
-    Context, Dot, Process, ReplicaId, Req, ReqId, TimerId, Value, VirtualTime,
+    Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which variant of the protocol a replica runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,8 +57,9 @@ pub enum ProtocolMode {
 /// requirement that an RB-delivered message is eventually TOB-delivered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireReq<Op> {
-    /// The request.
-    pub req: Req<Op>,
+    /// The request (shared — RB fan-out and retransmission clone the
+    /// frame per peer, which must not deep-copy the payload).
+    pub req: SharedReq<Op>,
     /// The origin's dense TOB-cast counter value for this request.
     pub tob_seq: u64,
 }
@@ -66,7 +90,8 @@ pub struct ReplicaStats {
 }
 
 /// A Bayou replica (Algorithm 1 of the paper) for data type `F` over a
-/// Total Order Broadcast implementation `T`.
+/// Total Order Broadcast implementation `T`, speculating through the
+/// state object `S` ([`DeltaState`] unless overridden).
 ///
 /// The field and method names mirror the pseudocode: `committed`,
 /// `tentative`, `executed`, `to_be_executed`, `to_be_rolled_back`,
@@ -74,15 +99,26 @@ pub struct ReplicaStats {
 /// Rollback and execute are *separate internal steps*
 /// ([`Process::on_internal`]) so the simulator can count and charge them
 /// individually — the §2.3 progress experiment depends on this.
-pub struct BayouReplica<F: DataType, T: Tob<Req<F::Op>>> {
+pub struct BayouReplica<F, T, S = DeltaState<F>>
+where
+    F: DataType,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F>,
+{
     mode: ProtocolMode,
-    state: ReplayState<F>,
+    state: S,
     curr_event_no: u64,
-    committed: Vec<Req<F::Op>>,
-    tentative: Vec<Req<F::Op>>,
-    executed: Vec<Req<F::Op>>,
-    to_be_executed: Vec<Req<F::Op>>,
-    to_be_rolled_back: Vec<Req<F::Op>>,
+    committed: Vec<SharedReq<F::Op>>,
+    committed_set: HashSet<ReqId>,
+    tentative: Vec<SharedReq<F::Op>>,
+    tentative_set: HashSet<ReqId>,
+    executed: Vec<SharedReq<F::Op>>,
+    executed_set: HashSet<ReqId>,
+    /// Length of the stable prefix (executed ∧ committed, can never be
+    /// revoked): the floor for every longest-common-prefix rescan.
+    stable_len: usize,
+    to_be_executed: VecDeque<SharedReq<F::Op>>,
+    to_be_rolled_back: VecDeque<SharedReq<F::Op>>,
     reqs_awaiting_resp: HashMap<ReqId, Option<(Value, Vec<ReqId>)>>,
     rb: ReliableBroadcast<WireReq<F::Op>>,
     tob: T,
@@ -93,23 +129,42 @@ pub struct BayouReplica<F: DataType, T: Tob<Req<F::Op>>> {
     journal: Vec<EventRecord<F::Op>>,
 }
 
-impl<F, T> BayouReplica<F, T>
+impl<F, T, S> BayouReplica<F, T, S>
 where
     F: DataType,
-    T: Tob<Req<F::Op>>,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F> + Default,
 {
     /// Creates a replica for a cluster of `n` replicas with the given TOB
-    /// implementation.
+    /// implementation and a default-initialised state object.
     pub fn new(n: usize, mode: ProtocolMode, tob: T) -> Self {
+        Self::with_state_object(n, mode, tob, S::default())
+    }
+}
+
+impl<F, T, S> BayouReplica<F, T, S>
+where
+    F: DataType,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F>,
+{
+    /// Creates a replica speculating through an explicitly constructed
+    /// state object (e.g. [`bayou_data::ReplayState`] for comparison
+    /// runs).
+    pub fn with_state_object(n: usize, mode: ProtocolMode, tob: T, state: S) -> Self {
         BayouReplica {
             mode,
-            state: ReplayState::new(),
+            state,
             curr_event_no: 0,
             committed: Vec::new(),
+            committed_set: HashSet::new(),
             tentative: Vec::new(),
+            tentative_set: HashSet::new(),
             executed: Vec::new(),
-            to_be_executed: Vec::new(),
-            to_be_rolled_back: Vec::new(),
+            executed_set: HashSet::new(),
+            stable_len: 0,
+            to_be_executed: VecDeque::new(),
+            to_be_rolled_back: VecDeque::new(),
             reqs_awaiting_resp: HashMap::new(),
             rb: ReliableBroadcast::new(n, VirtualTime::from_millis(60)),
             tob,
@@ -161,6 +216,12 @@ where
         self.state.materialize()
     }
 
+    /// Read access to the state object (diagnostics; e.g. asserting that
+    /// rollback bookkeeping stays bounded).
+    pub fn state_object(&self) -> &S {
+        &self.state
+    }
+
     /// Number of requests whose responses are still owed to clients.
     pub fn awaiting_responses(&self) -> usize {
         self.reqs_awaiting_resp.len()
@@ -185,72 +246,100 @@ where
     }
 
     fn committed_contains(&self, id: ReqId) -> bool {
-        self.committed.iter().any(|x| x.id() == id)
+        self.committed_set.contains(&id)
     }
 
     fn executed_contains(&self, id: ReqId) -> bool {
-        self.executed.iter().any(|x| x.id() == id)
+        self.executed_set.contains(&id)
     }
 
     /// Lines 16–21: insert `r` into the tentative list by
     /// `(timestamp, dot)` and re-plan execution.
-    fn adjust_tentative_order(&mut self, r: Req<F::Op>) {
+    fn adjust_tentative_order(&mut self, r: SharedReq<F::Op>) {
         debug_assert!(
-            !self.tentative.iter().any(|x| x.id() == r.id()),
+            !self.tentative_set.contains(&r.id()),
             "request {} already tentative",
             r.id()
         );
-        let pos = self
-            .tentative
-            .iter()
-            .position(|x| r < *x)
-            .unwrap_or(self.tentative.len());
+        let pos = self.tentative.partition_point(|x| x.as_ref() < r.as_ref());
+        self.tentative_set.insert(r.id());
         self.tentative.insert(pos, r);
         self.adjust_execution();
     }
 
     /// Lines 35–40: reconcile the executed prefix with the new evaluation
     /// order, scheduling rollbacks and (re-)executions.
+    ///
+    /// Cost is O(changed suffix): the longest-common-prefix scan starts
+    /// at the stable (executed ∧ committed) prefix — which can never be
+    /// revoked, so it never needs re-checking — the revoked suffix moves
+    /// (not clones) into `to_be_rolled_back`, and the re-execution plan
+    /// shares the requests by reference.
     fn adjust_execution(&mut self) {
-        let new_order: Vec<Req<F::Op>> = self
-            .committed
-            .iter()
-            .chain(self.tentative.iter())
-            .cloned()
-            .collect();
-        let lcp = self
-            .executed
-            .iter()
-            .zip(new_order.iter())
-            .take_while(|(a, b)| a.id() == b.id())
-            .count();
+        // stable_len ≤ committed.len() and ≤ executed.len(), and
+        // executed[..stable_len] == committed[..stable_len] (invariant
+        // maintained by handle_tob_deliver; committed is append-only and
+        // the split below never cuts into the stable prefix)
+        let stable = self.stable_len;
+        debug_assert!(stable <= self.executed.len() && stable <= self.committed.len());
+        let lcp = stable
+            + self.executed[stable..]
+                .iter()
+                .zip(self.committed[stable..].iter().chain(self.tentative.iter()))
+                .take_while(|(a, b)| a.id() == b.id())
+                .count();
         let out_of_order = self.executed.split_off(lcp);
-        let executed_ids: Vec<ReqId> = self.executed.iter().map(|r| r.id()).collect();
-        self.to_be_executed = new_order
-            .into_iter()
-            .filter(|r| !executed_ids.contains(&r.id()))
-            .collect();
-        self.to_be_rolled_back.extend(out_of_order.into_iter().rev());
+        for r in &out_of_order {
+            self.executed_set.remove(&r.id());
+        }
+        // the retained prefix equals the new order's first `lcp` entries,
+        // so the remainder of the new order is exactly what must (re-)run
+        self.to_be_executed = if lcp <= self.committed.len() {
+            self.committed[lcp..]
+                .iter()
+                .chain(self.tentative.iter())
+                .cloned()
+                .collect()
+        } else {
+            self.tentative[lcp - self.committed.len()..]
+                .iter()
+                .cloned()
+                .collect()
+        };
+        debug_assert!(self
+            .to_be_executed
+            .iter()
+            .all(|r| !self.executed_set.contains(&r.id())));
+        self.to_be_rolled_back
+            .extend(out_of_order.into_iter().rev());
     }
 
     /// Lines 27–34: TOB delivery fixes the final position of `r`.
-    fn handle_tob_deliver(&mut self, r: Req<F::Op>) {
+    fn handle_tob_deliver(&mut self, r: SharedReq<F::Op>) {
         self.stats.tob_deliveries += 1;
         self.tob_order.push(r.id());
         debug_assert!(!self.committed_contains(r.id()), "duplicate TOB delivery");
+        let id = r.id();
+        self.committed_set.insert(id);
         self.committed.push(r.clone());
-        self.tentative.retain(|x| x.id() != r.id());
+        if self.tentative_set.remove(&id) {
+            self.tentative.retain(|x| x.id() != id);
+        }
         self.adjust_execution();
-        // allow the state object to drop checkpoints of the stable prefix
-        let stable = self
+        // allow the state object to drop undo records of the stable
+        // prefix: after adjust_execution the executed list is a prefix of
+        // committed · tentative, so the stable prefix length is O(1)
+        let stable = self.executed.len().min(self.committed.len());
+        debug_assert!(self
             .executed
             .iter()
+            .take(stable)
             .zip(self.committed.iter())
-            .take_while(|(e, c)| e.id() == c.id())
-            .count();
+            .all(|(e, c)| e.id() == c.id()));
+        self.stable_len = stable;
         self.state.truncate_checkpoints(stable);
-        if self.reqs_awaiting_resp.contains_key(&r.id()) && self.executed_contains(r.id()) {
-            if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&r.id()) {
+        if self.reqs_awaiting_resp.contains_key(&id) && self.executed_contains(id) {
+            if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&id) {
                 self.outputs.push(Response {
                     meta: r.meta(),
                     value,
@@ -276,16 +365,17 @@ where
         // TOB-delivered even if its origin crashed or is partitioned away.
         {
             let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
-            self.tob.ensure(r.origin(), wire.tob_seq, r.clone(), &mut tctx);
+            self.tob
+                .ensure(r.origin(), wire.tob_seq, r.clone(), &mut tctx);
         }
-        if !self.committed_contains(r.id()) && !self.tentative.iter().any(|x| x.id() == r.id()) {
+        if !self.committed_contains(r.id()) && !self.tentative_set.contains(&r.id()) {
             self.adjust_tentative_order(r);
         }
     }
 
     fn broadcast_req(
         &mut self,
-        r: &Req<F::Op>,
+        r: &SharedReq<F::Op>,
         ctx: &mut dyn Context<BayouMsg<F::Op, T::Msg>>,
         rb_too: bool,
     ) {
@@ -303,17 +393,18 @@ where
         self.tob.cast(seq, r.clone(), &mut tctx);
     }
 
-    fn deliver_batch(&mut self, batch: Vec<TobDelivery<Req<F::Op>>>) {
+    fn deliver_batch(&mut self, batch: Vec<TobDelivery<SharedReq<F::Op>>>) {
         for d in batch {
             self.handle_tob_deliver(d.payload);
         }
     }
 }
 
-impl<F, T> Process for BayouReplica<F, T>
+impl<F, T, S> Process for BayouReplica<F, T, S>
 where
     F: DataType,
-    T: Tob<Req<F::Op>>,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F>,
 {
     type Msg = BayouMsg<F::Op, T::Msg>;
     type Input = Invocation<F::Op>;
@@ -328,12 +419,12 @@ where
     fn on_input(&mut self, inv: Invocation<F::Op>, ctx: &mut dyn Context<Self::Msg>) {
         self.stats.invocations += 1;
         self.curr_event_no += 1;
-        let r = Req::new(
+        let r = Arc::new(Req::new(
             ctx.clock(),
             Dot::new(ctx.id(), self.curr_event_no),
             inv.level,
             inv.op,
-        );
+        ));
         let tob_cast = match self.mode {
             ProtocolMode::Original => true,
             ProtocolMode::Improved => r.level.is_strong() || !F::is_read_only(&r.op),
@@ -351,8 +442,8 @@ where
         match self.mode {
             ProtocolMode::Original => {
                 self.broadcast_req(&r, ctx, true);
-                self.adjust_tentative_order(r.clone());
                 self.reqs_awaiting_resp.insert(r.id(), None);
+                self.adjust_tentative_order(r);
             }
             ProtocolMode::Improved => {
                 if r.level.is_weak() {
@@ -421,18 +512,23 @@ where
 
     /// Lines 41–55: one `rollback` or one `execute` step.
     fn on_internal(&mut self, _ctx: &mut dyn Context<Self::Msg>) -> bool {
-        if !self.to_be_rolled_back.is_empty() {
-            let head = self.to_be_rolled_back.remove(0);
+        if let Some(head) = self.to_be_rolled_back.pop_front() {
             self.state.rollback(head.id());
             self.stats.rollbacks += 1;
             return true;
         }
-        if !self.to_be_executed.is_empty() {
-            let head = self.to_be_executed.remove(0);
-            let trace_before = self.state.trace().to_vec();
+        if let Some(head) = self.to_be_executed.pop_front() {
+            // the trace snapshot is only needed for a response to a local
+            // client; remote requests must not pay an O(trace) copy
+            let awaiting = self.reqs_awaiting_resp.contains_key(&head.id());
+            let trace_before = if awaiting {
+                self.state.trace().to_vec()
+            } else {
+                Vec::new()
+            };
             let value = self.state.execute(head.id(), &head.op);
             self.stats.executions += 1;
-            if self.reqs_awaiting_resp.contains_key(&head.id()) {
+            if awaiting {
                 if head.level.is_weak() || self.committed_contains(head.id()) {
                     self.outputs.push(Response {
                         meta: head.meta(),
@@ -445,6 +541,7 @@ where
                         .insert(head.id(), Some((value, trace_before)));
                 }
             }
+            self.executed_set.insert(head.id());
             self.executed.push(head);
             return true;
         }
@@ -456,7 +553,12 @@ where
     }
 }
 
-impl<F: DataType, T: Tob<Req<F::Op>> + fmt::Debug> fmt::Debug for BayouReplica<F, T> {
+impl<F, T, S> fmt::Debug for BayouReplica<F, T, S>
+where
+    F: DataType,
+    T: Tob<SharedReq<F::Op>> + fmt::Debug,
+    S: StateObject<F>,
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BayouReplica")
             .field("mode", &self.mode)
@@ -474,7 +576,7 @@ impl<F: DataType, T: Tob<Req<F::Op>> + fmt::Debug> fmt::Debug for BayouReplica<F
 mod tests {
     use super::*;
     use crate::nulltob::NullTob;
-    use bayou_data::{AppendList, ListOp};
+    use bayou_data::{AppendList, KvOp, KvStore, ListOp, ReplayState};
     use bayou_types::{Level, Timestamp};
 
     struct StubCtx {
@@ -508,7 +610,7 @@ mod tests {
         }
     }
 
-    type R = BayouReplica<AppendList, NullTob<Req<ListOp>>>;
+    type R = BayouReplica<AppendList, NullTob<SharedReq<ListOp>>>;
 
     fn replica(mode: ProtocolMode) -> (R, StubCtx) {
         (
@@ -524,11 +626,23 @@ mod tests {
         while r.on_internal(ctx) {}
     }
 
+    fn shared(ts: i64, replica: u32, n: u64, level: Level, op: ListOp) -> SharedReq<ListOp> {
+        Arc::new(Req::new(
+            Timestamp::new(ts),
+            Dot::new(ReplicaId::new(replica), n),
+            level,
+            op,
+        ))
+    }
+
     #[test]
     fn original_mode_returns_tentative_response_at_execution() {
         let (mut r, mut ctx) = replica(ProtocolMode::Original);
         r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
-        assert!(r.drain_outputs().is_empty(), "response needs an execute step");
+        assert!(
+            r.drain_outputs().is_empty(),
+            "response needs an execute step"
+        );
         drive(&mut r, &mut ctx);
         let out = r.drain_outputs();
         assert_eq!(out.len(), 1);
@@ -566,12 +680,7 @@ mod tests {
         r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
         drive(&mut r, &mut ctx);
         // remote op with an older timestamp must sort in front
-        let remote = Req::new(
-            Timestamp::new(0),
-            Dot::new(ReplicaId::new(1), 1),
-            Level::Weak,
-            ListOp::append("y"),
-        );
+        let remote = shared(0, 1, 1, Level::Weak, ListOp::append("y"));
         r.handle_rb_deliver(
             WireReq {
                 req: remote,
@@ -589,12 +698,7 @@ mod tests {
         let (mut r, mut ctx) = replica(ProtocolMode::Original);
         r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
         drive(&mut r, &mut ctx);
-        let own = Req::new(
-            Timestamp::new(1),
-            Dot::new(ReplicaId::new(0), 1),
-            Level::Weak,
-            ListOp::append("x"),
-        );
+        let own = shared(1, 0, 1, Level::Weak, ListOp::append("x"));
         r.handle_rb_deliver(
             WireReq {
                 req: own,
@@ -610,12 +714,7 @@ mod tests {
         let (mut r, mut ctx) = replica(ProtocolMode::Original);
         r.on_input(Invocation::weak(ListOp::append("x")), &mut ctx);
         drive(&mut r, &mut ctx);
-        let req = Req::new(
-            Timestamp::new(1),
-            Dot::new(ReplicaId::new(0), 1),
-            Level::Weak,
-            ListOp::append("x"),
-        );
+        let req = shared(1, 0, 1, Level::Weak, ListOp::append("x"));
         r.handle_tob_deliver(req);
         assert_eq!(r.committed_ids().len(), 1);
         assert!(r.tentative_ids().is_empty());
@@ -631,12 +730,7 @@ mod tests {
         drive(&mut r, &mut ctx);
         assert_eq!(r.materialize(), vec!["x".to_string()]);
         // a remote request commits first (TOB order beats timestamps)
-        let remote = Req::new(
-            Timestamp::new(100),
-            Dot::new(ReplicaId::new(1), 1),
-            Level::Weak,
-            ListOp::append("z"),
-        );
+        let remote = shared(100, 1, 1, Level::Weak, ListOp::append("z"));
         r.handle_tob_deliver(remote);
         drive(&mut r, &mut ctx);
         assert_eq!(r.stats().rollbacks, 1);
@@ -655,12 +749,7 @@ mod tests {
         );
         assert_eq!(r.awaiting_responses(), 1);
         // commit it
-        let req = Req::new(
-            Timestamp::new(1),
-            Dot::new(ReplicaId::new(0), 1),
-            Level::Strong,
-            ListOp::Duplicate,
-        );
+        let req = shared(1, 0, 1, Level::Strong, ListOp::Duplicate);
         r.handle_tob_deliver(req);
         drive(&mut r, &mut ctx);
         let out = r.drain_outputs();
@@ -685,15 +774,56 @@ mod tests {
         r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
         r.on_input(Invocation::weak(ListOp::append("b")), &mut ctx);
         drive(&mut r, &mut ctx);
-        let t1 = Req::new(
-            Timestamp::new(1),
-            Dot::new(ReplicaId::new(0), 1),
-            Level::Weak,
-            ListOp::append("a"),
-        );
-        r.handle_tob_deliver(t1.clone());
+        let t1 = shared(1, 0, 1, Level::Weak, ListOp::append("a"));
+        let t1_id = t1.id();
+        r.handle_tob_deliver(t1);
         let order = r.current_order();
-        assert_eq!(order[0], t1.id());
+        assert_eq!(order[0], t1_id);
         assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn replica_is_generic_over_the_state_object() {
+        // the checkpointing reference implementation still plugs in
+        let mut r: BayouReplica<AppendList, NullTob<SharedReq<ListOp>>, ReplayState<AppendList>> =
+            BayouReplica::new(2, ProtocolMode::Improved, NullTob::new());
+        let mut ctx = StubCtx {
+            clock: 0,
+            id: ReplicaId::new(0),
+        };
+        r.on_input(Invocation::weak(ListOp::append("a")), &mut ctx);
+        while r.on_internal(&mut ctx) {}
+        assert_eq!(r.materialize(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn committed_growth_keeps_rollback_bookkeeping_bounded() {
+        // regression: undo records / checkpoints of the committed prefix
+        // must be dropped as the committed list grows, not accumulate
+        // over the lifetime of the replica
+        let mut r: BayouReplica<KvStore, NullTob<SharedReq<KvOp>>> =
+            BayouReplica::new(2, ProtocolMode::Original, NullTob::new());
+        let mut ctx = StubCtx {
+            clock: 0,
+            id: ReplicaId::new(1), // remote ids so handle_tob_deliver is the only source
+        };
+        for i in 1..=500u64 {
+            let req = Arc::new(Req::new(
+                Timestamp::new(i as i64),
+                Dot::new(ReplicaId::new(0), i),
+                Level::Weak,
+                KvOp::put(format!("k{}", i % 10), i as i64),
+            ));
+            r.handle_tob_deliver(req);
+            while r.on_internal(&mut ctx) {}
+            assert!(
+                r.state_object().retained_records() <= 1,
+                "bookkeeping leak: {} records after {} committed ops",
+                r.state_object().retained_records(),
+                i
+            );
+        }
+        assert_eq!(r.committed_ids().len(), 500);
+        assert_eq!(r.executed_ids().len(), 500);
     }
 }

@@ -93,6 +93,30 @@ impl DataType for Bank {
     }
 }
 
+/// Inverse record of one [`Bank`] operation: the touched account's
+/// previous balance (`None` = the account did not exist — `deposit` and
+/// `withdraw` create accounts en passant via `entry(..).or_insert(0)`,
+/// and undo must remove them again for exact state equality).
+pub type BankUndo = crate::delta::MapRestore<i64>;
+
+impl crate::InvertibleDataType for Bank {
+    type Undo = BankUndo;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        Some(match op {
+            BankOp::Deposit(a, _) | BankOp::Withdraw(a, _) => {
+                let prev = state.get(a).copied();
+                (Self::apply(state, op), BankUndo::Restore(a.clone(), prev))
+            }
+            BankOp::Balance(_) | BankOp::Total => (Self::apply(state, op), BankUndo::Nothing),
+        })
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        undo.apply_to(state);
+    }
+}
+
 const ACCOUNTS: [&str; 3] = ["alice", "bob", "carol"];
 
 impl RandomOp for Bank {

@@ -113,11 +113,11 @@ impl DataType for Calendar {
         match op {
             CalendarOp::Reserve { room, slot, who } => {
                 let key = slot_key(room, *slot);
-                if state.contains_key(&key) {
-                    Value::Bool(false)
-                } else {
-                    state.insert(key, who.clone());
+                if let std::collections::btree_map::Entry::Vacant(e) = state.entry(key) {
+                    e.insert(who.clone());
                     Value::Bool(true)
+                } else {
+                    Value::Bool(false)
                 }
             }
             CalendarOp::Cancel { room, slot, who } => {
@@ -148,6 +148,44 @@ impl DataType for Calendar {
 
     fn is_read_only(op: &Self::Op) -> bool {
         matches!(op, CalendarOp::Holder { .. } | CalendarOp::Schedule(_))
+    }
+}
+
+/// Inverse record of one [`Calendar`] operation: at most one slot
+/// binding (`room#slot → who`) to restore.
+pub type CalendarUndo = crate::delta::MapRestore<String>;
+
+impl crate::InvertibleDataType for Calendar {
+    type Undo = CalendarUndo;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        Some(match op {
+            CalendarOp::Reserve { room, slot, who } => {
+                let key = slot_key(room, *slot);
+                if state.contains_key(&key) {
+                    (Value::Bool(false), CalendarUndo::Nothing)
+                } else {
+                    state.insert(key.clone(), who.clone());
+                    (Value::Bool(true), CalendarUndo::Restore(key, None))
+                }
+            }
+            CalendarOp::Cancel { room, slot, who } => {
+                let key = slot_key(room, *slot);
+                if state.get(&key) == Some(who) {
+                    let prev = state.remove(&key);
+                    (Value::Bool(true), CalendarUndo::Restore(key, prev))
+                } else {
+                    (Value::Bool(false), CalendarUndo::Nothing)
+                }
+            }
+            CalendarOp::Holder { .. } | CalendarOp::Schedule(_) => {
+                (Self::apply(state, op), CalendarUndo::Nothing)
+            }
+        })
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        undo.apply_to(state);
     }
 }
 

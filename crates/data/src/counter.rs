@@ -61,6 +61,30 @@ impl DataType for Counter {
     }
 }
 
+impl crate::InvertibleDataType for Counter {
+    /// The applied increment; undo subtracts it back (wrapping, matching
+    /// `apply`).
+    type Undo = i64;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        Some(match op {
+            CounterOp::Add(v) => {
+                *state = state.wrapping_add(*v);
+                (Value::Unit, *v)
+            }
+            CounterOp::AddAndGet(v) => {
+                *state = state.wrapping_add(*v);
+                (Value::Int(*state), *v)
+            }
+            CounterOp::Read => (Value::Int(*state), 0),
+        })
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        *state = state.wrapping_sub(undo);
+    }
+}
+
 impl RandomOp for Counter {
     fn random_op<R: Rng + ?Sized>(rng: &mut R) -> CounterOp {
         match rng.gen_range(0..4) {
@@ -106,7 +130,11 @@ mod tests {
 
     #[test]
     fn blind_adds_commute_observable_adds_do_not() {
-        assert!(commutes::<Counter>(&[], &CounterOp::Add(1), &CounterOp::Add(2)));
+        assert!(commutes::<Counter>(
+            &[],
+            &CounterOp::Add(1),
+            &CounterOp::Add(2)
+        ));
         assert!(!commutes::<Counter>(
             &[],
             &CounterOp::AddAndGet(1),

@@ -40,7 +40,10 @@ pub trait DataType: 'static {
     /// The state of one logical copy of the object.
     type State: Clone + Debug + Default + PartialEq + Send;
     /// The operation alphabet `ops(F)`.
-    type Op: Clone + Debug + PartialEq + Send;
+    ///
+    /// `Sync` because requests are shared (`Arc<Req<Op>>`) across the
+    /// replica threads of the live runtime.
+    type Op: Clone + Debug + PartialEq + Send + Sync;
 
     /// Human-readable name of the data type (used in reports).
     const NAME: &'static str;

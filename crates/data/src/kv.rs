@@ -103,6 +103,43 @@ impl DataType for KvStore {
     }
 }
 
+/// Inverse record of one [`KvStore`] operation: at most the one
+/// displaced binding.
+pub type KvUndo = crate::delta::MapRestore<i64>;
+
+impl crate::InvertibleDataType for KvStore {
+    type Undo = KvUndo;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        Some(match op {
+            KvOp::Put(k, v) => {
+                let prev = state.insert(k.clone(), *v);
+                (
+                    prev.map(Value::Int).unwrap_or(Value::None),
+                    KvUndo::Restore(k.clone(), prev),
+                )
+            }
+            KvOp::PutIfAbsent(k, v) => {
+                if state.contains_key(k) {
+                    (Value::Bool(false), KvUndo::Nothing)
+                } else {
+                    state.insert(k.clone(), *v);
+                    (Value::Bool(true), KvUndo::Restore(k.clone(), None))
+                }
+            }
+            KvOp::Remove(k) => match state.remove(k) {
+                Some(v) => (Value::Int(v), KvUndo::Restore(k.clone(), Some(v))),
+                None => (Value::None, KvUndo::Nothing),
+            },
+            KvOp::Get(_) | KvOp::Keys | KvOp::Size => (Self::apply(state, op), KvUndo::Nothing),
+        })
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        undo.apply_to(state);
+    }
+}
+
 const KEYS: [&str; 5] = ["k0", "k1", "k2", "k3", "k4"];
 
 fn random_key<R: Rng + ?Sized>(rng: &mut R) -> String {
@@ -196,9 +233,6 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(KvOp::put("k", 3).to_string(), "put(k, 3)");
-        assert_eq!(
-            KvOp::put_if_absent("k", 3).to_string(),
-            "putIfAbsent(k, 3)"
-        );
+        assert_eq!(KvOp::put_if_absent("k", 3).to_string(), "putIfAbsent(k, 3)");
     }
 }

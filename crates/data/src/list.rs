@@ -94,6 +94,21 @@ impl DataType for AppendList {
     }
 }
 
+impl crate::InvertibleDataType for AppendList {
+    /// The list length before the operation; every [`ListOp`] only ever
+    /// appends, so undo truncates back to it (`duplicate` included).
+    type Undo = usize;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        let pre_len = state.len();
+        Some((Self::apply(state, op), pre_len))
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        state.truncate(undo);
+    }
+}
+
 const ALPHABET: [&str; 6] = ["a", "b", "c", "x", "y", "z"];
 
 impl RandomOp for AppendList {
@@ -142,11 +157,8 @@ mod tests {
     fn figure_1_tentative_order() {
         // R1's speculative order in Figure 1: append(a), duplicate, append(x)
         // yields the tentative response "aax" for append(x).
-        let (_, vals) = replay::<AppendList>(&[
-            ListOp::append("a"),
-            ListOp::Duplicate,
-            ListOp::append("x"),
-        ]);
+        let (_, vals) =
+            replay::<AppendList>(&[ListOp::append("a"), ListOp::Duplicate, ListOp::append("x")]);
         assert_eq!(vals[2], Value::from("aax"));
     }
 
@@ -159,10 +171,7 @@ mod tests {
         let v1 = AppendList::apply(&mut s1, &ListOp::Duplicate);
         // append(read()):
         let read = AppendList::apply(&mut s2, &ListOp::Read);
-        let v2 = AppendList::apply(
-            &mut s2,
-            &ListOp::Append(read.as_str().unwrap().to_string()),
-        );
+        let v2 = AppendList::apply(&mut s2, &ListOp::Append(read.as_str().unwrap().to_string()));
         assert_eq!(s1.concat(), s2.concat());
         assert_eq!(v1, v2);
     }

@@ -55,6 +55,20 @@ impl DataType for RwRegister {
     }
 }
 
+impl crate::InvertibleDataType for RwRegister {
+    /// The register value before the operation.
+    type Undo = i64;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        let pre = *state;
+        Some((Self::apply(state, op), pre))
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        *state = undo;
+    }
+}
+
 impl RandomOp for RwRegister {
     fn random_op<R: Rng + ?Sized>(rng: &mut R) -> RegisterOp {
         if rng.gen_bool(0.5) {
@@ -76,7 +90,10 @@ mod tests {
     #[test]
     fn write_then_read() {
         let mut s = 0i64;
-        assert_eq!(RwRegister::apply(&mut s, &RegisterOp::Write(7)), Value::Unit);
+        assert_eq!(
+            RwRegister::apply(&mut s, &RegisterOp::Write(7)),
+            Value::Unit
+        );
         assert_eq!(RwRegister::apply(&mut s, &RegisterOp::Read), Value::Int(7));
     }
 

@@ -80,6 +80,53 @@ impl DataType for AddRemoveSet {
     }
 }
 
+/// Inverse record of one [`AddRemoveSet`] operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetUndo {
+    /// Membership did not change.
+    Nothing,
+    /// The element was inserted; undo removes it.
+    Uninsert(String),
+    /// The element was removed; undo re-inserts it.
+    Reinsert(String),
+}
+
+impl crate::InvertibleDataType for AddRemoveSet {
+    type Undo = SetUndo;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        Some(match op {
+            SetOp::Add(e) => {
+                if state.insert(e.clone()) {
+                    (Value::Bool(true), SetUndo::Uninsert(e.clone()))
+                } else {
+                    (Value::Bool(false), SetUndo::Nothing)
+                }
+            }
+            SetOp::Remove(e) => {
+                if state.remove(e) {
+                    (Value::Bool(true), SetUndo::Reinsert(e.clone()))
+                } else {
+                    (Value::Bool(false), SetUndo::Nothing)
+                }
+            }
+            SetOp::Contains(_) | SetOp::Elements => (Self::apply(state, op), SetUndo::Nothing),
+        })
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        match undo {
+            SetUndo::Nothing => {}
+            SetUndo::Uninsert(e) => {
+                state.remove(&e);
+            }
+            SetUndo::Reinsert(e) => {
+                state.insert(e);
+            }
+        }
+    }
+}
+
 const ELEMS: [&str; 4] = ["e0", "e1", "e2", "e3"];
 
 impl RandomOp for AddRemoveSet {

@@ -18,6 +18,13 @@ use bayou_types::ReqId;
 /// of executed-and-not-rolled-back requests; responses must be consistent
 /// with a deterministic serial execution of the trace.
 pub trait StateObject<F: DataType> {
+    /// Creates a state object whose trace is empty but whose logical
+    /// state starts from `state` (bootstrapping from a snapshot, e.g.
+    /// state transfer to a fresh replica, or pre-grown bench fixtures).
+    fn with_state(state: F::State) -> Self
+    where
+        Self: Sized;
+
     /// Executes `op` on behalf of request `id`, mutating the state and
     /// returning the operation's return value.
     fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value;
@@ -37,6 +44,26 @@ pub trait StateObject<F: DataType> {
     /// Materialises the current logical state (primarily for tests and
     /// convergence checks).
     fn materialize(&self) -> F::State;
+
+    /// Discards rollback bookkeeping for a committed prefix of the
+    /// trace.
+    ///
+    /// Committed requests can never roll back, so their undo records or
+    /// pre-state checkpoints are dead weight; the replica calls this as
+    /// its committed list grows. `committed_len` is the length of the
+    /// stable trace prefix. Implementations must remain able to roll
+    /// back everything *after* that prefix. The default is a no-op
+    /// (correct, but leaks memory on long committed runs).
+    fn truncate_checkpoints(&mut self, committed_len: usize) {
+        let _ = committed_len;
+    }
+
+    /// Number of rollback bookkeeping records currently retained
+    /// (checkpoints, undo records, …). Exposed so tests can assert that
+    /// [`StateObject::truncate_checkpoints`] keeps memory bounded.
+    fn retained_records(&self) -> usize {
+        0
+    }
 }
 
 /// A [`StateObject`] for arbitrary data types, implemented by
@@ -62,7 +89,9 @@ pub trait StateObject<F: DataType> {
 pub struct ReplayState<F: DataType> {
     state: F::State,
     /// `(request, pre-state)` for each executed request, oldest first.
-    checkpoints: Vec<(ReqId, F::State)>,
+    /// Always covers a contiguous *suffix* of `trace` (execute pushes,
+    /// rollback pops, truncation drops from the front).
+    checkpoints: std::collections::VecDeque<(ReqId, F::State)>,
     trace: Vec<ReqId>,
 }
 
@@ -71,7 +100,7 @@ impl<F: DataType> ReplayState<F> {
     pub fn new() -> Self {
         ReplayState {
             state: F::State::default(),
-            checkpoints: Vec::new(),
+            checkpoints: std::collections::VecDeque::new(),
             trace: Vec::new(),
         }
     }
@@ -91,27 +120,9 @@ impl<F: DataType> ReplayState<F> {
         &self.state
     }
 
-    /// Discards checkpoints for a committed prefix of the trace.
-    ///
-    /// Committed requests can never be rolled back, so their pre-states
-    /// are dead weight; the protocol calls this as its committed list
-    /// grows. `committed_len` is the length of the stable prefix.
-    pub fn truncate_checkpoints(&mut self, committed_len: usize) {
-        if committed_len == 0 {
-            return;
-        }
-        let keep = self
-            .checkpoints
-            .iter()
-            .position(|(id, _)| {
-                self.trace
-                    .iter()
-                    .position(|t| t == id)
-                    .map(|pos| pos >= committed_len)
-                    .unwrap_or(true)
-            })
-            .unwrap_or(self.checkpoints.len());
-        self.checkpoints.drain(..keep);
+    /// Number of pre-state checkpoints currently retained.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
     }
 }
 
@@ -122,8 +133,16 @@ impl<F: DataType> Default for ReplayState<F> {
 }
 
 impl<F: DataType> StateObject<F> for ReplayState<F> {
+    fn with_state(state: F::State) -> Self {
+        ReplayState {
+            state,
+            checkpoints: std::collections::VecDeque::new(),
+            trace: Vec::new(),
+        }
+    }
+
     fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value {
-        self.checkpoints.push((id, self.state.clone()));
+        self.checkpoints.push_back((id, self.state.clone()));
         self.trace.push(id);
         F::apply(&mut self.state, op)
     }
@@ -141,7 +160,7 @@ impl<F: DataType> StateObject<F> for ReplayState<F> {
         self.trace.pop();
         let (cid, pre) = self
             .checkpoints
-            .pop()
+            .pop_back()
             .expect("trace non-empty but no checkpoint available (was it truncated too early?)");
         debug_assert_eq!(cid, id);
         self.state = pre;
@@ -153,6 +172,22 @@ impl<F: DataType> StateObject<F> for ReplayState<F> {
 
     fn materialize(&self) -> F::State {
         self.state.clone()
+    }
+
+    fn truncate_checkpoints(&mut self, committed_len: usize) {
+        // checkpoints always cover a suffix of the trace, so the ones to
+        // drop form a prefix: O(dropped), amortised O(1) per execute
+        let covered_from = self.trace.len() - self.checkpoints.len();
+        let drop = committed_len
+            .saturating_sub(covered_from)
+            .min(self.checkpoints.len());
+        for _ in 0..drop {
+            self.checkpoints.pop_front();
+        }
+    }
+
+    fn retained_records(&self) -> usize {
+        self.checkpoints.len()
     }
 }
 

@@ -215,6 +215,8 @@ pub struct UndoLogState {
     /// (or `None` when the register was absent).
     undo_log: BTreeMap<ReqId, BTreeMap<String, Option<i64>>>,
     trace: Vec<ReqId>,
+    /// Trace prefix whose undo entries were already dropped as committed.
+    truncated: usize,
 }
 
 impl UndoLogState {
@@ -236,6 +238,13 @@ impl UndoLogState {
 }
 
 impl StateObject<Script> for UndoLogState {
+    fn with_state(state: BTreeMap<String, i64>) -> Self {
+        UndoLogState {
+            db: state,
+            ..Self::default()
+        }
+    }
+
     fn execute(&mut self, id: ReqId, op: &ScriptOp) -> Value {
         let mut undo_map: BTreeMap<String, Option<i64>> = BTreeMap::new();
         let mut acc = 0i64;
@@ -248,7 +257,9 @@ impl StateObject<Script> for UndoLogState {
                 }
                 Instr::Write(k, e) => {
                     let v = eval(&self.db, acc, e);
-                    undo_map.entry(k.clone()).or_insert_with(|| self.db.get(k).copied());
+                    undo_map
+                        .entry(k.clone())
+                        .or_insert_with(|| self.db.get(k).copied());
                     self.db.insert(k.clone(), v);
                 }
             }
@@ -292,6 +303,60 @@ impl StateObject<Script> for UndoLogState {
     fn materialize(&self) -> BTreeMap<String, i64> {
         self.db.clone()
     }
+
+    fn truncate_checkpoints(&mut self, committed_len: usize) {
+        let upto = committed_len.min(self.trace.len());
+        for id in &self.trace[self.truncated..upto] {
+            self.undo_log.remove(id);
+        }
+        self.truncated = self.truncated.max(upto);
+    }
+
+    fn retained_records(&self) -> usize {
+        self.undo_log.len()
+    }
+}
+
+impl crate::delta::InvertibleDataType for Script {
+    /// Register → pre-image (`None` when the register was absent),
+    /// first-write-wins within one program — exactly Algorithm 3's
+    /// `undoMap` entry.
+    type Undo = BTreeMap<String, Option<i64>>;
+
+    fn apply_undoable(state: &mut Self::State, op: &Self::Op) -> Option<(Value, Self::Undo)> {
+        let mut undo_map: BTreeMap<String, Option<i64>> = BTreeMap::new();
+        let mut acc = 0i64;
+        let mut reads = Vec::new();
+        for ins in &op.instrs {
+            match ins {
+                Instr::Read(k) => {
+                    acc = state.get(k).copied().unwrap_or(0);
+                    reads.push(acc);
+                }
+                Instr::Write(k, e) => {
+                    let v = eval(state, acc, e);
+                    undo_map
+                        .entry(k.clone())
+                        .or_insert_with(|| state.get(k).copied());
+                    state.insert(k.clone(), v);
+                }
+            }
+        }
+        Some((Value::ints(reads), undo_map))
+    }
+
+    fn undo(state: &mut Self::State, undo: Self::Undo) {
+        for (k, pre) in undo {
+            match pre {
+                Some(v) => {
+                    state.insert(k, v);
+                }
+                None => {
+                    state.remove(&k);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,10 +384,8 @@ mod tests {
 
     #[test]
     fn transfer_moves_funds() {
-        let (state, vals) = replay::<Script>(&[
-            ScriptOp::write("a", 10),
-            ScriptOp::transfer("a", "b", 4),
-        ]);
+        let (state, vals) =
+            replay::<Script>(&[ScriptOp::write("a", 10), ScriptOp::transfer("a", "b", 4)]);
         assert_eq!(state["a"], 6);
         assert_eq!(state["b"], 4);
         assert_eq!(vals[1], Value::ints([10, 0]));

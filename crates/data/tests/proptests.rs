@@ -2,8 +2,8 @@
 //! laws, and state-object equivalence under arbitrary LIFO schedules.
 
 use bayou_data::{
-    apply_all, replay, AddRemoveSet, AppendList, Bank, Calendar, Counter, DataType, KvStore,
-    RandomOp, ReplayState, RwRegister, Script, ScriptOp, StateObject, UndoLogState,
+    apply_all, replay, AddRemoveSet, AppendList, Bank, Calendar, Counter, DataType, DeltaState,
+    KvStore, RandomOp, ReplayState, RwRegister, Script, ScriptOp, StateObject, UndoLogState,
 };
 use bayou_types::{Dot, ReplicaId};
 use proptest::prelude::*;
@@ -66,6 +66,87 @@ datatype_laws!(bank, Bank);
 datatype_laws!(calendar, Calendar);
 datatype_laws!(rw_register, RwRegister);
 datatype_laws!(script, Script);
+
+/// `DeltaState<F>` (inverse deltas) and `ReplayState<F>` (checkpoints)
+/// must be observationally identical: same responses, same traces, same
+/// materialised states, for random op sequences with random LIFO
+/// rollback points — for every data type in the library.
+macro_rules! state_object_equivalence {
+    ($name:ident, $ty:ty) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn delta_equals_replay_under_lifo_schedules(
+                    schedule in lifo_schedule(),
+                    seed in 0u64..10_000,
+                ) {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut delta = DeltaState::<$ty>::new();
+                    let mut rep = ReplayState::<$ty>::new();
+                    let mut live: Vec<Dot> = Vec::new();
+                    let mut next = 1u64;
+                    for do_exec in schedule {
+                        if do_exec || live.is_empty() {
+                            let op = <$ty as RandomOp>::random_op(&mut rng);
+                            let id = Dot::new(ReplicaId::new(0), next);
+                            next += 1;
+                            let vd = delta.execute(id, &op);
+                            let vr = rep.execute(id, &op);
+                            prop_assert_eq!(vd, vr, "response mismatch on {:?}", op);
+                            live.push(id);
+                        } else {
+                            let id = live.pop().unwrap();
+                            delta.rollback(id);
+                            rep.rollback(id);
+                        }
+                        prop_assert_eq!(delta.materialize(), rep.materialize());
+                        prop_assert_eq!(delta.trace(), rep.trace());
+                    }
+                }
+
+                /// Truncating the committed prefix at random points must
+                /// not change what LIFO rollback of the suffix restores.
+                #[test]
+                fn truncation_preserves_suffix_rollback(
+                    seed in 0u64..10_000,
+                    n in 4usize..40,
+                    keep_sel in 1usize..100,
+                ) {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut delta = DeltaState::<$ty>::new();
+                    let mut rep = ReplayState::<$ty>::new();
+                    let ids: Vec<Dot> =
+                        (1..=n as u64).map(|k| Dot::new(ReplicaId::new(0), k)).collect();
+                    for id in &ids {
+                        let op = <$ty as RandomOp>::random_op(&mut rng);
+                        delta.execute(*id, &op);
+                        rep.execute(*id, &op);
+                    }
+                    let committed = keep_sel % n; // trace prefix that can never roll back
+                    delta.truncate_checkpoints(committed);
+                    rep.truncate_checkpoints(committed);
+                    for id in ids[committed..].iter().rev() {
+                        delta.rollback(*id);
+                        rep.rollback(*id);
+                        prop_assert_eq!(delta.materialize(), rep.materialize());
+                    }
+                    prop_assert_eq!(delta.trace(), rep.trace());
+                }
+            }
+        }
+    };
+}
+
+state_object_equivalence!(delta_counter, Counter);
+state_object_equivalence!(delta_register, RwRegister);
+state_object_equivalence!(delta_kv_store, KvStore);
+state_object_equivalence!(delta_set, AddRemoveSet);
+state_object_equivalence!(delta_list, AppendList);
+state_object_equivalence!(delta_bank, Bank);
+state_object_equivalence!(delta_calendar, Calendar);
+state_object_equivalence!(delta_script, Script);
 
 /// A random LIFO schedule of execute/rollback actions.
 fn lifo_schedule() -> impl Strategy<Value = Vec<bool>> {

@@ -338,10 +338,10 @@ mod tests {
     use bayou_types::{Level, Value};
 
     type LiveBayou<F> = LiveCluster<
-        BayouReplica<F, PaxosTob<bayou_types::Req<<F as bayou_data::DataType>::Op>>>,
+        BayouReplica<F, PaxosTob<bayou_types::SharedReq<<F as bayou_data::DataType>::Op>>>,
     >;
 
-    fn bayou_cluster<F: bayou_data::DataType>(n: usize) -> LiveBayou<F> {
+    fn bayou_cluster<F: bayou_data::InvertibleDataType>(n: usize) -> LiveBayou<F> {
         LiveCluster::new(LiveConfig::new(n), |_, n| {
             BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
         })

@@ -71,11 +71,7 @@ impl PartitionControl {
 
     /// Whether `r` has crashed.
     pub fn is_crashed(&self, r: ReplicaId) -> bool {
-        self.crashed
-            .lock()
-            .get(r.index())
-            .copied()
-            .unwrap_or(false)
+        self.crashed.lock().get(r.index()).copied().unwrap_or(false)
     }
 
     fn separated(&self, a: ReplicaId, b: ReplicaId) -> bool {

@@ -1,0 +1,220 @@
+//! Offline shim for `crossbeam`: the `channel` module subset the live
+//! runtime uses (`unbounded`, `bounded`, `send`/`recv_timeout`/`try_recv`
+//! and a polling `select!`), implemented over `std::sync::mpsc`.
+//!
+//! The `select!` here polls its receivers (200 µs granularity) instead of
+//! parking on an event list; for the live-cluster runtime, whose timer
+//! resolution is already in the millisecond range, the difference is not
+//! observable.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by a blocking `recv` on a disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message (blocks when a bounded channel is full).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Internal `select!` helper: ties the `Ok` type of a select-arm
+    /// result to its receiver so inference works when the arm ignores it.
+    #[doc(hidden)]
+    pub fn __arm_result<T>(_rx: &Receiver<T>, got: Option<T>) -> Result<T, RecvError> {
+        got.ok_or(RecvError)
+    }
+
+    /// Polling stand-in for `crossbeam::channel::select!`, supporting
+    /// `recv(rx) -> pat => arm` arms plus one `default(timeout) => arm`.
+    #[macro_export]
+    macro_rules! channel_select {
+        (
+            $(recv($rx:expr) -> $res:ident => $arm:expr,)+
+            default($timeout:expr) => $default:expr $(,)?
+        ) => {{
+            let deadline = ::std::time::Instant::now() + $timeout;
+            'select: loop {
+                $(
+                    match $rx.try_recv() {
+                        Ok(msg) => {
+                            let $res = $crate::channel::__arm_result(&$rx, Some(msg));
+                            { $arm }
+                            break 'select;
+                        }
+                        Err($crate::channel::TryRecvError::Disconnected) => {
+                            let $res = $crate::channel::__arm_result(&$rx, None);
+                            { $arm }
+                            break 'select;
+                        }
+                        Err($crate::channel::TryRecvError::Empty) => {}
+                    }
+                )+
+                if ::std::time::Instant::now() >= deadline {
+                    { $default }
+                    break 'select;
+                }
+                ::std::thread::sleep(::std::time::Duration::from_micros(200));
+            }
+        }};
+    }
+
+    pub use crate::channel_select as select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_picks_ready_channel_or_default() {
+        let (tx1, rx1) = channel::unbounded::<u32>();
+        let (_tx2, rx2) = channel::unbounded::<u32>();
+        let mut got: Option<u32> = None;
+        assert_eq!(got, None);
+        tx1.send(5).unwrap();
+        channel::select! {
+            recv(rx1) -> m => got = Some(m.unwrap()),
+            recv(rx2) -> m => got = m.ok(),
+            default(Duration::from_millis(5)) => got = Some(0),
+        }
+        assert_eq!(got, Some(5));
+
+        let mut fell_through = false;
+        channel::select! {
+            recv(rx1) -> _m => {},
+            recv(rx2) -> _m => {},
+            default(Duration::from_millis(5)) => fell_through = true,
+        }
+        assert!(fell_through);
+    }
+
+    #[test]
+    fn select_observes_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(tx);
+        let mut disconnected = false;
+        channel::select! {
+            recv(rx) -> m => disconnected = m.is_err(),
+            default(Duration::from_millis(5)) => {},
+        }
+        assert!(disconnected);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The build environment has no access to crates.io, and the workspace
+//! uses serde only to mark wire types as serializable. This shim keeps
+//! the `#[derive(Serialize, Deserialize)]` annotations compiling without
+//! pulling in the real implementation; swapping the real serde back in
+//! is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

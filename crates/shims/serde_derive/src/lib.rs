@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives parse nothing and emit
+//! nothing. The workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as wire-format markers; no code path serializes through serde, so a
+//! no-op expansion is sufficient (and keeps the build hermetic).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -17,6 +17,15 @@ pub(crate) enum EventKind<M, I> {
     Input { input: I },
     /// Poll for one internal step (`on_internal`).
     Internal,
+    /// The replica's CPU frees up: release one parked (CPU-gated) event.
+    ///
+    /// Events arriving while a replica's CPU is busy are *parked* in a
+    /// per-replica FIFO instead of being re-pushed into this heap — a
+    /// saturated replica would otherwise re-cycle its whole backlog
+    /// through the heap once per handler, O(backlog · log) per step.
+    /// `CpuFree` is the bounded wake-up that feeds parked events back in,
+    /// one per completed handler.
+    CpuFree,
 }
 
 /// A scheduled event.
@@ -87,14 +96,13 @@ impl<M, I> EventQueue<M, I> {
         self.heap.peek()
     }
 
-    /// Re-inserts an event at a later time, keeping relative order with a
-    /// fresh sequence number (used by the CPU model when a replica is
-    /// busy).
-    pub fn reschedule(&mut self, mut ev: Event<M, I>, at: VirtualTime) {
+    /// Re-inserts an event at a later time *keeping its original
+    /// sequence number*, so it still wins same-instant ties against
+    /// anything that arrived after it (used when releasing parked
+    /// events: a release must not cost the event its FIFO position).
+    pub fn release(&mut self, mut ev: Event<M, I>, at: VirtualTime) {
         debug_assert!(at >= ev.at);
         ev.at = at;
-        ev.seq = self.next_seq;
-        self.next_seq += 1;
         self.heap.push(ev);
     }
 
@@ -142,18 +150,19 @@ mod tests {
     }
 
     #[test]
-    fn reschedule_moves_event_later() {
+    fn release_moves_event_later_but_keeps_tie_priority() {
         let mut q: EventQueue<(), ()> = EventQueue::new();
         q.push(t(10), ReplicaId::new(0), EventKind::Start);
-        q.push(t(20), ReplicaId::new(1), EventKind::Start);
+        q.push(t(25), ReplicaId::new(1), EventKind::Start);
         let e = q.pop().unwrap();
         assert_eq!(e.replica, ReplicaId::new(0));
-        q.reschedule(e, t(25));
-        let e = q.pop().unwrap();
-        assert_eq!(e.replica, ReplicaId::new(1));
+        q.release(e, t(25));
+        // the released event keeps its older seq: it wins the t=25 tie
         let e = q.pop().unwrap();
         assert_eq!(e.replica, ReplicaId::new(0));
         assert_eq!(e.at, t(25));
+        let e = q.pop().unwrap();
+        assert_eq!(e.replica, ReplicaId::new(1));
         assert!(q.is_empty());
     }
 

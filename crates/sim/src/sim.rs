@@ -159,6 +159,10 @@ pub struct Sim<P: Process> {
     replica_rngs: Vec<StdRng>,
     timer_counters: Vec<u64>,
     internal_pending: Vec<bool>,
+    /// Events that arrived while the replica's CPU was busy, FIFO.
+    parked: Vec<std::collections::VecDeque<Event<P::Msg, P::Input>>>,
+    /// Whether a `CpuFree` wake-up is already scheduled per replica.
+    cpu_wake: Vec<bool>,
     metrics: Metrics,
     now: VirtualTime,
     events: u64,
@@ -194,7 +198,9 @@ impl<P: Process> Sim<P> {
             .collect();
         let mut master = StdRng::seed_from_u64(config.seed);
         let net_rng = StdRng::seed_from_u64(master.gen());
-        let replica_rngs = (0..n).map(|_| StdRng::seed_from_u64(master.gen())).collect();
+        let replica_rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(master.gen()))
+            .collect();
         let omega = OmegaOracle::new(config.stability, master.gen(), n);
         let mut pending_crashes = config.crashes.clone();
         pending_crashes.sort_by_key(|(t, r)| (*t, *r));
@@ -219,6 +225,8 @@ impl<P: Process> Sim<P> {
             replica_rngs,
             timer_counters: vec![0; n],
             internal_pending: vec![false; n],
+            parked: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            cpu_wake: vec![false; n],
             now: VirtualTime::ZERO,
             events: 0,
             outputs: Vec::new(),
@@ -301,15 +309,11 @@ impl<P: Process> Sim<P> {
     /// hit.
     pub fn run_until(&mut self, deadline: VirtualTime) -> RunReport<P::Output> {
         let mut quiescent = true;
-        loop {
-            let Some(next) = self.queue.peek_time() else {
-                break;
-            };
-            if next > deadline {
-                quiescent = false;
-                break;
-            }
-            if next > self.config.max_time || self.events >= self.config.max_events {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline
+                || next > self.config.max_time
+                || self.events >= self.config.max_events
+            {
                 quiescent = false;
                 break;
             }
@@ -346,12 +350,38 @@ impl<P: Process> Sim<P> {
             if matches!(ev.kind, EventKind::Deliver { .. }) {
                 self.metrics.messages_dropped_crash += 1;
             }
+            if matches!(ev.kind, EventKind::CpuFree) {
+                self.cpu_wake[i] = false;
+            }
+            // drop the dead replica's parked backlog, keeping counts
+            for pev in self.parked[i].drain(..) {
+                if matches!(pev.kind, EventKind::Deliver { .. }) {
+                    self.metrics.messages_dropped_crash += 1;
+                }
+            }
             return; // crashed replicas execute nothing
         }
 
-        // CPU gating: if the replica is busy, requeue the event for when
-        // the CPU frees up. (Internal polls are requeued too — the poll
-        // will re-run after whatever is occupying the CPU.)
+        if matches!(ev.kind, EventKind::CpuFree) {
+            self.cpu_wake[i] = false;
+            if !self.cpus[i].free_at(ev.at) {
+                // a same-instant handler got in first; wake again later
+                self.ensure_cpu_wake(r);
+            } else if let Some(pev) = self.parked[i].pop_front() {
+                // release exactly one parked event, keeping its original
+                // sequence number (if it loses a same-instant CPU race it
+                // re-parks at its old FIFO position, not the back); the
+                // post-handler hook re-arms the wake for the rest
+                self.queue.release(pev, ev.at);
+            }
+            return;
+        }
+
+        // CPU gating: if the replica is busy, park the event until the
+        // CPU frees up. Parking is O(1) per event per busy period — a
+        // saturated replica must not re-cycle its whole backlog through
+        // the event heap after every handler. (Internal polls stay in the
+        // heap: they collapse into a single pending poll instead.)
         if !self.cpus[i].free_at(ev.at) {
             let resume = self.cpus[i].busy_until;
             if matches!(ev.kind, EventKind::Internal) {
@@ -359,7 +389,15 @@ impl<P: Process> Sim<P> {
                 self.internal_pending[i] = false;
                 self.schedule_internal(r, resume);
             } else {
-                self.queue.reschedule(ev, resume);
+                // arrivals carry increasing seq, so the parked queue is
+                // seq-sorted; a released event that lost a same-instant
+                // CPU race keeps its (older) seq and re-parks in front
+                if self.parked[i].front().is_some_and(|f| f.seq > ev.seq) {
+                    self.parked[i].push_front(ev);
+                } else {
+                    self.parked[i].push_back(ev);
+                }
+                self.ensure_cpu_wake(r);
             }
             return;
         }
@@ -409,6 +447,7 @@ impl<P: Process> Sim<P> {
                         self.metrics.internal_steps += 1;
                     }
                 }
+                EventKind::CpuFree => unreachable!("CpuFree handled before dispatch"),
             }
         }
 
@@ -425,27 +464,17 @@ impl<P: Process> Sim<P> {
         // Apply side effects stamped at handler completion time.
         for (to, msg) in effects.sends {
             self.metrics.messages_sent += 1;
-            if self
-                .config
-                .net
-                .partitions
-                .separated(r, to, done)
-            {
+            if self.config.net.partitions.separated(r, to, done) {
                 self.metrics.messages_dropped_partition += 1;
                 continue;
             }
             let delay = if to == r {
                 VirtualTime::ZERO
             } else {
-                self.config
-                    .net
-                    .sample_link_delay(r, to, &mut self.net_rng)
+                self.config.net.sample_link_delay(r, to, &mut self.net_rng)
             };
-            self.queue.push(
-                done + delay,
-                to,
-                EventKind::Deliver { from: r, msg },
-            );
+            self.queue
+                .push(done + delay, to, EventKind::Deliver { from: r, msg });
         }
         for (delay, timer) in effects.timers {
             self.queue.push(done + delay, r, EventKind::Timer { timer });
@@ -461,6 +490,19 @@ impl<P: Process> Sim<P> {
         // Input-driven processing: after every executed handler, poll for
         // internal work.
         self.schedule_internal(r, done);
+        // ... and keep feeding parked events as the CPU frees up.
+        if !self.parked[i].is_empty() {
+            self.ensure_cpu_wake(r);
+        }
+    }
+
+    fn ensure_cpu_wake(&mut self, r: ReplicaId) {
+        let i = r.index();
+        if !self.cpu_wake[i] {
+            self.cpu_wake[i] = true;
+            let at = self.cpus[i].busy_until.max(self.now);
+            self.queue.push(at, r, EventKind::CpuFree);
+        }
     }
 
     fn schedule_internal(&mut self, r: ReplicaId, at: VirtualTime) {
@@ -572,12 +614,7 @@ mod tests {
         type Input = u32;
         type Output = u32;
 
-        fn on_message(
-            &mut self,
-            from: ReplicaId,
-            msg: u32,
-            ctx: &mut dyn Context<u32>,
-        ) {
+        fn on_message(&mut self, from: ReplicaId, msg: u32, ctx: &mut dyn Context<u32>) {
             if msg == 0 {
                 self.out.push(self.rounds);
             } else {
@@ -643,13 +680,15 @@ mod tests {
     #[test]
     fn partition_drops_messages() {
         use crate::network::{Partition, PartitionSchedule};
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::split_at(
-            VirtualTime::ZERO,
-            VirtualTime::from_secs(10),
-            1,
-            2,
-        )]);
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::split_at(
+                VirtualTime::ZERO,
+                VirtualTime::from_secs(10),
+                1,
+                2,
+            )]),
+            ..Default::default()
+        };
         let mut sim = Sim::new(SimConfig::new(2, 3).with_net(net), |_| PingPong {
             rounds: 0,
             out: vec![],

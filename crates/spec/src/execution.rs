@@ -167,7 +167,12 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn bad_ar_rejected() {
         let h = tiny_history(2);
-        AbstractExecution::new(h, Relation::new(2), vec![0, 0], vec![vec![0, 1], vec![0, 1]]);
+        AbstractExecution::new(
+            h,
+            Relation::new(2),
+            vec![0, 0],
+            vec![vec![0, 1], vec![0, 1]],
+        );
     }
 
     #[test]

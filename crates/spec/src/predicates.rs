@@ -339,31 +339,19 @@ pub fn check_sess_arb<Op: Clone>(a: &AbstractExecution<Op>, level: Level) -> Pre
 
 /// **`BEC(l, F) = EV ∧ NCC ∧ RVal(l, F)`** — Basic Eventual Consistency
 /// (§4.1).
-pub fn check_bec<F>(
-    a: &AbstractExecution<F::Op>,
-    level: Level,
-    opts: &CheckOptions,
-) -> CheckReport
+pub fn check_bec<F>(a: &AbstractExecution<F::Op>, level: Level, opts: &CheckOptions) -> CheckReport
 where
     F: DataType,
 {
     CheckReport {
         guarantee: format!("BEC({level})"),
-        results: vec![
-            check_ev(a, opts),
-            check_ncc(a),
-            check_rval::<F>(a, level),
-        ],
+        results: vec![check_ev(a, opts), check_ncc(a), check_rval::<F>(a, level)],
     }
 }
 
 /// **`FEC(l, F) = EV ∧ NCC ∧ FRVal(l, F) ∧ CPar(l)`** — Fluctuating
 /// Eventual Consistency, the paper's new criterion (§4.2).
-pub fn check_fec<F>(
-    a: &AbstractExecution<F::Op>,
-    level: Level,
-    opts: &CheckOptions,
-) -> CheckReport
+pub fn check_fec<F>(a: &AbstractExecution<F::Op>, level: Level, opts: &CheckOptions) -> CheckReport
 where
     F: DataType,
 {

@@ -205,8 +205,8 @@ impl Relation {
             if !keep[a] {
                 continue;
             }
-            for b in 0..self.n {
-                if keep[b] && self.contains(a, b) {
+            for (b, kb) in keep.iter().enumerate() {
+                if *kb && self.contains(a, b) {
                     r.add(a, b);
                 }
             }

@@ -61,9 +61,7 @@ const MAX_CHOICES: usize = 1 << 20;
 ///
 /// Returns [`BayouError::HistoryTooLarge`] when the history exceeds
 /// [`MAX_EVENTS`](self) events or the weak-context search space explodes.
-pub fn solve_bec_weak_seq_strong<F>(
-    history: &History<F::Op>,
-) -> Result<SolveOutcome, BayouError>
+pub fn solve_bec_weak_seq_strong<F>(history: &History<F::Op>) -> Result<SolveOutcome, BayouError>
 where
     F: DataType,
 {
@@ -297,7 +295,9 @@ mod tests {
             session: ReplicaId::new(replica),
             level,
             invoked_at: VirtualTime::from_millis(invoked_ms),
-            returned_at: rval.as_ref().map(|_| VirtualTime::from_millis(invoked_ms + 1)),
+            returned_at: rval
+                .as_ref()
+                .map(|_| VirtualTime::from_millis(invoked_ms + 1)),
             rval,
             timestamp: Timestamp::new(invoked_ms as i64),
             tob_cast: true,
@@ -341,8 +341,22 @@ mod tests {
     fn consistent_weak_history_is_satisfiable() {
         // a then b observed by a read as "ab": perfectly explainable
         let h = History::from_events(vec![
-            ev(0, 1, 0, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
-            ev(1, 1, 10, ListOp::append("b"), Some(Value::from("ab")), Level::Weak),
+            ev(
+                0,
+                1,
+                0,
+                ListOp::append("a"),
+                Some(Value::from("a")),
+                Level::Weak,
+            ),
+            ev(
+                1,
+                1,
+                10,
+                ListOp::append("b"),
+                Some(Value::from("ab")),
+                Level::Weak,
+            ),
             ev(2, 1, 20, ListOp::Read, Some(Value::from("ab")), Level::Weak),
         ])
         .unwrap();
@@ -357,8 +371,22 @@ mod tests {
         // single ar explains both (this is permanent divergence, worse
         // than temporary reordering)
         let h = History::from_events(vec![
-            ev(0, 1, 0, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
-            ev(1, 1, 0, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
+            ev(
+                0,
+                1,
+                0,
+                ListOp::append("a"),
+                Some(Value::from("a")),
+                Level::Weak,
+            ),
+            ev(
+                1,
+                1,
+                0,
+                ListOp::append("b"),
+                Some(Value::from("b")),
+                Level::Weak,
+            ),
             ev(2, 1, 20, ListOp::Read, Some(Value::from("ab")), Level::Weak),
             ev(3, 1, 20, ListOp::Read, Some(Value::from("ba")), Level::Weak),
         ])
@@ -375,10 +403,31 @@ mod tests {
         // b), and a strong read on R0 session-after b returning only "b"
         // (so by SinOrd: b visible, a not ⇒ b →ar c →ar a). Cycle.
         let h = History::from_events(vec![
-            ev(0, 1, 1, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
-            ev(1, 1, 3, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(
+                0,
+                1,
+                1,
+                ListOp::append("b"),
+                Some(Value::from("b")),
+                Level::Weak,
+            ),
+            ev(
+                1,
+                1,
+                3,
+                ListOp::append("a"),
+                Some(Value::from("a")),
+                Level::Weak,
+            ),
             ev(2, 1, 50, ListOp::Read, Some(Value::from("ab")), Level::Weak),
-            ev(0, 2, 60, ListOp::Read, Some(Value::from("b")), Level::Strong),
+            ev(
+                0,
+                2,
+                60,
+                ListOp::Read,
+                Some(Value::from("b")),
+                Level::Strong,
+            ),
         ])
         .unwrap();
         let outcome = solve_bec_weak_seq_strong::<AppendList>(&h).unwrap();
@@ -393,8 +442,22 @@ mod tests {
         // dropping the strong read makes the same history satisfiable —
         // the contradiction comes precisely from mixing
         let h = History::from_events(vec![
-            ev(0, 1, 1, ListOp::append("b"), Some(Value::from("b")), Level::Weak),
-            ev(1, 1, 3, ListOp::append("a"), Some(Value::from("a")), Level::Weak),
+            ev(
+                0,
+                1,
+                1,
+                ListOp::append("b"),
+                Some(Value::from("b")),
+                Level::Weak,
+            ),
+            ev(
+                1,
+                1,
+                3,
+                ListOp::append("a"),
+                Some(Value::from("a")),
+                Level::Weak,
+            ),
             ev(2, 1, 50, ListOp::Read, Some(Value::from("ab")), Level::Weak),
         ])
         .unwrap();

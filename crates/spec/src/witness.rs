@@ -114,9 +114,9 @@ where
                     }
                 }
             }
-            for p in 0..n {
-                if p != e && so.contains(p, e) && !seen[p] {
-                    seen[p] = true;
+            for (p, seen_p) in seen.iter_mut().enumerate() {
+                if p != e && so.contains(p, e) && !*seen_p {
+                    *seen_p = true;
                     stack.push(p);
                 }
             }
@@ -130,9 +130,7 @@ where
         out
     };
 
-    let mut ro: Vec<usize> = (0..n)
-        .filter(|i| !history.events()[*i].tob_cast)
-        .collect();
+    let mut ro: Vec<usize> = (0..n).filter(|i| !history.events()[*i].tob_cast).collect();
     ro.sort_by_key(|i| req_key(*i));
     for x in ro {
         let mut anchor = causal_past(x)
@@ -161,8 +159,8 @@ where
 
     // -- par --------------------------------------------------------------
     let mut par: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for e in 0..n {
-        let Some(list_exec) = &exec_idx[e] else {
+    for (e, exec_e) in exec_idx.iter().enumerate() {
+        let Some(list_exec) = exec_e else {
             // pending event: perceives the final order
             par.push(ar.clone());
             continue;
@@ -212,8 +210,8 @@ where
     // -- vis ----------------------------------------------------------------
     // x →vis e  ⇔  x →par(e) e
     let mut vis = Relation::new(n);
-    for e in 0..n {
-        for &x in par[e].iter() {
+    for (e, par_e) in par.iter().enumerate() {
+        for &x in par_e.iter() {
             if x == e {
                 break;
             }
@@ -260,12 +258,11 @@ mod tests {
     fn witness_ar_respects_tob_order_on_delivered_events() {
         let trace = quiet_run();
         let a = build_witness::<AppendList>(&trace).unwrap();
-        let delivered_in_ar: Vec<usize> = a
-            .ar
-            .iter()
-            .copied()
-            .filter(|i| a.history.events()[*i].tob_no.is_some())
-            .collect();
+        let delivered_in_ar: Vec<usize> =
+            a.ar.iter()
+                .copied()
+                .filter(|i| a.history.events()[*i].tob_no.is_some())
+                .collect();
         let mut sorted = delivered_in_ar.clone();
         sorted.sort_by_key(|i| a.history.events()[*i].tob_no);
         assert_eq!(delivered_in_ar, sorted);

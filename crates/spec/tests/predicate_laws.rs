@@ -5,8 +5,8 @@
 use bayou_core::{BayouCluster, ClusterConfig, Invocation, SessionScript};
 use bayou_data::{AppendList, KvOp, KvStore, ListOp};
 use bayou_spec::{
-    build_witness, check_bec, check_cpar, check_fec, check_frval, check_ncc, check_rval,
-    check_seq, CheckOptions,
+    build_witness, check_bec, check_cpar, check_fec, check_frval, check_ncc, check_rval, check_seq,
+    CheckOptions,
 };
 use bayou_types::{Level, ReplicaId, VirtualTime};
 
@@ -32,10 +32,7 @@ fn witness_of(seed: u64) -> bayou_spec::AbstractExecution<KvOp> {
                 Invocation::weak(KvOp::remove("a")),
             ],
         ),
-        SessionScript::new(
-            ReplicaId::new(2),
-            vec![Invocation::strong(KvOp::Size)],
-        ),
+        SessionScript::new(ReplicaId::new(2), vec![Invocation::strong(KvOp::Size)]),
     ]);
     build_witness::<KvStore>(&trace).unwrap()
 }
@@ -52,7 +49,10 @@ fn bec_implies_fec_on_witnesses() {
             let bec = check_bec::<KvStore>(&a, level, &opts);
             if bec.ok() {
                 let fec = check_fec::<KvStore>(&a, level, &opts);
-                assert!(fec.ok(), "seed {seed} {level}: BEC ok but FEC failed:\n{fec}");
+                assert!(
+                    fec.ok(),
+                    "seed {seed} {level}: BEC ok but FEC failed:\n{fec}"
+                );
             }
         }
     }

@@ -33,7 +33,7 @@ mod value;
 pub use error::BayouError;
 pub use ids::{Dot, ReplicaId, ReqId};
 pub use level::Level;
-pub use req::{Req, ReqMeta};
+pub use req::{Req, ReqMeta, SharedReq};
 pub use runtime::{Context, Process, TimerId};
 pub use time::{Timestamp, VirtualTime};
 pub use value::Value;

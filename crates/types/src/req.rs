@@ -112,6 +112,17 @@ impl<Op: fmt::Debug> fmt::Display for Req<Op> {
     }
 }
 
+/// A reference-counted request, as passed around the replica hot path
+/// and the broadcast layer.
+///
+/// A request is immutable once invoked, but Algorithm 1 moves it through
+/// many hands — the tentative and committed lists, the executed list,
+/// reliable broadcast, TOB proposal/acceptance/decision state, catch-up
+/// batches and retransmission buffers. Sharing one allocation makes
+/// every one of those hops an O(1) pointer bump instead of a deep clone
+/// of the operation payload.
+pub type SharedReq<Op> = std::sync::Arc<Req<Op>>;
+
 /// Request metadata without the operation payload.
 ///
 /// Traces and checker inputs only need to identify requests and know their
@@ -200,7 +211,7 @@ mod tests {
 
     #[test]
     fn sorting_a_batch_is_deterministic() {
-        let mut v = vec![req(3, 0, 1), req(1, 1, 1), req(1, 0, 2), req(2, 2, 1)];
+        let mut v = [req(3, 0, 1), req(1, 1, 1), req(1, 0, 2), req(2, 2, 1)];
         v.sort();
         let keys: Vec<_> = v.iter().map(|r| r.timestamp.value()).collect();
         assert_eq!(keys, vec![1, 1, 2, 3]);

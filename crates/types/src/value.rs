@@ -179,10 +179,7 @@ mod tests {
         assert_eq!(Value::Unit.as_int(), None);
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
-        assert_eq!(
-            Value::ints([1]).as_list(),
-            Some(&[Value::Int(1)][..])
-        );
+        assert_eq!(Value::ints([1]).as_list(), Some(&[Value::Int(1)][..]));
         assert_eq!(Value::None.as_list(), None);
     }
 

@@ -13,8 +13,10 @@ use bayou::prelude::*;
 fn run(level: Level) -> (Vec<(String, String)>, i64) {
     let ms = VirtualTime::from_millis;
     // partition the two branches for most of the run
-    let mut net = NetworkConfig::default();
-    net.partitions = PartitionSchedule::new(vec![Partition::split_at(ms(20), ms(500), 1, 3)]);
+    let net = NetworkConfig {
+        partitions: PartitionSchedule::new(vec![Partition::split_at(ms(20), ms(500), 1, 3)]),
+        ..Default::default()
+    };
     let sim = SimConfig::new(3, 5).with_net(net);
     let cfg = ClusterConfig::new(3, 5).with_sim(sim);
     let mut cluster: BayouCluster<Bank> = BayouCluster::new(cfg);

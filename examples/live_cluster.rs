@@ -35,7 +35,10 @@ fn main() {
     let (r, resp) = cluster
         .recv_output(Duration::from_secs(5))
         .expect("weak op on the isolated replica still responds");
-    println!("  {r}: weak put during partition -> {} (available!)", resp.value);
+    println!(
+        "  {r}: weak put during partition -> {} (available!)",
+        resp.value
+    );
 
     cluster.invoke(ReplicaId::new(2), Invocation::strong(KvOp::get("c")));
     match cluster.recv_output(Duration::from_millis(300)) {

@@ -17,8 +17,10 @@ fn main() {
     // Three office sites; the network partitions sites {0} from {1, 2}
     // between 20 ms and 400 ms.
     let ms = VirtualTime::from_millis;
-    let mut net = NetworkConfig::default();
-    net.partitions = PartitionSchedule::new(vec![Partition::split_at(ms(20), ms(400), 1, 3)]);
+    let net = NetworkConfig {
+        partitions: PartitionSchedule::new(vec![Partition::split_at(ms(20), ms(400), 1, 3)]),
+        ..Default::default()
+    };
     let sim = SimConfig::new(3, 7).with_net(net);
     let cfg = ClusterConfig::new(3, 7).with_sim(sim);
     let mut cluster: BayouCluster<Calendar> = BayouCluster::new(cfg);
@@ -56,7 +58,12 @@ fn main() {
     );
 
     // After the heal, Dan asks for a *confirmed* view.
-    cluster.invoke_at(ms(900), site_c, CalendarOp::holder("atrium", 10), Level::Strong);
+    cluster.invoke_at(
+        ms(900),
+        site_c,
+        CalendarOp::holder("atrium", 10),
+        Level::Strong,
+    );
 
     let trace = cluster.run();
 

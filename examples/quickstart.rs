@@ -47,15 +47,27 @@ fn main() -> Result<(), BayouError> {
 
     // All replicas converged on one committed order and one state.
     cluster.assert_convergence(&[]);
-    println!("\nfinal state     : {:?}", cluster.replica(r0).materialize());
-    println!("final TOB order : {} committed operations", trace.tob_order.len());
+    println!(
+        "\nfinal state     : {:?}",
+        cluster.replica(r0).materialize()
+    );
+    println!(
+        "final TOB order : {} committed operations",
+        trace.tob_order.len()
+    );
 
     // The recorded run doubles as a formal history: verify the paper's
     // guarantees on it.
     let witness = build_witness::<KvStore>(&trace)?;
     let fec = check_fec::<KvStore>(&witness, Level::Weak, &CheckOptions::default());
     let seq = check_seq::<KvStore>(&witness, Level::Strong);
-    println!("\nFEC(weak)   : {}", if fec.ok() { "satisfied" } else { "VIOLATED" });
-    println!("Seq(strong) : {}", if seq.ok() { "satisfied" } else { "VIOLATED" });
+    println!(
+        "\nFEC(weak)   : {}",
+        if fec.ok() { "satisfied" } else { "VIOLATED" }
+    );
+    println!(
+        "Seq(strong) : {}",
+        if seq.ok() { "satisfied" } else { "VIOLATED" }
+    );
     Ok(())
 }

@@ -70,9 +70,9 @@ pub mod prelude {
         RunTrace, SessionScript,
     };
     pub use bayou_data::{
-        AddRemoveSet, AppendList, Bank, BankOp, Calendar, CalendarOp, Counter, CounterOp,
-        DataType, KvOp, KvStore, ListOp, RandomOp, RegisterOp, RwRegister, Script, ScriptOp,
-        SetOp,
+        AddRemoveSet, AppendList, Bank, BankOp, Calendar, CalendarOp, Counter, CounterOp, DataType,
+        DeltaState, InvertibleDataType, KvOp, KvStore, ListOp, RandomOp, RegisterOp, ReplayState,
+        RwRegister, Script, ScriptOp, SetOp, StateObject,
     };
     pub use bayou_sim::{
         ClockConfig, CpuConfig, NetworkConfig, Partition, PartitionSchedule, Sim, SimConfig,
@@ -83,6 +83,6 @@ pub mod prelude {
         CheckOptions, History, SolveOutcome,
     };
     pub use bayou_types::{
-        BayouError, Dot, Level, ReplicaId, Req, ReqId, Timestamp, Value, VirtualTime,
+        BayouError, Dot, Level, ReplicaId, Req, ReqId, SharedReq, Timestamp, Value, VirtualTime,
     };
 }

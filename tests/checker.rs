@@ -85,7 +85,10 @@ fn doctored_exec_trace_breaks_cpar_or_frval() {
         .iter()
         .position(|e| {
             e.meta.level == Level::Weak
-                && e.exec_trace.as_ref().map(|t| !t.is_empty()).unwrap_or(false)
+                && e.exec_trace
+                    .as_ref()
+                    .map(|t| !t.is_empty())
+                    .unwrap_or(false)
         })
         .expect("some weak op with a non-empty context");
     trace.events[idx].exec_trace = Some(vec![]);
@@ -101,11 +104,16 @@ fn eventual_only_baseline_satisfies_bec_weak() {
     // reordering, so even plain BEC(weak) holds on the witness, with ar
     // being the request order (nothing ever TOB-delivers).
     let sim = SimConfig::new(3, 11);
-    let mut cluster: BayouCluster<AppendList, NullTob<Req<ListOp>>> =
+    let mut cluster: BayouCluster<AppendList, NullTob<SharedReq<ListOp>>> =
         BayouCluster::with_tob(sim, ProtocolMode::Improved, |_| NullTob::new());
     for k in 0..6u64 {
         let r = ReplicaId::new((k % 3) as u32);
-        cluster.invoke_at(ms(1 + 10 * k), r, ListOp::append(format!("{k}")), Level::Weak);
+        cluster.invoke_at(
+            ms(1 + 10 * k),
+            r,
+            ListOp::append(format!("{k}")),
+            Level::Weak,
+        );
     }
     // a late read to give EV something to observe
     cluster.invoke_at(ms(400), ReplicaId::new(0), ListOp::Read, Level::Weak);

@@ -9,7 +9,7 @@ fn ms(v: u64) -> VirtualTime {
 
 #[test]
 fn mixed_workload_converges_on_every_data_type() {
-    fn check<F: DataType + RandomOp>(seed: u64) {
+    fn check<F: DataType + InvertibleDataType + RandomOp>(seed: u64) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut cluster: BayouCluster<F> = BayouCluster::new(ClusterConfig::new(3, seed));
@@ -43,16 +43,22 @@ fn mixed_workload_converges_on_every_data_type() {
 
 #[test]
 fn convergence_after_partition_heals() {
-    let mut net = NetworkConfig::default();
-    net.partitions =
-        PartitionSchedule::new(vec![Partition::split_at(ms(10), ms(500), 1, 3)]);
+    let net = NetworkConfig {
+        partitions: PartitionSchedule::new(vec![Partition::split_at(ms(10), ms(500), 1, 3)]),
+        ..Default::default()
+    };
     let sim = SimConfig::new(3, 17).with_net(net);
     let cfg = ClusterConfig::new(3, 17).with_sim(sim);
     let mut cluster: BayouCluster<KvStore> = BayouCluster::new(cfg);
     // updates on both sides of the partition
     for k in 0..10u64 {
         let r = ReplicaId::new((k % 3) as u32);
-        cluster.invoke_at(ms(20 + 30 * k), r, KvOp::put(format!("k{k}"), k as i64), Level::Weak);
+        cluster.invoke_at(
+            ms(20 + 30 * k),
+            r,
+            KvOp::put(format!("k{k}"), k as i64),
+            Level::Weak,
+        );
     }
     let trace = cluster.run_until(VirtualTime::from_secs(30));
     assert!(trace.events.iter().all(|e| !e.is_pending()));

@@ -72,6 +72,10 @@ fn live_strong_op_is_sequentially_consistent_with_weak_history() {
     let (_, resp) = live
         .recv_output(Duration::from_secs(10))
         .expect("strong read completes");
-    assert_eq!(resp.value, Value::Int(10), "strong read sees all committed adds");
+    assert_eq!(
+        resp.value,
+        Value::Int(10),
+        "strong read sees all committed adds"
+    );
     live.shutdown();
 }

@@ -119,10 +119,12 @@ proptest! {
         k in 1usize..3,
         seed in 0u64..500,
     ) {
-        let mut net = NetworkConfig::default();
-        net.partitions = PartitionSchedule::new(vec![Partition::split_at(
+        let net = NetworkConfig {
+            partitions: PartitionSchedule::new(vec![Partition::split_at(
             ms(at_ms), ms(at_ms + len_ms), k, 3,
-        )]);
+        )]),
+            ..Default::default()
+        };
         let sim = SimConfig::new(3, seed).with_net(net);
         let cfg = ClusterConfig::new(3, seed).with_sim(sim);
         let mut cluster: BayouCluster<Counter> = BayouCluster::new(cfg);

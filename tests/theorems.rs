@@ -6,8 +6,18 @@ use bayou::bench::experiments::{theorem1, theorems};
 fn theorem_1_impossibility_demonstrated() {
     let r = theorem1();
     // the NaiveMixed run realises the proof's adversarial history ...
-    assert_eq!(r.rval_read, bayou::types::Value::from("ab"), "{}", r.render());
-    assert_eq!(r.rval_strong, bayou::types::Value::from("b"), "{}", r.render());
+    assert_eq!(
+        r.rval_read,
+        bayou::types::Value::from("ab"),
+        "{}",
+        r.render()
+    );
+    assert_eq!(
+        r.rval_strong,
+        bayou::types::Value::from("b"),
+        "{}",
+        r.render()
+    );
     // ... and the solver proves it inconsistent with BEC(weak) ∧ Seq(strong)
     assert!(!r.full_satisfiable, "{}", r.render());
     assert_eq!(r.ar_examined, 24, "all 4! arbitration orders exhausted");
@@ -21,12 +31,14 @@ fn theorems_2_and_3_hold_across_seeds_and_data_types() {
     // seed runs one stable and one partitioned/asynchronous execution
     let sweep = theorems(2);
     assert_eq!(
-        sweep.stable_fec_seq_ok, sweep.stable_total,
+        sweep.stable_fec_seq_ok,
+        sweep.stable_total,
         "Theorem 2 violated:\n{}",
         sweep.render()
     );
     assert_eq!(
-        sweep.async_fec_ok, sweep.async_total,
+        sweep.async_fec_ok,
+        sweep.async_total,
         "Theorem 3 violated:\n{}",
         sweep.render()
     );
