@@ -8,7 +8,7 @@ use bayou_sim::SimConfig;
 use bayou_types::{Level, ReplicaId, SharedReq, VirtualTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn run<T: Tob<SharedReq<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T) {
+fn run<T: Tob<SharedReq<CounterOp>>>(mk: impl FnMut(ReplicaId) -> T + 'static) {
     let mut cluster: BayouCluster<Counter, T> =
         BayouCluster::with_tob(SimConfig::new(3, 7), ProtocolMode::Improved, mk);
     for k in 0..50usize {

@@ -105,7 +105,7 @@ pub fn theorem1() -> Theorem1Result {
     )]);
     let mut sim_cfg = SimConfig::new(n, 0x71).with_net(net);
     sim_cfg.max_time = ms(3_000);
-    let mut sim = Sim::new(sim_cfg, |_| NaiveMixed::<AppendList>::new(n));
+    let mut sim = Sim::new(sim_cfg, move |_| NaiveMixed::<AppendList>::new(n));
 
     sim.schedule_input(ms(1), r0, Invocation::weak(ListOp::append("b")));
     sim.schedule_input(ms(3), r1, Invocation::weak(ListOp::append("a")));

@@ -72,7 +72,7 @@ const OPS: usize = 30;
 fn measure<T, MkT>(mk: MkT) -> TobStats
 where
     T: bayou_broadcast::Tob<SharedReq<CounterOp>>,
-    MkT: FnMut(ReplicaId) -> T,
+    MkT: FnMut(ReplicaId) -> T + 'static,
 {
     let ms = VirtualTime::from_millis;
     let n = 3;
@@ -104,8 +104,8 @@ where
 pub fn tob_ablation() -> AblationTobResult {
     let n = 3;
     AblationTobResult {
-        paxos: measure(|_| PaxosTob::<SharedReq<CounterOp>>::with_defaults(n)),
-        sequencer: measure(|_| SequencerTob::<SharedReq<CounterOp>>::new(n)),
+        paxos: measure(move |_| PaxosTob::<SharedReq<CounterOp>>::with_defaults(n)),
+        sequencer: measure(move |_| SequencerTob::<SharedReq<CounterOp>>::new(n)),
     }
 }
 

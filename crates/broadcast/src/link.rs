@@ -274,7 +274,7 @@ mod tests {
             ..Default::default()
         };
         let cfg = SimConfig::new(2, 11).with_net(net).with_max_time(ms(2_000));
-        let mut sim = Sim::new(cfg, |_| LinkProc::new(2));
+        let mut sim = Sim::new(cfg, move |_| LinkProc::new(2));
         sim.schedule_input(ms(10), ReplicaId::new(0), (ReplicaId::new(1), 77));
         let report = sim.run();
         let got: Vec<u64> = report.outputs.iter().map(|o| o.output).collect();

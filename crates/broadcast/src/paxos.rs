@@ -20,7 +20,7 @@
 //!   driven by `DecideAck`/`Catchup` exchanges.
 
 use crate::fifo::FifoRelease;
-use crate::tob::{Tob, TobDelivery};
+use crate::tob::{Tob, TobDelivery, TobEvent};
 use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -200,6 +200,12 @@ pub struct PaxosTob<M> {
     me: Option<ReplicaId>,
 
     pump_timer: Option<TimerId>,
+
+    // -- durability --------------------------------------------------------
+    /// Whether durable state transitions are being recorded.
+    durable_on: bool,
+    /// Recorded transitions awaiting [`Tob::drain_durable`].
+    durable: Vec<TobEvent<M>>,
 }
 
 impl<M: Clone + fmt::Debug> PaxosTob<M> {
@@ -228,6 +234,8 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             catchup_sent: vec![0; n],
             me: None,
             pump_timer: None,
+            durable_on: false,
+            durable: Vec::new(),
         }
     }
 
@@ -247,6 +255,98 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
 
     fn quorum(&self) -> usize {
         self.n / 2 + 1
+    }
+
+    /// Raises the promised ballot, recording the transition when durable.
+    fn promise(&mut self, ballot: Ballot) {
+        if ballot > self.promised {
+            self.promised = ballot;
+            if self.durable_on {
+                self.durable.push(TobEvent::Promised {
+                    round: ballot.round,
+                    leader: ballot.leader,
+                });
+            }
+        }
+    }
+
+    /// Records an acceptance, mirroring `accepted.insert`.
+    fn record_accept(&mut self, slot: u64, ballot: Ballot, entry: &Entry<M>) {
+        if self.durable_on {
+            self.durable.push(TobEvent::Accepted {
+                slot,
+                round: ballot.round,
+                leader: ballot.leader,
+                sender: entry.sender,
+                seq: entry.seq,
+                payload: entry.payload.clone(),
+            });
+        }
+    }
+
+    /// Rebuilds the endpoint from a durable event stream, in recording
+    /// order, and returns every TOB-delivery the restored decided log
+    /// yields (the caller typically already applied a prefix of them via
+    /// a state snapshot and re-executes only the rest).
+    ///
+    /// Replaying `drain_durable` output through `restore` on a fresh
+    /// endpoint reproduces the acceptor state (promised ballot, accepted
+    /// values), the learner state (decided log, contiguous prefix) and
+    /// the sender-FIFO release cursor exactly — the crash-recovery
+    /// contract of `bayou-storage`. No messages are sent and nothing is
+    /// re-recorded; enable durability with [`Tob::set_durable`] *after*
+    /// restoring.
+    pub fn restore(
+        &mut self,
+        events: impl IntoIterator<Item = TobEvent<M>>,
+    ) -> Vec<TobDelivery<M>> {
+        for ev in events {
+            match ev {
+                TobEvent::Promised { round, leader } => {
+                    let b = Ballot { round, leader };
+                    if b > self.promised {
+                        self.promised = b;
+                    }
+                }
+                TobEvent::Accepted {
+                    slot,
+                    round,
+                    leader,
+                    sender,
+                    seq,
+                    payload,
+                } => {
+                    let b = Ballot { round, leader };
+                    let entry = Entry {
+                        sender,
+                        seq,
+                        payload,
+                    };
+                    match self.accepted.get(&slot) {
+                        Some((ob, _)) if *ob > b => {}
+                        _ => {
+                            self.accepted.insert(slot, (b, entry));
+                        }
+                    }
+                }
+                TobEvent::Decided {
+                    slot,
+                    sender,
+                    seq,
+                    payload,
+                } => {
+                    self.learn(
+                        slot,
+                        Entry {
+                            sender,
+                            seq,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+        self.drain_deliveries()
     }
 
     fn is_known(&self, key: (ReplicaId, u64)) -> bool {
@@ -298,6 +398,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         self.proposed_keys.insert(entry.key());
         // the leader is its own acceptor
         self.accepted.insert(slot, (ballot, entry.clone()));
+        self.record_accept(slot, ballot, &entry);
         let mut acks = HashSet::new();
         acks.insert(ctx.id());
         self.inflight.insert(slot, (entry.clone(), acks));
@@ -346,6 +447,14 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
     fn learn(&mut self, slot: u64, entry: Entry<M>) {
         if self.decided.contains_key(&slot) {
             return;
+        }
+        if self.durable_on {
+            self.durable.push(TobEvent::Decided {
+                slot,
+                sender: entry.sender,
+                seq: entry.seq,
+                payload: entry.payload.clone(),
+            });
         }
         self.decided_keys.insert(entry.key());
         if self.pending_keys.remove(&entry.key()) {
@@ -400,7 +509,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             round: self.promised.round + 1,
             leader: ctx.id(),
         };
-        self.promised = ballot;
+        self.promise(ballot);
         self.proposed_keys.clear();
         self.inflight.clear();
         let own: Vec<(u64, Ballot, Entry<M>)> = self
@@ -686,7 +795,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
             }
             PaxosMsg::Prepare { ballot } => {
                 if ballot > self.promised {
-                    self.promised = ballot;
+                    self.promise(ballot);
                     if !matches!(self.role, Role::Follower) {
                         self.role = Role::Follower;
                         self.inflight.clear();
@@ -731,7 +840,8 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 entry,
             } => {
                 if ballot >= self.promised {
-                    self.promised = ballot;
+                    self.promise(ballot);
+                    self.record_accept(slot, ballot, &entry);
                     self.accepted.insert(slot, (ballot, entry));
                     ctx.send(ballot.leader, PaxosMsg::Accepted { ballot, slot });
                 }
@@ -787,6 +897,17 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
 
     fn delivered_count(&self) -> u64 {
         self.delivered
+    }
+
+    fn set_durable(&mut self, on: bool) {
+        self.durable_on = on;
+        if !on {
+            self.durable.clear();
+        }
+    }
+
+    fn drain_durable(&mut self) -> Vec<TobEvent<M>> {
+        std::mem::take(&mut self.durable)
     }
 }
 
@@ -873,7 +994,7 @@ mod tests {
     fn all_replicas_deliver_same_total_order() {
         let n = 3;
         let cfg = SimConfig::new(n, 21).with_max_time(ms(5_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         for k in 0..9u64 {
             let r = ReplicaId::new((k % n as u64) as u32);
             sim.schedule_input(ms(1 + 7 * k), r, format!("m{k}"));
@@ -895,7 +1016,7 @@ mod tests {
     fn sender_fifo_is_respected() {
         let n = 3;
         let cfg = SimConfig::new(n, 33).with_max_time(ms(5_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         // replica 2 casts 5 messages in a burst
         for k in 0..5u64 {
             sim.schedule_input(ms(1), ReplicaId::new(2), format!("r2-{k}"));
@@ -923,7 +1044,7 @@ mod tests {
             ..Default::default()
         };
         let cfg = SimConfig::new(n, 9).with_net(net).with_max_time(ms(6_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         sim.schedule_input(ms(10), ReplicaId::new(0), "a".into());
         sim.schedule_input(ms(20), ReplicaId::new(1), "b".into());
         // the isolated replica casts too; its message must be ordered
@@ -957,7 +1078,7 @@ mod tests {
             .with_net(net)
             .with_stability(Stability::Asynchronous)
             .with_max_time(ms(3_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         sim.schedule_input(ms(10), ReplicaId::new(0), "x".into());
         sim.run_until(ms(3_000));
         for r in ReplicaId::all(n) {
@@ -976,7 +1097,7 @@ mod tests {
         let cfg = SimConfig::new(n, 14)
             .with_crash(ms(500), ReplicaId::new(0))
             .with_max_time(ms(8_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         sim.schedule_input(ms(10), ReplicaId::new(1), "pre".into());
         sim.schedule_input(ms(1_000), ReplicaId::new(2), "post".into());
         sim.run_until(ms(8_000));
@@ -994,7 +1115,7 @@ mod tests {
     #[test]
     fn single_replica_cluster_decides_immediately() {
         let cfg = SimConfig::new(1, 4).with_max_time(ms(2_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(1));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(1));
         sim.schedule_input(ms(1), ReplicaId::new(0), "solo".into());
         sim.run_until(ms(2_000));
         let d = &sim.process(ReplicaId::new(0)).delivered;
@@ -1023,10 +1144,58 @@ mod tests {
     }
 
     #[test]
+    fn durable_event_replay_reconstructs_the_endpoint() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 21).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, move |_| {
+            let mut p = TobProc::new(n);
+            p.tob.set_durable(true);
+            p
+        });
+        for k in 0..9u64 {
+            let r = ReplicaId::new((k % n as u64) as u32);
+            sim.schedule_input(ms(1 + 7 * k), r, format!("m{k}"));
+        }
+        sim.run_until(ms(5_000));
+        let mut procs = sim.into_processes();
+        let p0 = &mut procs[0];
+        let decided = p0.tob.decided_log();
+        let delivered = p0.tob.delivered_count();
+        let events = p0.tob.drain_durable();
+        assert!(!events.is_empty(), "durable events were recorded");
+
+        let mut fresh = PaxosTob::<String>::with_defaults(n);
+        let replayed = fresh.restore(events);
+        assert_eq!(fresh.decided_log(), decided, "decided log restored");
+        assert_eq!(fresh.delivered_count(), delivered, "FIFO cursor restored");
+        let orig: Vec<_> = p0
+            .delivered
+            .iter()
+            .map(|d| (d.sender, d.seq, d.tob_no, d.payload.clone()))
+            .collect();
+        let rep: Vec<_> = replayed
+            .iter()
+            .map(|d| (d.sender, d.seq, d.tob_no, d.payload.clone()))
+            .collect();
+        assert_eq!(orig, rep, "restore yields the original delivery order");
+    }
+
+    #[test]
+    fn durability_disabled_records_nothing() {
+        let n = 3;
+        let cfg = SimConfig::new(n, 5).with_max_time(ms(3_000));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
+        sim.schedule_input(ms(1), ReplicaId::new(0), "x".into());
+        sim.run_until(ms(3_000));
+        let mut procs = sim.into_processes();
+        assert!(procs[0].tob.drain_durable().is_empty());
+    }
+
+    #[test]
     fn duplicate_submissions_decide_once() {
         let n = 3;
         let cfg = SimConfig::new(n, 77).with_max_time(ms(4_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         sim.schedule_input(ms(5), ReplicaId::new(1), "only".into());
         sim.run_until(ms(4_000));
         for r in ReplicaId::all(n) {

@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn every_replica_delivers_every_broadcast_once() {
         let n = 4;
-        let mut sim = Sim::new(SimConfig::new(n, 5), |_| RbProc::new(n));
+        let mut sim = Sim::new(SimConfig::new(n, 5), move |_| RbProc::new(n));
         for k in 0..8u64 {
             sim.schedule_input(
                 ms(1 + k * 3),
@@ -185,7 +185,7 @@ mod tests {
             ..Default::default()
         };
         let cfg = SimConfig::new(n, 5).with_net(net).with_max_time(ms(3_000));
-        let mut sim = Sim::new(cfg, |_| RbProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| RbProc::new(n));
         sim.schedule_input(ms(5), ReplicaId::new(0), 1);
         sim.schedule_input(ms(6), ReplicaId::new(1), 2);
         sim.run();
@@ -205,7 +205,7 @@ mod tests {
             .with_net(NetworkConfig::fixed(ms(2)))
             .with_crash(ms(11), ReplicaId::new(0))
             .with_max_time(ms(4_000));
-        let mut sim = Sim::new(cfg, |_| RbProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| RbProc::new(n));
         sim.schedule_input(ms(10), ReplicaId::new(0), 42);
         sim.run();
         for r in [ReplicaId::new(1), ReplicaId::new(2)] {
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn seen_count_tracks_distinct_messages() {
         let n = 2;
-        let mut sim = Sim::new(SimConfig::new(n, 5), |_| RbProc::new(n));
+        let mut sim = Sim::new(SimConfig::new(n, 5), move |_| RbProc::new(n));
         sim.schedule_input(ms(1), ReplicaId::new(0), 7);
         sim.schedule_input(ms(2), ReplicaId::new(1), 8);
         sim.run();

@@ -301,7 +301,7 @@ mod tests {
     fn fixed_leader_orders_everything_identically() {
         let n = 3;
         let cfg = SimConfig::new(n, 31).with_max_time(ms(5_000));
-        let mut sim = Sim::new(cfg, |_| SeqProc {
+        let mut sim = Sim::new(cfg, move |_| SeqProc {
             tob: SequencerTob::new(n),
             next_seq: 0,
             delivered: Vec::new(),
@@ -338,7 +338,7 @@ mod tests {
     fn sender_fifo_holds_for_bursts() {
         let n = 2;
         let cfg = SimConfig::new(n, 9).with_max_time(ms(5_000));
-        let mut sim = Sim::new(cfg, |_| SeqProc {
+        let mut sim = Sim::new(cfg, move |_| SeqProc {
             tob: SequencerTob::new(n),
             next_seq: 0,
             delivered: Vec::new(),
@@ -364,7 +364,7 @@ mod tests {
         let cfg = SimConfig::new(n, 12)
             .with_net(bayou_sim::NetworkConfig::fixed(ms(60)))
             .with_max_time(ms(10_000));
-        let mut sim = Sim::new(cfg, |_| SeqProc {
+        let mut sim = Sim::new(cfg, move |_| SeqProc {
             tob: SequencerTob::new(n),
             next_seq: 0,
             delivered: Vec::new(),

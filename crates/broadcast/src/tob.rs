@@ -74,4 +74,75 @@ pub trait Tob<M: Clone + fmt::Debug> {
 
     /// Number of messages TOB-delivered so far (the next `tob_no`).
     fn delivered_count(&self) -> u64;
+
+    /// Enables (or disables) accumulation of durable state transitions.
+    ///
+    /// When enabled, every state change that must survive a crash for the
+    /// implementation to stay safe across restarts — in Paxos: promises,
+    /// acceptances and decisions — is recorded as a [`TobEvent`] and held
+    /// until [`Tob::drain_durable`] collects it. Disabled by default so
+    /// non-durable deployments pay nothing. Implementations with no
+    /// durable state (e.g. a null TOB) may ignore this.
+    fn set_durable(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains the durable state transitions recorded since the last call.
+    ///
+    /// The owner is expected to call this after every interaction
+    /// ([`Tob::cast`], [`Tob::ensure`], [`Tob::on_message`],
+    /// [`Tob::on_timer`]) and write the events to its write-ahead log
+    /// *within the same atomic handler step*, so the durable state is on
+    /// disk before any message produced by the step leaves the replica.
+    fn drain_durable(&mut self) -> Vec<TobEvent<M>> {
+        Vec::new()
+    }
+}
+
+/// A durable state transition of a Total Order Broadcast implementation.
+///
+/// These are the facts a TOB endpoint must be able to recall after a
+/// crash-and-restart for the protocol to remain safe (Paxos quorum
+/// intersection assumes acceptors never forget promises or acceptances)
+/// and for the replica to recover its committed order locally instead of
+/// re-fetching the whole history. Replaying a durable event stream in
+/// order through `PaxosTob::restore` reconstructs the endpoint exactly.
+///
+/// Ballots are carried as raw `(round, leader)` pairs so the event type
+/// stays implementation-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TobEvent<M> {
+    /// The acceptor promised to ignore ballots below `(round, leader)`.
+    Promised {
+        /// Ballot round number.
+        round: u64,
+        /// Ballot leader.
+        leader: ReplicaId,
+    },
+    /// The acceptor accepted a value for a slot.
+    Accepted {
+        /// The slot.
+        slot: u64,
+        /// Accepting ballot round.
+        round: u64,
+        /// Accepting ballot leader.
+        leader: ReplicaId,
+        /// Origin of the broadcast the value belongs to.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The accepted payload.
+        payload: M,
+    },
+    /// The learner recorded a slot as decided.
+    Decided {
+        /// The slot.
+        slot: u64,
+        /// Origin of the decided broadcast.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The decided payload.
+        payload: M,
+    },
 }

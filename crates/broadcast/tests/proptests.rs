@@ -75,7 +75,7 @@ proptest! {
     ) {
         let n = 3;
         let cfg = SimConfig::new(n, seed).with_max_time(ms(20_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         for (k, (t, r)) in casts.iter().enumerate() {
             sim.schedule_input(ms(1 + t), ReplicaId::new(*r), k as u64);
         }
@@ -128,7 +128,7 @@ proptest! {
             ..Default::default()
         };
         let cfg = SimConfig::new(n, seed).with_net(net).with_max_time(ms(30_000));
-        let mut sim = Sim::new(cfg, |_| TobProc::new(n));
+        let mut sim = Sim::new(cfg, move |_| TobProc::new(n));
         for i in 0..6u64 {
             sim.schedule_input(ms(1 + i * 20), ReplicaId::new((i % 3) as u32), i);
         }

@@ -63,10 +63,12 @@ mod api;
 mod harness;
 mod naive;
 mod nulltob;
+mod persist;
 mod replica;
 
 pub use api::{EventRecord, Invocation, Response, RunTrace};
 pub use harness::{BayouCluster, ClusterConfig, SessionScript};
 pub use naive::{NaiveMixed, NaiveMsg};
 pub use nulltob::NullTob;
+pub use persist::recover_paxos_replica;
 pub use replica::{BayouMsg, BayouReplica, ProtocolMode, ReplicaStats, WireReq};

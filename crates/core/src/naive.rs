@@ -208,7 +208,7 @@ mod tests {
     fn weak_ops_respond_immediately_and_propagate() {
         let n = 2;
         let cfg = SimConfig::new(n, 3).with_max_time(ms(3_000));
-        let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
+        let mut sim = Sim::new(cfg, move |_| NaiveMixed::<AppendList>::new(n));
         sim.schedule_input(
             ms(1),
             ReplicaId::new(0),
@@ -231,7 +231,7 @@ mod tests {
         let cfg = SimConfig::new(n, 3)
             .with_net(NetworkConfig::fixed(ms(5)))
             .with_max_time(ms(3_000));
-        let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
+        let mut sim = Sim::new(cfg, move |_| NaiveMixed::<AppendList>::new(n));
         sim.schedule_input(
             ms(1),
             ReplicaId::new(0),
@@ -254,7 +254,7 @@ mod tests {
     fn strong_ops_are_totally_ordered() {
         let n = 3;
         let cfg = SimConfig::new(n, 8).with_max_time(ms(5_000));
-        let mut sim = Sim::new(cfg, |_| NaiveMixed::<AppendList>::new(n));
+        let mut sim = Sim::new(cfg, move |_| NaiveMixed::<AppendList>::new(n));
         sim.schedule_input(
             ms(1),
             ReplicaId::new(0),

@@ -1,0 +1,218 @@
+//! Standard wiring of a durable Bayou replica: `ReplicaStore` +
+//! `PaxosTob::restore` + [`BayouReplica::recover`].
+//!
+//! [`recover_paxos_replica`] is the one call a runtime needs: it opens
+//! (or creates) the replica's store on a [`Storage`] backend, rebuilds
+//! the Paxos endpoint from the durable event stream, derives the
+//! high-water marks that keep new dots and TOB-cast numbers collision
+//! free, and hands everything to the replica's recovery constructor. On
+//! an empty store it degenerates to a fresh replica with persistence
+//! attached — which is what makes it usable as a *factory*: the same
+//! closure builds the initial replica and, given the same backend
+//! handle, its post-crash successor.
+
+use crate::replica::{BayouReplica, ProtocolMode};
+use bayou_broadcast::{PaxosConfig, PaxosTob, TobEvent};
+use bayou_data::{DataType, StateObject};
+use bayou_storage::{PendingKind, ReplicaStore, Storage, StoreConfig};
+use bayou_types::{ReplicaId, SharedReq, Wire};
+
+/// Opens `backend` and returns the replica it describes: fresh when the
+/// store is empty, recovered from snapshot + WAL otherwise.
+///
+/// The restarted replica rejoins the cluster through the TOB's existing
+/// cursor-deduplicated catch-up: its restored decided prefix keeps
+/// catch-up traffic proportional to what it actually missed, and
+/// re-delivered commits are idempotent at the replica.
+///
+/// # Panics
+///
+/// Panics if the store cannot be opened or its contents fail validation
+/// — a replica with storage it cannot read must not serve.
+pub fn recover_paxos_replica<F, S, B>(
+    me: ReplicaId,
+    n: usize,
+    mode: ProtocolMode,
+    paxos: PaxosConfig,
+    backend: B,
+    store_cfg: StoreConfig,
+) -> BayouReplica<F, PaxosTob<SharedReq<F::Op>>, S>
+where
+    F: DataType,
+    F::Op: Wire,
+    F::State: Wire,
+    S: StateObject<F>,
+    B: Storage + Send + 'static,
+{
+    let (store, recovered) = ReplicaStore::<F, B>::open(backend, n, store_cfg)
+        .unwrap_or_else(|e| panic!("replica {me} cannot open its store: {e}"));
+
+    // High-water marks: never reuse a TOB-cast number or an event
+    // number. Scanned over the *full* durable event stream, not just the
+    // FIFO-released deliveries: a request of ours can be decided (and
+    // pruned from pending) while an earlier cast of ours is still
+    // undecided, leaving it FIFO-blocked — reusing its (sender, seq) key
+    // would make the TOB silently drop the new request as a duplicate.
+    let mut tob_seq = 0u64;
+    let mut curr_event_no = 0u64;
+    let mut note = |origin: ReplicaId, seq: Option<u64>, event_no: u64| {
+        if origin == me {
+            if let Some(seq) = seq {
+                tob_seq = tob_seq.max(seq + 1);
+            }
+            curr_event_no = curr_event_no.max(event_no);
+        }
+    };
+    for ev in &recovered.tob_events {
+        match ev {
+            TobEvent::Promised { .. } => {}
+            TobEvent::Accepted {
+                sender,
+                seq,
+                payload,
+                ..
+            }
+            | TobEvent::Decided {
+                sender,
+                seq,
+                payload,
+                ..
+            } => {
+                note(*sender, Some(*seq), 0);
+                note(payload.origin(), None, payload.id().event_no());
+            }
+        }
+    }
+    for (kind, seq, req) in &recovered.pending {
+        let cast_seq = (*kind == PendingKind::Invoke).then_some(*seq);
+        note(req.origin(), cast_seq, req.id().event_no());
+    }
+
+    let mut tob = PaxosTob::new(n, paxos);
+    let replayed = tob.restore(recovered.tob_events);
+    debug_assert_eq!(
+        replayed.len(),
+        recovered.deliveries.len(),
+        "TOB restore and store FIFO replay must agree on the delivery order"
+    );
+
+    let deliveries: Vec<SharedReq<F::Op>> = replayed.into_iter().map(|d| d.payload).collect();
+    BayouReplica::recover(
+        n,
+        mode,
+        tob,
+        deliveries,
+        recovered.snapshot_state,
+        recovered.snapshot_delivered,
+        recovered.pending,
+        curr_event_no,
+        tob_seq,
+        Box::new(store),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_data::{DeltaState, KvStore};
+    use bayou_storage::{MemDisk, NullStorage};
+
+    type R = BayouReplica<KvStore, PaxosTob<SharedReq<bayou_data::KvOp>>, DeltaState<KvStore>>;
+
+    #[test]
+    fn empty_store_yields_a_fresh_replica() {
+        let r: R = recover_paxos_replica(
+            ReplicaId::new(0),
+            3,
+            ProtocolMode::Improved,
+            PaxosConfig::default(),
+            MemDisk::new(),
+            StoreConfig::default(),
+        );
+        assert!(r.committed_ids().is_empty());
+        assert!(r.tentative_ids().is_empty());
+        assert!(r.materialize().is_empty());
+    }
+
+    #[test]
+    fn recovery_seq_marks_cover_fifo_blocked_decisions() {
+        // regression: a request of ours can be decided while an earlier
+        // cast of ours is still pending — it is then neither in
+        // `pending` nor FIFO-released, but its (sender, seq) key and dot
+        // must still count toward the recovery high-water marks, or the
+        // first post-restart invoke collides and is silently dropped as
+        // a TOB duplicate
+        use crate::harness::BayouCluster;
+        use bayou_data::KvOp;
+        use bayou_storage::{MemDisk, Persistence};
+        use bayou_types::{Dot, Level, Req, Timestamp, VirtualTime};
+        use std::sync::Arc;
+
+        let me = ReplicaId::new(0);
+        let disk = MemDisk::new();
+        let req = |event_no: u64, op: KvOp| {
+            Arc::new(Req::new(
+                Timestamp::new(event_no as i64),
+                Dot::new(me, event_no),
+                Level::Weak,
+                op,
+            ))
+        };
+        {
+            let (mut store, _) =
+                ReplicaStore::<KvStore, _>::open(disk.clone(), 1, StoreConfig::default()).unwrap();
+            let r1 = req(1, KvOp::put("a", 1)); // cast with seq 0, still pending
+            let r2 = req(2, KvOp::put("b", 2)); // cast with seq 1, decided first
+            store.log_invoke(&r1, 0);
+            store.log_invoke(&r2, 1);
+            store.log_tob_events(vec![TobEvent::Decided {
+                slot: 0,
+                sender: me,
+                seq: 1,
+                payload: r2,
+            }]);
+        } // crash
+
+        let factory_disk = disk.clone();
+        let sim = bayou_sim::SimConfig::new(1, 3).with_max_time(VirtualTime::from_secs(20));
+        let mut cluster: BayouCluster<KvStore> = BayouCluster::with_factory(sim, move |id| {
+            recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                id,
+                1,
+                ProtocolMode::Improved,
+                PaxosConfig::default(),
+                factory_disk.clone(),
+                StoreConfig::default(),
+            )
+        });
+        // the recovered replica re-submits r1, unblocking r2's FIFO gap;
+        // a fresh invoke must then get an unused seq/dot and commit too
+        cluster.invoke_at(
+            VirtualTime::from_millis(1),
+            me,
+            KvOp::put("c", 3),
+            Level::Weak,
+        );
+        cluster.run_until(VirtualTime::from_secs(20));
+        let committed = cluster.replica(me).committed_ids().len();
+        assert_eq!(
+            committed, 3,
+            "r1, r2 and the post-restart invoke must all commit"
+        );
+        let state = cluster.replica(me).materialize();
+        assert_eq!(state.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn null_backend_works_as_a_factory_too() {
+        let r: R = recover_paxos_replica(
+            ReplicaId::new(1),
+            3,
+            ProtocolMode::Improved,
+            PaxosConfig::default(),
+            NullStorage,
+            StoreConfig::default(),
+        );
+        assert!(r.committed_ids().is_empty());
+    }
+}

@@ -26,6 +26,7 @@
 use crate::api::{EventRecord, Invocation, Response};
 use bayou_broadcast::{LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
 use bayou_data::{DataType, DeltaState, StateObject};
+use bayou_storage::{NullPersistence, PendingKind, Persistence};
 use bayou_types::{
     Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime,
 };
@@ -127,6 +128,14 @@ where
     outputs: Vec<Response>,
     stats: ReplicaStats,
     journal: Vec<EventRecord<F::Op>>,
+    /// Durable-storage hooks ([`bayou_storage::NullPersistence`] unless
+    /// the replica was built with [`BayouReplica::with_persistence`] or
+    /// [`BayouReplica::recover`]).
+    persist: Box<dyn Persistence<F> + Send>,
+    /// Requests recovered from the WAL that are not yet decided: they
+    /// are re-submitted into the TOB on start (relay guarantee across
+    /// restarts). `(tob_seq, request)`, the origin being the request's.
+    recovered_pending: Vec<(u64, SharedReq<F::Op>)>,
 }
 
 impl<F, T, S> BayouReplica<F, T, S>
@@ -173,6 +182,114 @@ where
             outputs: Vec::new(),
             stats: ReplicaStats::default(),
             journal: Vec::new(),
+            persist: Box::new(NullPersistence),
+            recovered_pending: Vec::new(),
+        }
+    }
+
+    /// Attaches durable-storage hooks to a fresh replica: every invoked
+    /// or RB-delivered request and every durable TOB transition is
+    /// written ahead, and commits feed the snapshot cadence. Enables the
+    /// TOB's durable-event recording ([`Tob::set_durable`]).
+    pub fn with_persistence(
+        n: usize,
+        mode: ProtocolMode,
+        mut tob: T,
+        state: S,
+        persist: Box<dyn Persistence<F> + Send>,
+    ) -> Self {
+        tob.set_durable(true);
+        let mut replica = Self::with_state_object(n, mode, tob, state);
+        replica.persist = persist;
+        replica
+    }
+
+    /// Rebuilds a replica from its durable storage: the crash-recovery
+    /// constructor.
+    ///
+    /// The caller (see `bayou_core::recover_paxos_replica` for the
+    /// standard wiring) has already restored the TOB endpoint from the
+    /// durable event stream and derived:
+    ///
+    /// * `deliveries` — the full local TOB delivery order (the committed
+    ///   list as of the crash);
+    /// * `snapshot_state` + `snapshot_delivered` — a state materialized
+    ///   at a delivery prefix; commits beyond it re-execute from their
+    ///   logged payloads;
+    /// * `pending` — logged requests not yet decided, to re-enter the
+    ///   tentative order and be re-submitted to the TOB on start;
+    /// * `curr_event_no` / `tob_seq` — high-water marks so new dots and
+    ///   TOB-cast sequence numbers never collide with pre-crash ones.
+    ///
+    /// Responses owed to clients at crash time are *not* recovered:
+    /// Bayou clients observe a crashed replica as a lost session and
+    /// retry (weak responses were tentative anyway; strong requests
+    /// re-execute deduplicated by their dot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        n: usize,
+        mode: ProtocolMode,
+        tob: T,
+        deliveries: Vec<SharedReq<F::Op>>,
+        snapshot_state: F::State,
+        snapshot_delivered: u64,
+        pending: Vec<(PendingKind, u64, SharedReq<F::Op>)>,
+        curr_event_no: u64,
+        tob_seq: u64,
+        persist: Box<dyn Persistence<F> + Send>,
+    ) -> Self {
+        let mut tob = tob;
+        tob.set_durable(true); // after restore: recovery facts are already on disk
+        let stable = (snapshot_delivered as usize).min(deliveries.len());
+        let committed_set: HashSet<ReqId> = deliveries.iter().map(|r| r.id()).collect();
+        let tob_order: Vec<ReqId> = deliveries.iter().map(|r| r.id()).collect();
+        let state = S::with_committed_trace(snapshot_state, tob_order[..stable].to_vec());
+
+        // the snapshot-covered prefix is executed; the rest re-executes
+        let executed: Vec<SharedReq<F::Op>> = deliveries[..stable].to_vec();
+        let executed_set: HashSet<ReqId> = executed.iter().map(|r| r.id()).collect();
+
+        // pending requests re-enter the tentative order by (ts, dot)
+        let mut tentative: Vec<SharedReq<F::Op>> = pending
+            .iter()
+            .filter(|(_, _, r)| !committed_set.contains(&r.id()))
+            .map(|(_, _, r)| r.clone())
+            .collect();
+        tentative.sort_by_key(|r| r.sort_key());
+        let tentative_set: HashSet<ReqId> = tentative.iter().map(|r| r.id()).collect();
+
+        let to_be_executed: VecDeque<SharedReq<F::Op>> = deliveries[stable..]
+            .iter()
+            .chain(tentative.iter())
+            .cloned()
+            .collect();
+
+        let recovered_pending: Vec<(u64, SharedReq<F::Op>)> =
+            pending.into_iter().map(|(_, seq, r)| (seq, r)).collect();
+
+        BayouReplica {
+            mode,
+            state,
+            curr_event_no,
+            committed: deliveries,
+            committed_set,
+            tentative,
+            tentative_set,
+            executed,
+            executed_set,
+            stable_len: stable,
+            to_be_executed,
+            to_be_rolled_back: VecDeque::new(),
+            reqs_awaiting_resp: HashMap::new(),
+            rb: ReliableBroadcast::new(n, VirtualTime::from_millis(60)),
+            tob,
+            tob_seq,
+            tob_order,
+            outputs: Vec::new(),
+            stats: ReplicaStats::default(),
+            journal: Vec::new(),
+            persist,
+            recovered_pending,
         }
     }
 
@@ -314,12 +431,27 @@ where
             .extend(out_of_order.into_iter().rev());
     }
 
+    /// Collects the TOB's durable transitions from the step that just
+    /// ran and writes them ahead (no-op with [`NullPersistence`] and a
+    /// TOB whose durability is off).
+    fn persist_tob_events(&mut self) {
+        let events = self.tob.drain_durable();
+        if !events.is_empty() {
+            self.persist.log_tob_events(events);
+        }
+    }
+
     /// Lines 27–34: TOB delivery fixes the final position of `r`.
     fn handle_tob_deliver(&mut self, r: SharedReq<F::Op>) {
+        if self.committed_contains(r.id()) {
+            // after a crash-restart, catch-up may re-deliver commits the
+            // recovered state already contains; they are idempotent
+            return;
+        }
         self.stats.tob_deliveries += 1;
         self.tob_order.push(r.id());
-        debug_assert!(!self.committed_contains(r.id()), "duplicate TOB delivery");
         let id = r.id();
+        self.persist.note_commit(&r);
         self.committed_set.insert(id);
         self.committed.push(r.clone());
         if self.tentative_set.remove(&id) {
@@ -368,7 +500,9 @@ where
             self.tob
                 .ensure(r.origin(), wire.tob_seq, r.clone(), &mut tctx);
         }
+        self.persist_tob_events();
         if !self.committed_contains(r.id()) && !self.tentative_set.contains(&r.id()) {
+            self.persist.log_tentative(&r, wire.tob_seq);
             self.adjust_tentative_order(r);
         }
     }
@@ -381,6 +515,9 @@ where
     ) {
         let seq = self.tob_seq;
         self.tob_seq += 1;
+        // write-ahead: the request (with its TOB-cast number) is durable
+        // before any frame carrying it can leave this step
+        self.persist.log_invoke(r, seq);
         if rb_too {
             let wire = WireReq {
                 req: r.clone(),
@@ -391,6 +528,7 @@ where
         }
         let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
         self.tob.cast(seq, r.clone(), &mut tctx);
+        self.persist_tob_events();
     }
 
     fn deliver_batch(&mut self, batch: Vec<TobDelivery<SharedReq<F::Op>>>) {
@@ -411,8 +549,17 @@ where
     type Output = Response;
 
     fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg>) {
-        let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
-        self.tob.on_start(&mut tctx);
+        {
+            let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+            self.tob.on_start(&mut tctx);
+            // re-submit recovered pending requests so they are decided
+            // even though their original cast/relay messages are gone
+            // (the relay guarantee must hold across restarts)
+            for (seq, req) in std::mem::take(&mut self.recovered_pending) {
+                self.tob.ensure(req.origin(), seq, req, &mut tctx);
+            }
+        }
+        self.persist_tob_events();
     }
 
     /// Lines 9–15 (Algorithm 1) / Algorithm 2.
@@ -488,6 +635,9 @@ where
                     let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
                     self.tob.on_message(from, tm, &mut tctx)
                 };
+                // durable TOB facts (promises, acceptances, decisions)
+                // hit the WAL before the deliveries they imply execute
+                self.persist_tob_events();
                 self.deliver_batch(batch);
             }
         }
@@ -506,6 +656,7 @@ where
                 let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
                 self.tob.on_timer(timer, &mut tctx)
             };
+            self.persist_tob_events();
             self.deliver_batch(batch);
         }
     }

@@ -1,0 +1,175 @@
+//! Deterministic crash/restart schedules: a replica is killed mid-run,
+//! its process is rebuilt from snapshot + WAL on a shared [`MemDisk`],
+//! and the restarted replica converges to the same committed state as
+//! the survivors.
+
+use bayou_broadcast::PaxosConfig;
+use bayou_core::{recover_paxos_replica, BayouCluster, ClusterConfig, ProtocolMode};
+use bayou_data::{DeltaState, KvOp, KvStore};
+use bayou_sim::SimConfig;
+use bayou_storage::{MemDisk, StoreConfig};
+use bayou_types::{Level, ReplicaId, ReqId, VirtualTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+/// A factory producing durable replicas over per-replica [`MemDisk`]s.
+/// On re-invocation for a replica (a restart) it first tears the disk's
+/// unsynced tail — the same failure surface a kernel panic leaves — and
+/// then recovers from whatever survived.
+fn durable_factory(
+    n: usize,
+    disks: Vec<MemDisk>,
+    store_cfg: StoreConfig,
+) -> impl FnMut(
+    ReplicaId,
+) -> bayou_core::BayouReplica<
+    KvStore,
+    bayou_broadcast::PaxosTob<bayou_types::SharedReq<KvOp>>,
+    DeltaState<KvStore>,
+> {
+    let incarnations = Rc::new(RefCell::new(vec![0u32; n]));
+    move |id| {
+        let mut inc = incarnations.borrow_mut();
+        inc[id.index()] += 1;
+        if inc[id.index()] > 1 {
+            disks[id.index()].crash(0xDEAD ^ id.as_u32() as u64);
+        }
+        recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+            id,
+            n,
+            ProtocolMode::Improved,
+            PaxosConfig::default(),
+            disks[id.index()].clone(),
+            store_cfg,
+        )
+    }
+}
+
+fn crash_restart_run(seed: u64) -> (Vec<ReqId>, Vec<MemDisk>) {
+    let n = 3;
+    let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+    let store_cfg = StoreConfig {
+        snapshot_every: 8,
+        ..Default::default()
+    };
+    let sim = SimConfig::new(n, seed)
+        .with_crash(ms(400), ReplicaId::new(1))
+        .with_restart(ms(900), ReplicaId::new(1))
+        .with_max_time(ms(30_000));
+    let mut cluster: BayouCluster<KvStore> =
+        BayouCluster::with_factory(sim, durable_factory(n, disks.clone(), store_cfg));
+
+    // a schedule spanning the whole outage: before, during, after
+    for k in 0..30u64 {
+        let r = ReplicaId::new((k % 3) as u32);
+        cluster.invoke_at(
+            ms(1 + 40 * k),
+            r,
+            KvOp::put(format!("k{}", k % 7), k as i64),
+            Level::Weak,
+        );
+    }
+    let trace = cluster.run_until(ms(30_000));
+    assert!(
+        trace.quiescent,
+        "crash/restart schedule must reach quiescence"
+    );
+    cluster.assert_convergence(&[]);
+    let committed = cluster.replica(ReplicaId::new(0)).committed_ids();
+    (committed, disks)
+}
+
+#[test]
+fn killed_replica_restarts_from_snapshot_plus_wal_and_converges() {
+    let (committed, disks) = crash_restart_run(0xC0FFEE);
+    // replica 1 was down between 400ms and 900ms while others committed;
+    // after recovery it must hold the identical committed order (checked
+    // by assert_convergence inside the run) built on real durable bytes
+    assert!(!committed.is_empty());
+    assert!(
+        disks[1].stats().syncs > 0,
+        "the restarted replica persisted through its WAL"
+    );
+    assert!(
+        disks[1].total_bytes() > 0,
+        "snapshot + WAL survive on the shared disk"
+    );
+}
+
+#[test]
+fn crash_restart_schedules_are_deterministic() {
+    let (a, _) = crash_restart_run(7);
+    let (b, _) = crash_restart_run(7);
+    assert_eq!(a, b, "same seed, same crash/restart schedule, same order");
+}
+
+#[test]
+fn snapshots_bound_recovery_replay() {
+    // drive enough commits through a single durable replica cluster that
+    // several snapshots fire, then bounce it and verify it still matches
+    // the survivors (i.e. recovery from the *latest* snapshot + suffix)
+    let n = 3;
+    let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+    let store_cfg = StoreConfig {
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    let sim = SimConfig::new(n, 99)
+        .with_crash(ms(2_000), ReplicaId::new(2))
+        .with_restart(ms(2_500), ReplicaId::new(2))
+        .with_max_time(ms(30_000));
+    let mut cluster: BayouCluster<KvStore> =
+        BayouCluster::with_factory(sim, durable_factory(n, disks.clone(), store_cfg));
+    for k in 0..40u64 {
+        cluster.invoke_at(
+            ms(1 + 30 * k),
+            ReplicaId::new((k % 3) as u32),
+            KvOp::put(format!("x{}", k % 5), k as i64),
+            Level::Weak,
+        );
+    }
+    let trace = cluster.run_until(ms(30_000));
+    assert!(trace.quiescent);
+    cluster.assert_convergence(&[]);
+}
+
+#[test]
+fn mixed_weak_and_strong_ops_survive_a_bounce() {
+    let n = 3;
+    let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+    let store_cfg = StoreConfig::default();
+    let sim = SimConfig::new(n, 5)
+        .with_crash(ms(300), ReplicaId::new(0))
+        .with_restart(ms(800), ReplicaId::new(0))
+        .with_max_time(ms(30_000));
+    let mut cluster: BayouCluster<KvStore> =
+        BayouCluster::with_factory(sim, durable_factory(n, disks, store_cfg));
+    cluster.invoke_at(ms(1), ReplicaId::new(0), KvOp::put("k", 1), Level::Weak);
+    cluster.invoke_at(
+        ms(100),
+        ReplicaId::new(1),
+        KvOp::put_if_absent("k", 2),
+        Level::Strong,
+    );
+    cluster.invoke_at(ms(1_500), ReplicaId::new(2), KvOp::get("k"), Level::Weak);
+    let trace = cluster.run_until(ms(30_000));
+    assert!(trace.quiescent);
+    cluster.assert_convergence(&[]);
+    // the weak put from the replica that later crashed must have
+    // survived in everyone's committed state (it was durable + relayed)
+    let state = cluster.replica(ReplicaId::new(1)).materialize();
+    assert_eq!(
+        state.get("k"),
+        Some(&1),
+        "weak put won and survived: {state:?}"
+    );
+}
+
+// keep the unused import warning away: ClusterConfig is part of the
+// public surface this test exercises indirectly through with_factory
+#[allow(dead_code)]
+fn _uses(_: ClusterConfig) {}

@@ -279,13 +279,10 @@ mod tests {
         Calendar::apply(&mut s, &CalendarOp::reserve("atrium", 1, "ann"));
         Calendar::apply(&mut s, &CalendarOp::reserve("library", 2, "ben"));
         let sched = Calendar::apply(&mut s, &CalendarOp::Schedule("atrium".to_string()));
-        match sched {
-            Value::Map(m) => {
-                assert_eq!(m.len(), 1);
-                assert!(m.contains_key("atrium#0001"));
-            }
-            other => panic!("expected map, got {other}"),
-        }
+        let mut expect = BTreeMap::new();
+        expect.insert("atrium#0001".to_string(), Value::Str("ann".to_string()));
+        assert_eq!(sched, Value::Map(expect));
+        assert_eq!(sched.as_map().map(|m| m.len()), Some(1));
     }
 
     #[test]

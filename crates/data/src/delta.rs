@@ -219,6 +219,18 @@ impl<F: InvertibleDataType> StateObject<F> for DeltaState<F> {
         }
     }
 
+    fn with_committed_trace(state: F::State, trace: Vec<ReqId>) -> Self {
+        // the committed prefix carries no undo records; the log starts
+        // immediately after it
+        DeltaState {
+            state,
+            log: VecDeque::new(),
+            log_offset: trace.len(),
+            snapshots: 0,
+            trace,
+        }
+    }
+
     fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value {
         let (value, kind) = match F::apply_undoable(&mut self.state, op) {
             Some((value, undo)) => (value, UndoKind::Inverse(undo)),

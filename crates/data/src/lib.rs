@@ -78,6 +78,7 @@ mod register;
 mod set;
 mod state_object;
 mod undo;
+mod wire;
 
 pub use bank::{Bank, BankOp, BankUndo};
 pub use calendar::{Calendar, CalendarOp, CalendarUndo};

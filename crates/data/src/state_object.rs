@@ -25,6 +25,17 @@ pub trait StateObject<F: DataType> {
     where
         Self: Sized;
 
+    /// Creates a state object from a snapshot of a *committed* prefix:
+    /// the logical state already reflects every request in `trace`, and
+    /// none of them can ever be rolled back, so no rollback bookkeeping
+    /// is created for them. This is the crash-recovery constructor used
+    /// by `bayou-storage`: the replica resumes speculating on top of the
+    /// snapshot exactly as if it had executed and committed the prefix
+    /// itself.
+    fn with_committed_trace(state: F::State, trace: Vec<ReqId>) -> Self
+    where
+        Self: Sized;
+
     /// Executes `op` on behalf of request `id`, mutating the state and
     /// returning the operation's return value.
     fn execute(&mut self, id: ReqId, op: &F::Op) -> bayou_types::Value;
@@ -138,6 +149,15 @@ impl<F: DataType> StateObject<F> for ReplayState<F> {
             state,
             checkpoints: std::collections::VecDeque::new(),
             trace: Vec::new(),
+        }
+    }
+
+    fn with_committed_trace(state: F::State, trace: Vec<ReqId>) -> Self {
+        // the prefix is committed: no checkpoints are retained for it
+        ReplayState {
+            state,
+            checkpoints: std::collections::VecDeque::new(),
+            trace,
         }
     }
 

@@ -245,6 +245,16 @@ impl StateObject<Script> for UndoLogState {
         }
     }
 
+    fn with_committed_trace(state: BTreeMap<String, i64>, trace: Vec<ReqId>) -> Self {
+        let truncated = trace.len();
+        UndoLogState {
+            db: state,
+            undo_log: BTreeMap::new(),
+            trace,
+            truncated,
+        }
+    }
+
     fn execute(&mut self, id: ReqId, op: &ScriptOp) -> Value {
         let mut undo_map: BTreeMap<String, Option<i64>> = BTreeMap::new();
         let mut acc = 0i64;

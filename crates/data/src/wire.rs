@@ -1,0 +1,372 @@
+//! Stable byte encodings ([`Wire`]) for every shipped operation type.
+//!
+//! These codecs are what lets `bayou-storage` persist requests of *any*
+//! of the eight data types: a WAL record frames `Req<Op>` through the
+//! [`Wire`] impl of the concrete `Op`, and state snapshots reuse the
+//! generic collection impls from `bayou-types` (all shipped states are
+//! `i64`, `Vec<String>`, `BTreeSet<String>` or string-keyed `BTreeMap`s,
+//! which already encode).
+//!
+//! The layout contract is the same as in `bayou_types::wire`: one tag
+//! byte per enum variant, fields in declaration order, little-endian
+//! integers, length-prefixed strings. **Tags are append-only** — a new
+//! operation gets the next free tag; existing tags never change meaning,
+//! so WAL segments written by an older build keep decoding.
+
+use crate::{
+    BankOp, CalendarOp, CounterOp, Expr, Instr, KvOp, ListOp, RegisterOp, ScriptOp, SetOp,
+};
+use bayou_types::{Wire, WireError, WireReader};
+
+impl Wire for ListOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ListOp::Append(s) => {
+                out.push(0);
+                s.encode(out);
+            }
+            ListOp::Duplicate => out.push(1),
+            ListOp::Read => out.push(2),
+            ListOp::GetFirst => out.push(3),
+            ListOp::Size => out.push(4),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ListOp::Append(String::decode(r)?)),
+            1 => Ok(ListOp::Duplicate),
+            2 => Ok(ListOp::Read),
+            3 => Ok(ListOp::GetFirst),
+            4 => Ok(ListOp::Size),
+            tag => Err(WireError::BadTag { ty: "ListOp", tag }),
+        }
+    }
+}
+
+impl Wire for RegisterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RegisterOp::Write(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            RegisterOp::Read => out.push(1),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(RegisterOp::Write(i64::decode(r)?)),
+            1 => Ok(RegisterOp::Read),
+            tag => Err(WireError::BadTag {
+                ty: "RegisterOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for CounterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CounterOp::Add(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            CounterOp::AddAndGet(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            CounterOp::Read => out.push(2),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CounterOp::Add(i64::decode(r)?)),
+            1 => Ok(CounterOp::AddAndGet(i64::decode(r)?)),
+            2 => Ok(CounterOp::Read),
+            tag => Err(WireError::BadTag {
+                ty: "CounterOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for KvOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvOp::Get(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            KvOp::Put(k, v) => {
+                out.push(1);
+                k.encode(out);
+                v.encode(out);
+            }
+            KvOp::PutIfAbsent(k, v) => {
+                out.push(2);
+                k.encode(out);
+                v.encode(out);
+            }
+            KvOp::Remove(k) => {
+                out.push(3);
+                k.encode(out);
+            }
+            KvOp::Keys => out.push(4),
+            KvOp::Size => out.push(5),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(KvOp::Get(String::decode(r)?)),
+            1 => Ok(KvOp::Put(String::decode(r)?, i64::decode(r)?)),
+            2 => Ok(KvOp::PutIfAbsent(String::decode(r)?, i64::decode(r)?)),
+            3 => Ok(KvOp::Remove(String::decode(r)?)),
+            4 => Ok(KvOp::Keys),
+            5 => Ok(KvOp::Size),
+            tag => Err(WireError::BadTag { ty: "KvOp", tag }),
+        }
+    }
+}
+
+impl Wire for SetOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SetOp::Add(e) => {
+                out.push(0);
+                e.encode(out);
+            }
+            SetOp::Remove(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+            SetOp::Contains(e) => {
+                out.push(2);
+                e.encode(out);
+            }
+            SetOp::Elements => out.push(3),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(SetOp::Add(String::decode(r)?)),
+            1 => Ok(SetOp::Remove(String::decode(r)?)),
+            2 => Ok(SetOp::Contains(String::decode(r)?)),
+            3 => Ok(SetOp::Elements),
+            tag => Err(WireError::BadTag { ty: "SetOp", tag }),
+        }
+    }
+}
+
+impl Wire for BankOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BankOp::Deposit(a, v) => {
+                out.push(0);
+                a.encode(out);
+                v.encode(out);
+            }
+            BankOp::Withdraw(a, v) => {
+                out.push(1);
+                a.encode(out);
+                v.encode(out);
+            }
+            BankOp::Balance(a) => {
+                out.push(2);
+                a.encode(out);
+            }
+            BankOp::Total => out.push(3),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(BankOp::Deposit(String::decode(r)?, i64::decode(r)?)),
+            1 => Ok(BankOp::Withdraw(String::decode(r)?, i64::decode(r)?)),
+            2 => Ok(BankOp::Balance(String::decode(r)?)),
+            3 => Ok(BankOp::Total),
+            tag => Err(WireError::BadTag { ty: "BankOp", tag }),
+        }
+    }
+}
+
+impl Wire for CalendarOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CalendarOp::Reserve { room, slot, who } => {
+                out.push(0);
+                room.encode(out);
+                slot.encode(out);
+                who.encode(out);
+            }
+            CalendarOp::Cancel { room, slot, who } => {
+                out.push(1);
+                room.encode(out);
+                slot.encode(out);
+                who.encode(out);
+            }
+            CalendarOp::Holder { room, slot } => {
+                out.push(2);
+                room.encode(out);
+                slot.encode(out);
+            }
+            CalendarOp::Schedule(room) => {
+                out.push(3);
+                room.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CalendarOp::Reserve {
+                room: String::decode(r)?,
+                slot: u32::decode(r)?,
+                who: String::decode(r)?,
+            }),
+            1 => Ok(CalendarOp::Cancel {
+                room: String::decode(r)?,
+                slot: u32::decode(r)?,
+                who: String::decode(r)?,
+            }),
+            2 => Ok(CalendarOp::Holder {
+                room: String::decode(r)?,
+                slot: u32::decode(r)?,
+            }),
+            3 => Ok(CalendarOp::Schedule(String::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                ty: "CalendarOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Expr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Expr::Const(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Expr::Load(k) => {
+                out.push(1);
+                k.encode(out);
+            }
+            Expr::Acc => out.push(2),
+            Expr::AccPlus(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Expr::Const(i64::decode(r)?)),
+            1 => Ok(Expr::Load(String::decode(r)?)),
+            2 => Ok(Expr::Acc),
+            3 => Ok(Expr::AccPlus(i64::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Expr", tag }),
+        }
+    }
+}
+
+impl Wire for Instr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Instr::Read(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            Instr::Write(k, e) => {
+                out.push(1);
+                k.encode(out);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Instr::Read(String::decode(r)?)),
+            1 => Ok(Instr::Write(String::decode(r)?, Expr::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Instr", tag }),
+        }
+    }
+}
+
+impl Wire for ScriptOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.instrs.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ScriptOp::new(Vec::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round_trips<F>(seed: u64)
+    where
+        F: RandomOp,
+        F::Op: Wire,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let op = F::random_op(&mut rng);
+            let bytes = op.to_bytes();
+            assert_eq!(F::Op::from_bytes(&bytes).unwrap(), op, "{}", F::NAME);
+        }
+    }
+
+    #[test]
+    fn random_ops_of_all_types_round_trip() {
+        round_trips::<crate::AppendList>(1);
+        round_trips::<crate::RwRegister>(2);
+        round_trips::<crate::Counter>(3);
+        round_trips::<crate::KvStore>(4);
+        round_trips::<crate::AddRemoveSet>(5);
+        round_trips::<crate::Bank>(6);
+        round_trips::<crate::Calendar>(7);
+        round_trips::<crate::Script>(8);
+    }
+
+    #[test]
+    fn states_of_all_types_round_trip() {
+        use crate::{apply_all, RandomOp};
+
+        fn state_round_trip<F>(seed: u64)
+        where
+            F: RandomOp,
+            F::State: Wire,
+        {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ops: Vec<F::Op> = (0..50).map(|_| F::random_op(&mut rng)).collect();
+            let mut state = F::State::default();
+            apply_all::<F>(&mut state, &ops);
+            let bytes = state.to_bytes();
+            assert_eq!(F::State::from_bytes(&bytes).unwrap(), state, "{}", F::NAME);
+        }
+
+        state_round_trip::<crate::AppendList>(11);
+        state_round_trip::<crate::RwRegister>(12);
+        state_round_trip::<crate::Counter>(13);
+        state_round_trip::<crate::KvStore>(14);
+        state_round_trip::<crate::AddRemoveSet>(15);
+        state_round_trip::<crate::Bank>(16);
+        state_round_trip::<crate::Calendar>(17);
+        state_round_trip::<crate::Script>(18);
+    }
+
+    #[test]
+    fn truncated_op_bytes_fail_cleanly() {
+        let op = KvOp::put("key", 7);
+        let bytes = op.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(KvOp::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

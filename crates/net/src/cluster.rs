@@ -2,7 +2,7 @@
 
 use crate::router::{run_router, Frame, PartitionControl};
 use bayou_types::{Context, Process, ReplicaId, TimerId, Timestamp, VirtualTime};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,15 +17,24 @@ pub struct LiveConfig {
     pub seed: u64,
     /// Artificial one-way message delay added by the router.
     pub delay: Duration,
+    /// Capacity of every channel in the cluster (network ingress,
+    /// per-replica inboxes, client inputs, outputs). Bounded channels
+    /// give backpressure instead of unbounded memory growth under heavy
+    /// load: producers block on the shared ingress and input channels,
+    /// while the router treats a full inbox as a lossy link (dropped
+    /// frames are recovered by protocol retransmission, exactly like a
+    /// partition drop).
+    pub channel_capacity: usize,
 }
 
 impl LiveConfig {
-    /// `n` replicas, no artificial delay.
+    /// `n` replicas, no artificial delay, 4096-slot channels.
     pub fn new(n: usize) -> Self {
         LiveConfig {
             n,
             seed: 0,
             delay: Duration::ZERO,
+            channel_capacity: 4096,
         }
     }
 
@@ -34,10 +43,21 @@ impl LiveConfig {
         self.delay = delay;
         self
     }
+
+    /// Sets the channel capacity (builder style).
+    pub fn with_channel_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "channel capacity must be positive");
+        self.channel_capacity = cap;
+        self
+    }
 }
 
 enum ReplicaEvent<P: Process> {
     Input(P::Input),
+    /// Rebuild the replica's process through the cluster factory (which
+    /// recovers it from durable storage when one is wired) and mark it
+    /// live again.
+    Restart,
     Stop(Sender<P>),
 }
 
@@ -63,18 +83,30 @@ where
     P::Output: Send + 'static,
 {
     /// Spawns the cluster; `make(id, n)` builds each replica's process.
-    pub fn new(config: LiveConfig, mut make: impl FnMut(ReplicaId, usize) -> P) -> Self {
+    ///
+    /// The factory is retained (shared across replica threads): a
+    /// [`LiveCluster::restart`] re-invokes it for the bounced replica,
+    /// so a factory that opens durable storage (e.g.
+    /// `bayou_core::recover_paxos_replica` over a
+    /// `bayou_storage::FileStorage` directory) makes replicas recover
+    /// their pre-crash state.
+    pub fn new(
+        config: LiveConfig,
+        make: impl Fn(ReplicaId, usize) -> P + Send + Sync + 'static,
+    ) -> Self {
         let n = config.n;
+        let cap = config.channel_capacity;
         assert!(n > 0, "cluster must contain at least one replica");
+        let make: Arc<dyn Fn(ReplicaId, usize) -> P + Send + Sync> = Arc::new(make);
         let ctl = PartitionControl::new(n);
-        let (net_tx, net_rx) = unbounded::<Frame<P::Msg>>();
-        let (out_tx, out_rx) = unbounded::<(ReplicaId, P::Output)>();
+        let (net_tx, net_rx) = bounded::<Frame<P::Msg>>(cap);
+        let (out_tx, out_rx) = bounded::<(ReplicaId, P::Output)>(cap);
 
         let mut inputs = Vec::with_capacity(n);
         let mut inbox_txs = Vec::with_capacity(n);
         let mut inbox_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<(ReplicaId, P::Msg)>();
+            let (tx, rx) = bounded::<(ReplicaId, P::Msg)>(cap);
             inbox_txs.push(tx);
             inbox_rxs.push(rx);
         }
@@ -91,8 +123,8 @@ where
 
         for (i, inbox) in inbox_rxs.into_iter().enumerate() {
             let id = ReplicaId::new(i as u32);
-            let process = make(id, n);
-            let (ev_tx, ev_rx) = unbounded::<ReplicaEvent<P>>();
+            let factory = Arc::clone(&make);
+            let (ev_tx, ev_rx) = bounded::<ReplicaEvent<P>>(cap);
             inputs.push(ev_tx);
             let net = net_tx.clone();
             let out = out_tx.clone();
@@ -101,7 +133,7 @@ where
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("bayou-replica-{i}"))
-                    .spawn(move || replica_loop(id, n, process, ev_rx, inbox, net, out, rctl, seed))
+                    .spawn(move || replica_loop(id, n, factory, ev_rx, inbox, net, out, rctl, seed))
                     .expect("spawn replica"),
             );
         }
@@ -130,7 +162,8 @@ where
         &self.ctl
     }
 
-    /// Sends a client input to a replica.
+    /// Sends a client input to a replica (blocks while the replica's
+    /// input channel is at capacity — client-side backpressure).
     ///
     /// # Panics
     ///
@@ -138,6 +171,20 @@ where
     pub fn invoke(&self, replica: ReplicaId, input: P::Input) {
         self.inputs[replica.index()]
             .send(ReplicaEvent::Input(input))
+            .expect("replica thread alive");
+    }
+
+    /// Restarts a replica: its process is rebuilt through the cluster
+    /// factory (recovering from durable storage when the factory wires
+    /// one), its crash flag is cleared, and it rejoins the cluster.
+    /// Usually preceded by `control().crash(r)` some time earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica id is out of range.
+    pub fn restart(&self, replica: ReplicaId) {
+        self.inputs[replica.index()]
+            .send(ReplicaEvent::Restart)
             .expect("replica thread alive");
     }
 
@@ -157,17 +204,48 @@ where
 
     /// Stops all threads and returns the final process states (for
     /// convergence inspection).
+    ///
+    /// Keeps draining the (bounded) output and event channels while
+    /// waiting: a replica blocked publishing a response into a full
+    /// channel must be able to make progress to reach its Stop event —
+    /// otherwise an undrained cluster could never shut down.
     pub fn shutdown(self) -> Vec<P> {
         let mut processes = Vec::with_capacity(self.n);
         for tx in &self.inputs {
             let (ret_tx, ret_rx) = bounded(1);
-            if tx.send(ReplicaEvent::Stop(ret_tx)).is_ok() {
-                if let Ok(p) = ret_rx.recv_timeout(Duration::from_secs(5)) {
-                    processes.push(p);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            // the event channel itself may be full of unprocessed inputs;
+            // retry while unblocking the replica via output drains
+            let mut stop = Some(ReplicaEvent::Stop(ret_tx));
+            loop {
+                if let Some(ev) = stop.take() {
+                    match tx.try_send(ev) {
+                        Ok(()) => {}
+                        Err(crossbeam::channel::TrySendError::Full(ev)) => stop = Some(ev),
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
+                    }
                 }
+                if stop.is_none() {
+                    match ret_rx.try_recv() {
+                        Ok(p) => {
+                            processes.push(p);
+                            break;
+                        }
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                        Err(crossbeam::channel::TryRecvError::Empty) => {}
+                    }
+                }
+                while self.outputs.try_recv().is_ok() {}
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
         }
         drop(self.inputs);
+        // closing the output channel unblocks any straggler stuck in a
+        // full `send` (it errors out and observes the closed inputs)
+        drop(self.outputs);
         for t in self.threads {
             let _ = t.join();
         }
@@ -179,7 +257,11 @@ struct LiveCtx<'a, M> {
     id: ReplicaId,
     n: usize,
     start: Instant,
-    net: &'a Sender<Frame<M>>,
+    /// Sends buffered during the current handler step and flushed after
+    /// it returns — handler-atomic effects, matching the simulator: a
+    /// durable replica's WAL writes (made inside the handler) always hit
+    /// disk before any message produced by the same step leaves.
+    outbox: &'a mut Vec<(ReplicaId, M)>,
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
     timer_counter: &'a mut u64,
     last_clock: &'a mut i64,
@@ -212,11 +294,7 @@ impl<M> Context<M> for LiveCtx<'_, M> {
     }
 
     fn send(&mut self, to: ReplicaId, msg: M) {
-        let _ = self.net.send(Frame {
-            from: self.id,
-            to,
-            msg,
-        });
+        self.outbox.push((to, msg));
     }
 
     fn set_timer(&mut self, delay: VirtualTime) -> TimerId {
@@ -248,7 +326,7 @@ impl<M> Context<M> for LiveCtx<'_, M> {
 fn replica_loop<P>(
     id: ReplicaId,
     n: usize,
-    mut process: P,
+    factory: Arc<dyn Fn(ReplicaId, usize) -> P + Send + Sync>,
     events: Receiver<ReplicaEvent<P>>,
     inbox: Receiver<(ReplicaId, P::Msg)>,
     net: Sender<Frame<P::Msg>>,
@@ -259,10 +337,12 @@ fn replica_loop<P>(
     P: Process,
 {
     let start = Instant::now();
+    let mut process = factory(id, n);
     let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>> = BinaryHeap::new();
     let mut timer_counter = 0u64;
     let mut last_clock = i64::MIN;
     let mut rng_state = seed | 1;
+    let mut outbox: Vec<(ReplicaId, P::Msg)> = Vec::new();
 
     macro_rules! ctx {
         () => {
@@ -270,7 +350,7 @@ fn replica_loop<P>(
                 id,
                 n,
                 start,
-                net: &net,
+                outbox: &mut outbox,
                 timers: &mut timers,
                 timer_counter: &mut timer_counter,
                 last_clock: &mut last_clock,
@@ -280,23 +360,44 @@ fn replica_loop<P>(
         };
     }
 
+    /// Flushes the sends buffered by the handler step that just ran.
+    macro_rules! flush {
+        () => {
+            for (to, msg) in outbox.drain(..) {
+                // blocking is safe: the router never blocks, so the
+                // shared ingress channel always drains
+                let _ = net.send(Frame { from: id, to, msg });
+            }
+        };
+    }
+
     process.on_start(&mut ctx!());
+    flush!();
 
     loop {
-        // 1. fire due timers
+        let crashed = ctl.is_crashed(id);
+        // 1. fire due timers (a crashed replica executes nothing; its
+        //    due timers are discarded, as a dead process's would be)
         let now = Instant::now();
         while let Some(std::cmp::Reverse((due, tid))) = timers.peek().copied() {
             if due > now {
                 break;
             }
             timers.pop();
-            process.on_timer(TimerId::new(tid), &mut ctx!());
+            if !crashed {
+                process.on_timer(TimerId::new(tid), &mut ctx!());
+                flush!();
+            }
         }
         // 2. run internal steps until passive
-        while process.on_internal(&mut ctx!()) {}
-        // 3. flush outputs
-        for o in process.drain_outputs() {
-            let _ = out.send((id, o));
+        if !crashed {
+            while process.on_internal(&mut ctx!()) {
+                flush!();
+            }
+            // 3. flush outputs
+            for o in process.drain_outputs() {
+                let _ = out.send((id, o));
+            }
         }
         // 4. wait for the next event (or the next timer deadline)
         let timeout = timers
@@ -308,7 +409,18 @@ fn replica_loop<P>(
                 Ok(ReplicaEvent::Input(input)) => {
                     if !ctl.is_crashed(id) {
                         process.on_input(input, &mut ctx!());
+                        flush!();
                     }
+                }
+                Ok(ReplicaEvent::Restart) => {
+                    // rebuild through the factory (recovering from
+                    // durable storage when one is wired) and come back
+                    process = factory(id, n);
+                    timers.clear();
+                    outbox.clear();
+                    ctl.uncrash(id);
+                    process.on_start(&mut ctx!());
+                    flush!();
                 }
                 Ok(ReplicaEvent::Stop(ret)) => {
                     let _ = ret.send(process);
@@ -320,6 +432,7 @@ fn replica_loop<P>(
                 Ok((from, m)) => {
                     if !ctl.is_crashed(id) {
                         process.on_message(from, m, &mut ctx!());
+                        flush!();
                     }
                 }
                 Err(_) => return,
@@ -421,6 +534,117 @@ mod tests {
         let strong = wait_for(&cluster, |r| r.meta.level == Level::Strong);
         assert!(strong.is_some(), "strong op completes after heal");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_replica_restarts_from_file_storage_and_converges() {
+        use bayou_broadcast::PaxosConfig;
+        use bayou_core::recover_paxos_replica;
+        use bayou_data::DeltaState;
+        use bayou_storage::{FileStorage, StoreConfig};
+
+        let n = 3;
+        let root = std::env::temp_dir().join(format!(
+            "bayou-live-recovery-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let factory_root = root.clone();
+        let cluster: LiveBayou<KvStore> = LiveCluster::new(LiveConfig::new(n), move |id, n| {
+            let dir = factory_root.join(format!("replica-{}", id.index()));
+            let backend = FileStorage::open(dir).expect("open replica dir");
+            recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                id,
+                n,
+                ProtocolMode::Improved,
+                PaxosConfig::default(),
+                backend,
+                StoreConfig {
+                    snapshot_every: 8,
+                    ..Default::default()
+                },
+            )
+        });
+
+        // phase 1: writes reach replica 1 and commit cluster-wide
+        for k in 0..6 {
+            cluster.invoke(
+                ReplicaId::new(k % 3),
+                Invocation::weak(KvOp::put(format!("a{k}"), k as i64)),
+            );
+        }
+        for _ in 0..6 {
+            assert!(
+                cluster.recv_output(Duration::from_secs(5)).is_some(),
+                "weak response before crash"
+            );
+        }
+        std::thread::sleep(Duration::from_millis(500));
+
+        // phase 2: kill replica 1, keep committing on the survivors
+        cluster.control().crash(ReplicaId::new(1));
+        for k in 6..12 {
+            cluster.invoke(
+                ReplicaId::new((k % 2) * 2), // replicas 0 and 2 only
+                Invocation::weak(KvOp::put(format!("b{k}"), k as i64)),
+            );
+        }
+        for _ in 6..12 {
+            assert!(
+                cluster.recv_output(Duration::from_secs(5)).is_some(),
+                "survivors stay available"
+            );
+        }
+
+        // phase 3: restart replica 1 from its on-disk state
+        cluster.restart(ReplicaId::new(1));
+        std::thread::sleep(Duration::from_millis(200));
+        cluster.invoke(
+            ReplicaId::new(1),
+            Invocation::weak(KvOp::put("post-restart", 99)),
+        );
+        assert!(
+            cluster.recv_output(Duration::from_secs(5)).is_some(),
+            "restarted replica serves again"
+        );
+        std::thread::sleep(Duration::from_millis(800));
+
+        let replicas = cluster.shutdown();
+        assert_eq!(replicas.len(), 3);
+        let s0 = replicas[0].materialize();
+        assert_eq!(s0.len(), 13, "all 13 writes committed: {s0:?}");
+        for r in &replicas[1..] {
+            assert_eq!(r.materialize(), s0, "replicas diverged after recovery");
+            assert!(r.tentative_ids().is_empty());
+        }
+        assert_eq!(
+            replicas[0].committed_ids(),
+            replicas[1].committed_ids(),
+            "restarted replica holds the identical committed order"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shutdown_succeeds_with_undrained_bounded_outputs() {
+        // regression: a replica blocked publishing into a full (bounded)
+        // output channel must still be able to reach its Stop event —
+        // shutdown drains the channel while waiting
+        let cluster: LiveBayou<Counter> =
+            LiveCluster::new(LiveConfig::new(2).with_channel_capacity(8), |_, n| {
+                BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+            });
+        for _ in 0..12 {
+            cluster.invoke(ReplicaId::new(0), Invocation::weak(CounterOp::Add(1)));
+        }
+        // give the replica time to wedge against the full output channel
+        std::thread::sleep(Duration::from_millis(300));
+        let replicas = cluster.shutdown();
+        assert_eq!(replicas.len(), 2, "shutdown returned all replicas");
     }
 
     #[test]

@@ -52,9 +52,18 @@ impl PartitionControl {
 
     /// Marks a replica as crashed.
     pub fn crash(&self, r: ReplicaId) {
+        self.set_crashed(r, true);
+    }
+
+    /// Marks a replica as live again (a restart completed).
+    pub fn uncrash(&self, r: ReplicaId) {
+        self.set_crashed(r, false);
+    }
+
+    fn set_crashed(&self, r: ReplicaId, value: bool) {
         let mut crashed = self.crashed.lock();
         if r.index() < crashed.len() {
-            crashed[r.index()] = true;
+            crashed[r.index()] = value;
         }
         let leader = crashed
             .iter()
@@ -167,7 +176,12 @@ fn deliver<M>(inboxes: &[Sender<(ReplicaId, M)>], ctl: &PartitionControl, frame:
         return;
     }
     if let Some(tx) = inboxes.get(frame.to.index()) {
-        let _ = tx.send((frame.from, frame.msg)); // receiver gone = shutdown
+        // Never block the router: a full inbox behaves like a lossy link
+        // (the channels are bounded for backpressure) and protocol-level
+        // retransmission recovers the frame. Blocking here could
+        // deadlock the router against a replica that is itself blocked
+        // sending into the shared ingress channel.
+        let _ = tx.try_send((frame.from, frame.msg)); // full/gone = dropped
     }
 }
 

@@ -28,6 +28,24 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -75,6 +93,21 @@ pub mod channel {
             match &self.0 {
                 Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
                 Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+
+        /// Sends without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] immediately (unbounded channels never
+        /// report full).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+                Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
             }
         }
     }
@@ -172,6 +205,23 @@ mod tests {
         tx.send(7).unwrap();
         assert_eq!(rx.try_recv(), Ok(7));
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_reports_full_bounded_channel() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]

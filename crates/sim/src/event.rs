@@ -26,6 +26,11 @@ pub(crate) enum EventKind<M, I> {
     /// `CpuFree` is the bounded wake-up that feeds parked events back in,
     /// one per completed handler.
     CpuFree,
+    /// Rebuild the replica's process from the simulator's factory and
+    /// start it (crash-recovery restart). The factory typically reopens
+    /// the replica's durable storage, so the new incarnation resumes
+    /// from whatever it persisted before crashing.
+    Restart,
 }
 
 /// A scheduled event.

@@ -30,6 +30,8 @@ pub struct Metrics {
     pub inputs: u64,
     /// Internal protocol steps executed (rollbacks/executes in Bayou).
     pub internal_steps: u64,
+    /// Replica restarts executed (crash-recovery schedules).
+    pub restarts: u64,
     /// Total handler executions per replica.
     pub steps: Vec<u64>,
 }

@@ -29,6 +29,11 @@ pub struct SimConfig {
     pub stability: Stability,
     /// Crash schedule: `(time, replica)` pairs.
     pub crashes: Vec<(VirtualTime, ReplicaId)>,
+    /// Restart schedule: `(time, replica)` pairs. At each point the
+    /// replica's process is rebuilt through the simulator's factory
+    /// (which may recover it from durable storage) and started again; a
+    /// crashed replica comes back to life, a live one is bounced.
+    pub restarts: Vec<(VirtualTime, ReplicaId)>,
     /// Hard stop: events after this time are not processed.
     pub max_time: VirtualTime,
     /// Hard stop: maximum number of dispatched events.
@@ -55,6 +60,7 @@ impl SimConfig {
             cpus: Vec::new(),
             stability: Stability::default(),
             crashes: Vec::new(),
+            restarts: Vec::new(),
             max_time: VirtualTime::from_secs(60),
             max_events: 50_000_000,
             internal_defer: Vec::new(),
@@ -103,6 +109,13 @@ impl SimConfig {
         self
     }
 
+    /// Schedules a restart (builder style): the replica's process is
+    /// rebuilt via the factory at `at` and started again.
+    pub fn with_restart(mut self, at: VirtualTime, r: ReplicaId) -> Self {
+        self.restarts.push((at, r));
+        self
+    }
+
     /// Defers internal steps on `r` during `[from, until)` to `until`
     /// (builder style).
     pub fn with_internal_defer(
@@ -148,6 +161,10 @@ pub struct RunReport<O> {
 /// See the crate-level docs for an overview and an example.
 pub struct Sim<P: Process> {
     config: SimConfig,
+    /// The process factory, retained so scheduled restarts can rebuild a
+    /// replica mid-run (recovering it from durable storage when the
+    /// factory wires one).
+    make: Box<dyn FnMut(ReplicaId) -> P>,
     processes: Vec<P>,
     queue: EventQueue<P::Msg, P::Input>,
     cpus: Vec<Cpu>,
@@ -178,7 +195,8 @@ impl<P: Process> Sim<P> {
     ///
     /// Panics if the configuration names zero replicas or has per-replica
     /// vectors of the wrong length.
-    pub fn new(config: SimConfig, mut make: impl FnMut(ReplicaId) -> P) -> Self {
+    pub fn new(config: SimConfig, make: impl FnMut(ReplicaId) -> P + 'static) -> Self {
+        let mut make = make;
         assert!(config.n > 0, "cluster must contain at least one replica");
         assert!(
             config.clocks.is_empty() || config.clocks.len() == config.n,
@@ -210,10 +228,16 @@ impl<P: Process> Sim<P> {
         for r in ReplicaId::all(n) {
             queue.push(VirtualTime::ZERO, r, EventKind::Start);
         }
+        let mut restarts = config.restarts.clone();
+        restarts.sort_by_key(|(t, r)| (*t, *r));
+        for (t, r) in restarts {
+            queue.push(t, r, EventKind::Restart);
+        }
 
         Sim {
             metrics: Metrics::new(n),
             config,
+            make: Box::new(make),
             processes,
             queue,
             cpus,
@@ -342,9 +366,25 @@ impl<P: Process> Sim<P> {
     }
 
     fn dispatch(&mut self, ev: Event<P::Msg, P::Input>) {
+        let mut ev = ev;
         let r = ev.replica;
         let i = r.index();
         self.now = self.now.max(ev.at);
+
+        if matches!(ev.kind, EventKind::Restart) {
+            // rebuild the process through the factory (recovering it
+            // from durable storage when the factory wires one) and wipe
+            // the dead incarnation's runtime residue; then run the new
+            // process's on_start through the normal Start path
+            self.crashed[i] = false;
+            self.processes[i] = (self.make)(r);
+            self.cpus[i] = Cpu::new(self.config.cpus.get(i).copied().unwrap_or_default());
+            self.parked[i].clear();
+            self.internal_pending[i] = false;
+            self.cpu_wake[i] = false;
+            self.metrics.restarts += 1;
+            ev.kind = EventKind::Start;
+        }
 
         if self.crashed[i] {
             if matches!(ev.kind, EventKind::Deliver { .. }) {
@@ -448,6 +488,7 @@ impl<P: Process> Sim<P> {
                     }
                 }
                 EventKind::CpuFree => unreachable!("CpuFree handled before dispatch"),
+                EventKind::Restart => unreachable!("Restart rewritten to Start above"),
             }
         }
 
@@ -666,7 +707,7 @@ mod tests {
     #[test]
     fn crashed_replica_stops_responding() {
         let cfg = SimConfig::new(2, 3).with_crash(VirtualTime::from_millis(5), ReplicaId::new(1));
-        let mut sim = Sim::new(cfg, |_| PingPong {
+        let mut sim = Sim::new(cfg, move |_| PingPong {
             rounds: 0,
             out: vec![],
         });
@@ -706,7 +747,7 @@ mod tests {
             slowdown: 1.0,
         };
         let cfg = SimConfig::new(2, 3).with_cpu(ReplicaId::new(1), slow);
-        let mut sim = Sim::new(cfg, |_| PingPong {
+        let mut sim = Sim::new(cfg, move |_| PingPong {
             rounds: 0,
             out: vec![],
         });
@@ -805,7 +846,7 @@ mod tests {
                 slowdown: 1.0,
             },
         );
-        let mut sim = Sim::new(cfg, |_| Grinder {
+        let mut sim = Sim::new(cfg, move |_| Grinder {
             pending: 0,
             out: vec![],
         });
@@ -813,6 +854,54 @@ mod tests {
         let report = sim.run();
         // 1 input + 10 internal steps at 1ms each
         assert!(report.end_time >= VirtualTime::from_millis(11));
+    }
+
+    #[test]
+    fn restart_rebuilds_the_process_via_the_factory() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let built = Rc::new(Cell::new(0u32));
+        let built2 = Rc::clone(&built);
+        let cfg = SimConfig::new(2, 1)
+            .with_crash(VirtualTime::from_millis(5), ReplicaId::new(1))
+            .with_restart(VirtualTime::from_millis(20), ReplicaId::new(1));
+        let mut sim = Sim::new(cfg, move |_| {
+            built2.set(built2.get() + 1);
+            PingPong {
+                rounds: 0,
+                out: vec![],
+            }
+        });
+        // volley while R1 is down: dies at R1
+        sim.schedule_input(VirtualTime::from_millis(10), ReplicaId::new(0), 4);
+        // volley after the restart: completes
+        sim.schedule_input(VirtualTime::from_millis(30), ReplicaId::new(0), 4);
+        let report = sim.run();
+        assert_eq!(built.get(), 3, "2 initial + 1 restart");
+        assert_eq!(report.metrics.restarts, 1);
+        assert!(report.metrics.messages_dropped_crash >= 1);
+        assert_eq!(
+            report.outputs.len(),
+            1,
+            "only the post-restart volley returns"
+        );
+        // the rebuilt process started from scratch
+        assert_eq!(sim.process(ReplicaId::new(1)).rounds, 2);
+    }
+
+    #[test]
+    fn restart_of_a_live_replica_bounces_its_state() {
+        let cfg =
+            SimConfig::new(1, 1).with_restart(VirtualTime::from_millis(50), ReplicaId::new(0));
+        let mut sim = Sim::new(cfg, move |_| Grinder {
+            pending: 0,
+            out: vec![],
+        });
+        sim.schedule_input(VirtualTime::from_millis(1), ReplicaId::new(0), 3);
+        let report = sim.run();
+        assert_eq!(report.metrics.restarts, 1);
+        assert_eq!(report.outputs.len(), 3);
+        assert_eq!(sim.process(ReplicaId::new(0)).pending, 0);
     }
 
     #[test]
@@ -835,7 +924,7 @@ mod tests {
         let cfg = SimConfig::new(3, 2).with_stability(Stability::Stable {
             gst: VirtualTime::ZERO,
         });
-        let mut sim = Sim::new(cfg, |_| OmegaProbe { out: vec![] });
+        let mut sim = Sim::new(cfg, move |_| OmegaProbe { out: vec![] });
         sim.schedule_input(VirtualTime::from_millis(5), ReplicaId::new(2), ());
         let report = sim.run();
         assert_eq!(report.outputs[0].output, 0, "stable run trusts R0");

@@ -60,7 +60,7 @@ const MAX_CHOICES: usize = 1 << 20;
 /// # Errors
 ///
 /// Returns [`BayouError::HistoryTooLarge`] when the history exceeds
-/// [`MAX_EVENTS`](self) events or the weak-context search space explodes.
+/// `MAX_EVENTS` events or the weak-context search space explodes.
 pub fn solve_bec_weak_seq_strong<F>(history: &History<F::Op>) -> Result<SolveOutcome, BayouError>
 where
     F: DataType,

@@ -1,0 +1,635 @@
+//! WAL record types and their on-disk framing.
+//!
+//! Every durable fact a replica learns becomes one [`WalRecord`]:
+//! locally invoked requests, remote requests entering the tentative
+//! order, and the TOB layer's durable transitions (Paxos promises,
+//! acceptances, decisions). Records are framed as
+//!
+//! ```text
+//! ┌─────────────┬──────────────┬──────────────────────┐
+//! │ len: u32 LE │ crc32: u32 LE│ payload: [u8; len]   │
+//! └─────────────┴──────────────┴──────────────────────┘
+//! ```
+//!
+//! with the CRC computed over the payload. The reader stops at the first
+//! truncated or checksum-failing frame — a crash mid-append loses at most
+//! the unsynced tail, never a synced prefix.
+
+use crate::crc::crc32;
+use bayou_broadcast::TobEvent;
+use bayou_types::{ReplicaId, Req, SharedReq, Wire, WireError, WireReader};
+
+/// Bytes of framing overhead per record (`len` + `crc`).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// One durable fact in a replica's write-ahead log.
+///
+/// The request-bearing variants carry the full request so recovery can
+/// rebuild the tentative/committed lists without any other data source;
+/// `tob_seq` is the origin's dense TOB-cast counter value, needed to
+/// re-submit undecided requests into the TOB after a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord<Op> {
+    /// A request invoked locally, logged before it is broadcast.
+    Invoke {
+        /// The origin's dense TOB-cast sequence number.
+        tob_seq: u64,
+        /// The request.
+        req: Req<Op>,
+    },
+    /// A remote request RB-delivered into the tentative order.
+    Tentative {
+        /// The origin's dense TOB-cast sequence number (carried on the
+        /// RB wire frame).
+        tob_seq: u64,
+        /// The request.
+        req: Req<Op>,
+    },
+    /// The TOB acceptor promised a ballot.
+    Promised {
+        /// Ballot round.
+        round: u64,
+        /// Ballot leader.
+        leader: ReplicaId,
+    },
+    /// The TOB acceptor accepted a value in a slot.
+    Accepted {
+        /// The slot.
+        slot: u64,
+        /// Accepting ballot round.
+        round: u64,
+        /// Accepting ballot leader.
+        leader: ReplicaId,
+        /// Broadcast origin.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The accepted request.
+        req: Req<Op>,
+    },
+    /// The TOB learner recorded a slot as decided.
+    Decided {
+        /// The slot.
+        slot: u64,
+        /// Broadcast origin.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The decided request.
+        req: Req<Op>,
+    },
+}
+
+impl<Op> WalRecord<Op> {
+    /// Converts a TOB durable event into its WAL record form.
+    pub fn from_tob_event(ev: TobEvent<SharedReq<Op>>) -> Self
+    where
+        Op: Clone,
+    {
+        match ev {
+            TobEvent::Promised { round, leader } => WalRecord::Promised { round, leader },
+            TobEvent::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                payload,
+            } => WalRecord::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                req: payload.as_ref().clone(),
+            },
+            TobEvent::Decided {
+                slot,
+                sender,
+                seq,
+                payload,
+            } => WalRecord::Decided {
+                slot,
+                sender,
+                seq,
+                req: payload.as_ref().clone(),
+            },
+        }
+    }
+
+    /// Converts a TOB-layer record back into the event form, sharing the
+    /// request; returns `None` for the request-list records.
+    pub fn into_tob_event(self) -> Option<TobEvent<SharedReq<Op>>> {
+        match self {
+            WalRecord::Promised { round, leader } => Some(TobEvent::Promised { round, leader }),
+            WalRecord::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                req,
+            } => Some(TobEvent::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                payload: std::sync::Arc::new(req),
+            }),
+            WalRecord::Decided {
+                slot,
+                sender,
+                seq,
+                req,
+            } => Some(TobEvent::Decided {
+                slot,
+                sender,
+                seq,
+                payload: std::sync::Arc::new(req),
+            }),
+            WalRecord::Invoke { .. } | WalRecord::Tentative { .. } => None,
+        }
+    }
+}
+
+/// A WAL record borrowed from live replica state: encodes byte-identically
+/// to the owned [`WalRecord`] (enforced by tests) without cloning the
+/// request — the hot write path never deep-copies payloads just to frame
+/// them.
+#[derive(Debug)]
+pub enum WalRecordRef<'a, Op> {
+    /// See [`WalRecord::Invoke`].
+    Invoke {
+        /// The origin's dense TOB-cast sequence number.
+        tob_seq: u64,
+        /// The request.
+        req: &'a Req<Op>,
+    },
+    /// See [`WalRecord::Tentative`].
+    Tentative {
+        /// The origin's dense TOB-cast sequence number.
+        tob_seq: u64,
+        /// The request.
+        req: &'a Req<Op>,
+    },
+    /// See [`WalRecord::Promised`].
+    Promised {
+        /// Ballot round.
+        round: u64,
+        /// Ballot leader.
+        leader: ReplicaId,
+    },
+    /// See [`WalRecord::Accepted`].
+    Accepted {
+        /// The slot.
+        slot: u64,
+        /// Accepting ballot round.
+        round: u64,
+        /// Accepting ballot leader.
+        leader: ReplicaId,
+        /// Broadcast origin.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The accepted request.
+        req: &'a Req<Op>,
+    },
+    /// See [`WalRecord::Decided`].
+    Decided {
+        /// The slot.
+        slot: u64,
+        /// Broadcast origin.
+        sender: ReplicaId,
+        /// The origin's dense TOB-cast sequence number.
+        seq: u64,
+        /// The decided request.
+        req: &'a Req<Op>,
+    },
+}
+
+impl<'a, Op> WalRecordRef<'a, Op> {
+    /// Borrows a TOB durable event as its WAL record form.
+    pub fn from_tob_event(ev: &'a TobEvent<SharedReq<Op>>) -> Self {
+        match ev {
+            TobEvent::Promised { round, leader } => WalRecordRef::Promised {
+                round: *round,
+                leader: *leader,
+            },
+            TobEvent::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                payload,
+            } => WalRecordRef::Accepted {
+                slot: *slot,
+                round: *round,
+                leader: *leader,
+                sender: *sender,
+                seq: *seq,
+                req: payload.as_ref(),
+            },
+            TobEvent::Decided {
+                slot,
+                sender,
+                seq,
+                payload,
+            } => WalRecordRef::Decided {
+                slot: *slot,
+                sender: *sender,
+                seq: *seq,
+                req: payload.as_ref(),
+            },
+        }
+    }
+}
+
+impl<Op: Wire> WalRecordRef<'_, Op> {
+    /// Appends the encoding (identical to the owned form's) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecordRef::Invoke { tob_seq, req } => {
+                out.push(1);
+                tob_seq.encode(out);
+                req.encode(out);
+            }
+            WalRecordRef::Tentative { tob_seq, req } => {
+                out.push(2);
+                tob_seq.encode(out);
+                req.encode(out);
+            }
+            WalRecordRef::Promised { round, leader } => {
+                out.push(3);
+                round.encode(out);
+                leader.encode(out);
+            }
+            WalRecordRef::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                req,
+            } => {
+                out.push(4);
+                slot.encode(out);
+                round.encode(out);
+                leader.encode(out);
+                sender.encode(out);
+                seq.encode(out);
+                req.encode(out);
+            }
+            WalRecordRef::Decided {
+                slot,
+                sender,
+                seq,
+                req,
+            } => {
+                out.push(5);
+                slot.encode(out);
+                sender.encode(out);
+                seq.encode(out);
+                req.encode(out);
+            }
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+impl<Op: Wire> Wire for WalRecord<Op> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Invoke { tob_seq, req } => {
+                out.push(1);
+                tob_seq.encode(out);
+                req.encode(out);
+            }
+            WalRecord::Tentative { tob_seq, req } => {
+                out.push(2);
+                tob_seq.encode(out);
+                req.encode(out);
+            }
+            WalRecord::Promised { round, leader } => {
+                out.push(3);
+                round.encode(out);
+                leader.encode(out);
+            }
+            WalRecord::Accepted {
+                slot,
+                round,
+                leader,
+                sender,
+                seq,
+                req,
+            } => {
+                out.push(4);
+                slot.encode(out);
+                round.encode(out);
+                leader.encode(out);
+                sender.encode(out);
+                seq.encode(out);
+                req.encode(out);
+            }
+            WalRecord::Decided {
+                slot,
+                sender,
+                seq,
+                req,
+            } => {
+                out.push(5);
+                slot.encode(out);
+                sender.encode(out);
+                seq.encode(out);
+                req.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            1 => Ok(WalRecord::Invoke {
+                tob_seq: u64::decode(r)?,
+                req: Req::decode(r)?,
+            }),
+            2 => Ok(WalRecord::Tentative {
+                tob_seq: u64::decode(r)?,
+                req: Req::decode(r)?,
+            }),
+            3 => Ok(WalRecord::Promised {
+                round: u64::decode(r)?,
+                leader: ReplicaId::decode(r)?,
+            }),
+            4 => Ok(WalRecord::Accepted {
+                slot: u64::decode(r)?,
+                round: u64::decode(r)?,
+                leader: ReplicaId::decode(r)?,
+                sender: ReplicaId::decode(r)?,
+                seq: u64::decode(r)?,
+                req: Req::decode(r)?,
+            }),
+            5 => Ok(WalRecord::Decided {
+                slot: u64::decode(r)?,
+                sender: ReplicaId::decode(r)?,
+                seq: u64::decode(r)?,
+                req: Req::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                ty: "WalRecord",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Frames an encoded payload: `[len][crc][payload]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    (payload.len() as u32).encode(&mut out);
+    crc32(payload).encode(&mut out);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a stream of framed records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan<T> {
+    /// Every record that decoded and checksummed cleanly, in order.
+    pub records: Vec<T>,
+    /// Byte length of the clean prefix (where the first bad frame, if
+    /// any, starts).
+    pub clean_len: usize,
+    /// Whether the scan stopped early (truncated frame, bad checksum or
+    /// an undecodable payload) — i.e. the stream had a torn tail.
+    pub torn: bool,
+}
+
+/// Scans framed records from `data`, stopping at the first frame that is
+/// truncated, fails its checksum, or does not decode. Everything before
+/// the stop point is returned; the tail is reported, not an error —
+/// exactly the semantics crash recovery wants.
+pub fn scan_frames<T: Wire>(data: &[u8]) -> FrameScan<T> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while data.len() - pos >= FRAME_OVERHEAD {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + FRAME_OVERHEAD;
+        let Some(end) = start.checked_add(len).filter(|e| *e <= data.len()) else {
+            return FrameScan {
+                records,
+                clean_len: pos,
+                torn: true,
+            };
+        };
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            return FrameScan {
+                records,
+                clean_len: pos,
+                torn: true,
+            };
+        }
+        match T::from_bytes(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                return FrameScan {
+                    records,
+                    clean_len: pos,
+                    torn: true,
+                }
+            }
+        }
+        pos = end;
+    }
+    FrameScan {
+        records,
+        clean_len: pos,
+        torn: pos != data.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayou_types::{Dot, Level, Timestamp};
+
+    fn req(n: u64) -> Req<u64> {
+        Req::new(
+            Timestamp::new(n as i64),
+            Dot::new(ReplicaId::new(0), n),
+            Level::Weak,
+            n * 10,
+        )
+    }
+
+    fn sample_records() -> Vec<WalRecord<u64>> {
+        vec![
+            WalRecord::Invoke {
+                tob_seq: 0,
+                req: req(1),
+            },
+            WalRecord::Tentative {
+                tob_seq: 3,
+                req: req(2),
+            },
+            WalRecord::Promised {
+                round: 2,
+                leader: ReplicaId::new(1),
+            },
+            WalRecord::Accepted {
+                slot: 5,
+                round: 2,
+                leader: ReplicaId::new(1),
+                sender: ReplicaId::new(0),
+                seq: 0,
+                req: req(1),
+            },
+            WalRecord::Decided {
+                slot: 5,
+                sender: ReplicaId::new(0),
+                seq: 0,
+                req: req(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let bytes = rec.to_bytes();
+            assert_eq!(WalRecord::<u64>::from_bytes(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn frame_scan_round_trips_clean_streams() {
+        let mut stream = Vec::new();
+        for rec in sample_records() {
+            stream.extend_from_slice(&frame(&rec.to_bytes()));
+        }
+        let scan: FrameScan<WalRecord<u64>> = scan_frames(&stream);
+        assert!(!scan.torn);
+        assert_eq!(scan.clean_len, stream.len());
+        assert_eq!(scan.records, sample_records());
+    }
+
+    #[test]
+    fn every_truncation_point_yields_exactly_the_intact_prefix() {
+        let recs = sample_records();
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for rec in &recs {
+            stream.extend_from_slice(&frame(&rec.to_bytes()));
+            boundaries.push(stream.len());
+        }
+        for cut in 0..=stream.len() {
+            let scan: FrameScan<WalRecord<u64>> = scan_frames(&stream[..cut]);
+            let intact = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), intact, "cut at {cut}");
+            assert_eq!(scan.records[..], recs[..intact]);
+            assert_eq!(scan.torn, cut != boundaries[intact]);
+            assert_eq!(scan.clean_len, boundaries[intact]);
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_stops_the_scan_at_the_frame_boundary() {
+        let recs = sample_records();
+        let mut stream = Vec::new();
+        for rec in &recs {
+            stream.extend_from_slice(&frame(&rec.to_bytes()));
+        }
+        let first_len = frame(&recs[0].to_bytes()).len();
+        // flip a payload byte inside the second frame
+        stream[first_len + FRAME_OVERHEAD] ^= 0xFF;
+        let scan: FrameScan<WalRecord<u64>> = scan_frames(&stream);
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.clean_len, first_len);
+    }
+
+    #[test]
+    fn borrowed_encoding_is_byte_identical_to_owned() {
+        for rec in sample_records() {
+            let borrowed = match &rec {
+                WalRecord::Invoke { tob_seq, req } => WalRecordRef::Invoke {
+                    tob_seq: *tob_seq,
+                    req,
+                },
+                WalRecord::Tentative { tob_seq, req } => WalRecordRef::Tentative {
+                    tob_seq: *tob_seq,
+                    req,
+                },
+                WalRecord::Promised { round, leader } => WalRecordRef::Promised {
+                    round: *round,
+                    leader: *leader,
+                },
+                WalRecord::Accepted {
+                    slot,
+                    round,
+                    leader,
+                    sender,
+                    seq,
+                    req,
+                } => WalRecordRef::Accepted {
+                    slot: *slot,
+                    round: *round,
+                    leader: *leader,
+                    sender: *sender,
+                    seq: *seq,
+                    req,
+                },
+                WalRecord::Decided {
+                    slot,
+                    sender,
+                    seq,
+                    req,
+                } => WalRecordRef::Decided {
+                    slot: *slot,
+                    sender: *sender,
+                    seq: *seq,
+                    req,
+                },
+            };
+            assert_eq!(borrowed.to_bytes(), rec.to_bytes());
+        }
+        // and through the TobEvent borrow path too
+        let ev = TobEvent::Decided {
+            slot: 9,
+            sender: ReplicaId::new(2),
+            seq: 4,
+            payload: std::sync::Arc::new(req(3)),
+        };
+        assert_eq!(
+            WalRecordRef::from_tob_event(&ev).to_bytes(),
+            WalRecord::from_tob_event(ev).to_bytes()
+        );
+    }
+
+    #[test]
+    fn tob_event_conversion_round_trips() {
+        let ev = TobEvent::Decided {
+            slot: 9,
+            sender: ReplicaId::new(2),
+            seq: 4,
+            payload: std::sync::Arc::new(req(3)),
+        };
+        let rec = WalRecord::from_tob_event(ev.clone());
+        let back = rec.into_tob_event().unwrap();
+        assert_eq!(back, ev);
+        assert!(WalRecord::<u64>::Invoke {
+            tob_seq: 0,
+            req: req(1)
+        }
+        .into_tob_event()
+        .is_none());
+    }
+}

@@ -29,6 +29,7 @@ mod req;
 mod runtime;
 mod time;
 mod value;
+mod wire;
 
 pub use error::BayouError;
 pub use ids::{Dot, ReplicaId, ReqId};
@@ -37,6 +38,7 @@ pub use req::{Req, ReqMeta, SharedReq};
 pub use runtime::{Context, Process, TimerId};
 pub use time::{Timestamp, VirtualTime};
 pub use value::Value;
+pub use wire::{Wire, WireError, WireReader};
 
 /// Result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, BayouError>;

@@ -96,6 +96,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Returns the inner map, if this value is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 impl From<i64> for Value {

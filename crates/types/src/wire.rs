@@ -1,0 +1,606 @@
+//! A stable, versioned byte format for durable storage and wire framing.
+//!
+//! The serde shim used in this offline workspace provides only marker
+//! traits, so anything that must survive a crash — WAL records, snapshots,
+//! manifests in `bayou-storage` — needs an explicit, hand-stable byte
+//! encoding. The [`Wire`] trait is that encoding: little-endian
+//! fixed-width integers, `u32`-length-prefixed strings and collections,
+//! and one tag byte per enum variant. The format is *stable by contract*:
+//! changing an existing impl's layout is a breaking change to every byte
+//! already on disk, so new fields must come with a new record kind or a
+//! format version bump in the container (see `docs/STORAGE.md`).
+//!
+//! Decoding is strict: every read is bounds-checked, unknown enum tags are
+//! errors, and [`Wire::from_bytes`] rejects trailing garbage. Decoders
+//! never panic on corrupt input — corruption surfaces as [`WireError`] so
+//! the storage layer can treat a torn WAL tail as end-of-log rather than
+//! aborting recovery.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayou_types::{Dot, Level, ReplicaId, Req, Timestamp, Wire};
+//!
+//! let req = Req::new(Timestamp::new(7), Dot::new(ReplicaId::new(1), 3), Level::Weak, 42u64);
+//! let bytes = req.to_bytes();
+//! let back = Req::<u64>::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, req);
+//! assert_eq!(back.op, 42);
+//! ```
+
+use crate::{Dot, Level, ReplicaId, Req, ReqMeta, Timestamp, Value, VirtualTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors produced when decoding the stable byte format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before a value was fully decoded.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length prefix was implausibly large for the remaining input.
+    BadLength {
+        /// The declared element count.
+        declared: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Decoding finished with bytes left over ([`Wire::from_bytes`]).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            WireError::BadTag { ty, tag } => write!(f, "unknown tag {tag} while decoding {ty}"),
+            WireError::BadLength {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds the {remaining} remaining bytes"
+            ),
+            WireError::BadUtf8 => f.write_str("string field is not valid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after a complete value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked cursor over a byte slice being decoded.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
+    /// Decodes a `u32` element count, sanity-checking it against the
+    /// remaining input (every element costs at least one byte).
+    pub fn take_len(&mut self) -> Result<usize, WireError> {
+        let n = u32::decode(self)? as usize;
+        if n > self.remaining() {
+            return Err(WireError::BadLength {
+                declared: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Types with a stable byte encoding (see the module docs for the format
+/// contract).
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, advancing it.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must span the entire input.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! int_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+int_wire!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { ty: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Option", tag }),
+        }
+    }
+}
+
+macro_rules! tuple_wire {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Wire),+> Wire for ($($t,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$n.encode(out);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($t::decode(r)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_wire!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 G)
+);
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<T: Wire + Ord> Wire for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let mut s = BTreeSet::new();
+        for _ in 0..n {
+            s.insert(T::decode(r)?);
+        }
+        Ok(s)
+    }
+}
+
+impl Wire for Timestamp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.value().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Timestamp::new(i64::decode(r)?))
+    }
+}
+
+impl Wire for VirtualTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(VirtualTime::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl Wire for ReplicaId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u32().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaId::new(u32::decode(r)?))
+    }
+}
+
+impl Wire for Dot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.replica().encode(out);
+        self.event_no().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let replica = ReplicaId::decode(r)?;
+        let event_no = u64::decode(r)?;
+        Ok(Dot::new(replica, event_no))
+    }
+}
+
+impl Wire for Level {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Level::Weak => 0,
+            Level::Strong => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Level::Weak),
+            1 => Ok(Level::Strong),
+            tag => Err(WireError::BadTag { ty: "Level", tag }),
+        }
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Unit => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                b.encode(out);
+            }
+            Value::Int(i) => {
+                out.push(2);
+                i.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(3);
+                s.encode(out);
+            }
+            Value::List(items) => {
+                out.push(4);
+                items.encode(out);
+            }
+            Value::Map(m) => {
+                out.push(5);
+                m.encode(out);
+            }
+            Value::None => out.push(6),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Value::Unit),
+            1 => Ok(Value::Bool(bool::decode(r)?)),
+            2 => Ok(Value::Int(i64::decode(r)?)),
+            3 => Ok(Value::Str(String::decode(r)?)),
+            4 => Ok(Value::List(Vec::decode(r)?)),
+            5 => Ok(Value::Map(BTreeMap::decode(r)?)),
+            6 => Ok(Value::None),
+            tag => Err(WireError::BadTag { ty: "Value", tag }),
+        }
+    }
+}
+
+impl Wire for ReqMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.timestamp.encode(out);
+        self.dot.encode(out);
+        self.level.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ReqMeta {
+            timestamp: Timestamp::decode(r)?,
+            dot: Dot::decode(r)?,
+            level: Level::decode(r)?,
+        })
+    }
+}
+
+impl<Op: Wire> Wire for Req<Op> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.timestamp.encode(out);
+        self.dot.encode(out);
+        self.level.encode(out);
+        self.op.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let timestamp = Timestamp::decode(r)?;
+        let dot = Dot::decode(r)?;
+        let level = Level::decode(r)?;
+        let op = Op::decode(r)?;
+        Ok(Req::new(timestamp, dot, level, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(String::from("héllo"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(7i64));
+        round_trip(Option::<i64>::None);
+        round_trip((1u32, String::from("x")));
+        round_trip(
+            [("a".to_string(), 1i64), ("b".to_string(), 2)]
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+        );
+        round_trip(
+            ["x".to_string(), "y".to_string()]
+                .into_iter()
+                .collect::<BTreeSet<_>>(),
+        );
+    }
+
+    #[test]
+    fn domain_types_round_trip() {
+        round_trip(Timestamp::new(-5));
+        round_trip(VirtualTime::from_millis(17));
+        round_trip(ReplicaId::new(3));
+        round_trip(Dot::new(ReplicaId::new(2), 99));
+        round_trip(Level::Weak);
+        round_trip(Level::Strong);
+        round_trip(ReqMeta {
+            timestamp: Timestamp::new(4),
+            dot: Dot::new(ReplicaId::new(0), 1),
+            level: Level::Strong,
+        });
+        round_trip(Req::new(
+            Timestamp::new(9),
+            Dot::new(ReplicaId::new(1), 2),
+            Level::Weak,
+            String::from("op"),
+        ));
+    }
+
+    #[test]
+    fn values_round_trip() {
+        round_trip(Value::Unit);
+        round_trip(Value::None);
+        round_trip(Value::Bool(false));
+        round_trip(Value::Int(i64::MIN));
+        round_trip(Value::Str("s".into()));
+        round_trip(Value::ints([1, 2, 3]));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::List(vec![Value::Unit]));
+        round_trip(Value::Map(m));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let full = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Weak,
+            String::from("payload"),
+        )
+        .to_bytes();
+        for cut in 0..full.len() {
+            let err = Req::<String>::from_bytes(&full[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(
+            Level::from_bytes(&[9]),
+            Err(WireError::BadTag {
+                ty: "Level",
+                tag: 9
+            })
+        );
+        assert!(matches!(
+            Value::from_bytes(&[200]),
+            Err(WireError::BadTag { ty: "Value", .. })
+        ));
+        assert_eq!(
+            bool::from_bytes(&[2]),
+            Err(WireError::BadTag { ty: "bool", tag: 2 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocation() {
+        // a 4 GiB element count with 4 bytes of payload must fail fast
+        let mut bytes = Vec::new();
+        u32::MAX.encode(&mut bytes);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        // the on-disk format contract: these exact bytes must never change
+        let req = Req::new(
+            Timestamp::new(0x0102),
+            Dot::new(ReplicaId::new(3), 4),
+            Level::Strong,
+            String::from("ab"),
+        );
+        assert_eq!(
+            req.to_bytes(),
+            vec![
+                0x02, 0x01, 0, 0, 0, 0, 0, 0, // timestamp i64 LE
+                3, 0, 0, 0, // replica u32 LE
+                4, 0, 0, 0, 0, 0, 0, 0, // event_no u64 LE
+                1, // Level::Strong
+                2, 0, 0, 0, // string length u32 LE
+                b'a', b'b',
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            WireError::BadTag {
+                ty: "Level",
+                tag: 7,
+            },
+            WireError::BadLength {
+                declared: 10,
+                remaining: 2,
+            },
+            WireError::BadUtf8,
+            WireError::TrailingBytes(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

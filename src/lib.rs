@@ -11,9 +11,10 @@
 //! | [`sim`] | deterministic discrete-event simulator (network, partitions, clocks, CPUs, Ω) |
 //! | [`broadcast`] | links, reliable broadcast, FIFO release, Paxos & sequencer TOB |
 //! | [`core`] | the Bayou replica (Alg. 1 & Alg. 2), cluster harness, comparators |
+//! | [`storage`] | durable replicas: segmented WAL, snapshots, manifest, crash recovery |
 //! | [`spec`] | the formal framework: histories, BEC/FEC/Seq checkers, Theorem 1 solver |
 //! | [`net`] | live threaded runtime |
-//! | [`bench`] | experiment drivers regenerating every figure and theorem |
+//! | [`bench`](mod@bench) | experiment drivers regenerating every figure and theorem |
 //!
 //! # Quickstart
 //!
@@ -60,14 +61,15 @@ pub use bayou_data as data;
 pub use bayou_net as net;
 pub use bayou_sim as sim;
 pub use bayou_spec as spec;
+pub use bayou_storage as storage;
 pub use bayou_types as types;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use bayou_broadcast::{PaxosTob, SequencerTob, Tob};
     pub use bayou_core::{
-        BayouCluster, BayouReplica, ClusterConfig, Invocation, NullTob, ProtocolMode, Response,
-        RunTrace, SessionScript,
+        recover_paxos_replica, BayouCluster, BayouReplica, ClusterConfig, Invocation, NullTob,
+        ProtocolMode, Response, RunTrace, SessionScript,
     };
     pub use bayou_data::{
         AddRemoveSet, AppendList, Bank, BankOp, Calendar, CalendarOp, Counter, CounterOp, DataType,
@@ -81,6 +83,9 @@ pub mod prelude {
     pub use bayou_spec::{
         build_witness, check_bec, check_fec, check_ncc, check_seq, solve_bec_weak_seq_strong,
         CheckOptions, History, SolveOutcome,
+    };
+    pub use bayou_storage::{
+        FileStorage, MemDisk, NullStorage, Persistence, ReplicaStore, Storage, StoreConfig,
     };
     pub use bayou_types::{
         BayouError, Dot, Level, ReplicaId, Req, ReqId, SharedReq, Timestamp, Value, VirtualTime,
