@@ -45,7 +45,7 @@ fn bench_wal_append(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 let req = shared(i, KvOp::put("key", i as i64));
-                store.log_invoke(&req, i);
+                store.log_invoke(&req, i).unwrap();
                 i += 1;
             });
         });
@@ -63,7 +63,7 @@ fn bench_wal_append(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             let req = shared(i, KvOp::put("key", i as i64));
-            store.log_invoke(&req, i);
+            store.log_invoke(&req, i).unwrap();
             i += 1;
         });
         let _ = std::fs::remove_dir_all(&dir);
@@ -84,8 +84,8 @@ fn bench_snapshot_write(c: &mut Criterion) {
             let (mut store, _) = ReplicaStore::<KvStore, _>::open(MemDisk::new(), 3, cfg).unwrap();
             for k in 0..keys {
                 let req = shared(k, KvOp::put(format!("k{k}"), k as i64));
-                store.log_tob_events(vec![decided(k, &req)]);
-                store.note_commit(&req);
+                store.log_tob_events(vec![decided(k, &req)]).unwrap();
+                store.note_commit(&req).unwrap();
             }
             b.iter(|| store.write_snapshot());
         });
@@ -109,8 +109,8 @@ fn bench_recovery(c: &mut Criterion) {
             let (mut store, _) = ReplicaStore::<KvStore, _>::open(disk.clone(), 3, cfg).unwrap();
             for k in 0..commits {
                 let req = shared(k, KvOp::put(format!("k{}", k % 512), k as i64));
-                store.log_tob_events(vec![decided(k, &req)]);
-                store.note_commit(&req);
+                store.log_tob_events(vec![decided(k, &req)]).unwrap();
+                store.note_commit(&req).unwrap();
             }
         }
         g.bench_function(name, |b| {

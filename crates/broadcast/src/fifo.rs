@@ -63,6 +63,18 @@ impl<M> FifoRelease<M> {
         out
     }
 
+    /// Jumps `sender`'s release cursor forward to `next` (a baseline
+    /// install over a compacted prefix): sequence numbers below `next`
+    /// count as already released, and any entry held for one of them is
+    /// discarded. Never moves the cursor backwards.
+    pub fn fast_forward(&mut self, sender: ReplicaId, next: u64) {
+        let i = sender.index();
+        if next > self.next[i] {
+            self.next[i] = next;
+            self.held[i] = self.held[i].split_off(&next);
+        }
+    }
+
     /// Number of entries currently held back (waiting for gaps).
     pub fn held_count(&self) -> usize {
         self.held.iter().map(|h| h.len()).sum()

@@ -52,4 +52,4 @@ pub use link::{LinkMsg, PerfectLink};
 pub use paxos::{Ballot, PaxosConfig, PaxosMsg, PaxosTob};
 pub use rb::{RbId, RbMsg, ReliableBroadcast};
 pub use sequencer::{SequencerMsg, SequencerTob};
-pub use tob::{Tob, TobDelivery, TobEvent};
+pub use tob::{BaselineMark, Tob, TobDelivery, TobEvent};

@@ -17,10 +17,25 @@
 //!   submit pump keeps nagging the current leader until the payload is
 //!   decided;
 //! * **catch-up** for replicas that missed decisions during a partition,
-//!   driven by `DecideAck`/`Catchup` exchanges.
+//!   driven by `DecideAck`/`Catchup` exchanges;
+//! * **committed-prefix compaction** ([`Tob::set_compaction`]): every
+//!   replica piggybacks its contiguous delivered cursor on the traffic
+//!   it already sends (`Submit`/`Promise`/`DecideAck` upward,
+//!   `Decide`/`Catchup` downward), each endpoint computes the
+//!   globally-stable watermark as the **minimum cursor across all
+//!   replicas**, and truncates its decided log below the watermark at a
+//!   *clean point* (a slot boundary where the FIFO gate held nothing
+//!   back). Because the watermark never passes a replica that has not
+//!   reported the prefix as delivered — and deliveries are durable
+//!   before any cursor report leaves the replica — no truncated slot can
+//!   ever be needed for catch-up between current replicas. A replica
+//!   that still asks for truncated history (it lost its disk) receives a
+//!   floor-clamped `Catchup` and flags itself as needing a *baseline*
+//!   ([`Tob::take_baseline_needed`]); the owner transfers a state
+//!   instead of a replay and installs it with [`Tob::install_baseline`].
 
 use crate::fifo::FifoRelease;
-use crate::tob::{Tob, TobDelivery, TobEvent};
+use crate::tob::{BaselineMark, CompactionState, Tob, TobDelivery, TobEvent};
 use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -64,6 +79,8 @@ pub enum PaxosMsg<M> {
         entries: Vec<Entry<M>>,
         /// The sender's contiguous decided prefix (for catch-up).
         decided_upto: u64,
+        /// The sender's contiguous delivered cursor (compaction).
+        committed_upto: u64,
     },
     /// Phase-1a: a candidate leader solicits promises.
     Prepare {
@@ -79,6 +96,8 @@ pub enum PaxosMsg<M> {
         accepted: Vec<(u64, Ballot, Entry<M>)>,
         /// The promiser's contiguous decided prefix.
         decided_upto: u64,
+        /// The promiser's contiguous delivered cursor (compaction).
+        committed_upto: u64,
     },
     /// Phase-2a: the leader asks acceptors to accept a value in a slot.
     Accept {
@@ -102,12 +121,17 @@ pub enum PaxosMsg<M> {
         slot: u64,
         /// The decided entry.
         entry: Entry<M>,
+        /// The sender's view of the globally-stable delivered watermark
+        /// (compaction dissemination; 0 when compaction is off).
+        stable_upto: u64,
     },
     /// Acknowledges a contiguous decided prefix (flow control for
     /// catch-up; doubles as a status/gap report).
     DecideAck {
         /// Slots `< upto` are decided at the sender.
         upto: u64,
+        /// The sender's contiguous delivered cursor (compaction).
+        committed_upto: u64,
     },
     /// Bulk re-delivery of decided slots `first..first+entries.len()`.
     Catchup {
@@ -115,6 +139,13 @@ pub enum PaxosMsg<M> {
         first: u64,
         /// Decided entries, one per consecutive slot.
         entries: Vec<Entry<M>>,
+        /// The sender's view of the globally-stable delivered watermark.
+        stable_upto: u64,
+        /// The sender's compaction slot floor: slots below it no longer
+        /// exist as replayable history at the sender. A receiver whose
+        /// contiguous prefix is below this floor can never be caught up
+        /// by replay and must request a baseline state transfer.
+        floor: u64,
     },
 }
 
@@ -206,6 +237,14 @@ pub struct PaxosTob<M> {
     durable_on: bool,
     /// Recorded transitions awaiting [`Tob::drain_durable`].
     durable: Vec<TobEvent<M>>,
+
+    // -- committed-prefix compaction ---------------------------------------
+    /// Cursor/watermark/clean-point/floor bookkeeping
+    /// ([`CompactionState`], shared with the sequencer TOB).
+    comp: CompactionState,
+    /// Set when a floor-clamped `Catchup` told us our missing prefix no
+    /// longer exists as replayable history (we need a baseline).
+    baseline_from: Option<ReplicaId>,
 }
 
 impl<M: Clone + fmt::Debug> PaxosTob<M> {
@@ -236,6 +275,8 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             pump_timer: None,
             durable_on: false,
             durable: Vec::new(),
+            comp: CompactionState::new(n),
+            baseline_from: None,
         }
     }
 
@@ -349,15 +390,23 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         self.drain_deliveries()
     }
 
+    /// Whether a broadcast key is known decided. Keys of already
+    /// FIFO-released broadcasts are answered by the per-sender release
+    /// cursor, which lets `decided_keys` hold only the
+    /// decided-but-unreleased window instead of the whole lifetime.
+    fn key_decided(&self, key: (ReplicaId, u64)) -> bool {
+        key.1 < self.fifo.next_seq(key.0) || self.decided_keys.contains(&key)
+    }
+
     fn is_known(&self, key: (ReplicaId, u64)) -> bool {
-        self.decided_keys.contains(&key)
+        self.key_decided(key)
             || self.pending_keys.contains(&key)
             || self.standby_keys.contains(&key)
     }
 
     fn enqueue(&mut self, entry: Entry<M>, ctx: &mut dyn Context<PaxosMsg<M>>) {
         let key = entry.key();
-        if self.decided_keys.contains(&key) || self.pending_keys.contains(&key) {
+        if self.key_decided(key) || self.pending_keys.contains(&key) {
             self.ensure_pump(ctx);
             return;
         }
@@ -378,8 +427,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         };
         let pending: Vec<Entry<M>> = self.pending.iter().cloned().collect();
         for entry in pending {
-            if self.proposed_keys.contains(&entry.key()) || self.decided_keys.contains(&entry.key())
-            {
+            if self.proposed_keys.contains(&entry.key()) || self.key_decided(entry.key()) {
                 continue;
             }
             let slot = self.next_slot;
@@ -428,6 +476,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         if let Some(entry) = decided_entry {
             self.inflight.remove(&slot);
             let me = ctx.id();
+            let stable_upto = self.comp.stable();
             for to in ReplicaId::all(self.n) {
                 if to != me {
                     ctx.send(
@@ -435,6 +484,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                         PaxosMsg::Decide {
                             slot,
                             entry: entry.clone(),
+                            stable_upto,
                         },
                     );
                 }
@@ -445,7 +495,10 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
 
     /// Records a decided slot and advances the contiguous prefix.
     fn learn(&mut self, slot: u64, entry: Entry<M>) {
-        if self.decided.contains_key(&slot) {
+        if slot < self.comp.floor.slot_floor || self.decided.contains_key(&slot) {
+            // below the compaction floor the decision is ancient history
+            // (delivered everywhere); re-learning it would resurrect
+            // truncated state
             return;
         }
         if self.durable_on {
@@ -483,7 +536,11 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                 .expect("prefix implies decided")
                 .clone();
             self.set_fifo_cursor(slot + 1);
+            let pushed_key = entry.key();
             for e in self.fifo.push(entry.sender, entry.seq, entry) {
+                // released keys are answered by the fifo cursor from now
+                // on — drop them from the unreleased-window set
+                self.decided_keys.remove(&(e.sender, e.seq));
                 out.push(TobDelivery {
                     sender: e.sender,
                     seq: e.seq,
@@ -492,8 +549,78 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                 });
                 self.delivered += 1;
             }
+            if pushed_key.1 < self.fifo.next_seq(pushed_key.0) {
+                // released above, or a duplicate decision of an
+                // already-released broadcast: covered by the cursor
+                self.decided_keys.remove(&pushed_key);
+            }
+            if self.comp.on && self.fifo.held_count() == 0 {
+                // a clean point: the deliveries so far are exactly the
+                // slots processed so far — a valid truncation boundary
+                let (fifo, n) = (&self.fifo, self.n);
+                self.comp.record_clean_point(slot + 1, self.delivered, || {
+                    ReplicaId::all(n).map(|r| fifo.next_seq(r)).collect()
+                });
+            }
+        }
+        if !out.is_empty() {
+            if let Some(me) = self.me {
+                self.comp.note_peer(me.index(), self.delivered);
+            }
+            self.refresh_stable();
         }
         out
+    }
+
+    /// Recomputes the locally-known globally-stable watermark (the
+    /// minimum delivered cursor across all replicas — conservative:
+    /// unheard-from peers count as 0) and truncates up to it.
+    fn refresh_stable(&mut self) {
+        if !self.comp.on {
+            return;
+        }
+        self.comp.refresh_min();
+        self.maybe_compact();
+    }
+
+    /// Advances the compaction floor to the best clean point at or below
+    /// the stable watermark and truncates the decided log there.
+    fn maybe_compact(&mut self) {
+        if self.comp.advance_floor() {
+            let floor = self.comp.floor.slot_floor;
+            self.decided = self.decided.split_off(&floor);
+            self.accepted = self.accepted.split_off(&floor);
+        }
+    }
+
+    /// Records a peer's contiguous decided prefix report. Normally the
+    /// cursor only moves forward (reports may arrive reordered), but a
+    /// report *below our compaction floor* from a peer we believed to be
+    /// past it means the peer lost its state (amnesia restart): the
+    /// monotone assumption is dropped so the catch-up path can observe
+    /// the regression, floor-clamp, and trigger the baseline transfer.
+    fn note_peer_decided(&mut self, from: ReplicaId, upto: u64) {
+        let i = from.index();
+        if self.comp.on && upto < self.comp.floor.slot_floor && upto < self.acked_upto[i] {
+            self.acked_upto[i] = upto;
+            self.catchup_sent[i] = self.catchup_sent[i].min(upto);
+        } else {
+            self.acked_upto[i] = self.acked_upto[i].max(upto);
+        }
+    }
+
+    /// Records a peer's contiguous delivered cursor.
+    fn note_peer_delivered(&mut self, from: ReplicaId, committed_upto: u64) {
+        self.comp.note_peer(from.index(), committed_upto);
+        self.refresh_stable();
+    }
+
+    /// Adopts a watermark disseminated by a peer (the leader's computed
+    /// minimum reaches followers through `Decide`/`Catchup`).
+    fn note_stable_upto(&mut self, stable_upto: u64) {
+        if self.comp.adopt(stable_upto) {
+            self.maybe_compact();
+        }
     }
 
     fn fifo_cursor(&self) -> u64 {
@@ -552,19 +679,29 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         };
         self.role = Role::Leading { ballot };
         // re-propose every accepted-but-undecided slot under our ballot
+        // (slots below the compaction floor are decided everywhere and
+        // must not be revived)
         let mut max_slot = self.decided.keys().next_back().copied();
         for (slot, (_b, entry)) in &merged {
             max_slot = Some(max_slot.map_or(*slot, |m| m.max(*slot)));
-            if !self.decided.contains_key(slot) {
+            if *slot >= self.comp.floor.slot_floor && !self.decided.contains_key(slot) {
                 self.propose_at(ballot, *slot, entry.clone(), ctx);
             }
         }
-        self.next_slot = max_slot.map_or(0, |m| m + 1).max(self.next_slot);
+        self.next_slot = max_slot
+            .map_or(0, |m| m + 1)
+            .max(self.next_slot)
+            .max(self.comp.floor.slot_floor);
         self.try_propose(ctx);
     }
 
     fn send_catchup(&mut self, to: ReplicaId, from_slot: u64, ctx: &mut dyn Context<PaxosMsg<M>>) {
-        let start = from_slot.max(self.catchup_sent[to.index()]);
+        // never below the compaction floor: those slots no longer exist
+        // as replayable history here — the floor-clamped batch tells the
+        // receiver whether it needs a baseline instead
+        let start = from_slot
+            .max(self.catchup_sent[to.index()])
+            .max(self.comp.floor.slot_floor);
         if start >= self.prefix {
             return; // everything shipped already; the pump re-ships on loss
         }
@@ -577,6 +714,8 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             PaxosMsg::Catchup {
                 first: start,
                 entries,
+                stable_upto: self.comp.stable(),
+                floor: self.comp.floor.slot_floor,
             },
         );
     }
@@ -588,6 +727,10 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             || matches!(self.role, Role::Preparing { .. })
             || self.has_gap()
             || self.leading_with_laggards()
+            // decided-but-undrained slots: `cast` can decide immediately
+            // (single-replica quorum) but deliveries only drain in
+            // on_message/on_timer — the pump must come back for them
+            || self.fifo_cursor < self.prefix
     }
 
     fn has_gap(&self) -> bool {
@@ -701,11 +844,20 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                     PaxosMsg::Submit {
                         entries,
                         decided_upto: self.prefix,
+                        committed_upto: self.delivered,
                     },
                 );
             }
-            if self.has_gap() {
-                ctx.send(leader, PaxosMsg::DecideAck { upto: self.prefix });
+            if self.has_gap() || self.comp.on {
+                // with compaction on, acks double as cursor reports that
+                // keep the leader's watermark fresh
+                ctx.send(
+                    leader,
+                    PaxosMsg::DecideAck {
+                        upto: self.prefix,
+                        committed_upto: self.delivered,
+                    },
+                );
             }
         }
 
@@ -739,6 +891,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 PaxosMsg::Submit {
                     entries: vec![entry.clone()],
                     decided_upto: self.prefix,
+                    committed_upto: self.delivered,
                 },
             );
             // keep a local copy in pending so the pump retries
@@ -779,12 +932,17 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
         msg: PaxosMsg<M>,
         ctx: &mut dyn Context<PaxosMsg<M>>,
     ) -> Vec<TobDelivery<M>> {
+        // acks are sent after the delivery drain below, so the delivered
+        // cursor they piggyback reflects the batch this message produced
+        let mut ack_to: Option<ReplicaId> = None;
         match msg {
             PaxosMsg::Submit {
                 entries,
                 decided_upto,
+                committed_upto,
             } => {
-                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(decided_upto);
+                self.note_peer_decided(from, decided_upto);
+                self.note_peer_delivered(from, committed_upto);
                 for e in entries {
                     self.enqueue(e, ctx);
                 }
@@ -812,6 +970,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                             ballot,
                             accepted,
                             decided_upto: self.prefix,
+                            committed_upto: self.delivered,
                         },
                     );
                 }
@@ -821,8 +980,10 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 ballot,
                 accepted,
                 decided_upto,
+                committed_upto,
             } => {
-                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(decided_upto);
+                self.note_peer_decided(from, decided_upto);
+                self.note_peer_delivered(from, committed_upto);
                 if let Role::Preparing {
                     ballot: my_ballot,
                     promises,
@@ -856,28 +1017,59 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                     }
                 }
             }
-            PaxosMsg::Decide { slot, entry } => {
+            PaxosMsg::Decide {
+                slot,
+                entry,
+                stable_upto,
+            } => {
+                self.note_stable_upto(stable_upto);
                 self.learn(slot, entry);
-                ctx.send(from, PaxosMsg::DecideAck { upto: self.prefix });
+                ack_to = Some(from);
                 self.ensure_pump(ctx);
             }
-            PaxosMsg::DecideAck { upto } => {
-                self.acked_upto[from.index()] = self.acked_upto[from.index()].max(upto);
+            PaxosMsg::DecideAck {
+                upto,
+                committed_upto,
+            } => {
+                self.note_peer_decided(from, upto);
+                self.note_peer_delivered(from, committed_upto);
                 if upto < self.prefix {
                     self.send_catchup(from, upto, ctx);
                 }
             }
-            PaxosMsg::Catchup { first, entries } => {
+            PaxosMsg::Catchup {
+                first,
+                entries,
+                stable_upto,
+                floor,
+            } => {
+                self.note_stable_upto(stable_upto);
+                if self.comp.on && floor > self.prefix && floor > self.comp.floor.slot_floor {
+                    // the sender has compacted past our prefix: the slots
+                    // we are missing no longer exist as replayable
+                    // history — only a baseline state transfer can help
+                    self.baseline_from = Some(from);
+                }
                 for (k, e) in entries.into_iter().enumerate() {
                     self.learn(first + k as u64, e);
                 }
                 if self.prefix > 0 {
-                    ctx.send(from, PaxosMsg::DecideAck { upto: self.prefix });
+                    ack_to = Some(from);
                 }
                 self.ensure_pump(ctx);
             }
         }
-        self.drain_deliveries()
+        let out = self.drain_deliveries();
+        if let Some(to) = ack_to {
+            ctx.send(
+                to,
+                PaxosMsg::DecideAck {
+                    upto: self.prefix,
+                    committed_upto: self.delivered,
+                },
+            );
+        }
+        out
     }
 
     fn on_timer(
@@ -908,6 +1100,53 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
 
     fn drain_durable(&mut self) -> Vec<TobEvent<M>> {
         std::mem::take(&mut self.durable)
+    }
+
+    fn set_compaction(&mut self, on: bool) {
+        self.comp.set_on(on);
+    }
+
+    fn stable_delivered(&self) -> u64 {
+        self.comp.floor.delivered
+    }
+
+    fn baseline_mark(&self) -> Option<BaselineMark> {
+        Some(self.comp.floor.clone())
+    }
+
+    fn install_baseline(&mut self, mark: &BaselineMark) {
+        if mark.delivered <= self.delivered {
+            return; // stale (or zero) mark: we are already past it
+        }
+        self.decided = self.decided.split_off(&mark.slot_floor);
+        self.accepted = self.accepted.split_off(&mark.slot_floor);
+        for s in ReplicaId::all(self.n) {
+            self.fifo.fast_forward(s, mark.next_for(s));
+        }
+        self.decided_keys.retain(|(s, q)| *q >= mark.next_for(*s));
+        // entries we were still trying to get ordered may be part of the
+        // installed prefix now — drop them by their cast cursor
+        self.pending.retain(|e| e.seq >= mark.next_for(e.sender));
+        self.standby.retain(|e| e.seq >= mark.next_for(e.sender));
+        self.pending_keys.retain(|(s, q)| *q >= mark.next_for(*s));
+        self.standby_keys.retain(|(s, q)| *q >= mark.next_for(*s));
+        self.fifo_cursor = self.fifo_cursor.max(mark.slot_floor);
+        self.prefix = self.prefix.max(mark.slot_floor);
+        while self.decided.contains_key(&self.prefix) {
+            self.prefix += 1;
+        }
+        self.delivered = mark.delivered;
+        self.next_slot = self.next_slot.max(mark.slot_floor);
+        self.comp.install(mark, self.me.map(|m| m.index()));
+        self.baseline_from = None;
+    }
+
+    fn take_baseline_needed(&mut self) -> Option<ReplicaId> {
+        self.baseline_from.take()
+    }
+
+    fn released_seq(&self, sender: ReplicaId) -> u64 {
+        self.fifo.next_seq(sender)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Sequencer-based Total Order Broadcast (ablation baseline).
 
 use crate::fifo::FifoRelease;
-use crate::tob::{Tob, TobDelivery};
+use crate::tob::{BaselineMark, CompactionState, Tob, TobDelivery};
 use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
@@ -17,6 +17,8 @@ pub enum SequencerMsg<M> {
         seq: u64,
         /// The payload.
         payload: M,
+        /// The submitter's contiguous delivered cursor (compaction).
+        committed_upto: u64,
     },
     /// The sequencer's ordering decision.
     Order {
@@ -28,6 +30,16 @@ pub enum SequencerMsg<M> {
         seq: u64,
         /// The payload.
         payload: M,
+        /// The sequencer's view of the globally-stable delivered
+        /// watermark (compaction dissemination; 0 when off).
+        stable_upto: u64,
+    },
+    /// A delivered-cursor report (compaction only): sent back to the
+    /// sequencer after processing an `Order`, so replicas that never
+    /// cast anything themselves still feed the watermark minimum.
+    Ack {
+        /// The sender's contiguous delivered cursor.
+        committed_upto: u64,
     },
 }
 
@@ -58,9 +70,16 @@ pub struct SequencerTob<M> {
     /// Pending payloads awaiting an `Order` (retried by the pump).
     pending: VecDeque<(ReplicaId, u64, M)>,
     pending_keys: HashSet<(ReplicaId, u64)>,
+    /// Ordered-but-not-yet-released keys (released ones are answered by
+    /// the FIFO cursor, keeping this set O(window) under compaction).
     ordered_keys: HashSet<(ReplicaId, u64)>,
     pump_timer: Option<TimerId>,
     pump_period: VirtualTime,
+    // -- committed-prefix compaction (see `PaxosTob` for the protocol) --
+    /// Cursor/watermark/clean-point/floor bookkeeping
+    /// ([`CompactionState`], shared with the Paxos TOB).
+    comp: CompactionState,
+    me: Option<ReplicaId>,
 }
 
 impl<M: Clone + fmt::Debug> SequencerTob<M> {
@@ -78,6 +97,26 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
             ordered_keys: HashSet::new(),
             pump_timer: None,
             pump_period: VirtualTime::from_millis(40),
+            comp: CompactionState::new(n),
+            me: None,
+        }
+    }
+
+    /// Whether a broadcast key is known ordered (cursor below the FIFO
+    /// release point, or in the unreleased window set).
+    fn key_ordered(&self, key: (ReplicaId, u64)) -> bool {
+        key.1 < self.fifo.next_seq(key.0) || self.ordered_keys.contains(&key)
+    }
+
+    /// Recomputes the locally-known stable watermark and truncates the
+    /// ordered log below it (at a clean FIFO boundary).
+    fn refresh_stable(&mut self) {
+        if !self.comp.on {
+            return;
+        }
+        self.comp.refresh_min();
+        if self.comp.advance_floor() {
+            self.log = self.log.split_off(&self.comp.floor.slot_floor);
         }
     }
 
@@ -89,7 +128,7 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
         ctx: &mut dyn Context<SequencerMsg<M>>,
     ) {
         let key = (sender, seq);
-        if self.ordered_keys.contains(&key) || self.pending_keys.contains(&key) {
+        if self.key_ordered(key) || self.pending_keys.contains(&key) {
             return;
         }
         self.pending_keys.insert(key);
@@ -108,11 +147,12 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
         if leader == me {
             while let Some((sender, seq, payload)) = self.pending.pop_front() {
                 self.pending_keys.remove(&(sender, seq));
-                if self.ordered_keys.contains(&(sender, seq)) {
+                if self.key_ordered((sender, seq)) {
                     continue;
                 }
                 let global = self.next_stamp;
                 self.next_stamp += 1;
+                let stable_upto = self.comp.stable();
                 for to in ReplicaId::all(self.n) {
                     if to != me {
                         ctx.send(
@@ -122,6 +162,7 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
                                 sender,
                                 seq,
                                 payload: payload.clone(),
+                                stable_upto,
                             },
                         );
                     }
@@ -136,6 +177,7 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
                         sender: *sender,
                         seq: *seq,
                         payload: payload.clone(),
+                        committed_upto: self.delivered,
                     },
                 );
             }
@@ -143,6 +185,9 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
     }
 
     fn record(&mut self, global: u64, sender: ReplicaId, seq: u64, payload: M) {
+        if global < self.comp.floor.slot_floor {
+            return; // below the compaction floor: delivered everywhere
+        }
         self.ordered_keys.insert((sender, seq));
         if self.pending_keys.remove(&(sender, seq)) {
             self.pending.retain(|(s, q, _)| (*s, *q) != (sender, seq));
@@ -158,6 +203,7 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
         while let Some((sender, seq, payload)) = self.log.get(&self.cursor).cloned() {
             self.cursor += 1;
             for (s, q, p) in self.fifo.push(sender, seq, (sender, seq, payload)) {
+                self.ordered_keys.remove(&(s, q));
                 out.push(TobDelivery {
                     sender: s,
                     seq: q,
@@ -166,6 +212,22 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
                 });
                 self.delivered += 1;
             }
+            if seq < self.fifo.next_seq(sender) {
+                self.ordered_keys.remove(&(sender, seq));
+            }
+            if self.comp.on && self.fifo.held_count() == 0 {
+                let (fifo, n) = (&self.fifo, self.n);
+                self.comp
+                    .record_clean_point(self.cursor, self.delivered, || {
+                        ReplicaId::all(n).map(|r| fifo.next_seq(r)).collect()
+                    });
+            }
+        }
+        if !out.is_empty() {
+            if let Some(me) = self.me {
+                self.comp.note_peer(me.index(), self.delivered);
+            }
+            self.refresh_stable();
         }
         out
     }
@@ -174,7 +236,9 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
 impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
     type Msg = SequencerMsg<M>;
 
-    fn on_start(&mut self, _ctx: &mut dyn Context<SequencerMsg<M>>) {}
+    fn on_start(&mut self, ctx: &mut dyn Context<SequencerMsg<M>>) {
+        self.me = Some(ctx.id());
+    }
 
     fn cast(&mut self, seq: u64, payload: M, ctx: &mut dyn Context<SequencerMsg<M>>) {
         let me = ctx.id();
@@ -193,16 +257,22 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
 
     fn on_message(
         &mut self,
-        _from: ReplicaId,
+        from: ReplicaId,
         msg: SequencerMsg<M>,
         ctx: &mut dyn Context<SequencerMsg<M>>,
     ) -> Vec<TobDelivery<M>> {
+        // the cursor ack goes out after the drain below, so it reflects
+        // the deliveries this message produced
+        let mut ack_to = None;
         match msg {
             SequencerMsg::Submit {
                 sender,
                 seq,
                 payload,
+                committed_upto,
             } => {
+                self.comp.note_peer(from.index(), committed_upto);
+                self.refresh_stable();
                 self.submit(sender, seq, payload, ctx);
             }
             SequencerMsg::Order {
@@ -210,11 +280,29 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
                 sender,
                 seq,
                 payload,
+                stable_upto,
             } => {
+                self.comp.adopt(stable_upto);
                 self.record(global, sender, seq, payload);
+                if self.comp.on {
+                    ack_to = Some(from);
+                }
+            }
+            SequencerMsg::Ack { committed_upto } => {
+                self.comp.note_peer(from.index(), committed_upto);
+                self.refresh_stable();
             }
         }
-        self.drain()
+        let out = self.drain();
+        if let Some(to) = ack_to {
+            ctx.send(
+                to,
+                SequencerMsg::Ack {
+                    committed_upto: self.delivered,
+                },
+            );
+        }
+        out
     }
 
     fn on_timer(
@@ -244,6 +332,39 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
 
     fn delivered_count(&self) -> u64 {
         self.delivered
+    }
+
+    fn set_compaction(&mut self, on: bool) {
+        self.comp.set_on(on);
+    }
+
+    fn stable_delivered(&self) -> u64 {
+        self.comp.floor.delivered
+    }
+
+    fn baseline_mark(&self) -> Option<BaselineMark> {
+        Some(self.comp.floor.clone())
+    }
+
+    fn install_baseline(&mut self, mark: &BaselineMark) {
+        if mark.delivered <= self.delivered {
+            return;
+        }
+        self.log = self.log.split_off(&mark.slot_floor);
+        for s in ReplicaId::all(self.n) {
+            self.fifo.fast_forward(s, mark.next_for(s));
+        }
+        self.ordered_keys.retain(|(s, q)| *q >= mark.next_for(*s));
+        self.pending.retain(|(s, q, _)| *q >= mark.next_for(*s));
+        self.pending_keys.retain(|(s, q)| *q >= mark.next_for(*s));
+        self.cursor = self.cursor.max(mark.slot_floor);
+        self.delivered = mark.delivered;
+        self.next_stamp = self.next_stamp.max(mark.slot_floor);
+        self.comp.install(mark, self.me.map(|m| m.index()));
+    }
+
+    fn released_seq(&self, sender: ReplicaId) -> u64 {
+        self.fifo.next_seq(sender)
     }
 }
 

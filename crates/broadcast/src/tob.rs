@@ -1,6 +1,6 @@
 //! The Total Order Broadcast abstraction.
 
-use bayou_types::{Context, ReplicaId, TimerId};
+use bayou_types::{Context, ReplicaId, TimerId, Wire, WireError, WireReader};
 use std::fmt;
 
 /// A message delivered by Total Order Broadcast.
@@ -96,6 +96,259 @@ pub trait Tob<M: Clone + fmt::Debug> {
     /// disk before any message produced by the step leaves the replica.
     fn drain_durable(&mut self) -> Vec<TobEvent<M>> {
         Vec::new()
+    }
+
+    // ---- committed-prefix compaction -----------------------------------
+    //
+    // The methods below implement the distributed agreement on *when*
+    // committed history may be dropped. Every replica piggybacks its
+    // contiguous delivered cursor on the traffic it already sends; each
+    // endpoint computes the *globally-stable watermark* — the minimum
+    // cursor across all replicas — below which every replica has
+    // (durably, when persistence is on) delivered the identical prefix.
+    // Payloads below the watermark can never be needed for catch-up
+    // between current replicas, so the implementation truncates its
+    // decided log there and exposes the floor as a [`BaselineMark`]. A
+    // replica that nonetheless asks for history below the floor (it lost
+    // its disk) is served a *baseline* — a state instead of a replay —
+    // through the owner (see `bayou_core::BayouMsg::Baseline`).
+    //
+    // All methods default to "no compaction" so implementations without
+    // durable history (e.g. a null TOB) need not care.
+
+    /// Enables (or disables) committed-prefix compaction: cursor
+    /// piggybacking, watermark computation and decided-log truncation.
+    /// Disabled by default; implementations may ignore it.
+    fn set_compaction(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// The compaction floor in delivery space: the number of leading TOB
+    /// deliveries that are globally stable *and* have been truncated
+    /// from this endpoint's decided log. The owner may drop the payloads
+    /// of exactly that committed prefix. Always 0 without compaction.
+    fn stable_delivered(&self) -> u64 {
+        0
+    }
+
+    /// The current compaction floor as an installable mark, or `None`
+    /// when the implementation does not compact.
+    fn baseline_mark(&self) -> Option<BaselineMark> {
+        None
+    }
+
+    /// Fast-forwards this endpoint over a compacted prefix described by
+    /// `mark` (recovery from a compact snapshot, or a live baseline
+    /// transfer): the decided log below the floor is discarded, the
+    /// contiguous prefix, FIFO release cursors and delivery counter jump
+    /// to the mark. A stale mark (not past the current state) is a
+    /// no-op. Default: ignored.
+    fn install_baseline(&mut self, mark: &BaselineMark) {
+        let _ = mark;
+    }
+
+    /// Takes the peer this endpoint detected it needs a baseline *from*:
+    /// set when a catch-up response was clamped at the sender's
+    /// compaction floor above our own prefix, meaning the missing slots
+    /// no longer exist as replayable history anywhere we can reach. The
+    /// owner reacts by requesting a baseline state transfer.
+    fn take_baseline_needed(&mut self) -> Option<ReplicaId> {
+        None
+    }
+
+    /// The next cast sequence number of `sender` that has *not* yet been
+    /// FIFO-released by this endpoint: every seq below it was already
+    /// TOB-delivered here. Lets the owner drop stale reliable-broadcast
+    /// re-deliveries of long-committed requests even after it pruned its
+    /// own id sets. Default 0 (nothing released).
+    fn released_seq(&self, sender: ReplicaId) -> u64 {
+        let _ = sender;
+        0
+    }
+}
+
+/// A compaction floor of a Total Order Broadcast endpoint: everything
+/// needed to resume (or bootstrap) delivery *above* a truncated prefix.
+///
+/// The mark is taken at a *clean point* — a contiguously-decided slot
+/// boundary at which the sender-FIFO gate held nothing back — so the
+/// delivery prefix it describes is exactly the deliveries produced by
+/// the truncated slots, and `fifo_next` fully captures the gate state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BaselineMark {
+    /// Slots `< slot_floor` are truncated (contiguously decided
+    /// everywhere).
+    pub slot_floor: u64,
+    /// TOB deliveries produced by the truncated slots (the watermark in
+    /// delivery space; `tob_no`s `< delivered` are below the floor).
+    pub delivered: u64,
+    /// Per-sender next expected cast sequence number at the floor.
+    pub fifo_next: Vec<u64>,
+}
+
+impl BaselineMark {
+    /// A zero mark (nothing compacted) for a cluster of `n` replicas.
+    pub fn zero(n: usize) -> Self {
+        BaselineMark {
+            slot_floor: 0,
+            delivered: 0,
+            fifo_next: vec![0; n],
+        }
+    }
+
+    /// Whether the mark describes an actually-compacted prefix.
+    pub fn is_zero(&self) -> bool {
+        self.slot_floor == 0 && self.delivered == 0
+    }
+
+    /// The floor cast-sequence cursor for `sender` (0 when the mark's
+    /// vector is shorter than the cluster, e.g. a zero mark).
+    pub fn next_for(&self, sender: ReplicaId) -> u64 {
+        self.fifo_next.get(sender.index()).copied().unwrap_or(0)
+    }
+}
+
+impl Wire for BaselineMark {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slot_floor.encode(out);
+        self.delivered.encode(out);
+        self.fifo_next.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BaselineMark {
+            slot_floor: u64::decode(r)?,
+            delivered: u64::decode(r)?,
+            fifo_next: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Shared compaction bookkeeping of a TOB endpoint: per-peer delivered
+/// cursors, the stable watermark (max of the locally-computed minimum
+/// and any adopted dissemination), clean truncation points and the
+/// installed floor. The log truncation itself stays with each
+/// implementation (the decided maps differ); everything else lives here
+/// once, used by both `PaxosTob` and `SequencerTob`.
+#[derive(Debug)]
+pub(crate) struct CompactionState {
+    /// Whether compaction is enabled on this endpoint.
+    pub on: bool,
+    /// The installed floor (see [`BaselineMark`]).
+    pub floor: BaselineMark,
+    peer_delivered: Vec<u64>,
+    stable: u64,
+    /// Clean points above the floor: `(slot_cursor, delivered,
+    /// fifo_next)` boundaries where the FIFO gate held nothing back —
+    /// the candidate truncation points, consumed as the watermark
+    /// passes them (bounded by the uncompacted window).
+    clean_points: std::collections::VecDeque<(u64, u64, Vec<u64>)>,
+}
+
+impl CompactionState {
+    pub fn new(n: usize) -> Self {
+        CompactionState {
+            on: false,
+            floor: BaselineMark::zero(n),
+            peer_delivered: vec![0; n],
+            stable: 0,
+            clean_points: std::collections::VecDeque::new(),
+        }
+    }
+
+    pub fn set_on(&mut self, on: bool) {
+        self.on = on;
+        if !on {
+            self.clean_points.clear();
+        }
+    }
+
+    /// The watermark as currently known.
+    pub fn stable(&self) -> u64 {
+        self.stable
+    }
+
+    /// Records a peer's (or our own) contiguous delivered cursor.
+    pub fn note_peer(&mut self, idx: usize, delivered: u64) {
+        if let Some(p) = self.peer_delivered.get_mut(idx) {
+            *p = (*p).max(delivered);
+        }
+    }
+
+    /// Adopts a disseminated watermark; returns whether it advanced.
+    pub fn adopt(&mut self, stable_upto: u64) -> bool {
+        if self.on && stable_upto > self.stable {
+            self.stable = stable_upto;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Recomputes the watermark as the minimum cursor across all
+    /// replicas (conservative: unheard-from peers count as 0).
+    pub fn refresh_min(&mut self) {
+        if self.on {
+            let min = self.peer_delivered.iter().copied().min().unwrap_or(0);
+            self.stable = self.stable.max(min);
+        }
+    }
+
+    /// Records a clean truncation point (the gate held nothing back
+    /// after processing slots `< slot_cursor`); `next` is evaluated
+    /// lazily. Consecutive points with the same delivery prefix
+    /// coalesce to the highest slot boundary.
+    pub fn record_clean_point(
+        &mut self,
+        slot_cursor: u64,
+        delivered: u64,
+        next: impl FnOnce() -> Vec<u64>,
+    ) {
+        if !self.on {
+            return;
+        }
+        match self.clean_points.back_mut() {
+            Some(p) if p.1 == delivered => *p = (slot_cursor, delivered, next()),
+            _ => self
+                .clean_points
+                .push_back((slot_cursor, delivered, next())),
+        }
+    }
+
+    /// Advances the floor to the best clean point at or below the
+    /// watermark; returns whether it moved (the caller then truncates
+    /// its log below `floor.slot_floor`).
+    pub fn advance_floor(&mut self) -> bool {
+        let mut chosen = None;
+        while let Some(p) = self.clean_points.front() {
+            if p.1 <= self.stable {
+                chosen = self.clean_points.pop_front();
+            } else {
+                break;
+            }
+        }
+        let Some((slot, delivered, fifo_next)) = chosen else {
+            return false;
+        };
+        if slot <= self.floor.slot_floor {
+            return false;
+        }
+        self.floor = BaselineMark {
+            slot_floor: slot,
+            delivered,
+            fifo_next,
+        };
+        true
+    }
+
+    /// Installs an externally-provided floor (baseline transfer or
+    /// recovery): clean points below it are void, and our own cursor
+    /// jumps with it.
+    pub fn install(&mut self, mark: &BaselineMark, me: Option<usize>) {
+        self.floor = mark.clone();
+        self.clean_points.clear();
+        if let Some(i) = me {
+            self.note_peer(i, mark.delivered);
+        }
     }
 }
 

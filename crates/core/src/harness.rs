@@ -19,6 +19,9 @@ pub struct ClusterConfig {
     pub mode: ProtocolMode,
     /// Tuning of the default Paxos TOB.
     pub paxos: PaxosConfig,
+    /// Whether replicas truncate their committed history at the
+    /// globally-stable watermark ([`BayouReplica::set_compaction`]).
+    pub compaction: bool,
 }
 
 impl ClusterConfig {
@@ -29,6 +32,7 @@ impl ClusterConfig {
             sim: SimConfig::new(n, seed),
             mode: ProtocolMode::default(),
             paxos: PaxosConfig::default(),
+            compaction: false,
         }
     }
 
@@ -41,6 +45,13 @@ impl ClusterConfig {
     /// Replaces the simulator configuration (builder style).
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Enables committed-history compaction on every replica (builder
+    /// style).
+    pub fn with_compaction(mut self) -> Self {
+        self.compaction = true;
         self
     }
 }
@@ -104,7 +115,12 @@ where
         let n = config.sim.n;
         let mode = config.mode;
         let paxos = config.paxos;
-        Self::with_tob(config.sim, mode, move |_| PaxosTob::new(n, paxos))
+        let compaction = config.compaction;
+        Self::with_factory(config.sim, move |_| {
+            let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
+            r.set_compaction(compaction);
+            r
+        })
     }
 }
 
@@ -246,8 +262,11 @@ where
         self.build_trace()
     }
 
-    /// Asserts that all replicas have converged: identical committed
-    /// lists, empty tentative lists, and identical materialised states.
+    /// Asserts that all replicas have converged: agreeing committed
+    /// orders (compaction-offset aware — a replica that truncated more
+    /// history is compared on the retained overlap, with equal committed
+    /// *totals*), empty tentative lists, and identical materialised
+    /// states.
     ///
     /// # Panics
     ///
@@ -260,13 +279,31 @@ where
         let Some(first) = alive.first() else {
             return;
         };
-        let committed = self.replica(*first).committed_ids();
+        let total = self.replica(*first).committed_total();
         let state = self.replica(*first).materialize();
+        let a_off = self.replica(*first).compacted_count() as usize;
+        let a = self.replica(*first).committed_ids();
         for r in &alive[1..] {
             assert_eq!(
+                self.replica(*r).committed_total(),
+                total,
+                "committed totals diverge between {first} and {r}"
+            );
+            // retained suffixes must agree wherever they overlap
+            let (b_off, b) = (
+                self.replica(*r).compacted_count() as usize,
                 self.replica(*r).committed_ids(),
-                committed,
-                "committed lists diverge between {first} and {r}"
+            );
+            let from = a_off.max(b_off);
+            let until = (a_off + a.len()).min(b_off + b.len());
+            assert!(
+                from <= until,
+                "retained committed suffixes of {first} and {r} do not overlap"
+            );
+            assert_eq!(
+                &a[from - a_off..until - a_off],
+                &b[from - b_off..until - b_off],
+                "committed orders diverge between {first} and {r}"
             );
             assert!(
                 self.replica(*r).tentative_ids().is_empty(),
@@ -310,29 +347,59 @@ where
                 continue;
             };
             let ev = &mut events[idx];
-            assert!(
-                ev.value.is_none(),
-                "duplicate response for request {}",
-                ev.meta.id()
-            );
+            if ev.value.is_some() {
+                // a purely-local read-only invocation leaves no durable
+                // trace, so a restarted replica may reuse its dot; the
+                // pre-crash invocation's journal entry died with the
+                // restart, leaving only its stray response — which then
+                // collides with the reused dot's event. The lost journal
+                // makes the collision undetectable from the surviving
+                // events, so restart schedules get a blanket waiver;
+                // anywhere else a duplicate response is a protocol bug.
+                assert!(
+                    self.has_restarts,
+                    "duplicate response for request {}",
+                    ev.meta.id()
+                );
+                continue;
+            }
             ev.returned_at = Some(out.time);
             ev.value = Some(out.output.value.clone());
             ev.exec_trace = Some(out.output.exec_trace.clone());
         }
         by_id.clear();
 
-        // TOB order: take the longest view; all views must be prefixes
+        // TOB order: stitch the per-replica views together, offset-aware
+        // (a compacting replica only retains a suffix). Views must agree
+        // wherever they overlap; without compaction every offset is 0
+        // and this is exactly the old longest-view-with-prefix check.
+        let mut views: Vec<(usize, ReplicaId, &[ReqId])> = ReplicaId::all(self.n)
+            .map(|r| {
+                (
+                    self.replica(r).compacted_count() as usize,
+                    r,
+                    self.replica(r).tob_order(),
+                )
+            })
+            .collect();
+        views.retain(|(_, _, view)| !view.is_empty());
+        views.sort_by_key(|(off, r, _)| (*off, *r));
+        let base_off = views.first().map(|(off, _, _)| *off).unwrap_or(0);
         let mut tob_order: Vec<ReqId> = Vec::new();
-        for r in ReplicaId::all(self.n) {
-            let view = self.replica(r).tob_order();
-            let shorter = view.len().min(tob_order.len());
+        for (off, r, view) in views {
+            let idx = off - base_off;
+            assert!(
+                idx <= tob_order.len(),
+                "TOB view of replica {r} starts beyond the stitched order — coverage gap"
+            );
+            let overlap = (tob_order.len() - idx).min(view.len());
             assert_eq!(
-                &view[..shorter],
-                &tob_order[..shorter],
+                &tob_order[idx..idx + overlap],
+                &view[..overlap],
                 "TOB orders disagree at replica {r} — total order broken"
             );
-            if view.len() > tob_order.len() {
-                tob_order = view.to_vec();
+            if view.len() > overlap {
+                tob_order.extend_from_slice(&view[overlap..]);
             }
         }
 

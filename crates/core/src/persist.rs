@@ -12,7 +12,7 @@
 //! handle, its post-crash successor.
 
 use crate::replica::{BayouReplica, ProtocolMode};
-use bayou_broadcast::{PaxosConfig, PaxosTob, TobEvent};
+use bayou_broadcast::{PaxosConfig, PaxosTob, Tob, TobEvent};
 use bayou_data::{DataType, StateObject};
 use bayou_storage::{PendingKind, ReplicaStore, Storage, StoreConfig};
 use bayou_types::{ReplicaId, SharedReq, Wire};
@@ -53,8 +53,11 @@ where
     // pruned from pending) while an earlier cast of ours is still
     // undecided, leaving it FIFO-blocked — reusing its (sender, seq) key
     // would make the TOB silently drop the new request as a duplicate.
-    let mut tob_seq = 0u64;
-    let mut curr_event_no = 0u64;
+    // Requests compacted below the snapshot's mark are covered by the
+    // mark's per-sender cast cursor and the persisted `event_high`
+    // vector (the payloads themselves are gone).
+    let mut tob_seq = recovered.mark.next_for(me);
+    let mut curr_event_no = recovered.event_high.get(me.index()).copied().unwrap_or(0);
     let mut note = |origin: ReplicaId, seq: Option<u64>, event_no: u64| {
         if origin == me {
             if let Some(seq) = seq {
@@ -89,6 +92,9 @@ where
     }
 
     let mut tob = PaxosTob::new(n, paxos);
+    // resume the endpoint on the compaction floor first, then replay the
+    // retained durable events above it
+    tob.install_baseline(&recovered.mark);
     let replayed = tob.restore(recovered.tob_events);
     debug_assert_eq!(
         replayed.len(),
@@ -104,6 +110,8 @@ where
         deliveries,
         recovered.snapshot_state,
         recovered.snapshot_delivered,
+        recovered.mark,
+        recovered.baseline,
         recovered.pending,
         curr_event_no,
         tob_seq,
@@ -163,14 +171,16 @@ mod tests {
                 ReplicaStore::<KvStore, _>::open(disk.clone(), 1, StoreConfig::default()).unwrap();
             let r1 = req(1, KvOp::put("a", 1)); // cast with seq 0, still pending
             let r2 = req(2, KvOp::put("b", 2)); // cast with seq 1, decided first
-            store.log_invoke(&r1, 0);
-            store.log_invoke(&r2, 1);
-            store.log_tob_events(vec![TobEvent::Decided {
-                slot: 0,
-                sender: me,
-                seq: 1,
-                payload: r2,
-            }]);
+            store.log_invoke(&r1, 0).unwrap();
+            store.log_invoke(&r2, 1).unwrap();
+            store
+                .log_tob_events(vec![TobEvent::Decided {
+                    slot: 0,
+                    sender: me,
+                    seq: 1,
+                    payload: r2,
+                }])
+                .unwrap();
         } // crash
 
         let factory_disk = disk.clone();

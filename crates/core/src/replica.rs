@@ -22,11 +22,50 @@
 //!   ([`StateObject::truncate_checkpoints`]) every time the committed
 //!   list grows, keeping rollback bookkeeping proportional to the
 //!   speculative window rather than the lifetime of the replica.
+//!
+//! # Committed-history compaction
+//!
+//! The paper's protocol keeps every committed request forever; with
+//! [`BayouReplica::set_compaction`] a replica instead truncates its
+//! committed prefix at the **globally-stable watermark** and runs in
+//! O(state + speculation window) memory indefinitely.
+//!
+//! *Message flow.* Every replica piggybacks its contiguous-delivered
+//! cursor on the TOB traffic it already sends (in Paxos:
+//! `Submit`/`Promise`/`DecideAck` upward, `Decide`/`Catchup` carry the
+//! computed watermark downward). Each endpoint computes the watermark as
+//! the minimum cursor across **all** replicas; the TOB truncates its
+//! decided log there (at a clean sender-FIFO boundary, captured as a
+//! [`BaselineMark`]) and the replica follows: the payloads of exactly
+//! that prefix are dropped from `committed`/`executed`, their combined
+//! effect is folded into a retained *baseline state*, and the store is
+//! told ([`bayou_storage::Persistence::note_stable`]) so snapshots
+//! become compact and old WAL segments die.
+//!
+//! *Safety.* A cursor is only reported once the deliveries it covers are
+//! durable at the reporter (the WAL write happens inside the same atomic
+//! handler step, before any message leaves), and the watermark is the
+//! minimum over all reports — so every replica already holds the prefix
+//! the cluster truncates, and no current replica can ever need a
+//! truncated payload for catch-up. Truncation changes no visible
+//! behaviour: `baseline · retained committed · tentative` materializes
+//! to the same state the full history would (the equivalence and DST
+//! tests in `tests/compaction.rs` / `tests/dst.rs` enforce this).
+//!
+//! *The laggard path.* The one party that can still need truncated
+//! history is a replica that lost its disk: its catch-up request comes
+//! back floor-clamped, it sends [`BayouMsg::BaselineRequest`], and a
+//! peer answers with [`BayouMsg::Baseline`] — the baseline state plus
+//! the mark — which the laggard installs in place of the history that no
+//! longer exists, resuming normal catch-up above the floor. A replica
+//! restarting *with* its disk never needs this: the watermark cannot
+//! pass its last durable report, so its missing suffix is always still
+//! replayable.
 
 use crate::api::{EventRecord, Invocation, Response};
-use bayou_broadcast::{LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
+use bayou_broadcast::{BaselineMark, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
 use bayou_data::{DataType, DeltaState, StateObject};
-use bayou_storage::{NullPersistence, PendingKind, Persistence};
+use bayou_storage::{NullPersistence, PendingKind, Persistence, StorageError};
 use bayou_types::{
     Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime,
 };
@@ -65,14 +104,31 @@ pub struct WireReq<Op> {
     pub tob_seq: u64,
 }
 
-/// Wire messages of a Bayou replica: reliable-broadcast frames or
-/// TOB-implementation messages.
+/// Wire messages of a Bayou replica: reliable-broadcast frames,
+/// TOB-implementation messages, or the baseline state-transfer pair used
+/// by committed-history compaction.
 #[derive(Debug, Clone)]
-pub enum BayouMsg<Op, TM> {
+pub enum BayouMsg<Op, St, TM> {
     /// A reliable-broadcast link frame.
     Rb(LinkMsg<RbMsg<WireReq<Op>>>),
     /// A message of the Total Order Broadcast implementation.
     Tob(TM),
+    /// "My committed prefix fell below your compaction floor — the
+    /// history I am missing no longer exists as replayable requests;
+    /// send me your baseline." Sent when the TOB flags a floor-clamped
+    /// catch-up ([`Tob::take_baseline_needed`]).
+    BaselineRequest,
+    /// The baseline transfer: the state materialized at exactly the
+    /// sender's compaction floor, plus the mark describing that floor.
+    /// The receiver replaces everything below the mark with it
+    /// (state-at-a-point instead of replayed requests) and resumes
+    /// normal catch-up above.
+    Baseline {
+        /// State at exactly `mark.delivered` committed requests.
+        state: St,
+        /// The compaction floor the state sits on.
+        mark: BaselineMark,
+    },
 }
 
 /// Counters describing one replica's protocol activity.
@@ -109,14 +165,20 @@ where
     mode: ProtocolMode,
     state: S,
     curr_event_no: u64,
+    /// The committed list **above the compaction watermark**: entry `i`
+    /// is the `(compacted + i)`-th TOB delivery. Everything below the
+    /// watermark lives only as `baseline` + `compacted`.
     committed: Vec<SharedReq<F::Op>>,
     committed_set: HashSet<ReqId>,
     tentative: Vec<SharedReq<F::Op>>,
-    tentative_set: HashSet<ReqId>,
+    /// Tentative ids with the origin's TOB-cast sequence number (the
+    /// seq doubles as the dedup cursor against compacted history).
+    tentative_seq: HashMap<ReqId, u64>,
     executed: Vec<SharedReq<F::Op>>,
     executed_set: HashSet<ReqId>,
     /// Length of the stable prefix (executed ∧ committed, can never be
-    /// revoked): the floor for every longest-common-prefix rescan.
+    /// revoked) of the *retained* lists: the floor for every
+    /// longest-common-prefix rescan.
     stable_len: usize,
     to_be_executed: VecDeque<SharedReq<F::Op>>,
     to_be_rolled_back: VecDeque<SharedReq<F::Op>>,
@@ -124,6 +186,7 @@ where
     rb: ReliableBroadcast<WireReq<F::Op>>,
     tob: T,
     tob_seq: u64,
+    /// Delivery order of the retained suffix (`tob_no = compacted + i`).
     tob_order: Vec<ReqId>,
     outputs: Vec<Response>,
     stats: ReplicaStats,
@@ -136,6 +199,27 @@ where
     /// are re-submitted into the TOB on start (relay guarantee across
     /// restarts). `(tob_seq, request)`, the origin being the request's.
     recovered_pending: Vec<(u64, SharedReq<F::Op>)>,
+    // ---- committed-history compaction ----------------------------------
+    /// Whether this replica truncates its committed prefix at the
+    /// globally-stable watermark ([`BayouReplica::set_compaction`]).
+    compaction: bool,
+    /// Committed entries dropped so far (the high-water mark: the first
+    /// `compacted` TOB deliveries exist only as `baseline`).
+    compacted: u64,
+    /// State materialized at exactly `compacted` committed requests —
+    /// what replaces the dropped payloads, and what is served to a
+    /// laggard that fell below everyone's compaction floor.
+    baseline: F::State,
+    /// The TOB floor `baseline` corresponds to.
+    baseline_mark: BaselineMark,
+    /// Entries dropped from the retained lists since the state object
+    /// was created: converts list-relative positions to the state
+    /// object's (uncompacted) trace positions.
+    dropped_since_state: usize,
+    /// Set on the first persistence failure: the replica has
+    /// crash-stopped (executes nothing further, sends nothing) — the
+    /// cluster observes it as crashed.
+    failure: Option<StorageError>,
 }
 
 impl<F, T, S> BayouReplica<F, T, S>
@@ -168,7 +252,7 @@ where
             committed: Vec::new(),
             committed_set: HashSet::new(),
             tentative: Vec::new(),
-            tentative_set: HashSet::new(),
+            tentative_seq: HashMap::new(),
             executed: Vec::new(),
             executed_set: HashSet::new(),
             stable_len: 0,
@@ -184,6 +268,12 @@ where
             journal: Vec::new(),
             persist: Box::new(NullPersistence),
             recovered_pending: Vec::new(),
+            compaction: false,
+            compacted: 0,
+            baseline: F::State::default(),
+            baseline_mark: BaselineMark::zero(n),
+            dropped_since_state: 0,
+            failure: None,
         }
     }
 
@@ -211,11 +301,13 @@ where
     /// standard wiring) has already restored the TOB endpoint from the
     /// durable event stream and derived:
     ///
-    /// * `deliveries` — the full local TOB delivery order (the committed
-    ///   list as of the crash);
+    /// * `deliveries` — the local TOB delivery order *above the
+    ///   compaction mark* (the retained committed list as of the crash);
     /// * `snapshot_state` + `snapshot_delivered` — a state materialized
-    ///   at a delivery prefix; commits beyond it re-execute from their
-    ///   logged payloads;
+    ///   at an absolute delivery prefix; commits beyond it re-execute
+    ///   from their logged payloads;
+    /// * `mark` + `baseline` — the compaction floor: the first
+    ///   `mark.delivered` deliveries exist only as the baseline state;
     /// * `pending` — logged requests not yet decided, to re-enter the
     ///   tentative order and be re-submitted to the TOB on start;
     /// * `curr_event_no` / `tob_seq` — high-water marks so new dots and
@@ -233,6 +325,8 @@ where
         deliveries: Vec<SharedReq<F::Op>>,
         snapshot_state: F::State,
         snapshot_delivered: u64,
+        mark: BaselineMark,
+        baseline: F::State,
         pending: Vec<(PendingKind, u64, SharedReq<F::Op>)>,
         curr_event_no: u64,
         tob_seq: u64,
@@ -240,7 +334,8 @@ where
     ) -> Self {
         let mut tob = tob;
         tob.set_durable(true); // after restore: recovery facts are already on disk
-        let stable = (snapshot_delivered as usize).min(deliveries.len());
+        let compacted = mark.delivered;
+        let stable = (snapshot_delivered.saturating_sub(compacted) as usize).min(deliveries.len());
         let committed_set: HashSet<ReqId> = deliveries.iter().map(|r| r.id()).collect();
         let tob_order: Vec<ReqId> = deliveries.iter().map(|r| r.id()).collect();
         let state = S::with_committed_trace(snapshot_state, tob_order[..stable].to_vec());
@@ -256,7 +351,11 @@ where
             .map(|(_, _, r)| r.clone())
             .collect();
         tentative.sort_by_key(|r| r.sort_key());
-        let tentative_set: HashSet<ReqId> = tentative.iter().map(|r| r.id()).collect();
+        let tentative_seq: HashMap<ReqId, u64> = pending
+            .iter()
+            .map(|(_, seq, r)| (r.id(), *seq))
+            .filter(|(id, _)| !committed_set.contains(id))
+            .collect();
 
         let to_be_executed: VecDeque<SharedReq<F::Op>> = deliveries[stable..]
             .iter()
@@ -274,7 +373,7 @@ where
             committed: deliveries,
             committed_set,
             tentative,
-            tentative_set,
+            tentative_seq,
             executed,
             executed_set,
             stable_len: stable,
@@ -290,6 +389,12 @@ where
             journal: Vec::new(),
             persist,
             recovered_pending,
+            compaction: false,
+            compacted,
+            baseline,
+            baseline_mark: mark,
+            dropped_since_state: 0,
+            failure: None,
         }
     }
 
@@ -303,7 +408,54 @@ where
         self.stats
     }
 
-    /// Ids on the committed list, in TOB delivery order (`tobNo` order).
+    /// Enables (or disables) committed-history compaction on this
+    /// replica and its TOB endpoint: once all replicas have durably
+    /// delivered a committed prefix (the globally-stable watermark,
+    /// agreed through cursors piggybacked on TOB traffic), the request
+    /// payloads below it are dropped and replaced by a baseline state +
+    /// high-water mark, keeping replica memory and snapshot size
+    /// O(state + speculation window) instead of O(lifetime).
+    ///
+    /// Off by default: the full committed list is the paper's model and
+    /// what the spec checkers consume.
+    pub fn set_compaction(&mut self, on: bool) {
+        self.compaction = on;
+        self.tob.set_compaction(on);
+    }
+
+    /// Whether committed-history compaction is enabled.
+    pub fn compaction_enabled(&self) -> bool {
+        self.compaction
+    }
+
+    /// Committed entries dropped below the watermark so far. The
+    /// retained committed list starts at absolute delivery index
+    /// `compacted_count()`.
+    pub fn compacted_count(&self) -> u64 {
+        self.compacted
+    }
+
+    /// Total committed requests ever delivered here: the dropped prefix
+    /// plus the retained list.
+    pub fn committed_total(&self) -> u64 {
+        self.compacted + self.committed.len() as u64
+    }
+
+    /// The baseline state: the materialization of exactly the first
+    /// [`BayouReplica::compacted_count`] committed requests.
+    pub fn baseline_state(&self) -> &F::State {
+        &self.baseline
+    }
+
+    /// The storage failure that crash-stopped this replica, if any. A
+    /// failed replica executes nothing and sends nothing — the cluster
+    /// sees it as crashed.
+    pub fn failure(&self) -> Option<&StorageError> {
+        self.failure.as_ref()
+    }
+
+    /// Ids on the retained committed list, in TOB delivery order
+    /// (`tobNo` order, starting at [`BayouReplica::compacted_count`]).
     pub fn committed_ids(&self) -> Vec<ReqId> {
         self.committed.iter().map(|r| r.id()).collect()
     }
@@ -370,16 +522,40 @@ where
         self.executed_set.contains(&id)
     }
 
+    /// Records a persistence failure: the replica crash-stops (this and
+    /// every future handler becomes a no-op), which the rest of the
+    /// cluster observes exactly as a crash.
+    fn persist_fail(&mut self, e: StorageError) {
+        if self.failure.is_none() {
+            self.failure = Some(e);
+        }
+    }
+
+    /// Runs a persistence hook, crash-stopping on failure. Returns
+    /// whether the hook succeeded (callers must not proceed with the
+    /// step's effects when it did not).
+    fn persist_ok(&mut self, res: Result<(), StorageError>) -> bool {
+        match res {
+            Ok(()) => true,
+            Err(e) => {
+                self.persist_fail(e);
+                false
+            }
+        }
+    }
+
     /// Lines 16–21: insert `r` into the tentative list by
-    /// `(timestamp, dot)` and re-plan execution.
-    fn adjust_tentative_order(&mut self, r: SharedReq<F::Op>) {
+    /// `(timestamp, dot)` and re-plan execution. `tob_seq` is the
+    /// origin's dense TOB-cast number for `r` (the compaction dedup
+    /// cursor).
+    fn adjust_tentative_order(&mut self, r: SharedReq<F::Op>, tob_seq: u64) {
         debug_assert!(
-            !self.tentative_set.contains(&r.id()),
+            !self.tentative_seq.contains_key(&r.id()),
             "request {} already tentative",
             r.id()
         );
         let pos = self.tentative.partition_point(|x| x.as_ref() < r.as_ref());
-        self.tentative_set.insert(r.id());
+        self.tentative_seq.insert(r.id(), tob_seq);
         self.tentative.insert(pos, r);
         self.adjust_execution();
     }
@@ -437,7 +613,8 @@ where
     fn persist_tob_events(&mut self) {
         let events = self.tob.drain_durable();
         if !events.is_empty() {
-            self.persist.log_tob_events(events);
+            let res = self.persist.log_tob_events(events);
+            self.persist_ok(res);
         }
     }
 
@@ -449,12 +626,15 @@ where
             return;
         }
         self.stats.tob_deliveries += 1;
-        self.tob_order.push(r.id());
         let id = r.id();
-        self.persist.note_commit(&r);
+        let res = self.persist.note_commit(&r);
+        if !self.persist_ok(res) {
+            return; // crash-stopped: the commit is not acknowledged
+        }
+        self.tob_order.push(id);
         self.committed_set.insert(id);
         self.committed.push(r.clone());
-        if self.tentative_set.remove(&id) {
+        if self.tentative_seq.remove(&id).is_some() {
             self.tentative.retain(|x| x.id() != id);
         }
         self.adjust_execution();
@@ -469,7 +649,11 @@ where
             .zip(self.committed.iter())
             .all(|(e, c)| e.id() == c.id()));
         self.stable_len = stable;
-        self.state.truncate_checkpoints(stable);
+        // positions handed to the state object are trace-absolute: its
+        // trace still contains everything compaction dropped from the
+        // replica's lists since the state object was created
+        self.state
+            .truncate_checkpoints(self.dropped_since_state + stable);
         if self.reqs_awaiting_resp.contains_key(&id) && self.executed_contains(id) {
             if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&id) {
                 self.outputs.push(Response {
@@ -481,16 +665,136 @@ where
             // a `None` stored response cannot happen here: r ∈ executed
             // implies the execute step stored or returned it already
         }
+        self.maybe_compact();
+    }
+
+    /// Truncates the committed prefix up to the TOB's compaction floor:
+    /// the dropped payloads fold into the baseline state, and the store
+    /// is told so its next snapshot is compact.
+    ///
+    /// Only whole floors are taken (all-or-nothing): the baseline must
+    /// sit at *exactly* the floor the TOB describes, so if local
+    /// execution still lags the floor the truncation waits for the next
+    /// delivery instead of splitting the difference.
+    fn maybe_compact(&mut self) {
+        if !self.compaction {
+            return;
+        }
+        let Some(mark) = self.tob.baseline_mark() else {
+            return;
+        };
+        if mark.delivered <= self.compacted {
+            return;
+        }
+        let k = (mark.delivered - self.compacted) as usize;
+        if k > self.stable_len {
+            return; // executions below the floor still outstanding
+        }
+        for r in self.committed.drain(..k) {
+            self.committed_set.remove(&r.id());
+            F::apply(&mut self.baseline, &r.op);
+        }
+        for r in self.executed.drain(..k) {
+            self.executed_set.remove(&r.id());
+        }
+        self.tob_order.drain(..k);
+        self.stable_len -= k;
+        self.dropped_since_state += k;
+        self.compacted = mark.delivered;
+        self.baseline_mark = mark;
+        let res = self
+            .persist
+            .note_stable(&self.baseline_mark, &self.baseline);
+        self.persist_ok(res);
+    }
+
+    /// Installs a baseline received from a peer: this replica fell below
+    /// the cluster-wide compaction floor (its missing history no longer
+    /// exists as replayable requests anywhere), so it replaces its
+    /// committed prefix with the transferred state-at-the-mark and
+    /// resumes normal catch-up above it.
+    fn install_baseline(&mut self, me: ReplicaId, state: F::State, mark: BaselineMark) {
+        if mark.delivered <= self.committed_total() {
+            return; // stale transfer: we already hold that prefix
+        }
+        self.tob.install_baseline(&mark);
+        // a replica reborn without its disk restarts its counters at 0;
+        // the mark's cast cursor is a floor for both, or every future
+        // invocation would reuse a (sender, seq) key the cluster already
+        // decided and be silently dropped as a duplicate. (Event numbers
+        // of purely-local read-only invocations are not recoverable from
+        // the mark — those dots never enter the TOB, see the harness.)
+        self.tob_seq = self.tob_seq.max(mark.next_for(me));
+        self.curr_event_no = self.curr_event_no.max(mark.next_for(me));
+        // tentative requests whose cast number falls below the mark were
+        // decided inside the installed prefix: drop them (their stored
+        // responses are unrecoverable — the client observes a lost
+        // session, as with a crash)
+        let tentative_seq = &self.tentative_seq;
+        let (kept, dropped): (Vec<_>, Vec<_>) = std::mem::take(&mut self.tentative)
+            .into_iter()
+            .partition(|r| {
+                tentative_seq
+                    .get(&r.id())
+                    .is_none_or(|seq| *seq >= mark.next_for(r.origin()))
+            });
+        self.tentative = kept;
+        for r in dropped {
+            self.tentative_seq.remove(&r.id());
+            self.reqs_awaiting_resp.remove(&r.id());
+        }
+        // reset speculation on top of the baseline: nothing is executed,
+        // the committed list restarts (empty) at the mark. Responses
+        // still owed for requests inside the cleared prefix can never be
+        // produced (their execution context is gone) — the client
+        // observes a lost session, as with a crash.
+        for r in &self.committed {
+            self.reqs_awaiting_resp.remove(&r.id());
+        }
+        self.committed.clear();
+        self.committed_set.clear();
+        self.executed.clear();
+        self.executed_set.clear();
+        self.tob_order.clear();
+        self.to_be_rolled_back.clear();
+        self.stable_len = 0;
+        self.compacted = mark.delivered;
+        self.baseline = state.clone();
+        self.baseline_mark = mark;
+        self.state = S::with_state(state);
+        self.dropped_since_state = 0;
+        self.adjust_execution();
+        let res = self
+            .persist
+            .note_stable(&self.baseline_mark, &self.baseline);
+        self.persist_ok(res);
+    }
+
+    /// Reacts to the TOB flagging that our prefix fell below a peer's
+    /// compaction floor: ask that peer for its baseline.
+    fn request_baseline_if_needed(
+        &mut self,
+        ctx: &mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>,
+    ) {
+        if let Some(peer) = self.tob.take_baseline_needed() {
+            ctx.send(peer, BayouMsg::BaselineRequest);
+        }
     }
 
     fn handle_rb_deliver(
         &mut self,
         wire: WireReq<F::Op>,
-        ctx: &mut dyn Context<BayouMsg<F::Op, T::Msg>>,
+        ctx: &mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>,
     ) {
         let r = wire.req;
         if r.origin() == ctx.id() {
             return; // lines 23–24: issued locally
+        }
+        if wire.tob_seq < self.tob.released_seq(r.origin()) {
+            // a stale re-delivery of a long-committed request: with
+            // compaction its id may have left the committed set, but the
+            // origin's cast cursor still identifies it
+            return;
         }
         self.stats.rb_deliveries += 1;
         // Relay guarantee: an RB-delivered request must eventually be
@@ -501,23 +805,32 @@ where
                 .ensure(r.origin(), wire.tob_seq, r.clone(), &mut tctx);
         }
         self.persist_tob_events();
-        if !self.committed_contains(r.id()) && !self.tentative_set.contains(&r.id()) {
-            self.persist.log_tentative(&r, wire.tob_seq);
-            self.adjust_tentative_order(r);
+        if !self.committed_contains(r.id()) && !self.tentative_seq.contains_key(&r.id()) {
+            let res = self.persist.log_tentative(&r, wire.tob_seq);
+            if !self.persist_ok(res) {
+                return;
+            }
+            self.adjust_tentative_order(r, wire.tob_seq);
         }
     }
 
+    /// Broadcasts a fresh local request; returns the TOB-cast sequence
+    /// number it was assigned (or `None` when the write-ahead log could
+    /// not persist it — the replica has crash-stopped).
     fn broadcast_req(
         &mut self,
         r: &SharedReq<F::Op>,
-        ctx: &mut dyn Context<BayouMsg<F::Op, T::Msg>>,
+        ctx: &mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>,
         rb_too: bool,
-    ) {
+    ) -> Option<u64> {
         let seq = self.tob_seq;
         self.tob_seq += 1;
         // write-ahead: the request (with its TOB-cast number) is durable
         // before any frame carrying it can leave this step
-        self.persist.log_invoke(r, seq);
+        let res = self.persist.log_invoke(r, seq);
+        if !self.persist_ok(res) {
+            return None;
+        }
         if rb_too {
             let wire = WireReq {
                 req: r.clone(),
@@ -529,6 +842,7 @@ where
         let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
         self.tob.cast(seq, r.clone(), &mut tctx);
         self.persist_tob_events();
+        Some(seq)
     }
 
     fn deliver_batch(&mut self, batch: Vec<TobDelivery<SharedReq<F::Op>>>) {
@@ -544,11 +858,14 @@ where
     T: Tob<SharedReq<F::Op>>,
     S: StateObject<F>,
 {
-    type Msg = BayouMsg<F::Op, T::Msg>;
+    type Msg = BayouMsg<F::Op, F::State, T::Msg>;
     type Input = Invocation<F::Op>;
     type Output = Response;
 
     fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        if self.failure.is_some() {
+            return;
+        }
         {
             let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
             self.tob.on_start(&mut tctx);
@@ -564,6 +881,9 @@ where
 
     /// Lines 9–15 (Algorithm 1) / Algorithm 2.
     fn on_input(&mut self, inv: Invocation<F::Op>, ctx: &mut dyn Context<Self::Msg>) {
+        if self.failure.is_some() {
+            return; // crash-stopped: no new work is accepted
+        }
         self.stats.invocations += 1;
         self.curr_event_no += 1;
         let r = Arc::new(Req::new(
@@ -588,9 +908,10 @@ where
         });
         match self.mode {
             ProtocolMode::Original => {
-                self.broadcast_req(&r, ctx, true);
-                self.reqs_awaiting_resp.insert(r.id(), None);
-                self.adjust_tentative_order(r);
+                if let Some(seq) = self.broadcast_req(&r, ctx, true) {
+                    self.reqs_awaiting_resp.insert(r.id(), None);
+                    self.adjust_tentative_order(r, seq);
+                }
             }
             ProtocolMode::Improved => {
                 if r.level.is_weak() {
@@ -608,8 +929,9 @@ where
                     });
                     self.state.rollback(r.id());
                     if !F::is_read_only(&r.op) {
-                        self.broadcast_req(&r, ctx, true);
-                        self.adjust_tentative_order(r);
+                        if let Some(seq) = self.broadcast_req(&r, ctx, true) {
+                            self.adjust_tentative_order(r, seq);
+                        }
                     }
                 } else {
                     self.reqs_awaiting_resp.insert(r.id(), None);
@@ -620,6 +942,9 @@ where
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
+        if self.failure.is_some() {
+            return; // crash-stopped: silent to the cluster
+        }
         match msg {
             BayouMsg::Rb(frame) => {
                 let delivered = {
@@ -639,11 +964,37 @@ where
                 // hit the WAL before the deliveries they imply execute
                 self.persist_tob_events();
                 self.deliver_batch(batch);
+                // the TOB floor can advance on delivery-free steps too
+                // (a cursor report arriving): follow it, or the baseline
+                // we serve to laggards would lag the floor forever in a
+                // quiescent cluster
+                self.maybe_compact();
+                self.request_baseline_if_needed(ctx);
+            }
+            BayouMsg::BaselineRequest => {
+                // serve our baseline to a replica that fell below the
+                // cluster-wide compaction floor
+                if self.compaction && self.compacted > 0 {
+                    ctx.send(
+                        from,
+                        BayouMsg::Baseline {
+                            state: self.baseline.clone(),
+                            mark: self.baseline_mark.clone(),
+                        },
+                    );
+                }
+            }
+            BayouMsg::Baseline { state, mark } => {
+                let me = ctx.id();
+                self.install_baseline(me, state, mark);
             }
         }
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>) {
+        if self.failure.is_some() {
+            return;
+        }
         let mine = {
             let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
             self.rb.on_timer(timer, &mut rctx)
@@ -658,11 +1009,16 @@ where
             };
             self.persist_tob_events();
             self.deliver_batch(batch);
+            self.maybe_compact();
+            self.request_baseline_if_needed(ctx);
         }
     }
 
     /// Lines 41–55: one `rollback` or one `execute` step.
     fn on_internal(&mut self, _ctx: &mut dyn Context<Self::Msg>) -> bool {
+        if self.failure.is_some() {
+            return false;
+        }
         if let Some(head) = self.to_be_rolled_back.pop_front() {
             self.state.rollback(head.id());
             self.stats.rollbacks += 1;
@@ -702,6 +1058,14 @@ where
     fn drain_outputs(&mut self) -> Vec<Response> {
         std::mem::take(&mut self.outputs)
     }
+
+    fn take_storage_stall(&mut self) -> VirtualTime {
+        self.persist.take_sync_stall()
+    }
+
+    fn has_failed(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 impl<F, T, S> fmt::Debug for BayouReplica<F, T, S>
@@ -713,6 +1077,7 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BayouReplica")
             .field("mode", &self.mode)
+            .field("compacted", &self.compacted)
             .field("committed", &self.committed_ids())
             .field("tentative", &self.tentative_ids())
             .field("executed", &self.executed_ids())

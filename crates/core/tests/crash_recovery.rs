@@ -169,6 +169,75 @@ fn mixed_weak_and_strong_ops_survive_a_bounce() {
     );
 }
 
+/// Simulated fsync latency is charged to the replica's CPU: the same
+/// durable schedule with a slow disk must consume strictly more virtual
+/// time, account the stall in the metrics, and still converge — the sim
+/// clock is no longer disk-latency-blind.
+#[test]
+fn fsync_latency_is_charged_to_the_sim_clock() {
+    let run = |latency_us: u64| {
+        let n = 3;
+        let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+        for d in &disks {
+            d.set_fsync_latency(VirtualTime::from_micros(latency_us));
+        }
+        let store_cfg = StoreConfig::default();
+        let sim = SimConfig::new(n, 17).with_max_time(ms(60_000));
+        let mut cluster: BayouCluster<KvStore> =
+            BayouCluster::with_factory(sim, durable_factory(n, disks.clone(), store_cfg));
+        for k in 0..20u64 {
+            cluster.invoke_at(
+                ms(1 + 25 * k),
+                ReplicaId::new((k % 3) as u32),
+                KvOp::put(format!("k{k}"), k as i64),
+                Level::Weak,
+            );
+        }
+        let trace = cluster.run_until(ms(60_000));
+        assert!(trace.quiescent);
+        cluster.assert_convergence(&[]);
+        (trace.end_time, cluster.metrics().storage_stall)
+    };
+    let (fast_end, fast_stall) = run(0);
+    let (slow_end, slow_stall) = run(500);
+    assert_eq!(fast_stall, VirtualTime::ZERO, "no latency, no stall");
+    assert!(
+        slow_stall > VirtualTime::ZERO,
+        "injected fsync latency must be accounted as CPU stall"
+    );
+    assert!(
+        slow_end > fast_end,
+        "disk latency must stretch the schedule: fast {fast_end}, slow {slow_end}"
+    );
+}
+
+/// The fsync charge is part of the deterministic schedule: same seed,
+/// same latency, same outcome.
+#[test]
+fn fsync_charging_is_deterministic() {
+    let run = || {
+        let n = 3;
+        let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+        for d in &disks {
+            d.set_fsync_latency(VirtualTime::from_micros(300));
+        }
+        let sim = SimConfig::new(n, 23).with_max_time(ms(60_000));
+        let mut cluster: BayouCluster<KvStore> =
+            BayouCluster::with_factory(sim, durable_factory(n, disks, StoreConfig::default()));
+        for k in 0..15u64 {
+            cluster.invoke_at(
+                ms(1 + 40 * k),
+                ReplicaId::new((k % 3) as u32),
+                KvOp::put("k", k as i64),
+                Level::Weak,
+            );
+        }
+        let trace = cluster.run_until(ms(60_000));
+        (trace.end_time, cluster.metrics().storage_stall)
+    };
+    assert_eq!(run(), run());
+}
+
 // keep the unused import warning away: ClusterConfig is part of the
 // public surface this test exercises indirectly through with_factory
 #[allow(dead_code)]

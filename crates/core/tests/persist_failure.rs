@@ -1,0 +1,135 @@
+//! A replica whose storage starts failing must **crash-stop** — surface
+//! a typed [`bayou_storage::StorageError`], stop acknowledging work and
+//! go silent — instead of panicking across channel/lock state. The rest
+//! of the cluster observes it exactly as a crash and keeps committing
+//! with the surviving quorum.
+
+use bayou_broadcast::PaxosConfig;
+use bayou_core::{recover_paxos_replica, BayouCluster, ProtocolMode};
+use bayou_data::{DeltaState, KvOp, KvStore};
+use bayou_sim::SimConfig;
+use bayou_storage::{MemDisk, Storage, StorageError, StoreConfig};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn ms(v: u64) -> VirtualTime {
+    VirtualTime::from_millis(v)
+}
+
+/// A disk that starts erroring on every write after a budget of appends
+/// (a full disk, a dying device, a revoked volume…).
+#[derive(Debug, Clone)]
+struct FailingDisk {
+    inner: MemDisk,
+    appends_left: Arc<AtomicI64>,
+}
+
+impl FailingDisk {
+    fn new(budget: i64) -> Self {
+        FailingDisk {
+            inner: MemDisk::new(),
+            appends_left: Arc::new(AtomicI64::new(budget)),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.appends_left.load(Ordering::SeqCst) <= 0
+    }
+}
+
+impl Storage for FailingDisk {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        if self.appends_left.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(StorageError::Io("injected disk failure".into()));
+        }
+        self.inner.append(file, bytes)
+    }
+    fn sync(&mut self) -> Result<(), StorageError> {
+        if self.exhausted() {
+            return Err(StorageError::Io("injected disk failure".into()));
+        }
+        self.inner.sync()
+    }
+    fn read(&self, file: &str) -> Result<Vec<u8>, StorageError> {
+        self.inner.read(file)
+    }
+    fn write_atomic(&mut self, file: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        if self.exhausted() {
+            return Err(StorageError::Io("injected disk failure".into()));
+        }
+        self.inner.write_atomic(file, bytes)
+    }
+    fn remove(&mut self, file: &str) -> Result<(), StorageError> {
+        self.inner.remove(file)
+    }
+    fn exists(&self, file: &str) -> bool {
+        self.inner.exists(file)
+    }
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+}
+
+#[test]
+fn storage_failure_crash_stops_the_replica_and_the_cluster_survives() {
+    let n = 3;
+    // replica 2's disk dies after a handful of appends; the others are
+    // healthy
+    let sick = FailingDisk::new(12);
+    let healthy: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+    let sick_for_factory = sick.clone();
+    let sim = SimConfig::new(n, 31).with_max_time(ms(30_000));
+    let mut cluster: BayouCluster<KvStore> = BayouCluster::with_factory(sim, move |id| {
+        if id == ReplicaId::new(2) {
+            recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                id,
+                n,
+                ProtocolMode::Improved,
+                PaxosConfig::default(),
+                sick_for_factory.clone(),
+                StoreConfig::default(),
+            )
+        } else {
+            recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                id,
+                n,
+                ProtocolMode::Improved,
+                PaxosConfig::default(),
+                healthy[id.index()].clone(),
+                StoreConfig::default(),
+            )
+        }
+    });
+    for k in 0..20u64 {
+        cluster.invoke_at(
+            ms(1 + 50 * k),
+            ReplicaId::new((k % 3) as u32),
+            KvOp::put(format!("k{}", k % 5), k as i64),
+            Level::Weak,
+        );
+    }
+    cluster.run_until(ms(30_000));
+
+    // the sick replica crash-stopped with a typed error — no panic, no
+    // further acknowledgements
+    let sick_replica = cluster.replica(ReplicaId::new(2));
+    assert!(
+        matches!(sick_replica.failure(), Some(StorageError::Io(_))),
+        "replica 2 must crash-stop on its disk failure: {:?}",
+        sick_replica.failure()
+    );
+
+    // the surviving quorum kept committing; they converge with each
+    // other (the failed replica is skipped, exactly like a crashed one)
+    cluster.assert_convergence(&[ReplicaId::new(2)]);
+    let survivors_committed = cluster.replica(ReplicaId::new(0)).committed_total();
+    assert!(
+        survivors_committed > sick_replica.committed_total(),
+        "survivors out-committed the failed replica"
+    );
+    assert!(
+        survivors_committed >= 15,
+        "the quorum kept serving: {survivors_committed} commits"
+    );
+}

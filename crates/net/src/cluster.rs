@@ -360,13 +360,21 @@ fn replica_loop<P>(
         };
     }
 
-    /// Flushes the sends buffered by the handler step that just ran.
+    /// Flushes the sends buffered by the handler step that just ran — or
+    /// discards them if that step crash-stopped the process: the facts
+    /// backing them never became durable, so nothing of the step may
+    /// escape (a cursor report for unlogged deliveries would let peers
+    /// truncate history this replica cannot re-derive).
     macro_rules! flush {
         () => {
-            for (to, msg) in outbox.drain(..) {
-                // blocking is safe: the router never blocks, so the
-                // shared ingress channel always drains
-                let _ = net.send(Frame { from: id, to, msg });
+            if process.has_failed() {
+                outbox.clear();
+            } else {
+                for (to, msg) in outbox.drain(..) {
+                    // blocking is safe: the router never blocks, so the
+                    // shared ingress channel always drains
+                    let _ = net.send(Frame { from: id, to, msg });
+                }
             }
         };
     }
@@ -375,7 +383,10 @@ fn replica_loop<P>(
     flush!();
 
     loop {
-        let crashed = ctl.is_crashed(id);
+        // a process that crash-stopped itself (storage failure) is
+        // treated exactly like an injected crash: it executes nothing
+        // and goes silent until an explicit Restart rebuilds it
+        let crashed = ctl.is_crashed(id) || process.has_failed();
         // 1. fire due timers (a crashed replica executes nothing; its
         //    due timers are discarded, as a dead process's would be)
         let now = Instant::now();
@@ -407,7 +418,7 @@ fn replica_loop<P>(
         crossbeam::channel::select! {
             recv(events) -> ev => match ev {
                 Ok(ReplicaEvent::Input(input)) => {
-                    if !ctl.is_crashed(id) {
+                    if !ctl.is_crashed(id) && !process.has_failed() {
                         process.on_input(input, &mut ctx!());
                         flush!();
                     }
@@ -430,7 +441,7 @@ fn replica_loop<P>(
             },
             recv(inbox) -> msg => match msg {
                 Ok((from, m)) => {
-                    if !ctl.is_crashed(id) {
+                    if !ctl.is_crashed(id) && !process.has_failed() {
                         process.on_message(from, m, &mut ctx!());
                         flush!();
                     }

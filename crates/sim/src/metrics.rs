@@ -32,6 +32,9 @@ pub struct Metrics {
     pub internal_steps: u64,
     /// Replica restarts executed (crash-recovery schedules).
     pub restarts: u64,
+    /// Simulated time replicas spent blocked in storage fsync, charged
+    /// to their CPUs (zero unless a storage backend injects latency).
+    pub storage_stall: bayou_types::VirtualTime,
     /// Total handler executions per replica.
     pub steps: Vec<u64>,
 }

@@ -502,6 +502,31 @@ impl<P: Process> Sim<P> {
             return;
         }
 
+        // Charge the handler's simulated storage stalls (fsync latency)
+        // to the replica's CPU: the disk write blocked the handler, so
+        // everything the step produced — and every queued event behind
+        // it — is delayed by exactly that much.
+        let stall = self.processes[i].take_storage_stall();
+        let done = if stall > VirtualTime::ZERO {
+            self.metrics.storage_stall += stall;
+            self.cpus[i].busy_until += stall;
+            self.cpus[i].busy_until
+        } else {
+            done
+        };
+
+        // A handler that crash-stopped its process mid-step (storage
+        // failure) must leave no trace: the facts backing its buffered
+        // sends/outputs never became durable, so letting them escape
+        // would, e.g., report a compaction cursor for deliveries that
+        // were never logged. The whole step un-happens, like a crash.
+        if self.processes[i].has_failed() {
+            effects.sends.clear();
+            effects.timers.clear();
+            let _ = self.processes[i].drain_outputs();
+            return;
+        }
+
         // Apply side effects stamped at handler completion time.
         for (to, msg) in effects.sends {
             self.metrics.messages_sent += 1;

@@ -90,6 +90,15 @@ pub trait Storage {
     fn is_durable(&self) -> bool {
         true
     }
+
+    /// Drains the *simulated* time this backend spent blocked in fsync
+    /// since the previous call. Real backends return zero (the caller
+    /// already paid the wall-clock cost); [`MemDisk`] returns the
+    /// injected latency accrued, which the simulator charges to the
+    /// replica's CPU so crash/recovery schedules are disk-latency-aware.
+    fn take_sync_stall(&mut self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
 }
 
 /// A backend that stores nothing: today's in-memory-only replica
@@ -147,6 +156,9 @@ struct MemDiskInner {
     files: BTreeMap<String, MemFile>,
     fsync_latency: VirtualTime,
     stats: DiskStats,
+    /// Fsync latency accrued since the last [`Storage::take_sync_stall`]
+    /// drain (what the simulator has not yet charged to a CPU).
+    unclaimed_stall: VirtualTime,
 }
 
 /// The in-memory disk used by the deterministic simulator.
@@ -244,6 +256,7 @@ impl MemDisk {
                 .collect(),
             fsync_latency: inner.fsync_latency,
             stats: inner.stats,
+            unclaimed_stall: inner.unclaimed_stall,
         };
         MemDisk(Arc::new(Mutex::new(copy)))
     }
@@ -267,10 +280,15 @@ impl Storage for MemDisk {
         inner.stats.syncs += 1;
         let latency = inner.fsync_latency;
         inner.stats.sync_time += latency;
+        inner.unclaimed_stall += latency;
         for f in inner.files.values_mut() {
             f.synced_len = f.data.len();
         }
         Ok(())
+    }
+
+    fn take_sync_stall(&mut self) -> VirtualTime {
+        std::mem::take(&mut self.0.lock().unclaimed_stall)
     }
 
     fn read(&self, file: &str) -> Result<Vec<u8>, StorageError> {

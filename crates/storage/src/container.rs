@@ -23,11 +23,29 @@ pub(crate) fn unseal<'a>(
     what: &str,
     bytes: &'a [u8],
 ) -> Result<&'a [u8], StorageError> {
+    let (got, body) = unseal_any(magic, version, what, bytes)?;
+    if got != version {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported {what} version {got}"
+        )));
+    }
+    Ok(body)
+}
+
+/// Like [`unseal`], but accepts any version in `1..=max_version` and
+/// returns it alongside the body — the hook for containers that keep
+/// decoding their legacy layouts (e.g. pre-compaction snapshots).
+pub(crate) fn unseal_any<'a>(
+    magic: &[u8; 4],
+    max_version: u32,
+    what: &str,
+    bytes: &'a [u8],
+) -> Result<(u32, &'a [u8]), StorageError> {
     if bytes.len() < 12 || &bytes[..4] != magic {
         return Err(StorageError::Corrupt(format!("{what} magic mismatch")));
     }
     let got = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if got != version {
+    if got == 0 || got > max_version {
         return Err(StorageError::Corrupt(format!(
             "unsupported {what} version {got}"
         )));
@@ -37,7 +55,7 @@ pub(crate) fn unseal<'a>(
     if crc32(body) != crc {
         return Err(StorageError::Corrupt(format!("{what} checksum mismatch")));
     }
-    Ok(body)
+    Ok((got, body))
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@
 //!     Level::Weak,
 //!     KvOp::put("k", 7),
 //! ));
-//! store.log_invoke(&req, 0);
+//! store.log_invoke(&req, 0).unwrap();
 //! drop(store); // crash
 //!
 //! let (_store, recovered) =

@@ -418,9 +418,16 @@ pub struct FrameScan<T> {
 pub fn scan_frames<T: Wire>(data: &[u8]) -> FrameScan<T> {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while data.len() - pos >= FRAME_OVERHEAD {
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    // every arithmetic step below is explicitly bounds-checked: a hostile
+    // length field must surface as a torn tail, never as a slice panic
+    while data.len().saturating_sub(pos) >= FRAME_OVERHEAD {
+        let word = |at: usize| -> u32 {
+            let mut le = [0u8; 4];
+            le.copy_from_slice(&data[at..at + 4]);
+            u32::from_le_bytes(le)
+        };
+        let len = word(pos) as usize;
+        let crc = word(pos + 4);
         let start = pos + FRAME_OVERHEAD;
         let Some(end) = start.checked_add(len).filter(|e| *e <= data.len()) else {
             return FrameScan {

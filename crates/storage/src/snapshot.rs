@@ -8,13 +8,25 @@
 //! still awaiting a decision. After a snapshot installs, every older WAL
 //! segment is deleted; recovery is `decode(snapshot) + replay(WAL
 //! suffix)` instead of replaying the replica's lifetime.
+//!
+//! # Compact form (version 2)
+//!
+//! With committed-prefix compaction, the decided log in the snapshot is
+//! only the *suffix above the globally-stable watermark*: the truncated
+//! prefix is summarised by a [`bayou_broadcast::BaselineMark`] plus the
+//! `baseline` state materialized at exactly the mark. This makes the
+//! snapshot O(state + uncompacted window) instead of O(history) — the
+//! decode cost finally matches the replay saving. Version-1 (legacy,
+//! full-decided-log) snapshots still decode: they read back with a zero
+//! mark and a default baseline, which is exactly what they mean.
 
 use crate::backend::StorageError;
+use bayou_broadcast::BaselineMark;
 use bayou_data::DataType;
 use bayou_types::{ReplicaId, Req, Wire, WireError, WireReader};
 
 const MAGIC: &[u8; 4] = b"BSNP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// How a pending (not-yet-decided) request entered the replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +78,24 @@ pub struct Snapshot<F: DataType> {
     pub promised: (u64, ReplicaId),
     /// Accepted values for slots not yet known decided.
     pub accepted: Vec<AcceptedSlot<F::Op>>,
-    /// The decided log (all slots known decided, ascending).
+    /// The decided log **above the compaction floor** (all retained
+    /// slots, ascending). With a zero mark this is the full decided log
+    /// — the legacy (version-1) meaning.
     pub decided: Vec<DecidedSlot<F::Op>>,
     /// Requests logged but not yet decided at capture time.
     pub pending: Vec<PendingReq<F::Op>>,
+    /// The compaction floor the `decided` suffix sits on: slots below
+    /// `mark.slot_floor` (the first `mark.delivered` deliveries) were
+    /// truncated after all replicas durably delivered them.
+    pub mark: BaselineMark,
+    /// The state materialized at exactly `mark.delivered` deliveries —
+    /// the baseline a recovered replica retains (and can serve to a
+    /// disk-less laggard) in place of the truncated request payloads.
+    pub baseline: F::State,
+    /// Per-replica high-water `event_no` of every request ever seen in
+    /// this store (compacted ones included) — keeps recovered dots
+    /// collision-free even when the requests themselves were truncated.
+    pub event_high: Vec<u64>,
 }
 
 impl<F: DataType> Snapshot<F>
@@ -86,27 +112,56 @@ where
         self.accepted.encode(&mut body);
         self.decided.encode(&mut body);
         self.pending.encode(&mut body);
+        // version-2 tail: compaction floor + baseline + dot high-waters
+        self.mark.encode(&mut body);
+        self.baseline.encode(&mut body);
+        self.event_high.encode(&mut body);
         crate::container::seal(MAGIC, VERSION, &body)
     }
 
-    /// Parses and validates a serialized snapshot.
+    /// Parses and validates a serialized snapshot — the current compact
+    /// form (version 2) or the legacy full-decided-log form (version 1),
+    /// which reads back with a zero mark and a default baseline.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
-        let body = crate::container::unseal(MAGIC, VERSION, "snapshot", bytes)?;
+        let (version, body) = crate::container::unseal_any(MAGIC, VERSION, "snapshot", bytes)?;
         let mut r = WireReader::new(body);
         let decode = |r: &mut WireReader<'_>| -> Result<Self, WireError> {
+            let delivered = u64::decode(r)?;
+            let state = F::State::decode(r)?;
+            let promised = <(u64, ReplicaId)>::decode(r)?;
+            let accepted = Vec::decode(r)?;
+            let decided = Vec::decode(r)?;
+            let pending = Vec::decode(r)?;
+            let (mark, baseline, event_high) = if version >= 2 {
+                (
+                    BaselineMark::decode(r)?,
+                    F::State::decode(r)?,
+                    Vec::decode(r)?,
+                )
+            } else {
+                (BaselineMark::default(), F::State::default(), Vec::new())
+            };
             Ok(Snapshot {
-                delivered: u64::decode(r)?,
-                state: F::State::decode(r)?,
-                promised: <(u64, ReplicaId)>::decode(r)?,
-                accepted: Vec::decode(r)?,
-                decided: Vec::decode(r)?,
-                pending: Vec::decode(r)?,
+                delivered,
+                state,
+                promised,
+                accepted,
+                decided,
+                pending,
+                mark,
+                baseline,
+                event_high,
             })
         };
         let snap =
             decode(&mut r).map_err(|e| StorageError::Corrupt(format!("snapshot body: {e}")))?;
         if !r.is_empty() {
             return Err(StorageError::Corrupt("snapshot trailing bytes".into()));
+        }
+        if snap.mark.delivered > snap.delivered {
+            return Err(StorageError::Corrupt(
+                "snapshot mark beyond its own delivered prefix".into(),
+            ));
         }
         Ok(snap)
     }
@@ -137,6 +192,9 @@ mod tests {
             accepted: vec![(2, 3, ReplicaId::new(1), ReplicaId::new(0), 1, req(2))],
             decided: vec![(0, ReplicaId::new(0), 0, req(1))],
             pending: vec![(PendingKind::Invoke, 1, req(2))],
+            mark: BaselineMark::zero(2),
+            baseline: Default::default(),
+            event_high: vec![2, 0],
         }
     }
 
@@ -151,6 +209,57 @@ mod tests {
         assert_eq!(back.pending[0].0, PendingKind::Invoke);
         // payload equality (Req PartialEq compares sort keys only)
         assert_eq!(back.decided[0].3.op, s.decided[0].3.op);
+        assert_eq!(back.mark, s.mark);
+        assert_eq!(back.event_high, s.event_high);
+    }
+
+    #[test]
+    fn compact_mark_round_trips() {
+        let mut s = sample();
+        s.delivered = 10;
+        s.mark = BaselineMark {
+            slot_floor: 9,
+            delivered: 8,
+            fifo_next: vec![5, 3],
+        };
+        s.baseline.insert("base".into(), 42);
+        let back = Snapshot::<KvStore>::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.mark, s.mark);
+        assert_eq!(back.baseline, s.baseline);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_still_decodes() {
+        // hand-build a version-1 body (no mark/baseline/event_high tail)
+        let s = sample();
+        let mut body = Vec::new();
+        s.delivered.encode(&mut body);
+        s.state.encode(&mut body);
+        s.promised.encode(&mut body);
+        s.accepted.encode(&mut body);
+        s.decided.encode(&mut body);
+        s.pending.encode(&mut body);
+        let bytes = crate::container::seal(MAGIC, 1, &body);
+        let back = Snapshot::<KvStore>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.delivered, s.delivered);
+        assert_eq!(back.state, s.state);
+        assert!(back.mark.is_zero(), "legacy snapshots carry a zero mark");
+        assert_eq!(back.baseline, Default::default());
+        assert!(back.event_high.is_empty());
+    }
+
+    #[test]
+    fn mark_beyond_delivered_is_corrupt() {
+        let mut s = sample();
+        s.mark = BaselineMark {
+            slot_floor: 5,
+            delivered: 99, // > s.delivered == 1
+            fifo_next: vec![0, 0],
+        };
+        assert!(matches!(
+            Snapshot::<KvStore>::from_bytes(&s.to_bytes()),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

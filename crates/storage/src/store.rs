@@ -28,9 +28,9 @@ use crate::backend::{Storage, StorageError};
 use crate::manifest::Manifest;
 use crate::record::{frame, scan_frames, FrameScan, WalRecord, WalRecordRef};
 use crate::snapshot::{PendingKind, Snapshot};
-use bayou_broadcast::{FifoRelease, TobEvent};
+use bayou_broadcast::{BaselineMark, FifoRelease, TobEvent};
 use bayou_data::DataType;
-use bayou_types::{ReplicaId, ReqId, SharedReq, Wire};
+use bayou_types::{ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -78,24 +78,53 @@ impl Default for StoreConfig {
     }
 }
 
-/// The persistence hooks a replica drives. All hooks are infallible from
-/// the caller's perspective; storage failures panic (a replica that
-/// cannot persist must not keep acknowledging work — fail-stop is the
-/// crash model this subsystem exists to survive).
+/// The persistence hooks a replica drives.
+///
+/// Every hook returns a typed [`StorageError`] on failure instead of
+/// panicking: a replica that cannot persist must **crash-stop** — stop
+/// acknowledging work and go silent, exactly as if its process had died
+/// (fail-stop is the crash model this subsystem exists to survive) — and
+/// unwinding through channel and lock state is not a clean way to die.
+/// The replica reacts to the first `Err` by entering its failed state
+/// (`BayouReplica::failure`); runtimes treat a failed replica as
+/// crashed.
 pub trait Persistence<F: DataType> {
     /// Logs a locally invoked request (before it is broadcast), with the
     /// dense TOB-cast sequence number it was assigned.
-    fn log_invoke(&mut self, req: &SharedReq<F::Op>, tob_seq: u64);
+    fn log_invoke(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) -> Result<(), StorageError>;
 
     /// Logs a remote request entering the tentative order.
-    fn log_tentative(&mut self, req: &SharedReq<F::Op>, tob_seq: u64);
+    fn log_tentative(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) -> Result<(), StorageError>;
 
     /// Logs the TOB layer's durable transitions from one handler step.
-    fn log_tob_events(&mut self, events: Vec<TobEvent<SharedReq<F::Op>>>);
+    fn log_tob_events(
+        &mut self,
+        events: Vec<TobEvent<SharedReq<F::Op>>>,
+    ) -> Result<(), StorageError>;
 
     /// Notes a TOB delivery (commit), in delivery order. May trigger a
     /// snapshot.
-    fn note_commit(&mut self, req: &SharedReq<F::Op>);
+    fn note_commit(&mut self, req: &SharedReq<F::Op>) -> Result<(), StorageError>;
+
+    /// Notes that the replica advanced its compaction floor to `mark`
+    /// with `baseline` materialized at exactly the mark: the store drops
+    /// its decided-log mirror below the floor, so the next snapshot is
+    /// compact (O(state + window)) and the WAL bytes below the watermark
+    /// die with the segments that snapshot deletes.
+    fn note_stable(
+        &mut self,
+        mark: &BaselineMark,
+        baseline: &F::State,
+    ) -> Result<(), StorageError> {
+        let _ = (mark, baseline);
+        Ok(())
+    }
+
+    /// Drains the simulated fsync stall accrued by the backing storage
+    /// since the last call (see [`Storage::take_sync_stall`]).
+    fn take_sync_stall(&mut self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
 }
 
 /// A [`Persistence`] that does nothing: the default for replicas without
@@ -104,29 +133,56 @@ pub trait Persistence<F: DataType> {
 pub struct NullPersistence;
 
 impl<F: DataType> Persistence<F> for NullPersistence {
-    fn log_invoke(&mut self, _req: &SharedReq<F::Op>, _tob_seq: u64) {}
-    fn log_tentative(&mut self, _req: &SharedReq<F::Op>, _tob_seq: u64) {}
-    fn log_tob_events(&mut self, _events: Vec<TobEvent<SharedReq<F::Op>>>) {}
-    fn note_commit(&mut self, _req: &SharedReq<F::Op>) {}
+    fn log_invoke(&mut self, _req: &SharedReq<F::Op>, _tob_seq: u64) -> Result<(), StorageError> {
+        Ok(())
+    }
+    fn log_tentative(
+        &mut self,
+        _req: &SharedReq<F::Op>,
+        _tob_seq: u64,
+    ) -> Result<(), StorageError> {
+        Ok(())
+    }
+    fn log_tob_events(
+        &mut self,
+        _events: Vec<TobEvent<SharedReq<F::Op>>>,
+    ) -> Result<(), StorageError> {
+        Ok(())
+    }
+    fn note_commit(&mut self, _req: &SharedReq<F::Op>) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// Everything recovery reconstructed from a replica's durable storage.
 #[derive(Debug)]
 pub struct Recovered<F: DataType> {
     /// TOB durable events (snapshot facts first, then the WAL suffix, in
-    /// log order) — replay through `PaxosTob::restore`.
+    /// log order) — replay through `PaxosTob::restore` *after* installing
+    /// [`Recovered::mark`].
     pub tob_events: Vec<TobEvent<SharedReq<F::Op>>>,
-    /// The full local TOB delivery order implied by the decided log
-    /// (computed with the same deterministic sender-FIFO release the TOB
-    /// uses).
+    /// The local TOB delivery order **above the compaction mark**
+    /// implied by the retained decided log (computed with the same
+    /// deterministic sender-FIFO release the TOB uses). Delivery
+    /// `deliveries[i]` has absolute `tob_no == mark.delivered + i`.
     pub deliveries: Vec<SharedReq<F::Op>>,
-    /// State materialized at `snapshot_delivered` deliveries.
+    /// State materialized at `snapshot_delivered` (absolute) deliveries.
     pub snapshot_state: F::State,
-    /// How many of `deliveries` the snapshot state already covers.
+    /// How many absolute deliveries the snapshot state already covers
+    /// (`>= mark.delivered`).
     pub snapshot_delivered: u64,
     /// Requests logged but not decided: `(kind, tob_seq, request)`,
     /// sorted by request id.
     pub pending: Vec<(PendingKind, u64, SharedReq<F::Op>)>,
+    /// The compaction floor the store sat on: the first `mark.delivered`
+    /// deliveries were truncated; their combined effect is `baseline`.
+    pub mark: BaselineMark,
+    /// State materialized at exactly `mark.delivered` deliveries — what
+    /// the recovered replica retains in place of the truncated payloads.
+    pub baseline: F::State,
+    /// Per-replica high-water `event_no` over everything the store ever
+    /// saw, compacted requests included.
+    pub event_high: Vec<u64>,
     /// Whether any segment ended in a torn/corrupt frame that was
     /// discarded.
     pub torn_tail: bool,
@@ -134,20 +190,26 @@ pub struct Recovered<F: DataType> {
 
 impl<F: DataType> Recovered<F> {
     /// An empty image (fresh store, or a non-durable backend).
-    fn empty() -> Self {
+    fn empty(n: usize) -> Self {
         Recovered {
             tob_events: Vec::new(),
             deliveries: Vec::new(),
             snapshot_state: F::State::default(),
             snapshot_delivered: 0,
             pending: Vec::new(),
+            mark: BaselineMark::zero(n),
+            baseline: F::State::default(),
+            event_high: vec![0; n],
             torn_tail: false,
         }
     }
 
     /// Whether the store held any durable facts at all.
     pub fn is_empty(&self) -> bool {
-        self.tob_events.is_empty() && self.pending.is_empty() && self.snapshot_delivered == 0
+        self.tob_events.is_empty()
+            && self.pending.is_empty()
+            && self.snapshot_delivered == 0
+            && self.mark.is_zero()
     }
 }
 
@@ -173,6 +235,14 @@ pub struct ReplicaStore<F: DataType, B: Storage> {
     accepted: AcceptedMap<F::Op>,
     pending: BTreeMap<ReqId, (PendingKind, u64, SharedReq<F::Op>)>,
     decided_ids: std::collections::HashSet<ReqId>,
+    /// The compaction floor the replica last reported (`note_stable`):
+    /// decided-log mirrors below it are dropped and the next snapshot is
+    /// written in the compact form.
+    mark: BaselineMark,
+    /// State materialized at exactly `mark.delivered` deliveries.
+    baseline_state: F::State,
+    /// Per-origin high-water `event_no` over every request ever seen.
+    event_high: Vec<u64>,
     commits_since_snapshot: u64,
     snapshots_written: u64,
 }
@@ -205,14 +275,17 @@ where
             accepted: BTreeMap::new(),
             pending: BTreeMap::new(),
             decided_ids: std::collections::HashSet::new(),
+            mark: BaselineMark::zero(n),
+            baseline_state: F::State::default(),
+            event_high: vec![0; n],
             commits_since_snapshot: 0,
             snapshots_written: 0,
         };
         if !store.enabled {
-            return Ok((store, Recovered::empty()));
+            return Ok((store, Recovered::empty(n)));
         }
 
-        let mut recovered = Recovered::empty();
+        let mut recovered = Recovered::empty(n);
         match Manifest::load(&store.backend)? {
             None => {}
             Some(manifest) => {
@@ -227,6 +300,14 @@ where
         Ok((store, recovered))
     }
 
+    /// Records that `origin` produced a request with `event_no` (keeps
+    /// recovered dots collision-free across compaction).
+    fn note_event(&mut self, origin: ReplicaId, event_no: u64) {
+        if let Some(h) = self.event_high.get_mut(origin.index()) {
+            *h = (*h).max(event_no);
+        }
+    }
+
     /// Folds the snapshot and the WAL suffix into `recovered` and the
     /// store's own mirrors.
     fn recover(&mut self, recovered: &mut Recovered<F>) -> Result<(), StorageError> {
@@ -234,6 +315,16 @@ where
             let snap = Snapshot::<F>::from_bytes(&self.backend.read(&name)?)?;
             self.stable_state = snap.state.clone();
             self.promised = snap.promised;
+            self.mark = snap.mark.clone();
+            if self.mark.fifo_next.len() < self.n {
+                self.mark.fifo_next.resize(self.n, 0);
+            }
+            self.baseline_state = snap.baseline.clone();
+            for (i, h) in snap.event_high.iter().enumerate() {
+                if let Some(mine) = self.event_high.get_mut(i) {
+                    *mine = (*mine).max(*h);
+                }
+            }
             recovered.snapshot_state = snap.state;
             recovered.snapshot_delivered = snap.delivered;
             recovered.tob_events.push(TobEvent::Promised {
@@ -242,6 +333,7 @@ where
             });
             for (slot, round, leader, sender, seq, req) in snap.accepted {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 self.accepted
                     .insert(slot, (round, leader, sender, seq, req.clone()));
                 recovered.tob_events.push(TobEvent::Accepted {
@@ -254,7 +346,13 @@ where
                 });
             }
             for (slot, sender, seq, req) in snap.decided {
+                if slot < self.mark.slot_floor {
+                    return Err(StorageError::Corrupt(
+                        "snapshot decided slot below its own mark".into(),
+                    ));
+                }
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 self.decided_ids.insert(req.id());
                 self.decided.insert(slot, (sender, seq, req.clone()));
                 recovered.tob_events.push(TobEvent::Decided {
@@ -266,6 +364,7 @@ where
             }
             for (kind, tob_seq, req) in snap.pending {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 self.pending.insert(req.id(), (kind, tob_seq, req));
             }
         }
@@ -290,15 +389,27 @@ where
             }
         }
 
-        // prune pending requests that were decided later in the log
-        self.pending.retain(|id, _| !self.decided_ids.contains(id));
+        // prune pending requests that were decided later in the log, or
+        // whose cast sequence number falls below the compaction floor
+        // (they were decided, delivered everywhere and truncated — the
+        // decided ids themselves are gone, but the per-sender FIFO
+        // cursors in the mark still identify them)
+        let mark = self.mark.clone();
+        self.pending.retain(|id, (_, tob_seq, req)| {
+            !self.decided_ids.contains(id) && *tob_seq >= mark.next_for(req.origin())
+        });
 
-        // deterministic local delivery order: the contiguous decided
-        // prefix, slot by slot, through the sender-FIFO gate (the exact
-        // release rule the TOB applies); slots beyond the first gap are
-        // decided-but-undeliverable and stay in the decided map only
+        // deterministic local delivery order above the compaction floor:
+        // the contiguous decided suffix, slot by slot, through the
+        // sender-FIFO gate resumed at the mark (the exact release rule
+        // the TOB applies after `install_baseline`); slots beyond the
+        // first gap are decided-but-undeliverable and stay in the
+        // decided map only
         let mut fifo = FifoRelease::new(self.n);
-        let mut next_slot = 0u64;
+        for s in ReplicaId::all(self.n) {
+            fifo.fast_forward(s, self.mark.next_for(s));
+        }
+        let mut next_slot = self.mark.slot_floor;
         while let Some((sender, seq, req)) = self.decided.get(&next_slot) {
             for released in fifo.push(*sender, *seq, req.clone()) {
                 recovered.deliveries.push(released);
@@ -306,16 +417,19 @@ where
             next_slot += 1;
         }
         // fast-forward the stable state over deliveries the snapshot
-        // does not cover yet
-        for req in recovered
-            .deliveries
-            .iter()
-            .skip(recovered.snapshot_delivered as usize)
-        {
+        // does not cover yet (`snapshot_delivered` is absolute; the
+        // deliveries vector starts at the mark)
+        let covered = (recovered
+            .snapshot_delivered
+            .saturating_sub(self.mark.delivered)) as usize;
+        for req in recovered.deliveries.iter().skip(covered) {
             F::apply(&mut self.stable_state, &req.op);
         }
-        self.delivered = recovered.deliveries.len() as u64;
+        self.delivered = self.mark.delivered + recovered.deliveries.len() as u64;
 
+        recovered.mark = self.mark.clone();
+        recovered.baseline = self.baseline_state.clone();
+        recovered.event_high = self.event_high.clone();
         recovered.pending = self
             .pending
             .values()
@@ -329,11 +443,13 @@ where
         match rec {
             WalRecord::Invoke { tob_seq, req } => {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 self.pending
                     .insert(req.id(), (PendingKind::Invoke, tob_seq, req));
             }
             WalRecord::Tentative { tob_seq, req } => {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 self.pending
                     .entry(req.id())
                     .or_insert((PendingKind::Tentative, tob_seq, req));
@@ -355,6 +471,7 @@ where
                 req,
             } => {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
                 match self.accepted.get(&slot) {
                     Some((r0, l0, ..)) if (*r0, *l0) > (round, leader) => {}
                     _ => {
@@ -378,6 +495,12 @@ where
                 req,
             } => {
                 let req = Arc::new(req);
+                self.note_event(req.origin(), req.id().event_no());
+                if slot < self.mark.slot_floor {
+                    // a pre-compaction record surviving in the WAL
+                    // suffix: already summarised by the snapshot's mark
+                    return;
+                }
                 if self
                     .decided
                     .insert(slot, (sender, seq, req.clone()))
@@ -423,41 +546,46 @@ where
         Ok(())
     }
 
-    fn append_record(&mut self, rec: &WalRecordRef<'_, F::Op>) {
-        self.append_record_with(rec, self.cfg.sync_every_record);
+    fn append_record(&mut self, rec: &WalRecordRef<'_, F::Op>) -> Result<(), StorageError> {
+        self.append_record_with(rec, self.cfg.sync_every_record)
     }
 
     /// Appends one framed record; `sync_now` lets multi-record hooks
     /// batch a single fsync at the end of the batch instead of paying
     /// one per record (the batch still syncs inside the same atomic
     /// handler step, so the durability contract is unchanged).
-    fn append_record_with(&mut self, rec: &WalRecordRef<'_, F::Op>, sync_now: bool) {
+    fn append_record_with(
+        &mut self,
+        rec: &WalRecordRef<'_, F::Op>,
+        sync_now: bool,
+    ) -> Result<(), StorageError> {
         let framed = frame(&rec.to_bytes());
         // disjoint field borrows: the segment name stays in the manifest
-        let segment = self
-            .manifest
-            .segments
-            .last()
-            .expect("an enabled store always has an open segment");
-        self.backend
-            .append(segment, &framed)
-            .expect("WAL append failed; a replica that cannot persist must stop");
+        let Some(segment) = self.manifest.segments.last() else {
+            return Err(StorageError::Corrupt(
+                "enabled store lost its open segment".into(),
+            ));
+        };
+        self.backend.append(segment, &framed)?;
         if sync_now {
-            self.backend.sync().expect("WAL fsync failed");
+            self.backend.sync()?;
         }
         self.current_segment_len += framed.len();
         if self.current_segment_len >= self.cfg.segment_max_bytes {
-            self.backend.sync().expect("WAL fsync failed");
-            self.rotate_segment().expect("WAL segment rotation failed");
+            self.backend.sync()?;
+            self.rotate_segment()?;
         }
+        Ok(())
     }
 
     /// Writes a snapshot, installs it in the manifest and deletes every
-    /// older file. Called automatically at the configured cadence; public
-    /// so tests and shutdown paths can force one.
-    pub fn write_snapshot(&mut self) {
+    /// older file — including every WAL byte below the compaction
+    /// watermark, whose only summary from then on is the snapshot's
+    /// mark + baseline. Called automatically at the configured cadence;
+    /// public so tests and shutdown paths can force one.
+    pub fn write_snapshot(&mut self) -> Result<(), StorageError> {
         if !self.enabled {
-            return;
+            return Ok(());
         }
         let snap = Snapshot::<F> {
             delivered: self.delivered,
@@ -466,7 +594,9 @@ where
             accepted: self
                 .accepted
                 .iter()
-                .filter(|(slot, _)| !self.decided.contains_key(slot))
+                .filter(|(slot, _)| {
+                    **slot >= self.mark.slot_floor && !self.decided.contains_key(slot)
+                })
                 .map(|(slot, (round, leader, sender, seq, req))| {
                     (*slot, *round, *leader, *sender, *seq, req.as_ref().clone())
                 })
@@ -474,6 +604,7 @@ where
             decided: self
                 .decided
                 .iter()
+                .filter(|(slot, _)| **slot >= self.mark.slot_floor)
                 .map(|(slot, (sender, seq, req))| (*slot, *sender, *seq, req.as_ref().clone()))
                 .collect(),
             pending: self
@@ -481,6 +612,9 @@ where
                 .values()
                 .map(|(kind, seq, req)| (*kind, *seq, req.as_ref().clone()))
                 .collect(),
+            mark: self.mark.clone(),
+            baseline: self.baseline_state.clone(),
+            event_high: self.event_high.clone(),
         };
         let old_files: Vec<String> = self
             .manifest
@@ -492,18 +626,16 @@ where
         let seq = self.manifest.next_file_seq;
         self.manifest.next_file_seq += 1;
         let snap_name = snapshot_name(seq);
-        self.backend
-            .write_atomic(&snap_name, &snap.to_bytes())
-            .expect("snapshot write failed");
+        self.backend.write_atomic(&snap_name, &snap.to_bytes())?;
         self.manifest.snapshot = Some(snap_name);
-        self.rotate_segment()
-            .expect("post-snapshot rotation failed");
+        self.rotate_segment()?;
         for name in old_files {
             // best-effort: orphans are cleaned on the next open anyway
             let _ = self.backend.remove(&name);
         }
         self.commits_since_snapshot = 0;
         self.snapshots_written += 1;
+        Ok(())
     }
 }
 
@@ -514,36 +646,46 @@ where
     F::State: Wire,
     B: Storage,
 {
-    fn log_invoke(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) {
+    fn log_invoke(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) -> Result<(), StorageError> {
         if !self.enabled {
-            return;
+            return Ok(());
         }
+        self.note_event(req.origin(), req.id().event_no());
         self.pending
             .insert(req.id(), (PendingKind::Invoke, tob_seq, req.clone()));
         self.append_record(&WalRecordRef::Invoke {
             tob_seq,
             req: req.as_ref(),
-        });
+        })
     }
 
-    fn log_tentative(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) {
+    fn log_tentative(&mut self, req: &SharedReq<F::Op>, tob_seq: u64) -> Result<(), StorageError> {
         if !self.enabled {
-            return;
+            return Ok(());
         }
-        if self.decided_ids.contains(&req.id()) || self.pending.contains_key(&req.id()) {
-            return;
+        if self.decided_ids.contains(&req.id())
+            || self.pending.contains_key(&req.id())
+            || tob_seq < self.mark.next_for(req.origin())
+        {
+            // the cast-cursor check catches requests whose decision was
+            // compacted away (their ids left `decided_ids` with it)
+            return Ok(());
         }
+        self.note_event(req.origin(), req.id().event_no());
         self.pending
             .insert(req.id(), (PendingKind::Tentative, tob_seq, req.clone()));
         self.append_record(&WalRecordRef::Tentative {
             tob_seq,
             req: req.as_ref(),
-        });
+        })
     }
 
-    fn log_tob_events(&mut self, events: Vec<TobEvent<SharedReq<F::Op>>>) {
+    fn log_tob_events(
+        &mut self,
+        events: Vec<TobEvent<SharedReq<F::Op>>>,
+    ) -> Result<(), StorageError> {
         if !self.enabled || events.is_empty() {
-            return;
+            return Ok(());
         }
         for ev in events {
             match &ev {
@@ -560,6 +702,7 @@ where
                     seq,
                     payload,
                 } => {
+                    self.note_event(payload.origin(), payload.id().event_no());
                     self.accepted
                         .insert(*slot, (*round, *leader, *sender, *seq, payload.clone()));
                 }
@@ -569,6 +712,7 @@ where
                     seq,
                     payload,
                 } => {
+                    self.note_event(payload.origin(), payload.id().event_no());
                     if self
                         .decided
                         .insert(*slot, (*sender, *seq, payload.clone()))
@@ -580,23 +724,69 @@ where
                 }
             }
             // batch: one fsync for the whole event batch, below
-            self.append_record_with(&WalRecordRef::from_tob_event(&ev), false);
+            self.append_record_with(&WalRecordRef::from_tob_event(&ev), false)?;
         }
         if self.cfg.sync_every_record {
-            self.backend.sync().expect("WAL fsync failed");
+            self.backend.sync()?;
         }
+        Ok(())
     }
 
-    fn note_commit(&mut self, req: &SharedReq<F::Op>) {
+    fn note_commit(&mut self, req: &SharedReq<F::Op>) -> Result<(), StorageError> {
         if !self.enabled {
-            return;
+            return Ok(());
         }
         F::apply(&mut self.stable_state, &req.op);
         self.delivered += 1;
         self.commits_since_snapshot += 1;
         if self.commits_since_snapshot >= self.cfg.snapshot_every {
-            self.write_snapshot();
+            self.write_snapshot()?;
         }
+        Ok(())
+    }
+
+    fn note_stable(
+        &mut self,
+        mark: &BaselineMark,
+        baseline: &F::State,
+    ) -> Result<(), StorageError> {
+        if !self.enabled || mark.delivered <= self.mark.delivered {
+            return Ok(());
+        }
+        // drop the decided-log mirror below the floor: the next snapshot
+        // is compact, and with it the WAL segments holding those records
+        // are deleted — that is the on-disk GC below the watermark
+        let keep = self.decided.split_off(&mark.slot_floor);
+        for (_, (_, _, req)) in std::mem::replace(&mut self.decided, keep) {
+            self.decided_ids.remove(&req.id());
+        }
+        let keep = self.accepted.split_off(&mark.slot_floor);
+        self.accepted = keep;
+        let jumped = mark.delivered > self.delivered;
+        self.mark = mark.clone();
+        if self.mark.fifo_next.len() < self.n {
+            self.mark.fifo_next.resize(self.n, 0);
+        }
+        self.baseline_state = baseline.clone();
+        if jumped {
+            // a live baseline install: the replica adopted a transferred
+            // state *ahead* of everything this store ever mirrored. Our
+            // own delivery mirror jumps with it, stale pending requests
+            // below the mark's cast cursors are gone, and the new prefix
+            // is made durable immediately (snapshot) so a crash cannot
+            // fall back below the cluster-wide floor again.
+            self.stable_state = baseline.clone();
+            self.delivered = mark.delivered;
+            let cursor_mark = self.mark.clone();
+            self.pending
+                .retain(|_, (_, seq, req)| *seq >= cursor_mark.next_for(req.origin()));
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    fn take_sync_stall(&mut self) -> VirtualTime {
+        self.backend.take_sync_stall()
     }
 }
 
@@ -647,8 +837,8 @@ mod tests {
         assert!(!store.is_enabled());
         assert!(recovered.is_empty());
         let r = shared(1, 0, KvOp::put("k", 1));
-        store.log_invoke(&r, 0);
-        store.note_commit(&r);
+        store.log_invoke(&r, 0).unwrap();
+        store.note_commit(&r).unwrap();
     }
 
     #[test]
@@ -660,10 +850,10 @@ mod tests {
 
         let r1 = shared(1, 0, KvOp::put("a", 1));
         let r2 = shared(2, 1, KvOp::put("b", 2));
-        store.log_invoke(&r1, 0);
-        store.log_tentative(&r2, 0);
-        store.log_tob_events(vec![decided_ev(0, &r1)]);
-        store.note_commit(&r1);
+        store.log_invoke(&r1, 0).unwrap();
+        store.log_tentative(&r2, 0).unwrap();
+        store.log_tob_events(vec![decided_ev(0, &r1)]).unwrap();
+        store.note_commit(&r1).unwrap();
 
         // "crash" (drop the store) and reopen the same disk
         drop(store);
@@ -691,9 +881,9 @@ mod tests {
         let (mut store, _) = KvStore8::open(disk.clone(), 1, cfg).unwrap();
         for i in 0..25u64 {
             let r = shared(i + 1, 0, KvOp::put(format!("k{}", i % 5), i as i64));
-            store.log_invoke(&r, i);
-            store.log_tob_events(vec![decided_ev(i, &r)]);
-            store.note_commit(&r);
+            store.log_invoke(&r, i).unwrap();
+            store.log_tob_events(vec![decided_ev(i, &r)]).unwrap();
+            store.note_commit(&r).unwrap();
         }
         assert_eq!(store.snapshots_written(), 2);
         drop(store);
@@ -720,10 +910,10 @@ mod tests {
         };
         let (mut store, _) = KvStore8::open(disk.clone(), 1, cfg).unwrap();
         let r1 = shared(1, 0, KvOp::put("a", 1));
-        store.log_invoke(&r1, 0);
+        store.log_invoke(&r1, 0).unwrap();
         store.backend().clone().sync().unwrap(); // r1 durable
         let r2 = shared(2, 0, KvOp::put("b", 2));
-        store.log_invoke(&r2, 1);
+        store.log_invoke(&r2, 1).unwrap();
         drop(store);
         disk.crash(42); // unsynced suffix torn at a random byte
 
@@ -747,7 +937,9 @@ mod tests {
         };
         let (mut store, _) = KvStore8::open(disk.clone(), 1, cfg).unwrap();
         for i in 0..20u64 {
-            store.log_invoke(&shared(i + 1, 0, KvOp::put("k", i as i64)), i);
+            store
+                .log_invoke(&shared(i + 1, 0, KvOp::put("k", i as i64)), i)
+                .unwrap();
         }
         assert!(
             store.manifest.segments.len() > 2,
@@ -765,9 +957,9 @@ mod tests {
         let cfg = StoreConfig::default();
         let (mut store, _) = KvStore8::open(disk.clone(), 2, cfg).unwrap();
         let r = shared(1, 0, KvOp::put("x", 1));
-        store.log_invoke(&r, 0);
-        store.log_tob_events(vec![decided_ev(0, &r)]);
-        store.note_commit(&r);
+        store.log_invoke(&r, 0).unwrap();
+        store.log_tob_events(vec![decided_ev(0, &r)]).unwrap();
+        store.note_commit(&r).unwrap();
         drop(store);
         let (_s1, rec1) = KvStore8::open(disk.clone(), 2, cfg).unwrap();
         let (_s2, rec2) = KvStore8::open(disk, 2, cfg).unwrap();

@@ -75,14 +75,16 @@ fn crash_at_arbitrary_prefix_recovers_durable_prefix<F>(
     let mut snapshot_covered = 0u64;
     for (slot, op) in ops.iter().enumerate() {
         let req = shared_req::<F>(slot, op.clone());
-        store.log_tob_events(vec![TobEvent::Decided {
-            slot: slot as u64,
-            sender: ReplicaId::new(0),
-            seq: slot as u64,
-            payload: req.clone(),
-        }]);
+        store
+            .log_tob_events(vec![TobEvent::Decided {
+                slot: slot as u64,
+                sender: ReplicaId::new(0),
+                seq: slot as u64,
+                payload: req.clone(),
+            }])
+            .unwrap();
         marks.push(current_wal(&disk));
-        store.note_commit(&req);
+        store.note_commit(&req).unwrap();
         if (slot as u64 + 1).is_multiple_of(snapshot_every) {
             snapshot_covered = slot as u64 + 1;
         }
@@ -199,8 +201,8 @@ mod torn_unsynced_tail {
                     sender: ReplicaId::new(0),
                     seq: slot as u64,
                     payload: req.clone(),
-                }]);
-                store.note_commit(&req);
+                }]).unwrap();
+                store.note_commit(&req).unwrap();
             }
             drop(store);
             disk.crash(crash_seed);

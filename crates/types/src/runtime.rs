@@ -124,6 +124,24 @@ pub trait Process {
 
     /// Drains client outputs produced since the last call.
     fn drain_outputs(&mut self) -> Vec<Self::Output>;
+
+    /// Drains the *simulated* time the process spent blocked on durable
+    /// storage (fsync) since the previous call. The simulator invokes
+    /// this after every handler and adds the stall to the replica's CPU
+    /// busy time, making crash/recovery schedules disk-latency-faithful;
+    /// processes without simulated storage return zero.
+    fn take_storage_stall(&mut self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+
+    /// Whether the process has permanently failed (crash-stopped), e.g.
+    /// because it could no longer persist its write-ahead state. A
+    /// failed process executes no further steps; runtimes treat it
+    /// exactly like a crashed replica (its messages and timers are
+    /// dropped) until an explicit restart rebuilds it.
+    fn has_failed(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
