@@ -86,6 +86,12 @@ pub enum PaxosMsg<M> {
     Prepare {
         /// The candidate's ballot.
         ballot: Ballot,
+        /// The candidate's contiguous decided prefix: the promiser
+        /// reports decided slots only from here up (the candidate
+        /// already holds everything below), keeping promises
+        /// proportional to the candidate's actual gap instead of the
+        /// full history.
+        decided_upto: u64,
     },
     /// Phase-1b: a promise not to accept lower ballots, carrying
     /// previously accepted values.
@@ -126,12 +132,19 @@ pub enum PaxosMsg<M> {
         stable_upto: u64,
     },
     /// Acknowledges a contiguous decided prefix (flow control for
-    /// catch-up; doubles as a status/gap report).
+    /// catch-up; doubles as a status/gap report, and — with compaction —
+    /// as a *watermark poll*: a receiver holding a newer stable
+    /// watermark than `stable_upto` answers with an empty `Catchup`
+    /// carrying it, so the final speculation window compacts at
+    /// quiescence even when individual messages are lost).
     DecideAck {
         /// Slots `< upto` are decided at the sender.
         upto: u64,
         /// The sender's contiguous delivered cursor (compaction).
         committed_upto: u64,
+        /// The sender's currently-adopted stable watermark (compaction;
+        /// 0 when off).
+        stable_upto: u64,
     },
     /// Bulk re-delivery of decided slots `first..first+entries.len()`.
     Catchup {
@@ -283,6 +296,18 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
     /// With default tuning.
     pub fn with_defaults(n: usize) -> Self {
         Self::new(n, PaxosConfig::default())
+    }
+
+    /// Internal cursors `(prefix, fifo_cursor, delivered, floor)` for
+    /// DST diagnostics.
+    #[doc(hidden)]
+    pub fn debug_cursors(&self) -> (u64, u64, u64, BaselineMark) {
+        (
+            self.prefix,
+            self.fifo_cursor,
+            self.delivered,
+            self.comp.floor.clone(),
+        )
     }
 
     /// The decided log known to this replica: `(slot, sender, seq)` per
@@ -650,7 +675,13 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         let me = ctx.id();
         for to in ReplicaId::all(self.n) {
             if to != me {
-                ctx.send(to, PaxosMsg::Prepare { ballot });
+                ctx.send(
+                    to,
+                    PaxosMsg::Prepare {
+                        ballot,
+                        decided_upto: self.prefix,
+                    },
+                );
             }
         }
         // single-replica cluster completes phase 1 immediately
@@ -720,6 +751,20 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         );
     }
 
+    /// Whether this endpoint still owes the cluster an idle-time
+    /// *watermark poll*: its adopted stable watermark trails its own
+    /// delivered cursor. Cursor reports and watermark dissemination only
+    /// piggyback on traffic, so once the traffic stops the final
+    /// speculation window would stay resident forever; the poll (a
+    /// `DecideAck` carrying our stale `stable_upto`) keeps nagging until
+    /// someone answers with a newer watermark. Poll-driven rather than
+    /// send-driven on purpose: a lost poll or a lost answer is retried
+    /// at the next pump tick, and the exchange terminates because the
+    /// adopted watermark rises monotonically to the delivered cursor.
+    fn watermark_poll_owed(&self) -> bool {
+        self.comp.on && self.comp.stable() < self.delivered
+    }
+
     fn needs_pump(&self) -> bool {
         !self.pending.is_empty()
             || !self.standby.is_empty()
@@ -731,6 +776,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             // (single-replica quorum) but deliveries only drain in
             // on_message/on_timer — the pump must come back for them
             || self.fifo_cursor < self.prefix
+            || self.watermark_poll_owed()
     }
 
     fn has_gap(&self) -> bool {
@@ -812,6 +858,71 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
                             self.send_catchup(peer, from, ctx);
                         }
                     }
+                    // fill persistent holes: a slot below our decided top
+                    // that neither we nor the promise quorum know a value
+                    // for wedges the whole cluster — the contiguous
+                    // prefix, and with it *every* delivery, stops at the
+                    // first hole (its only acceptance may have died with
+                    // a minority replica outside our prepare quorum).
+                    // Phase 1 of our ballot entitles us to propose any
+                    // value into such a slot; multi-Paxos classically
+                    // fills with no-ops, but payloads are opaque here, so
+                    // propose a not-yet-proposed pending entry — or,
+                    // lacking one, re-propose a decided entry from a
+                    // higher slot (a duplicate decision is deduplicated
+                    // by the deterministic FIFO release gate on every
+                    // replica alike). Found by the DST harness: one
+                    // orphaned slot froze delivery cluster-wide forever.
+                    if let Role::Leading { ballot } = self.role {
+                        let top = self.decided.keys().next_back().copied().unwrap_or(0);
+                        let holes: Vec<u64> = (self.prefix..top)
+                            .filter(|s| {
+                                !self.decided.contains_key(s) && !self.inflight.contains_key(s)
+                            })
+                            .take(self.config.batch_limit)
+                            .collect();
+                        for slot in holes {
+                            let filler = self
+                                .pending
+                                .iter()
+                                .find(|e| {
+                                    !self.proposed_keys.contains(&e.key())
+                                        && !self.key_decided(e.key())
+                                })
+                                .cloned()
+                                .or_else(|| {
+                                    self.decided.range(slot..).next().map(|(_, e)| e.clone())
+                                });
+                            if let Some(entry) = filler {
+                                self.propose_at(ballot, slot, entry, ctx);
+                            }
+                        }
+                    }
+                    // a leader can itself be the laggard: a replica that
+                    // recovered with a hole in its decided log and then
+                    // won the election has no one to catch it up —
+                    // Catchup flows leader→follower, and the prepare
+                    // merge may not cover the hole (a recovered
+                    // acceptor's snapshot keeps only *undecided*
+                    // accepted entries). Report the gap with a
+                    // DecideAck: any peer that is further along responds
+                    // with a Catchup batch (its handler treats acks as
+                    // gap reports regardless of roles). Found by the DST
+                    // harness (leader stuck pumping forever at a hole).
+                    if self.has_gap() {
+                        for peer in ReplicaId::all(self.n) {
+                            if peer != me {
+                                ctx.send(
+                                    peer,
+                                    PaxosMsg::DecideAck {
+                                        upto: self.prefix,
+                                        committed_upto: self.delivered,
+                                        stable_upto: self.comp.stable(),
+                                    },
+                                );
+                            }
+                        }
+                    }
                     self.try_propose(ctx);
                 }
                 Role::Preparing { .. } => {
@@ -850,12 +961,16 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             }
             if self.has_gap() || self.comp.on {
                 // with compaction on, acks double as cursor reports that
-                // keep the leader's watermark fresh
+                // keep the leader's watermark fresh, and as *watermark
+                // polls*: while our adopted watermark trails our
+                // delivered cursor, this ack solicits an answer carrying
+                // a newer one (see `watermark_poll_owed`)
                 ctx.send(
                     leader,
                     PaxosMsg::DecideAck {
                         upto: self.prefix,
                         committed_upto: self.delivered,
+                        stable_upto: self.comp.stable(),
                     },
                 );
             }
@@ -951,7 +1066,10 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                     self.send_catchup(from, decided_upto, ctx);
                 }
             }
-            PaxosMsg::Prepare { ballot } => {
+            PaxosMsg::Prepare {
+                ballot,
+                decided_upto,
+            } => {
                 if ballot > self.promised {
                     self.promise(ballot);
                     if !matches!(self.role, Role::Follower) {
@@ -959,11 +1077,28 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                         self.inflight.clear();
                         self.proposed_keys.clear();
                     }
-                    let accepted: Vec<(u64, Ballot, Entry<M>)> = self
+                    let mut accepted: Vec<(u64, Ballot, Entry<M>)> = self
                         .accepted
                         .iter()
                         .map(|(s, (b, e))| (*s, *b, e.clone()))
                         .collect();
+                    // Decided slots are final: report them too, at the
+                    // promising ballot so they win the candidate's merge
+                    // against any (necessarily lower-ballot, possibly
+                    // stale) plain acceptance. A recovered acceptor's
+                    // accepted map lacks acceptances pruned by a
+                    // snapshot (only undecided ones are snapshotted);
+                    // without this a new leader that missed a decided
+                    // slot could propose a *fresh value into it* and
+                    // split the committed order. Found by the DST
+                    // harness (crash-recovery + leader-change schedule
+                    // diverged at the first such slot). Only slots at or
+                    // above the candidate's own contiguous prefix are
+                    // reported — it already holds everything below — so
+                    // the promise stays proportional to the gap.
+                    for (slot, e) in self.decided.range(decided_upto..) {
+                        accepted.push((*slot, ballot, e.clone()));
+                    }
                     ctx.send(
                         from,
                         PaxosMsg::Promise {
@@ -1030,11 +1165,29 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
             PaxosMsg::DecideAck {
                 upto,
                 committed_upto,
+                stable_upto,
             } => {
                 self.note_peer_decided(from, upto);
                 self.note_peer_delivered(from, committed_upto);
                 if upto < self.prefix {
                     self.send_catchup(from, upto, ctx);
+                } else if self.comp.on && stable_upto < self.comp.stable() {
+                    // watermark poll: the sender has delivered everything
+                    // it knows of but its adopted watermark is stale —
+                    // answer with ours (an empty catch-up), so the final
+                    // speculation window compacts at quiescence. The
+                    // exchange is retried by the sender's pump until its
+                    // watermark catches up, so a lost poll or a lost
+                    // answer delays it by one pump period, never wedges.
+                    ctx.send(
+                        from,
+                        PaxosMsg::Catchup {
+                            first: self.prefix,
+                            entries: Vec::new(),
+                            stable_upto: self.comp.stable(),
+                            floor: self.comp.floor.slot_floor,
+                        },
+                    );
                 }
             }
             PaxosMsg::Catchup {
@@ -1066,9 +1219,14 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 PaxosMsg::DecideAck {
                     upto: self.prefix,
                     committed_upto: self.delivered,
+                    stable_upto: self.comp.stable(),
                 },
             );
         }
+        // a drain (or a cursor report that advanced the watermark) may
+        // have left idle-time compaction work owed — make sure the pump
+        // comes back for it even if this message armed nothing else
+        self.ensure_pump(ctx);
         out
     }
 
@@ -1115,9 +1273,18 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
     }
 
     fn install_baseline(&mut self, mark: &BaselineMark) {
-        if mark.delivered <= self.delivered {
+        if mark.delivered < self.delivered
+            || (mark.delivered == self.delivered && mark.slot_floor <= self.comp.floor.slot_floor)
+        {
             return; // stale (or zero) mark: we are already past it
         }
+        // an equal-delivered mark with a *higher slot floor* is not stale:
+        // trailing slots that produced no deliveries (duplicate decisions)
+        // coalesce clean points differently across replicas, and a
+        // replica whose own floor stopped short of such a slot can never
+        // replay it (everyone else truncated it) — only the mark can
+        // carry it over. Found by the DST harness (prefix wedged forever
+        // at a truncated no-delivery slot).
         self.decided = self.decided.split_off(&mark.slot_floor);
         self.accepted = self.accepted.split_off(&mark.slot_floor);
         for s in ReplicaId::all(self.n) {

@@ -36,10 +36,23 @@ pub enum SequencerMsg<M> {
     },
     /// A delivered-cursor report (compaction only): sent back to the
     /// sequencer after processing an `Order`, so replicas that never
-    /// cast anything themselves still feed the watermark minimum.
+    /// cast anything themselves still feed the watermark minimum. Also
+    /// the idle-time *watermark poll*: a receiver holding a newer stable
+    /// watermark than `stable_upto` answers with [`SequencerMsg::Stable`].
     Ack {
         /// The sender's contiguous delivered cursor.
         committed_upto: u64,
+        /// The sender's currently-adopted stable watermark.
+        stable_upto: u64,
+    },
+    /// The poll answer (compaction only): the sequencer hands its
+    /// globally-stable watermark to a replica whose adopted value is
+    /// stale, so the final speculation window compacts at quiescence
+    /// without fresh traffic. Receivers adopt and answer with an
+    /// [`SequencerMsg::Ack`].
+    Stable {
+        /// The sequencer's view of the stable watermark.
+        stable_upto: u64,
     },
 }
 
@@ -184,6 +197,42 @@ impl<M: Clone + fmt::Debug> SequencerTob<M> {
         }
     }
 
+    /// Whether this endpoint owes the cluster an idle-time *watermark
+    /// poll* (see [`crate::PaxosTob`]'s equivalent): its adopted stable
+    /// watermark trails its own delivered cursor. The poll (an `Ack`
+    /// carrying our stale `stable_upto`) is retried at every pump tick
+    /// until someone answers with a newer watermark, so a lost message
+    /// delays the exchange by one period instead of wedging the final
+    /// compaction window.
+    fn watermark_poll_owed(&self) -> bool {
+        self.comp.on && self.comp.stable() < self.delivered
+    }
+
+    /// Arms the pump if a watermark poll is owed and no timer is
+    /// pending.
+    fn ensure_pump(&mut self, ctx: &mut dyn Context<SequencerMsg<M>>) {
+        if self.pump_timer.is_none() && self.watermark_poll_owed() {
+            self.pump_timer = Some(ctx.set_timer(self.pump_period));
+        }
+    }
+
+    /// Sends the watermark poll from a pump tick (non-sequencers only:
+    /// the sequencer computes the watermark itself from incoming acks
+    /// and answers polls in its `Ack` handler).
+    fn watermark_poll(&mut self, ctx: &mut dyn Context<SequencerMsg<M>>) {
+        let me = ctx.id();
+        let leader = ctx.omega();
+        if self.watermark_poll_owed() && leader != me {
+            ctx.send(
+                leader,
+                SequencerMsg::Ack {
+                    committed_upto: self.delivered,
+                    stable_upto: self.comp.stable(),
+                },
+            );
+        }
+    }
+
     fn record(&mut self, global: u64, sender: ReplicaId, seq: u64, payload: M) {
         if global < self.comp.floor.slot_floor {
             return; // below the compaction floor: delivered everywhere
@@ -288,9 +337,32 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
                     ack_to = Some(from);
                 }
             }
-            SequencerMsg::Ack { committed_upto } => {
+            SequencerMsg::Ack {
+                committed_upto,
+                stable_upto,
+            } => {
                 self.comp.note_peer(from.index(), committed_upto);
                 self.refresh_stable();
+                if self.comp.on && stable_upto < self.comp.stable() {
+                    // watermark poll: the reporter's adopted watermark is
+                    // stale — answer with ours (retried by the poller's
+                    // pump until it catches up, so message loss never
+                    // wedges the final compaction window)
+                    ctx.send(
+                        from,
+                        SequencerMsg::Stable {
+                            stable_upto: self.comp.stable(),
+                        },
+                    );
+                }
+            }
+            SequencerMsg::Stable { stable_upto } => {
+                if self.comp.adopt(stable_upto) && self.comp.advance_floor() {
+                    self.log = self.log.split_off(&self.comp.floor.slot_floor);
+                }
+                if self.comp.on {
+                    ack_to = Some(from);
+                }
             }
         }
         let out = self.drain();
@@ -299,9 +371,11 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
                 to,
                 SequencerMsg::Ack {
                     committed_upto: self.delivered,
+                    stable_upto: self.comp.stable(),
                 },
             );
         }
+        self.ensure_pump(ctx);
         out
     }
 
@@ -313,6 +387,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
         if self.pump_timer == Some(timer) {
             self.pump_timer = None;
             self.flush(ctx);
+            self.watermark_poll(ctx);
             if !self.pending.is_empty()
                 || self
                     .log
@@ -323,7 +398,9 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
                 self.pump_timer = Some(ctx.set_timer(self.pump_period));
             }
         }
-        self.drain()
+        let out = self.drain();
+        self.ensure_pump(ctx);
+        out
     }
 
     fn owns_timer(&self, timer: TimerId) -> bool {
@@ -347,7 +424,11 @@ impl<M: Clone + fmt::Debug> Tob<M> for SequencerTob<M> {
     }
 
     fn install_baseline(&mut self, mark: &BaselineMark) {
-        if mark.delivered <= self.delivered {
+        // an equal-delivered mark with a higher slot floor steps over
+        // trailing no-delivery (duplicate) slots — see `PaxosTob`
+        if mark.delivered < self.delivered
+            || (mark.delivered == self.delivered && mark.slot_floor <= self.comp.floor.slot_floor)
+        {
             return;
         }
         self.log = self.log.split_off(&mark.slot_floor);

@@ -126,6 +126,96 @@ fn three_replica_compaction_keeps_delivering() {
     }
 }
 
+/// The quiescence watermark poll: once traffic stops, every endpoint
+/// whose adopted watermark trails its delivered cursor keeps polling
+/// (acks carrying the stale watermark) and whoever holds a newer one
+/// answers (an empty `Catchup`), so *every* endpoint's compaction floor
+/// catches up to its full delivery count — the last speculation window
+/// does not stay resident forever. The run must also still quiesce
+/// (the poll exchange terminates: the adopted watermark rises
+/// monotonically to the delivered cursor).
+#[test]
+fn paxos_watermark_catches_up_at_quiescence() {
+    let n = 3;
+    let cfg = SimConfig::new(n, 21).with_max_time(ms(120_000));
+    let mut sim = Sim::new(cfg, move |_| {
+        let mut tob = PaxosTob::with_defaults(n);
+        tob.set_compaction(true);
+        TobProc {
+            tob,
+            next_seq: 0,
+            delivered: Vec::new(),
+        }
+    });
+    for k in 0..30u64 {
+        let r = ReplicaId::new((k % n as u64) as u32);
+        sim.schedule_input(ms(1 + 7 * k), r, format!("m{k}"));
+    }
+    let report = sim.run_until(ms(120_000));
+    assert!(report.quiescent, "the beacon exchange must terminate");
+    for r in ReplicaId::all(n) {
+        let p = sim.process(r);
+        assert_eq!(p.delivered.len(), 30, "all delivered at {r}");
+        assert_eq!(
+            p.tob.stable_delivered(),
+            30,
+            "floor lags the delivery count at {r} — the final window never compacted"
+        );
+        assert!(
+            p.tob.decided_log().is_empty(),
+            "decided log not fully truncated at {r}: {} entries",
+            p.tob.decided_log().len()
+        );
+    }
+}
+
+/// The poll is loss-tolerant: even when the *entire tail* of the run —
+/// every message after the last cast — is subject to heavy loss, the
+/// per-pump-period retries eventually push the watermark to the top and
+/// every endpoint compacts fully. (The send-marks-as-heard design this
+/// replaced wedged one window short if a single beacon or cursor report
+/// was dropped.)
+#[test]
+fn paxos_watermark_poll_survives_message_loss() {
+    use bayou_sim::{LinkFault, NetworkConfig};
+    let n = 3;
+    // from 50 ms — while casts are still flowing — until t = 20 s,
+    // 60 % of messages are dropped, covering both the decision traffic
+    // (recovered by the retry pumps) and the whole quiescence exchange
+    let net = NetworkConfig::default().with_fault(LinkFault::new(ms(50), ms(20_000), 0.6, 0.0));
+    let cfg = SimConfig::new(n, 77)
+        .with_net(net)
+        .with_max_time(ms(120_000));
+    let mut sim = Sim::new(cfg, move |_| {
+        let mut tob = PaxosTob::with_defaults(n);
+        tob.set_compaction(true);
+        TobProc {
+            tob,
+            next_seq: 0,
+            delivered: Vec::new(),
+        }
+    });
+    for k in 0..12u64 {
+        let r = ReplicaId::new((k % n as u64) as u32);
+        sim.schedule_input(ms(1 + 15 * k), r, format!("m{k}"));
+    }
+    let report = sim.run_until(ms(120_000));
+    assert!(
+        report.quiescent,
+        "poll exchange must terminate despite loss"
+    );
+    assert!(report.metrics.messages_dropped_loss > 0, "loss was live");
+    for r in ReplicaId::all(n) {
+        let p = sim.process(r);
+        assert_eq!(p.delivered.len(), 12, "all delivered at {r}");
+        assert_eq!(
+            p.tob.stable_delivered(),
+            12,
+            "floor lags at {r} — a dropped poll/answer wedged the final window"
+        );
+    }
+}
+
 /// Compaction off (the default) must leave the decided log untouched.
 #[test]
 fn compaction_off_retains_the_full_decided_log() {
@@ -207,7 +297,8 @@ fn sequencer_compaction_truncates_even_with_silent_replicas() {
     for k in 0..60u64 {
         sim.schedule_input(ms(1 + 9 * k), ReplicaId::new(0), format!("m{k}"));
     }
-    sim.run_until(ms(60_000));
+    let report = sim.run_until(ms(60_000));
+    assert!(report.quiescent, "the beacon exchange must terminate");
     for r in ReplicaId::all(n) {
         assert_eq!(sim.process(r).delivered.len(), 60, "all delivered at {r}");
     }
@@ -216,4 +307,14 @@ fn sequencer_compaction_truncates_even_with_silent_replicas() {
         sequencer.stable_delivered() > 0,
         "silent replicas must still feed the watermark"
     );
+    // quiescence watermark poll (`SequencerMsg::Ack`/`Stable`): every
+    // endpoint — including the silent ones — ends with its floor at the
+    // full delivery count
+    for r in ReplicaId::all(n) {
+        assert_eq!(
+            sim.process(r).tob.stable_delivered(),
+            60,
+            "floor lags at {r} — the final window never compacted"
+        );
+    }
 }

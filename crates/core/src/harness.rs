@@ -200,6 +200,23 @@ where
         self.sim.metrics()
     }
 
+    /// Whether `r` is currently dead: crashed by the fault schedule, or
+    /// crash-stopped by a persistence failure.
+    pub fn is_down(&self, r: ReplicaId) -> bool {
+        self.sim.is_crashed(r) || self.replica(r).failure().is_some()
+    }
+
+    /// Per-replica committed totals (compacted prefix + retained list),
+    /// in replica order. The cluster-wide maximum can only grow while a
+    /// quorum of replicas is alive and connected — quorum-loss tests
+    /// snapshot this before and after a loss window to assert that no
+    /// new commit was decided inside it.
+    pub fn committed_totals(&self) -> Vec<u64> {
+        ReplicaId::all(self.n)
+            .map(|r| self.replica(r).committed_total())
+            .collect()
+    }
+
     /// Schedules an open-loop invocation.
     pub fn invoke_at(&mut self, at: VirtualTime, replica: ReplicaId, op: F::Op, level: Level) {
         self.sim
@@ -260,6 +277,23 @@ where
         }
         self.quiescent = true; // step_one drained everything reachable
         self.build_trace()
+    }
+
+    /// Quorum-loss-aware convergence: like
+    /// [`BayouCluster::assert_convergence`], but replicas that are down
+    /// (crashed by the schedule or crash-stopped on a persistence
+    /// failure) are skipped automatically — a dead replica is entitled
+    /// to be arbitrarily stale, and a fault schedule that leaves some
+    /// replicas dead must still be able to check the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) if any two *live* replicas disagree.
+    pub fn assert_convergence_alive(&self) {
+        let down: Vec<ReplicaId> = ReplicaId::all(self.n)
+            .filter(|r| self.is_down(*r))
+            .collect();
+        self.assert_convergence(&down);
     }
 
     /// Asserts that all replicas have converged: agreeing committed

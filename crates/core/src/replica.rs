@@ -641,19 +641,7 @@ where
         // allow the state object to drop undo records of the stable
         // prefix: after adjust_execution the executed list is a prefix of
         // committed · tentative, so the stable prefix length is O(1)
-        let stable = self.executed.len().min(self.committed.len());
-        debug_assert!(self
-            .executed
-            .iter()
-            .take(stable)
-            .zip(self.committed.iter())
-            .all(|(e, c)| e.id() == c.id()));
-        self.stable_len = stable;
-        // positions handed to the state object are trace-absolute: its
-        // trace still contains everything compaction dropped from the
-        // replica's lists since the state object was created
-        self.state
-            .truncate_checkpoints(self.dropped_since_state + stable);
+        self.refresh_stable_prefix();
         if self.reqs_awaiting_resp.contains_key(&id) && self.executed_contains(id) {
             if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&id) {
                 self.outputs.push(Response {
@@ -666,6 +654,28 @@ where
             // implies the execute step stored or returned it already
         }
         self.maybe_compact();
+    }
+
+    /// Recomputes the stable (executed ∧ committed) prefix length and
+    /// lets the state object drop rollback bookkeeping below it.
+    /// Callers must have the invariant that `executed` is a prefix of
+    /// `committed · tentative` (guaranteed after [`adjust_execution`]
+    /// and whenever the execution queues drained).
+    ///
+    /// Positions handed to the state object are trace-absolute: its
+    /// trace still contains everything compaction dropped from the
+    /// replica's lists since the state object was created.
+    fn refresh_stable_prefix(&mut self) {
+        let stable = self.executed.len().min(self.committed.len());
+        debug_assert!(self
+            .executed
+            .iter()
+            .take(stable)
+            .zip(self.committed.iter())
+            .all(|(e, c)| e.id() == c.id()));
+        self.stable_len = stable;
+        self.state
+            .truncate_checkpoints(self.dropped_since_state + stable);
     }
 
     /// Truncates the committed prefix up to the TOB's compaction floor:
@@ -684,6 +694,16 @@ where
             return;
         };
         if mark.delivered <= self.compacted {
+            // the floor can also advance purely in *slot* space (trailing
+            // no-delivery duplicate slots): adopt the higher-slot mark so
+            // the baseline we serve to laggards can step them over it
+            if mark.delivered == self.compacted && mark.slot_floor > self.baseline_mark.slot_floor {
+                self.baseline_mark = mark;
+                let res = self
+                    .persist
+                    .note_stable(&self.baseline_mark, &self.baseline);
+                self.persist_ok(res);
+            }
             return;
         }
         let k = (mark.delivered - self.compacted) as usize;
@@ -714,8 +734,19 @@ where
     /// committed prefix with the transferred state-at-the-mark and
     /// resumes normal catch-up above it.
     fn install_baseline(&mut self, me: ReplicaId, state: F::State, mark: BaselineMark) {
-        if mark.delivered <= self.committed_total() {
-            return; // stale transfer: we already hold that prefix
+        if mark.delivered < self.committed_total() {
+            return; // stale transfer: we already hold a longer prefix
+        }
+        if mark.delivered == self.committed_total() {
+            // same delivery prefix: the visible history does not change,
+            // but the sender's mark may sit on a higher *slot* floor than
+            // our TOB's (trailing no-delivery duplicate slots that
+            // everyone truncated) — fast-forward only the TOB's slot
+            // bookkeeping so its contiguous prefix can step over them,
+            // and keep all replica-level state
+            self.tob.install_baseline(&mark);
+            self.maybe_compact();
+            return;
         }
         self.tob.install_baseline(&mark);
         // a replica reborn without its disk restarts its counters at 0;
@@ -1050,6 +1081,17 @@ where
             }
             self.executed_set.insert(head.id());
             self.executed.push(head);
+            if self.to_be_executed.is_empty() && self.to_be_rolled_back.is_empty() {
+                // execution caught up with the evaluation order: the
+                // stable prefix is maximal again. Recompute it and follow
+                // the TOB's compaction floor — a floor that arrived while
+                // executions were still queued was skipped by the
+                // message-step `maybe_compact` (the baseline must never
+                // outrun local execution), and without this step nothing
+                // would ever re-apply it on a quiescing replica.
+                self.refresh_stable_prefix();
+                self.maybe_compact();
+            }
             return true;
         }
         false

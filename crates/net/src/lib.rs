@@ -14,6 +14,14 @@
 //! replicas are crashed) through a shared atomic cell — replicas read it
 //! through [`bayou_types::Context::omega`] exactly as in the simulator.
 //!
+//! Fault injection goes through [`PartitionControl`], which mirrors the
+//! simulator's partition constructors (`split_at`, `isolate`,
+//! block-list `partition`) plus crash/uncrash — so a fault schedule
+//! authored for (or shrunken by) the DST harness in `bayou-sim` can be
+//! replayed against a live cluster without translation
+//! (`tests/nemesis_replay.rs` walks a `bayou_sim::Nemesis` schedule in
+//! wall-clock time).
+//!
 //! # Examples
 //!
 //! ```

@@ -26,6 +26,7 @@ pub(crate) struct Frame<M> {
 /// replica.
 #[derive(Debug)]
 pub struct PartitionControl {
+    n: usize,
     blocks: Mutex<Option<Vec<Vec<ReplicaId>>>>,
     crashed: Mutex<Vec<bool>>,
     leader: AtomicU32,
@@ -34,15 +35,40 @@ pub struct PartitionControl {
 impl PartitionControl {
     pub(crate) fn new(n: usize) -> Arc<Self> {
         Arc::new(PartitionControl {
+            n,
             blocks: Mutex::new(None),
             crashed: Mutex::new(vec![false; n]),
             leader: AtomicU32::new(0),
         })
     }
 
+    /// Number of replicas under control.
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
     /// Installs a partition (replaces any existing one).
     pub fn partition(&self, blocks: Vec<Vec<ReplicaId>>) {
         *self.blocks.lock() = Some(blocks);
+    }
+
+    /// Splits the cluster into `{0..k}` vs `{k..n}` — mirrors
+    /// `bayou_sim::Partition::split_at`, so a simulated fault schedule
+    /// can be replayed against a live cluster verbatim.
+    pub fn split_at(&self, k: usize) {
+        self.partition(vec![
+            ReplicaId::all(self.n).take(k).collect(),
+            ReplicaId::all(self.n).skip(k).collect(),
+        ]);
+    }
+
+    /// Isolates a single replica from the rest — mirrors
+    /// `bayou_sim::Partition::isolate`.
+    pub fn isolate(&self, victim: ReplicaId) {
+        self.partition(vec![
+            vec![victim],
+            ReplicaId::all(self.n).filter(|r| *r != victim).collect(),
+        ]);
     }
 
     /// Removes the partition.

@@ -14,7 +14,8 @@
 //!   `(time, sequence number)`; all randomness flows from one seed.
 //! * **Network model** — per-link delay distributions, a partition
 //!   schedule (messages crossing a partition are dropped — lower protocol
-//!   layers provide retransmission), crash faults.
+//!   layers provide retransmission), message loss/duplication bursts
+//!   ([`LinkFault`]), crash faults.
 //! * **CPU model** — handlers on a replica execute serially and consume
 //!   virtual time scaled by a per-replica speed factor; a slow replica
 //!   accumulates a backlog exactly as in the paper's §2.3 argument.
@@ -25,6 +26,13 @@
 //!   replica; in asynchronous runs it may rotate forever.
 //! * **Tracing & metrics** — client inputs/outputs are recorded with
 //!   times, and message/step counters feed the experiment harness.
+//! * **The nemesis** — [`Nemesis`] draws a composable fault schedule
+//!   (outages incl. quorum-loss windows, partitions with heal times,
+//!   clock skew, CPU slowdown, fsync latency, loss/duplication bursts)
+//!   from a single seed and folds it onto a [`SimConfig`]; [`shrink`]
+//!   bisects a failing schedule to a minimal reproducer. Together they
+//!   are the engine of the FoundationDB-style DST harness in
+//!   `crates/core/tests/dst.rs` (see `docs/TESTING.md`).
 //!
 //! # Examples
 //!
@@ -65,6 +73,7 @@ mod clock;
 mod cpu;
 mod event;
 mod metrics;
+mod nemesis;
 mod network;
 mod omega;
 mod sim;
@@ -72,6 +81,7 @@ mod sim;
 pub use clock::ClockConfig;
 pub use cpu::CpuConfig;
 pub use metrics::Metrics;
-pub use network::{NetworkConfig, Partition, PartitionSchedule};
+pub use nemesis::{shrink, Fault, Nemesis, NemesisConfig};
+pub use network::{LinkFault, NetworkConfig, Partition, PartitionSchedule};
 pub use omega::Stability;
 pub use sim::{OutputRecord, RunReport, Sim, SimConfig};

@@ -24,6 +24,10 @@ pub struct Metrics {
     pub messages_dropped_partition: u64,
     /// Messages dropped because the destination had crashed.
     pub messages_dropped_crash: u64,
+    /// Messages dropped by a loss burst ([`crate::LinkFault`]).
+    pub messages_dropped_loss: u64,
+    /// Extra copies injected by a duplication burst.
+    pub messages_duplicated: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Client inputs dispatched.
@@ -65,11 +69,13 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped(part)={} dropped(crash)={} timers={} inputs={} internal={} steps={:?}",
+            "sent={} delivered={} dropped(part)={} dropped(crash)={} dropped(loss)={} dup={} timers={} inputs={} internal={} steps={:?}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped_partition,
             self.messages_dropped_crash,
+            self.messages_dropped_loss,
+            self.messages_duplicated,
             self.timers_fired,
             self.inputs,
             self.internal_steps,

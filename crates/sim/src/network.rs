@@ -149,6 +149,57 @@ impl PartitionSchedule {
     }
 }
 
+/// A transient link-fault window: during `[from, until)` every
+/// cross-replica message is independently dropped with probability
+/// `loss` and (if not dropped) delivered twice with probability
+/// `duplicate`.
+///
+/// Bursts model flaky networks between the binary extremes the
+/// simulator already had (perfect links vs. a full partition drop).
+/// Loss is recovered by the protocol stack's retransmission (stubborn
+/// links, Paxos pumps), and every protocol message is idempotent, so a
+/// duplicate may cost extra work but never changes an outcome — which
+/// is exactly what the DST harness uses these windows to check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Start of the window (inclusive).
+    pub from: VirtualTime,
+    /// End of the window (exclusive).
+    pub until: VirtualTime,
+    /// Per-message drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Per-message duplication probability in `[0, 1]` (applied to
+    /// messages that survived the loss draw).
+    pub duplicate: f64,
+}
+
+impl LinkFault {
+    /// Creates a fault window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until` or a probability is outside `[0, 1]`.
+    pub fn new(from: VirtualTime, until: VirtualTime, loss: f64, duplicate: f64) -> Self {
+        assert!(from < until, "fault window must be non-empty");
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&duplicate),
+            "duplicate must be a probability"
+        );
+        LinkFault {
+            from,
+            until,
+            loss,
+            duplicate,
+        }
+    }
+
+    /// Whether the window is active at time `t`.
+    pub fn active_at(&self, t: VirtualTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
 /// Network delay and partition configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
@@ -163,6 +214,8 @@ pub struct NetworkConfig {
     /// reproductions (e.g. the Theorem 1 schedule) that need one slow
     /// link.
     pub link_delays: Vec<(ReplicaId, ReplicaId, VirtualTime)>,
+    /// Message loss/duplication bursts (see [`LinkFault`]).
+    pub faults: Vec<LinkFault>,
 }
 
 impl Default for NetworkConfig {
@@ -172,6 +225,7 @@ impl Default for NetworkConfig {
             jitter: VirtualTime::from_micros(500),
             partitions: PartitionSchedule::none(),
             link_delays: Vec::new(),
+            faults: Vec::new(),
         }
     }
 }
@@ -185,6 +239,7 @@ impl NetworkConfig {
             jitter: VirtualTime::ZERO,
             partitions: PartitionSchedule::none(),
             link_delays: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -193,6 +248,41 @@ impl NetworkConfig {
     pub fn with_link_delay(mut self, from: ReplicaId, to: ReplicaId, delay: VirtualTime) -> Self {
         self.link_delays.push((from, to, delay));
         self
+    }
+
+    /// Adds a message loss/duplication burst (builder style).
+    pub fn with_fault(mut self, fault: LinkFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Samples whether a cross-replica message sent at time `t` is lost
+    /// to an active fault burst. Draws from `rng` only while a burst
+    /// with non-zero loss is active, so configurations without bursts
+    /// consume exactly the random stream they did before bursts existed.
+    pub fn sample_loss<R: Rng + ?Sized>(&self, t: VirtualTime, rng: &mut R) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.active_at(t) && f.loss > 0.0 && rng.gen_range(0.0..1.0) < f.loss)
+    }
+
+    /// Samples whether a surviving cross-replica message sent at time
+    /// `t` is duplicated by an active fault burst (at most one extra
+    /// copy, however many bursts overlap).
+    pub fn sample_duplicate<R: Rng + ?Sized>(&self, t: VirtualTime, rng: &mut R) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.active_at(t) && f.duplicate > 0.0 && rng.gen_range(0.0..1.0) < f.duplicate)
+    }
+
+    /// The time after which no loss/duplication burst is ever active
+    /// again.
+    pub fn faults_heal_time(&self) -> VirtualTime {
+        self.faults
+            .iter()
+            .map(|f| f.until)
+            .max()
+            .unwrap_or(VirtualTime::ZERO)
     }
 
     /// Samples a one-way delay for a message on the link `from → to`.
@@ -293,6 +383,49 @@ mod tests {
     }
 
     #[test]
+    fn fault_window_boundaries_are_half_open() {
+        let f = LinkFault::new(ms(10), ms(20), 1.0, 0.0);
+        assert!(!f.active_at(ms(9)));
+        assert!(f.active_at(ms(10)));
+        assert!(f.active_at(ms(19)));
+        assert!(!f.active_at(ms(20)));
+    }
+
+    #[test]
+    fn certain_loss_drops_and_certain_duplication_duplicates() {
+        let cfg = NetworkConfig::default()
+            .with_fault(LinkFault::new(ms(0), ms(10), 1.0, 0.0))
+            .with_fault(LinkFault::new(ms(20), ms(30), 0.0, 1.0));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        assert!(cfg.sample_loss(ms(5), &mut rng));
+        assert!(!cfg.sample_loss(ms(15), &mut rng), "between windows");
+        assert!(!cfg.sample_loss(ms(25), &mut rng), "dup-only window");
+        assert!(cfg.sample_duplicate(ms(25), &mut rng));
+        assert!(!cfg.sample_duplicate(ms(5), &mut rng), "loss-only window");
+        assert_eq!(cfg.faults_heal_time(), ms(30));
+        assert_eq!(NetworkConfig::default().faults_heal_time(), ms(0));
+    }
+
+    #[test]
+    fn inactive_faults_consume_no_randomness() {
+        // the zero-fault random stream must be byte-identical to the
+        // pre-fault simulator's, or every archived seed changes meaning
+        use rand::RngCore;
+        let cfg = NetworkConfig::default().with_fault(LinkFault::new(ms(50), ms(60), 0.9, 0.9));
+        let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+        let mut rng2 = rng.clone();
+        assert!(!cfg.sample_loss(ms(1), &mut rng));
+        assert!(!cfg.sample_duplicate(ms(1), &mut rng));
+        assert_eq!(rng.next_u64(), rng2.next_u64(), "no draws consumed");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn fault_rejects_bad_probability() {
+        LinkFault::new(ms(0), ms(1), 1.5, 0.0);
+    }
+
+    #[test]
     fn fixed_network_has_deterministic_delay() {
         let cfg = NetworkConfig::fixed(ms(3));
         let mut rng = StepRng::new(0, 1);
@@ -305,8 +438,7 @@ mod tests {
         let cfg = NetworkConfig {
             base_delay: ms(1),
             jitter: ms(2),
-            partitions: PartitionSchedule::none(),
-            link_delays: Vec::new(),
+            ..Default::default()
         };
         let mut rng = rand::rngs::mock::StepRng::new(12345, 999_999_937);
         for _ in 0..100 {

@@ -534,11 +534,31 @@ impl<P: Process> Sim<P> {
                 self.metrics.messages_dropped_partition += 1;
                 continue;
             }
-            let delay = if to == r {
-                VirtualTime::ZERO
-            } else {
-                self.config.net.sample_link_delay(r, to, &mut self.net_rng)
-            };
+            if to == r {
+                // loopback: immune to partitions, loss and duplication
+                self.queue
+                    .push(done, to, EventKind::Deliver { from: r, msg });
+                continue;
+            }
+            if self.config.net.sample_loss(done, &mut self.net_rng) {
+                self.metrics.messages_dropped_loss += 1;
+                continue;
+            }
+            if self.config.net.sample_duplicate(done, &mut self.net_rng) {
+                // the duplicate takes an independently sampled delay, so
+                // the two copies may arrive in either order
+                self.metrics.messages_duplicated += 1;
+                let delay = self.config.net.sample_link_delay(r, to, &mut self.net_rng);
+                self.queue.push(
+                    done + delay,
+                    to,
+                    EventKind::Deliver {
+                        from: r,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            let delay = self.config.net.sample_link_delay(r, to, &mut self.net_rng);
             self.queue
                 .push(done + delay, to, EventKind::Deliver { from: r, msg });
         }
@@ -763,6 +783,68 @@ mod tests {
         let report = sim.run();
         assert_eq!(report.outputs.len(), 0);
         assert_eq!(report.metrics.messages_dropped_partition, 1);
+    }
+
+    #[test]
+    fn loss_burst_drops_messages_and_duplication_injects_copies() {
+        use crate::network::LinkFault;
+        // certain loss for the whole run: the volley dies on hop 1
+        let net = NetworkConfig::default().with_fault(LinkFault::new(
+            VirtualTime::ZERO,
+            VirtualTime::from_secs(10),
+            1.0,
+            0.0,
+        ));
+        let mut sim = Sim::new(SimConfig::new(2, 3).with_net(net), |_| PingPong {
+            rounds: 0,
+            out: vec![],
+        });
+        sim.schedule_input(VirtualTime::from_millis(1), ReplicaId::new(0), 4);
+        let report = sim.run();
+        assert_eq!(report.outputs.len(), 0);
+        assert_eq!(report.metrics.messages_dropped_loss, 1);
+
+        // certain duplication: every hop is delivered twice, and the
+        // ping-pong protocol (not idempotent by design) counts doubles
+        let net = NetworkConfig::default().with_fault(LinkFault::new(
+            VirtualTime::ZERO,
+            VirtualTime::from_secs(10),
+            0.0,
+            1.0,
+        ));
+        let mut sim = Sim::new(SimConfig::new(2, 3).with_net(net), |_| PingPong {
+            rounds: 0,
+            out: vec![],
+        });
+        sim.schedule_input(VirtualTime::from_millis(1), ReplicaId::new(0), 1);
+        let report = sim.run();
+        assert!(report.metrics.messages_duplicated >= 1);
+        assert!(report.metrics.messages_delivered > report.metrics.messages_sent);
+    }
+
+    #[test]
+    fn fault_free_runs_are_unchanged_by_fault_support() {
+        // a burst outside the run's lifetime must not change the trace
+        let run = |with_fault: bool| {
+            use crate::network::LinkFault;
+            let mut net = NetworkConfig::default();
+            if with_fault {
+                net = net.with_fault(LinkFault::new(
+                    VirtualTime::from_secs(50),
+                    VirtualTime::from_secs(60),
+                    0.9,
+                    0.9,
+                ));
+            }
+            let mut sim = Sim::new(SimConfig::new(2, 7).with_net(net), |_| PingPong {
+                rounds: 0,
+                out: vec![],
+            });
+            sim.schedule_input(VirtualTime::from_millis(1), ReplicaId::new(0), 10);
+            let r = sim.run();
+            (r.end_time, r.events)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
