@@ -1,0 +1,278 @@
+//! Criterion bench: end-to-end saturation throughput of the batched
+//! commit pipeline — whole simulated-cluster runs (links + RB + Paxos +
+//! replica + storage) under open-loop overload, at 10²–10⁴ ops, 3 and 5
+//! replicas, weak-only and mixed weak/strong workloads, compaction on
+//! and off.
+//!
+//! Every configuration is measured twice: `batched` (delivery batching,
+//! step-end frame coalescing, delayed cumulative acks and WAL group
+//! commit — the defaults) and `unbatched` (the per-request / per-frame /
+//! per-record baseline of the pre-batching code paths, still selectable
+//! through the config knobs). Two numbers are reported per
+//! configuration:
+//!
+//! * **wall-clock ops/sec** (the criterion timing): how fast the host
+//!   pushes the whole simulated run, a proxy for total protocol work;
+//! * **simulated ops/sec** (`record_metric`, `sim_ops_per_sec`): ops
+//!   divided by the *simulated* time at which every replica had
+//!   committed the full workload, with a realistic 100 µs fsync charged
+//!   to the simulated clock — the throughput of the modeled hardware,
+//!   and the deterministic headline number (the simulator is a pure
+//!   function of the config). This is where group commit shows up: the
+//!   unbatched baseline pays ~3× the fsyncs per op, on the critical
+//!   path.
+//!
+//! messages/op and fsyncs/op from `bayou_sim::Metrics` land in the JSON
+//! report alongside, plus the batched-vs-unbatched speedup at the
+//! 10³-ops / 3-replica acceptance point. Archived as `BENCH_PR5.json`.
+//!
+//! `SATURATION_SMOKE=1` shrinks the grid to a seconds-long CI smoke run.
+
+use bayou_core::{recover_paxos_replica, BayouCluster, ClusterConfig, ProtocolMode};
+use bayou_data::{DeltaState, KvOp, KvStore};
+use bayou_storage::{MemDisk, StoreConfig};
+use bayou_types::{Level, ReplicaId, VirtualTime};
+use criterion::{
+    criterion_group, criterion_main, record_metric, BenchmarkId, Criterion, Throughput,
+};
+
+/// Simulated fsync latency of the modeled disks (an SSD-ish 100 µs),
+/// charged to the replicas' simulated CPUs.
+const FSYNC_LATENCY: VirtualTime = VirtualTime::from_micros(100);
+
+/// One saturation configuration.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    n: usize,
+    ops: usize,
+    /// Every `strong_every`-th op is strong (0 = weak-only).
+    strong_every: usize,
+    compaction: bool,
+    /// The batched pipeline vs the per-request baseline.
+    batched: bool,
+}
+
+impl Config {
+    fn label(&self) -> String {
+        format!(
+            "{}/n{}/ops{}/{}{}",
+            if self.batched { "batched" } else { "unbatched" },
+            self.n,
+            self.ops,
+            if self.strong_every > 0 {
+                "mixed"
+            } else {
+                "weak"
+            },
+            if self.compaction { "+compact" } else { "" },
+        )
+    }
+}
+
+fn build_cluster(cfg: Config) -> BayouCluster<KvStore> {
+    // per-replica in-memory disks so group commit and fsync accounting
+    // are on the hot path (the disks outlive the factory closure)
+    let disks: Vec<MemDisk> = (0..cfg.n).map(|_| MemDisk::new()).collect();
+    for d in &disks {
+        d.set_fsync_latency(FSYNC_LATENCY);
+    }
+    let n = cfg.n;
+    let store_cfg = StoreConfig {
+        snapshot_every: 256,
+        // the unbatched baseline pays the pre-batching per-record sync
+        group_commit: cfg.batched,
+        ..StoreConfig::default()
+    };
+    let base = ClusterConfig::new(cfg.n, 42);
+    BayouCluster::with_factory(base.sim, move |id: ReplicaId| {
+        let mut r = recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+            id,
+            n,
+            ProtocolMode::Improved,
+            Default::default(),
+            disks[id.index()].clone(),
+            store_cfg,
+        );
+        r.set_compaction(cfg.compaction);
+        r.set_delivery_batching(cfg.batched);
+        r.set_link_coalescing(cfg.batched);
+        r
+    })
+}
+
+fn schedule_ops(cluster: &mut BayouCluster<KvStore>, cfg: Config) {
+    for k in 0..cfg.ops {
+        let level = if cfg.strong_every > 0 && k % cfg.strong_every == cfg.strong_every - 1 {
+            Level::Strong
+        } else {
+            Level::Weak
+        };
+        // open-loop far past the saturation point (a handler costs 10 µs
+        // of simulated CPU, and one op is many handler steps): the
+        // cluster falls behind and works through a deep backlog — the
+        // regime the batched pipeline exists for
+        cluster.invoke_at(
+            VirtualTime::from_micros(2 * k as u64 + 1),
+            ReplicaId::new((k % cfg.n) as u32),
+            KvOp::put(format!("k{}", k % 64), k as i64),
+            level,
+        );
+    }
+}
+
+/// One full run to quiescence (the criterion timing target).
+fn run_saturation(cfg: Config) {
+    let mut cluster = build_cluster(cfg);
+    schedule_ops(&mut cluster, cfg);
+    let trace = cluster.run_until(VirtualTime::from_secs(55));
+    assert!(
+        trace.events.iter().all(|e| !e.is_pending()),
+        "saturation run left pending events ({})",
+        cfg.label()
+    );
+}
+
+/// One instrumented run: advances in slices until every replica has
+/// committed the whole workload, returning (simulated seconds to full
+/// commitment, messages/op, fsyncs/op). Deterministic per config.
+fn measure(cfg: Config) -> (f64, f64, f64) {
+    let mut cluster = build_cluster(cfg);
+    schedule_ops(&mut cluster, cfg);
+    // every scheduled op is an update, so every one of them commits
+    let target = cfg.ops as u64;
+    let step = VirtualTime::from_millis(if cfg.ops > 1_000 { 25 } else { 5 });
+    let deadline = VirtualTime::from_secs(55);
+    let mut slice = step;
+    let committed_at = loop {
+        cluster.run_until(slice);
+        if cluster.committed_totals().iter().all(|c| *c >= target) {
+            break cluster.now();
+        }
+        assert!(
+            slice < deadline,
+            "workload never committed ({})",
+            cfg.label()
+        );
+        slice += step;
+    };
+    let m = cluster.metrics();
+    let ops = cfg.ops as f64;
+    (
+        committed_at.as_secs_f64(),
+        m.messages_sent as f64 / ops,
+        m.fsyncs as f64 / ops,
+    )
+}
+
+fn smoke() -> bool {
+    std::env::var("SATURATION_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn grid() -> Vec<Config> {
+    let base = Config {
+        n: 3,
+        ops: 1_000,
+        strong_every: 0,
+        compaction: false,
+        batched: true,
+    };
+    if smoke() {
+        return [true, false]
+            .into_iter()
+            .map(|batched| Config {
+                ops: 100,
+                batched,
+                ..base
+            })
+            .collect();
+    }
+    let mut grid = Vec::new();
+    for batched in [true, false] {
+        for ops in [100usize, 1_000, 10_000] {
+            grid.push(Config {
+                ops,
+                batched,
+                ..base
+            });
+        }
+        // 5 replicas, a mixed weak/strong workload, and compaction, all
+        // at the 10³ point
+        grid.push(Config {
+            n: 5,
+            batched,
+            ..base
+        });
+        grid.push(Config {
+            strong_every: 8,
+            batched,
+            ..base
+        });
+        grid.push(Config {
+            compaction: true,
+            batched,
+            ..base
+        });
+    }
+    grid
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("saturation");
+    g.sample_size(if smoke() { 2 } else { 3 });
+    g.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 3 }));
+    for cfg in grid() {
+        g.throughput(Throughput::Elements(cfg.ops as u64));
+        g.bench_with_input(BenchmarkId::new("run", cfg.label()), &cfg, |b, &cfg| {
+            b.iter(|| run_saturation(cfg))
+        });
+        let (commit_secs, msgs_per_op, fsyncs_per_op) = measure(cfg);
+        record_metric(
+            "saturation_counters",
+            &cfg.label(),
+            &[
+                ("sim_ops_per_sec", cfg.ops as f64 / commit_secs),
+                ("messages_per_op", msgs_per_op),
+                ("fsyncs_per_op", fsyncs_per_op),
+            ],
+        );
+    }
+    g.finish();
+
+    // the acceptance point: batched vs unbatched simulated throughput at
+    // 10³ ops / 3 replicas (deterministic — the simulator is a pure
+    // function of the configuration)
+    let point = |batched| Config {
+        n: 3,
+        ops: if smoke() { 100 } else { 1_000 },
+        strong_every: 0,
+        compaction: false,
+        batched,
+    };
+    let (b_secs, b_msgs, b_syncs) = measure(point(true));
+    let (u_secs, u_msgs, u_syncs) = measure(point(false));
+    record_metric(
+        "saturation_speedup",
+        if smoke() {
+            "n3/ops100/weak"
+        } else {
+            "n3/ops1000/weak"
+        },
+        &[
+            ("batched_sim_ops_per_sec", point(true).ops as f64 / b_secs),
+            (
+                "unbatched_sim_ops_per_sec",
+                point(false).ops as f64 / u_secs,
+            ),
+            ("speedup", u_secs / b_secs),
+            ("messages_per_op_ratio", u_msgs / b_msgs),
+            ("fsyncs_per_op_ratio", u_syncs / b_syncs),
+        ],
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_saturation
+}
+criterion_main!(benches);

@@ -76,6 +76,141 @@ impl<I, O> Context<I> for MapCtx<'_, I, O> {
     }
 }
 
+/// A step-end *frame coalescer*: buffers every message a handler step
+/// sends, per destination, and flushes each destination's buffer as one
+/// wrapped frame when the step ends.
+///
+/// This is the top layer of the batched commit pipeline's message
+/// coalescing: runtimes already apply a step's sends atomically at
+/// handler completion, so regrouping them per peer changes nothing
+/// semantically — but it turns the per-slot message storms of a
+/// saturated cluster (64 `Accept`s to the same acceptor from one
+/// `Submit` batch, 64 `Decide`s to the same follower from one
+/// `Accepted` frame, a retransmission burst after a partition heals)
+/// into *one* wire message each, and with it one delivery event, one
+/// handler step and one WAL sync at the receiver.
+///
+/// Single-message buffers are sent unwrapped, so an idle cluster's
+/// traffic is byte-for-byte what it was without the coalescer. Created
+/// with `on = false` the coalescer is a transparent pass-through (the
+/// unbatched baseline).
+///
+/// The buffer backing store is handed in by the owner and returned by
+/// [`StepCoalescer::finish`], so steady-state steps reuse capacity
+/// instead of allocating per step.
+pub struct StepCoalescer<'a, M> {
+    outer: &'a mut dyn Context<M>,
+    wrap: fn(Vec<M>) -> M,
+    store: StepBuffers<M>,
+    on: bool,
+}
+
+/// The reusable backing store of a [`StepCoalescer`]: per-destination
+/// buffers plus the first-send destination order, round-tripped through
+/// [`StepCoalescer::finish`] so steady-state steps allocate nothing.
+#[derive(Debug)]
+pub struct StepBuffers<M> {
+    /// Per-destination buffers (indexed by replica).
+    bufs: Vec<Vec<M>>,
+    /// First-send order of destinations (deterministic flush order).
+    order: Vec<ReplicaId>,
+}
+
+impl<M> Default for StepBuffers<M> {
+    fn default() -> Self {
+        StepBuffers {
+            bufs: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+impl<'a, M> StepCoalescer<'a, M> {
+    /// Wraps `outer` for one handler step. `wrap` builds the frame
+    /// message from a multi-message buffer; `store` is the (empty)
+    /// reusable backing store from the previous step.
+    pub fn new(
+        outer: &'a mut dyn Context<M>,
+        wrap: fn(Vec<M>) -> M,
+        on: bool,
+        mut store: StepBuffers<M>,
+    ) -> Self {
+        let n = outer.cluster_size();
+        debug_assert!(store.bufs.iter().all(|b| b.is_empty()) && store.order.is_empty());
+        store.bufs.resize_with(n, Vec::new);
+        StepCoalescer {
+            outer,
+            wrap,
+            store,
+            on,
+        }
+    }
+
+    /// Flushes every destination's buffer (in first-send order) as one
+    /// frame each and returns the emptied backing store for reuse.
+    pub fn finish(self) -> StepBuffers<M> {
+        let StepCoalescer {
+            outer,
+            wrap,
+            mut store,
+            ..
+        } = self;
+        for to in store.order.drain(..) {
+            let buf = &mut store.bufs[to.index()];
+            let frame = if buf.len() == 1 {
+                // popping keeps the buffer's capacity for the next step
+                buf.pop().expect("len checked")
+            } else {
+                // a real frame owns its Vec (it goes on the wire)
+                wrap(std::mem::take(buf))
+            };
+            outer.send(to, frame);
+        }
+        store
+    }
+}
+
+impl<M> Context<M> for StepCoalescer<'_, M> {
+    fn id(&self) -> ReplicaId {
+        self.outer.id()
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.outer.cluster_size()
+    }
+
+    fn now(&self) -> VirtualTime {
+        self.outer.now()
+    }
+
+    fn clock(&mut self) -> Timestamp {
+        self.outer.clock()
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: M) {
+        if !self.on || to.index() >= self.store.bufs.len() {
+            self.outer.send(to, msg);
+            return;
+        }
+        if self.store.bufs[to.index()].is_empty() {
+            self.store.order.push(to);
+        }
+        self.store.bufs[to.index()].push(msg);
+    }
+
+    fn set_timer(&mut self, delay: VirtualTime) -> TimerId {
+        self.outer.set_timer(delay)
+    }
+
+    fn random(&mut self) -> u64 {
+        self.outer.random()
+    }
+
+    fn omega(&mut self) -> ReplicaId {
+        self.outer.omega()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,7 +46,7 @@ mod rb;
 mod sequencer;
 mod tob;
 
-pub use ctx::MapCtx;
+pub use ctx::{MapCtx, StepBuffers, StepCoalescer};
 pub use fifo::FifoRelease;
 pub use link::{LinkMsg, PerfectLink};
 pub use paxos::{Ballot, PaxosConfig, PaxosMsg, PaxosTob};

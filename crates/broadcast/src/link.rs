@@ -1,4 +1,5 @@
-//! Stubborn point-to-point links with acknowledgements.
+//! Stubborn point-to-point links with acknowledgements and per-peer
+//! frame coalescing.
 
 use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -6,24 +7,39 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Wire message of a [`PerfectLink`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinkMsg<M> {
-    /// A payload with a per-(sender, receiver) sequence number.
+    /// A *frame*: every payload buffered for one peer during one handler
+    /// step, under a single per-(sender, receiver) sequence number. The
+    /// frame is acknowledged, deduplicated and retransmitted as a unit,
+    /// so coalescing `k` payloads costs one ack and one retransmit slot
+    /// instead of `k` of each.
     Data {
-        /// Link-level sequence number.
+        /// Link-level frame sequence number.
         seq: u64,
-        /// The payload.
-        payload: M,
+        /// The coalesced payloads, in send order.
+        payloads: Vec<M>,
     },
-    /// Acknowledgement of a received `Data`.
+    /// Cumulative acknowledgement of received `Data` frames: everything
+    /// below `upto` plus the (reorder-induced) sparse set above it — the
+    /// receiver's complete delivered state, so one ack frame retires an
+    /// arbitrary backlog and a lost ack is fully covered by the next.
+    /// With coalescing, acks are *delayed*: batched per peer on a short
+    /// ack tick (or riding a same-step data frame) instead of one ack
+    /// per received frame.
     Ack {
-        /// Sequence number being acknowledged.
-        seq: u64,
+        /// Frame sequence numbers `< upto` are all delivered.
+        upto: u64,
+        /// Delivered frame sequence numbers `>= upto`.
+        sparse: Vec<u64>,
     },
 }
 
 #[derive(Debug, Clone)]
 struct PeerOut<M> {
     next_seq: u64,
-    unacked: BTreeMap<u64, M>,
+    /// Sent frames awaiting acknowledgement, by frame sequence number.
+    unacked: BTreeMap<u64, Vec<M>>,
+    /// Payloads buffered since the last flush (the next frame).
+    outbox: Vec<M>,
 }
 
 impl<M> Default for PeerOut<M> {
@@ -31,6 +47,7 @@ impl<M> Default for PeerOut<M> {
         PeerOut {
             next_seq: 0,
             unacked: BTreeMap::new(),
+            outbox: Vec::new(),
         }
     }
 }
@@ -41,6 +58,8 @@ struct PeerIn {
     prefix: u64,
     /// Delivered sequence numbers `>= prefix` (sparse).
     sparse: BTreeSet<u64>,
+    /// Whether frames arrived since the last ack we sent this peer.
+    ack_owed: bool,
 }
 
 impl PeerIn {
@@ -57,7 +76,7 @@ impl PeerIn {
 }
 
 /// A *perfect* (reliable) point-to-point link built from the fair-lossy
-/// partitioned network: every sent message is retransmitted until
+/// partitioned network: every sent frame is retransmitted until
 /// acknowledged, and duplicates are suppressed at the receiver.
 ///
 /// Guarantees (between correct replicas that are eventually connected):
@@ -68,6 +87,19 @@ impl PeerIn {
 /// This is the substitution that makes the paper's temporary-partition
 /// model work: the simulator drops messages crossing a partition, and the
 /// link layer re-sends them after the partition heals.
+///
+/// # Frame coalescing
+///
+/// [`PerfectLink::send`] *buffers*: payloads accumulate in a per-peer
+/// outbox and leave as one [`LinkMsg::Data`] frame when the owner calls
+/// [`PerfectLink::flush`] at the end of its handler step. Everything a
+/// step produces for one peer — an eager-relay fan-out of a multi-payload
+/// frame, a retransmission backlog draining after a partition heal —
+/// travels as a single frame with a single ack and a single retransmit
+/// slot, cutting the cluster's messages/op and ack chatter. Coalescing
+/// can be disabled ([`PerfectLink::set_coalescing`]) to recover the
+/// historical one-frame-per-payload behaviour (the unbatched baseline
+/// measured by the `saturation` bench).
 #[derive(Debug)]
 pub struct PerfectLink<M> {
     out: Vec<PeerOut<M>>,
@@ -75,15 +107,18 @@ pub struct PerfectLink<M> {
     armed: Option<TimerId>,
     period: VirtualTime,
     burst: usize,
+    coalesce: bool,
+    /// The delayed-ack tick (armed only while acks are owed).
+    ack_armed: Option<TimerId>,
 }
 
 impl<M: Clone> PerfectLink<M> {
-    /// Per-peer cap on retransmissions per timer tick.
+    /// Per-peer cap on frame retransmissions per timer tick.
     ///
     /// Without a cap, a peer that stops acknowledging (crashed,
     /// partitioned away, or simply CPU-saturated — the §2.3 starvation
     /// experiment) makes every tick re-send its **entire** unacked
-    /// backlog: O(backlog) messages per tick, a quadratic message storm
+    /// backlog: O(backlog) frames per tick, a quadratic message storm
     /// that buries the network and the laggard. Capping the burst keeps
     /// ticks O(1) while preserving reliable delivery: retransmission
     /// proceeds from the *oldest* unacked sequence number, so once the
@@ -100,6 +135,8 @@ impl<M: Clone> PerfectLink<M> {
             armed: None,
             period,
             burst: Self::RETRANSMIT_BURST,
+            coalesce: true,
+            ack_armed: None,
         }
     }
 
@@ -108,7 +145,17 @@ impl<M: Clone> PerfectLink<M> {
         Self::new(n, VirtualTime::from_millis(100))
     }
 
-    /// Sends `payload` to `to`, retransmitting until acknowledged.
+    /// Enables (or disables) frame coalescing. With coalescing off every
+    /// [`PerfectLink::send`] flushes immediately as a one-payload frame —
+    /// the pre-batching behaviour, kept as the measurable baseline.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+    }
+
+    /// Buffers `payload` for `to`; it leaves in the next flushed frame
+    /// and is retransmitted until that frame is acknowledged. Owners
+    /// must call [`PerfectLink::flush`] before their handler step ends
+    /// (with coalescing disabled the flush happens here).
     ///
     /// # Panics
     ///
@@ -116,15 +163,18 @@ impl<M: Clone> PerfectLink<M> {
     /// are for remote communication.
     pub fn send(&mut self, to: ReplicaId, payload: M, ctx: &mut dyn Context<LinkMsg<M>>) {
         assert_ne!(to, ctx.id(), "perfect links do not loop back to self");
-        let peer = &mut self.out[to.index()];
-        let seq = peer.next_seq;
-        peer.next_seq += 1;
-        peer.unacked.insert(seq, payload.clone());
-        ctx.send(to, LinkMsg::Data { seq, payload });
-        self.ensure_timer(ctx);
+        self.out[to.index()].outbox.push(payload);
+        if self.coalesce {
+            // arm the retransmit timer now: even if the owner forgot to
+            // flush, the timer's safety-net flush drains the outbox one
+            // period late instead of stranding the payload forever
+            self.ensure_timer(ctx);
+        } else {
+            self.flush_peer(to, ctx);
+        }
     }
 
-    /// Broadcasts `payload` to every replica except self.
+    /// Buffers `payload` for every replica except self.
     pub fn send_all(&mut self, payload: M, ctx: &mut dyn Context<LinkMsg<M>>)
     where
         M: Clone,
@@ -137,6 +187,35 @@ impl<M: Clone> PerfectLink<M> {
         }
     }
 
+    /// Flushes every non-empty per-peer outbox as one framed
+    /// [`LinkMsg::Data`] each. Owners call this exactly once at the end
+    /// of any handler step that may have buffered sends.
+    pub fn flush(&mut self, ctx: &mut dyn Context<LinkMsg<M>>) {
+        for idx in 0..self.out.len() {
+            if !self.out[idx].outbox.is_empty() {
+                self.flush_peer(ReplicaId::new(idx as u32), ctx);
+            }
+        }
+    }
+
+    fn flush_peer(&mut self, to: ReplicaId, ctx: &mut dyn Context<LinkMsg<M>>) {
+        let peer = &mut self.out[to.index()];
+        if peer.outbox.is_empty() {
+            return;
+        }
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        let payloads = std::mem::take(&mut peer.outbox);
+        peer.unacked.insert(seq, payloads.clone());
+        ctx.send(to, LinkMsg::Data { seq, payloads });
+        if self.coalesce && self.inc[to.index()].ack_owed {
+            // an owed ack rides along with the data frame (the two
+            // coalesce into one wire message at the step frame)
+            self.send_ack(to, ctx);
+        }
+        self.ensure_timer(ctx);
+    }
+
     /// Handles a link-layer message, returning newly delivered payloads.
     pub fn on_message(
         &mut self,
@@ -145,40 +224,85 @@ impl<M: Clone> PerfectLink<M> {
         ctx: &mut dyn Context<LinkMsg<M>>,
     ) -> Vec<M> {
         match msg {
-            LinkMsg::Data { seq, payload } => {
-                ctx.send(from, LinkMsg::Ack { seq });
-                if self.inc[from.index()].is_new(seq) {
-                    vec![payload]
+            LinkMsg::Data { seq, payloads } => {
+                let delivered = self.inc[from.index()].is_new(seq);
+                if self.coalesce {
+                    // delayed cumulative ack: batched on the ack tick
+                    // (or riding a same-step data frame at the flush)
+                    self.inc[from.index()].ack_owed = true;
+                    self.ensure_ack_timer(ctx);
+                } else {
+                    self.send_ack(from, ctx);
+                }
+                if delivered {
+                    payloads
                 } else {
                     Vec::new()
                 }
             }
-            LinkMsg::Ack { seq } => {
-                self.out[from.index()].unacked.remove(&seq);
+            LinkMsg::Ack { upto, sparse } => {
+                let peer = &mut self.out[from.index()];
+                peer.unacked = peer.unacked.split_off(&upto);
+                for seq in sparse {
+                    peer.unacked.remove(&seq);
+                }
                 Vec::new()
             }
         }
     }
 
+    /// Sends the cumulative delivered-state ack for `to`.
+    fn send_ack(&mut self, to: ReplicaId, ctx: &mut dyn Context<LinkMsg<M>>) {
+        let inc = &mut self.inc[to.index()];
+        inc.ack_owed = false;
+        ctx.send(
+            to,
+            LinkMsg::Ack {
+                upto: inc.prefix,
+                sparse: inc.sparse.iter().copied().collect(),
+            },
+        );
+    }
+
     /// Handles a timer fire; returns `true` if the timer belonged to this
     /// link (callers route unrecognised timers to other layers).
     pub fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<LinkMsg<M>>) -> bool {
+        if self.ack_armed == Some(timer) {
+            self.ack_armed = None;
+            for idx in 0..self.inc.len() {
+                if self.inc[idx].ack_owed {
+                    self.send_ack(ReplicaId::new(idx as u32), ctx);
+                }
+            }
+            return true;
+        }
         if self.armed != Some(timer) {
             return false;
         }
         self.armed = None;
+        // frames flushed by the safety net below were sent *this tick*
+        // and must not be re-sent by the retransmit loop too
+        let fresh: Vec<u64> = self.out.iter().map(|p| p.next_seq).collect();
+        // safety net: a step that buffered without flushing still drains
+        // (one period late); correctly-flushing owners leave this a no-op
+        self.flush(ctx);
         let me = ctx.id();
         for (idx, peer) in self.out.iter().enumerate() {
             let to = ReplicaId::new(idx as u32);
             if to == me {
                 continue;
             }
-            for (seq, payload) in peer.unacked.iter().take(self.burst) {
+            for (seq, payloads) in peer
+                .unacked
+                .iter()
+                .take_while(|(seq, _)| **seq < fresh[idx])
+                .take(self.burst)
+            {
                 ctx.send(
                     to,
                     LinkMsg::Data {
                         seq: *seq,
-                        payload: payload.clone(),
+                        payloads: payloads.clone(),
                     },
                 );
             }
@@ -187,14 +311,24 @@ impl<M: Clone> PerfectLink<M> {
         true
     }
 
-    /// Number of messages awaiting acknowledgement across all peers.
+    /// Number of frames awaiting acknowledgement across all peers.
     pub fn unacked(&self) -> usize {
         self.out.iter().map(|p| p.unacked.len()).sum()
     }
 
     fn ensure_timer(&mut self, ctx: &mut dyn Context<LinkMsg<M>>) {
-        if self.armed.is_none() && self.unacked() > 0 {
+        let pending = self.unacked() > 0 || self.out.iter().any(|p| !p.outbox.is_empty());
+        if self.armed.is_none() && pending {
             self.armed = Some(ctx.set_timer(self.period));
+        }
+    }
+
+    /// Arms the delayed-ack tick: a quarter of the retransmission
+    /// period, so batched acks always land well before the sender would
+    /// retransmit.
+    fn ensure_ack_timer(&mut self, ctx: &mut dyn Context<LinkMsg<M>>) {
+        if self.ack_armed.is_none() {
+            self.ack_armed = Some(ctx.set_timer(self.period.mul_f64(0.25)));
         }
     }
 }
@@ -235,6 +369,7 @@ mod tests {
         ) {
             let delivered = self.link.on_message(from, msg, ctx);
             self.out.extend(delivered);
+            self.link.flush(ctx);
         }
 
         fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<LinkMsg<u64>>) {
@@ -243,6 +378,7 @@ mod tests {
 
         fn on_input(&mut self, (to, v): (ReplicaId, u64), ctx: &mut dyn Context<LinkMsg<u64>>) {
             self.link.send(to, v, ctx);
+            self.link.flush(ctx);
         }
 
         fn drain_outputs(&mut self) -> Vec<u64> {
@@ -317,27 +453,103 @@ mod tests {
         }
         let mut link: PerfectLink<u64> = PerfectLink::with_default_period(2);
         let mut ctx = NullCtx;
-        let d = LinkMsg::Data { seq: 0, payload: 9 };
+        let d = LinkMsg::Data {
+            seq: 0,
+            payloads: vec![9],
+        };
         assert_eq!(
             link.on_message(ReplicaId::new(0), d.clone(), &mut ctx),
             vec![9]
         );
         assert!(link.on_message(ReplicaId::new(0), d, &mut ctx).is_empty());
-        // out-of-order arrival then the gap filling in
+        // out-of-order arrival then the gap filling in; a multi-payload
+        // frame delivers (or is suppressed) as a unit
         let d2 = LinkMsg::Data {
             seq: 2,
-            payload: 11,
+            payloads: vec![11, 12],
         };
         let d1 = LinkMsg::Data {
             seq: 1,
-            payload: 10,
+            payloads: vec![10],
         };
         assert_eq!(
             link.on_message(ReplicaId::new(0), d2.clone(), &mut ctx),
-            vec![11]
+            vec![11, 12]
         );
         assert_eq!(link.on_message(ReplicaId::new(0), d1, &mut ctx), vec![10]);
         assert!(link.on_message(ReplicaId::new(0), d2, &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn coalescing_packs_a_step_into_one_frame() {
+        #[derive(Debug, Default)]
+        struct Collect {
+            sent: Vec<(ReplicaId, LinkMsg<u64>)>,
+        }
+        impl Context<LinkMsg<u64>> for Collect {
+            fn id(&self) -> ReplicaId {
+                ReplicaId::new(0)
+            }
+            fn cluster_size(&self) -> usize {
+                2
+            }
+            fn now(&self) -> VirtualTime {
+                VirtualTime::ZERO
+            }
+            fn clock(&mut self) -> bayou_types::Timestamp {
+                bayou_types::Timestamp::new(0)
+            }
+            fn send(&mut self, to: ReplicaId, m: LinkMsg<u64>) {
+                self.sent.push((to, m));
+            }
+            fn set_timer(&mut self, _d: VirtualTime) -> TimerId {
+                TimerId::new(1)
+            }
+            fn random(&mut self) -> u64 {
+                0
+            }
+            fn omega(&mut self) -> ReplicaId {
+                ReplicaId::new(0)
+            }
+        }
+        let mut link: PerfectLink<u64> = PerfectLink::with_default_period(2);
+        let mut ctx = Collect::default();
+        let peer = ReplicaId::new(1);
+        link.send(peer, 1, &mut ctx);
+        link.send(peer, 2, &mut ctx);
+        link.send(peer, 3, &mut ctx);
+        assert!(ctx.sent.is_empty(), "sends buffer until the flush");
+        link.flush(&mut ctx);
+        assert_eq!(
+            ctx.sent,
+            vec![(
+                peer,
+                LinkMsg::Data {
+                    seq: 0,
+                    payloads: vec![1, 2, 3],
+                }
+            )],
+            "one frame carries the whole step"
+        );
+        assert_eq!(link.unacked(), 1, "one retransmit slot for the frame");
+        // one cumulative ack retires the whole frame
+        link.on_message(
+            peer,
+            LinkMsg::Ack {
+                upto: 1,
+                sparse: vec![],
+            },
+            &mut ctx,
+        );
+        assert_eq!(link.unacked(), 0);
+
+        // with coalescing off, each send is its own frame (the baseline)
+        link.set_coalescing(false);
+        ctx.sent.clear();
+        link.send(peer, 4, &mut ctx);
+        link.send(peer, 5, &mut ctx);
+        assert_eq!(ctx.sent.len(), 2, "per-payload frames without coalescing");
+        assert_eq!(link.unacked(), 2);
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub struct ClusterConfig {
     /// Whether replicas truncate their committed history at the
     /// globally-stable watermark ([`BayouReplica::set_compaction`]).
     pub compaction: bool,
+    /// Whether TOB delivery batches commit as one spliced unit
+    /// ([`BayouReplica::set_delivery_batching`]; on by default — off is
+    /// the per-request baseline, observably equivalent).
+    pub delivery_batching: bool,
+    /// Whether the reliable-broadcast links coalesce a step's sends into
+    /// per-peer frames ([`BayouReplica::set_link_coalescing`]; on by
+    /// default — off is the one-frame-per-payload baseline).
+    pub link_coalescing: bool,
 }
 
 impl ClusterConfig {
@@ -33,6 +41,8 @@ impl ClusterConfig {
             mode: ProtocolMode::default(),
             paxos: PaxosConfig::default(),
             compaction: false,
+            delivery_batching: true,
+            link_coalescing: true,
         }
     }
 
@@ -52,6 +62,20 @@ impl ClusterConfig {
     /// style).
     pub fn with_compaction(mut self) -> Self {
         self.compaction = true;
+        self
+    }
+
+    /// Disables batched delivery commit on every replica (builder
+    /// style): the per-request sequential baseline.
+    pub fn without_delivery_batching(mut self) -> Self {
+        self.delivery_batching = false;
+        self
+    }
+
+    /// Disables link frame coalescing on every replica (builder style):
+    /// the one-frame-per-payload baseline.
+    pub fn without_link_coalescing(mut self) -> Self {
+        self.link_coalescing = false;
         self
     }
 }
@@ -116,9 +140,13 @@ where
         let mode = config.mode;
         let paxos = config.paxos;
         let compaction = config.compaction;
+        let delivery_batching = config.delivery_batching;
+        let link_coalescing = config.link_coalescing;
         Self::with_factory(config.sim, move |_| {
             let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
             r.set_compaction(compaction);
+            r.set_delivery_batching(delivery_batching);
+            r.set_link_coalescing(link_coalescing);
             r
         })
     }

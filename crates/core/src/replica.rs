@@ -21,7 +21,20 @@
 //! * checkpoints/undo records of the stable prefix are dropped
 //!   ([`StateObject::truncate_checkpoints`]) every time the committed
 //!   list grows, keeping rollback bookkeeping proportional to the
-//!   speculative window rather than the lifetime of the replica.
+//!   speculative window rather than the lifetime of the replica;
+//! * TOB deliveries commit **batched**: one handler step's whole
+//!   delivery batch is spliced into the committed list with a *single*
+//!   re-planning pass (`adjust_execution`), a single stable-prefix
+//!   refresh, a single group-commit persistence call
+//!   ([`bayou_storage::Persistence::log_commit_batch`]) and a single
+//!   compaction check — the unit of work above the state object is "the
+//!   batch this step drained", not "one request". The per-request
+//!   sequential path remains available
+//!   ([`BayouReplica::set_delivery_batching`]) and is provably
+//!   equivalent (`tests/batching.rs`); the scratch buffers feeding the
+//!   adjust/replay pass are reused across batches, so steady-state
+//!   delivery allocates O(changed suffix), not O(batch) fresh vectors
+//!   per step (`tests/alloc_regression.rs`).
 //!
 //! # Committed-history compaction
 //!
@@ -63,7 +76,10 @@
 //! replayable.
 
 use crate::api::{EventRecord, Invocation, Response};
-use bayou_broadcast::{BaselineMark, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, Tob, TobDelivery};
+use bayou_broadcast::{
+    BaselineMark, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, StepBuffers, StepCoalescer, Tob,
+    TobDelivery,
+};
 use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_storage::{NullPersistence, PendingKind, Persistence, StorageError};
 use bayou_types::{
@@ -72,6 +88,13 @@ use bayou_types::{
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+
+/// The wire-message type of a replica (shorthand for internal plumbing).
+type Msg<F, T> = BayouMsg<
+    <F as DataType>::Op,
+    <F as DataType>::State,
+    <T as Tob<SharedReq<<F as DataType>::Op>>>::Msg,
+>;
 
 /// Which variant of the protocol a replica runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,6 +152,17 @@ pub enum BayouMsg<Op, St, TM> {
         /// The compaction floor the state sits on.
         mark: BaselineMark,
     },
+    /// A step-end frame: every wire message one handler step produced
+    /// for this peer, coalesced by [`bayou_broadcast::StepCoalescer`]
+    /// into a single delivery event. Under saturation this is what
+    /// turns per-slot message storms (64 `Accept`s from one `Submit`
+    /// batch, 64 `Decide`s from one `Accepted` frame) into one message,
+    /// one handler step and one WAL sync at the receiver — and what
+    /// makes multi-request TOB delivery batches actually arrive as
+    /// batches. The receiver processes the inner messages in order
+    /// within one atomic step and commits their combined delivery batch
+    /// once.
+    Batch(Vec<BayouMsg<Op, St, TM>>),
 }
 
 /// Counters describing one replica's protocol activity.
@@ -220,6 +254,27 @@ where
     /// crash-stopped (executes nothing further, sends nothing) — the
     /// cluster observes it as crashed.
     failure: Option<StorageError>,
+    // ---- batched commit pipeline ---------------------------------------
+    /// Whether TOB delivery batches commit as one spliced unit (single
+    /// rollback/replay adjustment, group-commit persistence call and
+    /// compaction check per batch) instead of request by request. On by
+    /// default; the sequential path is the provably-equivalent baseline.
+    batch_delivery: bool,
+    /// Reusable buffer: the deduplicated requests of the batch being
+    /// committed (cleared, not reallocated, per batch).
+    commit_scratch: Vec<SharedReq<F::Op>>,
+    /// Reusable buffer: the revoked executed suffix moved aside by
+    /// `adjust_execution` on its way into the rollback queue.
+    adjust_scratch: Vec<SharedReq<F::Op>>,
+    /// Whether outgoing wire messages coalesce into per-peer step-end
+    /// frames ([`BayouMsg::Batch`]); toggled together with the RB link's
+    /// frame coalescing by [`BayouReplica::set_link_coalescing`].
+    frame_coalescing: bool,
+    /// Reusable backing store of the step coalescer.
+    step_frames: StepBuffers<Msg<F, T>>,
+    /// Reusable buffer: the TOB deliveries collected across one handler
+    /// step (all messages of a frame), committed as one batch.
+    delivery_scratch: Vec<TobDelivery<SharedReq<F::Op>>>,
 }
 
 impl<F, T, S> BayouReplica<F, T, S>
@@ -274,6 +329,12 @@ where
             baseline_mark: BaselineMark::zero(n),
             dropped_since_state: 0,
             failure: None,
+            batch_delivery: true,
+            commit_scratch: Vec::new(),
+            adjust_scratch: Vec::new(),
+            frame_coalescing: true,
+            step_frames: StepBuffers::default(),
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -395,6 +456,12 @@ where
             baseline_mark: mark,
             dropped_since_state: 0,
             failure: None,
+            batch_delivery: true,
+            commit_scratch: Vec::new(),
+            adjust_scratch: Vec::new(),
+            frame_coalescing: true,
+            step_frames: StepBuffers::default(),
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -426,6 +493,31 @@ where
     /// Whether committed-history compaction is enabled.
     pub fn compaction_enabled(&self) -> bool {
         self.compaction
+    }
+
+    /// Enables (or disables) batched commit of TOB delivery batches: one
+    /// rollback/replay adjustment, one group-commit persistence call and
+    /// one compaction check per batch instead of per request. On by
+    /// default; switching it off recovers the per-request sequential
+    /// path, which commits the identical state through the identical
+    /// trace (the `tests/batching.rs` equivalence suite) and exists as
+    /// the measurable baseline of the `saturation` bench.
+    pub fn set_delivery_batching(&mut self, on: bool) {
+        self.batch_delivery = on;
+    }
+
+    /// Whether TOB delivery batches commit as one spliced unit.
+    pub fn delivery_batching(&self) -> bool {
+        self.batch_delivery
+    }
+
+    /// Enables (or disables) wire-level frame coalescing: the RB link's
+    /// per-peer frames ([`bayou_broadcast::PerfectLink::set_coalescing`])
+    /// *and* the replica's own step-end frames ([`BayouMsg::Batch`]).
+    /// On by default; off is the one-message-per-payload baseline.
+    pub fn set_link_coalescing(&mut self, on: bool) {
+        self.rb.set_coalescing(on);
+        self.frame_coalescing = on;
     }
 
     /// Committed entries dropped below the watermark so far. The
@@ -567,12 +659,15 @@ where
     /// at the stable (executed ∧ committed) prefix — which can never be
     /// revoked, so it never needs re-checking — the revoked suffix moves
     /// (not clones) into `to_be_rolled_back`, and the re-execution plan
-    /// shares the requests by reference.
+    /// shares the requests by reference. The staging buffers
+    /// (`adjust_scratch`, `to_be_executed`) are cleared and refilled in
+    /// place, so steady-state re-planning performs no allocations beyond
+    /// amortized capacity growth.
     fn adjust_execution(&mut self) {
         // stable_len ≤ committed.len() and ≤ executed.len(), and
         // executed[..stable_len] == committed[..stable_len] (invariant
-        // maintained by handle_tob_deliver; committed is append-only and
-        // the split below never cuts into the stable prefix)
+        // maintained by the commit paths; committed is append-only and
+        // the drain below never cuts into the stable prefix)
         let stable = self.stable_len;
         debug_assert!(stable <= self.executed.len() && stable <= self.committed.len());
         let lcp = stable
@@ -581,30 +676,31 @@ where
                 .zip(self.committed[stable..].iter().chain(self.tentative.iter()))
                 .take_while(|(a, b)| a.id() == b.id())
                 .count();
-        let out_of_order = self.executed.split_off(lcp);
-        for r in &out_of_order {
+        debug_assert!(self.adjust_scratch.is_empty());
+        self.adjust_scratch.extend(self.executed.drain(lcp..));
+        for r in &self.adjust_scratch {
             self.executed_set.remove(&r.id());
         }
         // the retained prefix equals the new order's first `lcp` entries,
         // so the remainder of the new order is exactly what must (re-)run
-        self.to_be_executed = if lcp <= self.committed.len() {
-            self.committed[lcp..]
-                .iter()
-                .chain(self.tentative.iter())
-                .cloned()
-                .collect()
+        self.to_be_executed.clear();
+        if lcp <= self.committed.len() {
+            self.to_be_executed.extend(
+                self.committed[lcp..]
+                    .iter()
+                    .chain(self.tentative.iter())
+                    .cloned(),
+            );
         } else {
-            self.tentative[lcp - self.committed.len()..]
-                .iter()
-                .cloned()
-                .collect()
-        };
+            self.to_be_executed
+                .extend(self.tentative[lcp - self.committed.len()..].iter().cloned());
+        }
         debug_assert!(self
             .to_be_executed
             .iter()
             .all(|r| !self.executed_set.contains(&r.id())));
-        self.to_be_rolled_back
-            .extend(out_of_order.into_iter().rev());
+        let rolled_back = self.adjust_scratch.drain(..).rev();
+        self.to_be_rolled_back.extend(rolled_back);
     }
 
     /// Collects the TOB's durable transitions from the step that just
@@ -642,6 +738,15 @@ where
         // prefix: after adjust_execution the executed list is a prefix of
         // committed · tentative, so the stable prefix length is O(1)
         self.refresh_stable_prefix();
+        self.emit_committed_response(&r);
+        self.maybe_compact();
+    }
+
+    /// Releases the stored response of a just-committed request, if its
+    /// execution already stands in the final order. Shared by the
+    /// per-request and batched commit paths so the two cannot drift.
+    fn emit_committed_response(&mut self, r: &SharedReq<F::Op>) {
+        let id = r.id();
         if self.reqs_awaiting_resp.contains_key(&id) && self.executed_contains(id) {
             if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&id) {
                 self.outputs.push(Response {
@@ -653,7 +758,6 @@ where
             // a `None` stored response cannot happen here: r ∈ executed
             // implies the execute step stored or returned it already
         }
-        self.maybe_compact();
     }
 
     /// Recomputes the stable (executed ∧ committed) prefix length and
@@ -876,9 +980,173 @@ where
         Some(seq)
     }
 
-    fn deliver_batch(&mut self, batch: Vec<TobDelivery<SharedReq<F::Op>>>) {
-        for d in batch {
-            self.handle_tob_deliver(d.payload);
+    /// Commits one handler step's TOB delivery batch (drains `batch`).
+    ///
+    /// With delivery batching on (the default) the batch is spliced as a
+    /// unit ([`BayouReplica::commit_batch`]); otherwise — or for the
+    /// common single-delivery batch, where the two paths are literally
+    /// the same work — each entry goes through the per-request
+    /// [`BayouReplica::handle_tob_deliver`].
+    fn deliver_batch(&mut self, batch: &mut Vec<TobDelivery<SharedReq<F::Op>>>) {
+        if self.batch_delivery && batch.len() > 1 {
+            self.commit_batch(batch);
+        } else {
+            for d in batch.drain(..) {
+                self.handle_tob_deliver(d.payload);
+            }
+        }
+    }
+
+    /// The batched commit: splices a whole TOB delivery batch into the
+    /// committed order with one group-commit persistence call, one
+    /// rollback/replay adjustment, one stable-prefix refresh and one
+    /// compaction check — instead of one of each per request.
+    ///
+    /// Observably equivalent to running [`BayouReplica::handle_tob_deliver`]
+    /// per entry (asserted by the `tests/batching.rs` proptests):
+    /// committed/tentative/executed land in the same state because the
+    /// committed list is append-only and the executed list only shrinks
+    /// during delivery steps, so the intermediate adjustments the
+    /// sequential path performs are all subsumed by the final one; the
+    /// response condition (`executed` after the step) is likewise
+    /// monotone across the batch, and responses are emitted in delivery
+    /// order either way.
+    fn commit_batch(&mut self, batch: &mut Vec<TobDelivery<SharedReq<F::Op>>>) {
+        debug_assert!(self.commit_scratch.is_empty());
+        for d in batch.drain(..) {
+            let r = d.payload;
+            // after a crash-restart, catch-up may re-deliver commits the
+            // recovered state already contains; they are idempotent
+            if !self.committed_contains(r.id()) {
+                self.commit_scratch.push(r);
+            }
+        }
+        if self.commit_scratch.is_empty() {
+            self.maybe_compact();
+            return;
+        }
+        // group commit: the whole batch becomes durable (and feeds the
+        // snapshot cadence once) through a single persistence call,
+        // still inside the atomic handler step
+        let res = self.persist.log_commit_batch(&self.commit_scratch);
+        if !self.persist_ok(res) {
+            self.commit_scratch.clear();
+            return; // crash-stopped: none of the batch is acknowledged
+        }
+        let reqs = std::mem::take(&mut self.commit_scratch);
+        self.stats.tob_deliveries += reqs.len() as u64;
+        let mut any_tentative = false;
+        for r in &reqs {
+            let id = r.id();
+            self.tob_order.push(id);
+            self.committed_set.insert(id);
+            self.committed.push(r.clone());
+            any_tentative |= self.tentative_seq.remove(&id).is_some();
+        }
+        if any_tentative {
+            // one pass for the whole batch: everything no longer in
+            // `tentative_seq` (kept 1:1 with `tentative`) just committed
+            let tentative_seq = &self.tentative_seq;
+            self.tentative
+                .retain(|x| tentative_seq.contains_key(&x.id()));
+        }
+        self.adjust_execution();
+        self.refresh_stable_prefix();
+        for r in &reqs {
+            self.emit_committed_response(r);
+        }
+        self.maybe_compact();
+        // hand the emptied buffer back for the next batch
+        let mut reqs = reqs;
+        reqs.clear();
+        self.commit_scratch = reqs;
+    }
+}
+
+impl<F, T, S> BayouReplica<F, T, S>
+where
+    F: DataType,
+    T: Tob<SharedReq<F::Op>>,
+    S: StateObject<F>,
+{
+    /// Opens the step-end frame coalescer over `ctx` for one handler
+    /// step, handing it the reusable per-peer buffers. The caller must
+    /// run [`BayouReplica::close_step`] on it before returning.
+    fn step_ctx<'a>(
+        &mut self,
+        ctx: &'a mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>,
+    ) -> StepCoalescer<'a, BayouMsg<F::Op, F::State, T::Msg>> {
+        StepCoalescer::new(
+            ctx,
+            BayouMsg::Batch,
+            self.frame_coalescing,
+            std::mem::take(&mut self.step_frames),
+        )
+    }
+
+    /// Closes one handler step: settles the step's deferred group-commit
+    /// sync (one fsync for everything the step logged — the write-ahead
+    /// contract is preserved because this runs *before* any frame
+    /// leaves), then flushes the coalesced frames and takes the buffers
+    /// back. A sync failure crash-stops the replica; the runtime then
+    /// discards the step's buffered sends and outputs, so nothing backed
+    /// by the failed sync escapes.
+    fn close_step(&mut self, cctx: StepCoalescer<'_, BayouMsg<F::Op, F::State, T::Msg>>) {
+        let res = self.persist.sync_step();
+        self.persist_ok(res);
+        self.step_frames = cctx.finish();
+    }
+
+    /// Processes one wire message (recursing into step-end frames),
+    /// appending every TOB delivery it produced to `deliveries`. The
+    /// caller persists the step's durable TOB facts and commits the
+    /// combined batch once, after the whole frame dispatched.
+    fn dispatch(
+        &mut self,
+        from: ReplicaId,
+        msg: BayouMsg<F::Op, F::State, T::Msg>,
+        ctx: &mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>,
+        deliveries: &mut Vec<TobDelivery<SharedReq<F::Op>>>,
+    ) {
+        match msg {
+            BayouMsg::Rb(frame) => {
+                let delivered = {
+                    let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
+                    self.rb.on_message(from, frame, &mut rctx)
+                };
+                for (_id, wire) in delivered {
+                    self.handle_rb_deliver(wire, ctx);
+                }
+            }
+            BayouMsg::Tob(tm) => {
+                let batch = {
+                    let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+                    self.tob.on_message(from, tm, &mut tctx)
+                };
+                deliveries.extend(batch);
+            }
+            BayouMsg::BaselineRequest => {
+                // serve our baseline to a replica that fell below the
+                // cluster-wide compaction floor
+                if self.compaction && self.compacted > 0 {
+                    ctx.send(
+                        from,
+                        BayouMsg::Baseline {
+                            state: self.baseline.clone(),
+                            mark: self.baseline_mark.clone(),
+                        },
+                    );
+                }
+            }
+            BayouMsg::Baseline { state, mark } => {
+                let me = ctx.id();
+                self.install_baseline(me, state, mark);
+            }
+            BayouMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.dispatch(from, m, ctx, deliveries);
+                }
+            }
         }
     }
 }
@@ -897,8 +1165,9 @@ where
         if self.failure.is_some() {
             return;
         }
+        let mut cctx = self.step_ctx(ctx);
         {
-            let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
+            let mut tctx = MapCtx::new(&mut cctx, BayouMsg::Tob);
             self.tob.on_start(&mut tctx);
             // re-submit recovered pending requests so they are decided
             // even though their original cast/relay messages are gone
@@ -908,13 +1177,16 @@ where
             }
         }
         self.persist_tob_events();
+        self.close_step(cctx);
     }
 
     /// Lines 9–15 (Algorithm 1) / Algorithm 2.
-    fn on_input(&mut self, inv: Invocation<F::Op>, ctx: &mut dyn Context<Self::Msg>) {
+    fn on_input(&mut self, inv: Invocation<F::Op>, outer: &mut dyn Context<Self::Msg>) {
         if self.failure.is_some() {
             return; // crash-stopped: no new work is accepted
         }
+        let mut cctx = self.step_ctx(outer);
+        let ctx = &mut cctx;
         self.stats.invocations += 1;
         self.curr_event_no += 1;
         let r = Arc::new(Req::new(
@@ -970,79 +1242,54 @@ where
                 }
             }
         }
+        self.close_step(cctx);
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
         if self.failure.is_some() {
             return; // crash-stopped: silent to the cluster
         }
-        match msg {
-            BayouMsg::Rb(frame) => {
-                let delivered = {
-                    let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
-                    self.rb.on_message(from, frame, &mut rctx)
-                };
-                for (_id, wire) in delivered {
-                    self.handle_rb_deliver(wire, ctx);
-                }
-            }
-            BayouMsg::Tob(tm) => {
-                let batch = {
-                    let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
-                    self.tob.on_message(from, tm, &mut tctx)
-                };
-                // durable TOB facts (promises, acceptances, decisions)
-                // hit the WAL before the deliveries they imply execute
-                self.persist_tob_events();
-                self.deliver_batch(batch);
-                // the TOB floor can advance on delivery-free steps too
-                // (a cursor report arriving): follow it, or the baseline
-                // we serve to laggards would lag the floor forever in a
-                // quiescent cluster
-                self.maybe_compact();
-                self.request_baseline_if_needed(ctx);
-            }
-            BayouMsg::BaselineRequest => {
-                // serve our baseline to a replica that fell below the
-                // cluster-wide compaction floor
-                if self.compaction && self.compacted > 0 {
-                    ctx.send(
-                        from,
-                        BayouMsg::Baseline {
-                            state: self.baseline.clone(),
-                            mark: self.baseline_mark.clone(),
-                        },
-                    );
-                }
-            }
-            BayouMsg::Baseline { state, mark } => {
-                let me = ctx.id();
-                self.install_baseline(me, state, mark);
-            }
-        }
+        let mut cctx = self.step_ctx(ctx);
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        debug_assert!(deliveries.is_empty());
+        self.dispatch(from, msg, &mut cctx, &mut deliveries);
+        // durable TOB facts (promises, acceptances, decisions) hit the
+        // WAL — one write, one sync — before the deliveries they imply
+        // execute and before any coalesced frame leaves the step
+        self.persist_tob_events();
+        self.deliver_batch(&mut deliveries);
+        self.delivery_scratch = deliveries;
+        // the TOB floor can advance on delivery-free steps too (a cursor
+        // report arriving): follow it, or the baseline we serve to
+        // laggards would lag the floor forever in a quiescent cluster
+        self.maybe_compact();
+        self.request_baseline_if_needed(&mut cctx);
+        self.close_step(cctx);
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>) {
         if self.failure.is_some() {
             return;
         }
+        let mut cctx = self.step_ctx(ctx);
         let mine = {
-            let mut rctx = MapCtx::new(ctx, BayouMsg::Rb);
+            let mut rctx = MapCtx::new(&mut cctx, BayouMsg::Rb);
             self.rb.on_timer(timer, &mut rctx)
         };
-        if mine {
-            return;
-        }
-        if self.tob.owns_timer(timer) {
-            let batch = {
-                let mut tctx = MapCtx::new(ctx, BayouMsg::Tob);
-                self.tob.on_timer(timer, &mut tctx)
-            };
+        if !mine && self.tob.owns_timer(timer) {
+            let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+            debug_assert!(deliveries.is_empty());
+            {
+                let mut tctx = MapCtx::new(&mut cctx, BayouMsg::Tob);
+                deliveries.extend(self.tob.on_timer(timer, &mut tctx));
+            }
             self.persist_tob_events();
-            self.deliver_batch(batch);
+            self.deliver_batch(&mut deliveries);
+            self.delivery_scratch = deliveries;
             self.maybe_compact();
-            self.request_baseline_if_needed(ctx);
+            self.request_baseline_if_needed(&mut cctx);
         }
+        self.close_step(cctx);
     }
 
     /// Lines 41–55: one `rollback` or one `execute` step.
@@ -1103,6 +1350,10 @@ where
 
     fn take_storage_stall(&mut self) -> VirtualTime {
         self.persist.take_sync_stall()
+    }
+
+    fn take_fsyncs(&mut self) -> u64 {
+        self.persist.take_fsyncs()
     }
 
     fn has_failed(&self) -> bool {

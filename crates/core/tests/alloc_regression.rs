@@ -1,0 +1,200 @@
+//! Allocation regression test for the batched commit path: steady-state
+//! delivery must allocate O(changed suffix), not O(batch) fresh vectors
+//! per step.
+//!
+//! The `adjust_execution` / `commit_batch` scratch buffers
+//! (`to_be_executed`, the revoked-suffix staging area, the batch dedup
+//! buffer) are reused across batches, so once the replica has warmed up,
+//! committing another batch should cost a near-constant (small) number
+//! of heap allocations regardless of how much history has accumulated —
+//! the allocation analogue of PR 1's checkpoint-leak test
+//! (`committed_growth_keeps_rollback_bookkeeping_bounded`).
+//!
+//! Measured with a counting global allocator. The thresholds are
+//! generous (amortized container growth — the committed list doubling,
+//! hash-set rehashes — legitimately allocates now and then), but they
+//! are far below the O(batch · suffix) allocation storm the
+//! pre-batching per-request path would produce, and they do not grow
+//! between an early and a late measurement window.
+
+use bayou_broadcast::{Tob, TobDelivery};
+use bayou_core::{BayouMsg, BayouReplica, ProtocolMode};
+use bayou_data::{KvOp, KvStore};
+use bayou_types::{
+    Context, Dot, Level, Process, ReplicaId, Req, SharedReq, TimerId, Timestamp, VirtualTime,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+struct StubCtx;
+
+impl<M> Context<M> for StubCtx {
+    fn id(&self) -> ReplicaId {
+        ReplicaId::new(1)
+    }
+    fn cluster_size(&self) -> usize {
+        2
+    }
+    fn now(&self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+    fn clock(&mut self) -> Timestamp {
+        Timestamp::new(0)
+    }
+    fn send(&mut self, _to: ReplicaId, _m: M) {}
+    fn set_timer(&mut self, _d: VirtualTime) -> TimerId {
+        TimerId::new(0)
+    }
+    fn random(&mut self) -> u64 {
+        0
+    }
+    fn omega(&mut self) -> ReplicaId {
+        ReplicaId::new(0)
+    }
+}
+
+fn req(no: u64) -> SharedReq<KvOp> {
+    Arc::new(Req::new(
+        Timestamp::new(no as i64),
+        Dot::new(ReplicaId::new(0), no),
+        Level::Weak,
+        // a bounded key space: the state stays small, history grows
+        KvOp::put(format!("k{}", no % 16), no as i64),
+    ))
+}
+
+/// A scripted TOB: whatever delivery batch the test sends as a wire
+/// message comes straight out — the replica's real batched-commit path
+/// (`on_message` → dispatch → `deliver_batch`) runs on top of it.
+#[derive(Debug, Default)]
+struct FeedTob;
+
+impl Tob<SharedReq<KvOp>> for FeedTob {
+    type Msg = Vec<TobDelivery<SharedReq<KvOp>>>;
+
+    fn on_start(&mut self, _ctx: &mut dyn Context<Self::Msg>) {}
+    fn cast(&mut self, _seq: u64, _payload: SharedReq<KvOp>, _ctx: &mut dyn Context<Self::Msg>) {}
+    fn ensure(
+        &mut self,
+        _sender: ReplicaId,
+        _seq: u64,
+        _payload: SharedReq<KvOp>,
+        _ctx: &mut dyn Context<Self::Msg>,
+    ) {
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ReplicaId,
+        msg: Self::Msg,
+        _ctx: &mut dyn Context<Self::Msg>,
+    ) -> Vec<TobDelivery<SharedReq<KvOp>>> {
+        msg
+    }
+
+    fn on_timer(
+        &mut self,
+        _timer: TimerId,
+        _ctx: &mut dyn Context<Self::Msg>,
+    ) -> Vec<TobDelivery<SharedReq<KvOp>>> {
+        Vec::new()
+    }
+
+    fn owns_timer(&self, _timer: TimerId) -> bool {
+        false
+    }
+
+    fn delivered_count(&self) -> u64 {
+        0
+    }
+}
+
+type R = BayouReplica<KvStore, FeedTob>;
+
+/// Commits `batches` delivery batches of `batch` requests each through
+/// the replica's real wire path (one TOB message per batch, exactly
+/// like a coalesced Decide frame), draining execution after each;
+/// returns allocations per batch.
+fn commit_window(r: &mut R, next: &mut u64, batches: usize, batch: usize) -> f64 {
+    let mut ctx = StubCtx;
+    let before = allocations();
+    for _ in 0..batches {
+        let mut deliveries = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            deliveries.push(TobDelivery {
+                sender: ReplicaId::new(0),
+                seq: *next - 1,
+                tob_no: *next - 1,
+                payload: req(*next),
+            });
+            *next += 1;
+        }
+        r.on_message(ReplicaId::new(0), BayouMsg::Tob(deliveries), &mut ctx);
+        while r.on_internal(&mut ctx) {}
+    }
+    (allocations() - before) as f64 / batches as f64
+}
+
+#[test]
+fn steady_state_delivery_allocations_stay_bounded() {
+    let mut r: R = BayouReplica::new(2, ProtocolMode::Original, FeedTob);
+    let mut next = 1u64;
+    const BATCH: usize = 8;
+
+    // warm-up: let every reusable buffer and container reach capacity
+    commit_window(&mut r, &mut next, 125, BATCH);
+
+    // early window vs a window 8× deeper into the history
+    let early = commit_window(&mut r, &mut next, 100, BATCH);
+    commit_window(&mut r, &mut next, 600, BATCH);
+    let late = commit_window(&mut r, &mut next, 100, BATCH);
+
+    // the measured window includes building each request (Arc + key
+    // string + undo record + trace bookkeeping ≈ 4 allocations); the
+    // point is that the *delivery path* adds no per-batch O(history) or
+    // O(batch) vector churn on top — measured steady state is ~4.5
+    // allocations/request, asserted with margin. The pre-batching path
+    // rebuilt `to_be_executed` and split off the executed suffix afresh
+    // per request.
+    let per_req_early = early / BATCH as f64;
+    let per_req_late = late / BATCH as f64;
+    assert!(
+        per_req_late < 8.0,
+        "steady-state delivery allocates too much: {per_req_late:.1} allocations/request"
+    );
+    // ... and the cost must not grow with accumulated history
+    assert!(
+        per_req_late <= per_req_early * 1.5 + 2.0,
+        "delivery allocations grow with history: early {per_req_early:.1}, late {per_req_late:.1} per request"
+    );
+}

@@ -1,0 +1,187 @@
+//! Equivalence of the batched commit pipeline's *delivery* half:
+//! committing a TOB delivery batch as one spliced unit
+//! (`BayouReplica::set_delivery_batching(true)`, the default) must be
+//! observably identical to committing it request by request (the
+//! pre-batching sequential path).
+//!
+//! Delivery batching changes no message ("the batch" is whatever one
+//! handler step already drained), so the two modes must produce
+//! *bit-identical runs*: the same trace — every event with the same
+//! response value, execution trace and timing — the same TOB order, the
+//! same final states and the same retained committed lists, across all
+//! eight data types, with and without committed-history compaction.
+//!
+//! (The pipeline's other half — wire frame coalescing — does change the
+//! message flow; its invariants are convergence and determinism, which
+//! the DST suite drives. A messages-only sanity check lives at the
+//! bottom.)
+
+use bayou_core::{BayouCluster, ClusterConfig};
+use bayou_data::{
+    AddRemoveSet, AppendList, Bank, Calendar, Counter, InvertibleDataType, KvStore, RandomOp,
+    RwRegister, Script,
+};
+use bayou_types::{Level, ReplicaId, ReqId, Value, VirtualTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything observable about one run.
+type Observation<St> = (
+    Vec<ReqId>,  // stitched TOB order
+    VirtualTime, // end time
+    Vec<(
+        ReqId,
+        Option<VirtualTime>,
+        Option<Value>,
+        Option<Vec<ReqId>>,
+    )>, // trace
+    Vec<St>,     // final states
+    Vec<Vec<ReqId>>, // retained committed lists
+    u64,         // messages sent
+);
+
+fn observe<F: InvertibleDataType + RandomOp>(
+    seed: u64,
+    ops: usize,
+    n: usize,
+    compaction: bool,
+    batched: bool,
+) -> Observation<F::State> {
+    let mut cfg = ClusterConfig::new(n, seed);
+    if compaction {
+        cfg = cfg.with_compaction();
+    }
+    if !batched {
+        cfg = cfg.without_delivery_batching();
+    }
+    let mut c: BayouCluster<F> = BayouCluster::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB47C);
+    for k in 0..ops {
+        let op = F::random_op(&mut rng);
+        let level = if k % 7 == 3 {
+            Level::Strong
+        } else {
+            Level::Weak
+        };
+        // a bursty schedule, so commits arrive in multi-delivery batches
+        let at = VirtualTime::from_micros(40 * k as u64 + 1);
+        c.invoke_at(at, ReplicaId::new((k % n) as u32), op, level);
+    }
+    let trace = c.run_until(VirtualTime::from_secs(120));
+    let events = trace
+        .events
+        .iter()
+        .map(|e| {
+            (
+                e.meta.id(),
+                e.returned_at,
+                e.value.clone(),
+                e.exec_trace.clone(),
+            )
+        })
+        .collect();
+    let states = ReplicaId::all(n)
+        .map(|r| c.replica(r).materialize())
+        .collect();
+    let committed = ReplicaId::all(n)
+        .map(|r| c.replica(r).committed_ids())
+        .collect();
+    (
+        trace.tob_order.clone(),
+        trace.end_time,
+        events,
+        states,
+        committed,
+        c.metrics().messages_sent,
+    )
+}
+
+fn assert_equivalent<F: InvertibleDataType + RandomOp>(
+    seed: u64,
+    ops: usize,
+    n: usize,
+    compaction: bool,
+) {
+    let batched = observe::<F>(seed, ops, n, compaction, true);
+    let sequential = observe::<F>(seed, ops, n, compaction, false);
+    assert_eq!(
+        batched, sequential,
+        "batched delivery diverged from sequential delivery \
+         (seed {seed}, ops {ops}, n {n}, compaction {compaction})"
+    );
+}
+
+macro_rules! batching_equivalence {
+    ($name:ident, $ty:ty) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 6, ..Default::default() })]
+
+                #[test]
+                fn batched_equals_sequential(seed in 0u64..10_000, ops in 8usize..28) {
+                    assert_equivalent::<$ty>(seed, ops, 3, false);
+                }
+
+                #[test]
+                fn batched_equals_sequential_with_compaction(
+                    seed in 0u64..10_000,
+                    ops in 8usize..28,
+                ) {
+                    assert_equivalent::<$ty>(seed, ops, 3, true);
+                }
+            }
+        }
+    };
+}
+
+batching_equivalence!(append_list, AppendList);
+batching_equivalence!(kv_store, KvStore);
+batching_equivalence!(counter, Counter);
+batching_equivalence!(add_remove_set, AddRemoveSet);
+batching_equivalence!(bank, Bank);
+batching_equivalence!(calendar, Calendar);
+batching_equivalence!(rw_register, RwRegister);
+batching_equivalence!(script, Script);
+
+/// Five replicas and a deeper backlog, on one representative type.
+#[test]
+fn batched_equals_sequential_five_replicas() {
+    assert_equivalent::<KvStore>(7, 40, 5, false);
+    assert_equivalent::<KvStore>(7, 40, 5, true);
+}
+
+/// Wire frame coalescing does change the message flow — it must only
+/// ever *reduce* it, and both modes must complete the same workload.
+#[test]
+fn coalescing_reduces_messages() {
+    let run = |coalesce: bool| {
+        let mut cfg = ClusterConfig::new(3, 11);
+        if !coalesce {
+            cfg = cfg.without_link_coalescing();
+        }
+        let mut c: BayouCluster<Counter> = BayouCluster::new(cfg);
+        for k in 0..200usize {
+            c.invoke_at(
+                VirtualTime::from_micros(5 * k as u64 + 1),
+                ReplicaId::new((k % 3) as u32),
+                bayou_data::CounterOp::Add(1),
+                Level::Weak,
+            );
+        }
+        let trace = c.run_until(VirtualTime::from_secs(60));
+        assert!(trace.events.iter().all(|e| !e.is_pending()));
+        c.assert_convergence(&[]);
+        assert_eq!(c.replica(ReplicaId::new(0)).materialize(), 200);
+        c.metrics().messages_sent
+    };
+    let coalesced = run(true);
+    let plain = run(false);
+    assert!(
+        coalesced < plain / 2,
+        "coalescing should at least halve the saturated message count \
+         (coalesced {coalesced}, plain {plain})"
+    );
+}

@@ -39,6 +39,9 @@ pub struct Metrics {
     /// Simulated time replicas spent blocked in storage fsync, charged
     /// to their CPUs (zero unless a storage backend injects latency).
     pub storage_stall: bayou_types::VirtualTime,
+    /// Physical fsync barriers issued by the replicas' storage engines
+    /// (zero for non-durable processes) — the numerator of fsyncs/op.
+    pub fsyncs: u64,
     /// Total handler executions per replica.
     pub steps: Vec<u64>,
 }
@@ -69,7 +72,7 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped(part)={} dropped(crash)={} dropped(loss)={} dup={} timers={} inputs={} internal={} steps={:?}",
+            "sent={} delivered={} dropped(part)={} dropped(crash)={} dropped(loss)={} dup={} timers={} inputs={} internal={} fsyncs={} steps={:?}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped_partition,
@@ -79,6 +82,7 @@ impl fmt::Display for Metrics {
             self.timers_fired,
             self.inputs,
             self.internal_steps,
+            self.fsyncs,
             self.steps
         )
     }

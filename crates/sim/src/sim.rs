@@ -506,6 +506,7 @@ impl<P: Process> Sim<P> {
         // to the replica's CPU: the disk write blocked the handler, so
         // everything the step produced — and every queued event behind
         // it — is delayed by exactly that much.
+        self.metrics.fsyncs += self.processes[i].take_fsyncs();
         let stall = self.processes[i].take_storage_stall();
         let done = if stall > VirtualTime::ZERO {
             self.metrics.storage_stall += stall;

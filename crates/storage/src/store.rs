@@ -66,6 +66,18 @@ pub struct StoreConfig {
     /// suffix on crash — still recoverable thanks to the frame
     /// checksums).
     pub sync_every_record: bool,
+    /// Group commit (`true`, the default): record syncs demanded by
+    /// `sync_every_record` are deferred to the *step barrier*
+    /// ([`Persistence::sync_step`]) instead of paid per record, so every
+    /// record a handler step writes — an invocation, a batch of
+    /// tentative requests, a frame's worth of TOB decisions — shares one
+    /// fsync. The replica invokes the barrier before any message or
+    /// response produced by the step leaves, so the durability contract
+    /// ("a fact is on disk before its effects escape") is exactly the
+    /// per-record one. `false` recovers sync-per-record — the unbatched
+    /// baseline, and the right setting for code that drives the hooks
+    /// directly without a step structure.
+    pub group_commit: bool,
 }
 
 impl Default for StoreConfig {
@@ -74,6 +86,7 @@ impl Default for StoreConfig {
             snapshot_every: 64,
             segment_max_bytes: 256 * 1024,
             sync_every_record: true,
+            group_commit: true,
         }
     }
 }
@@ -106,6 +119,21 @@ pub trait Persistence<F: DataType> {
     /// snapshot.
     fn note_commit(&mut self, req: &SharedReq<F::Op>) -> Result<(), StorageError>;
 
+    /// Notes a whole TOB delivery batch in one call — the group-commit
+    /// hook of the batched commit pipeline. Semantically identical to
+    /// calling [`Persistence::note_commit`] once per request in order;
+    /// implementations override it to amortize the per-commit work
+    /// (state-mirror application, snapshot-cadence check — and with it
+    /// the fsync a snapshot implies) over the batch, so the whole batch
+    /// costs at most one snapshot and one sync inside the atomic handler
+    /// step.
+    fn log_commit_batch(&mut self, reqs: &[SharedReq<F::Op>]) -> Result<(), StorageError> {
+        for req in reqs {
+            self.note_commit(req)?;
+        }
+        Ok(())
+    }
+
     /// Notes that the replica advanced its compaction floor to `mark`
     /// with `baseline` materialized at exactly the mark: the store drops
     /// its decided-log mirror below the floor, so the next snapshot is
@@ -124,6 +152,25 @@ pub trait Persistence<F: DataType> {
     /// since the last call (see [`Storage::take_sync_stall`]).
     fn take_sync_stall(&mut self) -> VirtualTime {
         VirtualTime::ZERO
+    }
+
+    /// The step barrier of group commit: makes every record logged since
+    /// the last barrier durable, with (at most) one fsync. The replica
+    /// calls this at the end of every handler step, *before* the step's
+    /// buffered messages and responses leave — so with
+    /// [`StoreConfig::group_commit`] the per-record durability contract
+    /// is preserved while the whole step pays a single sync. A no-op
+    /// when nothing is pending.
+    fn sync_step(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Drains the number of physical fsync barriers (`Storage::sync` and
+    /// atomic writes) issued since the previous call — measurement
+    /// plumbing for the fsyncs/op counter in `bayou_sim::Metrics`.
+    /// Hook-less implementations report zero.
+    fn take_fsyncs(&mut self) -> u64 {
+        0
     }
 }
 
@@ -245,6 +292,12 @@ pub struct ReplicaStore<F: DataType, B: Storage> {
     event_high: Vec<u64>,
     commits_since_snapshot: u64,
     snapshots_written: u64,
+    /// Physical fsync barriers issued since the last
+    /// [`Persistence::take_fsyncs`] drain.
+    fsyncs: u64,
+    /// Group commit: records appended since the last sync barrier
+    /// (deferred syncs owed to the next [`Persistence::sync_step`]).
+    dirty: bool,
 }
 
 impl<F, B> ReplicaStore<F, B>
@@ -280,6 +333,8 @@ where
             event_high: vec![0; n],
             commits_since_snapshot: 0,
             snapshots_written: 0,
+            fsyncs: 0,
+            dirty: false,
         };
         if !store.enabled {
             return Ok((store, Recovered::empty(n)));
@@ -533,15 +588,36 @@ where
         &self.backend
     }
 
+    /// Syncs the backend, counting the physical barrier for the
+    /// fsyncs/op measurement plumbing ([`Persistence::take_fsyncs`]) and
+    /// settling any deferred group-commit sync.
+    fn sync_backend(&mut self) -> Result<(), StorageError> {
+        self.fsyncs += 1;
+        self.dirty = false;
+        self.backend.sync()
+    }
+
+    /// A record-level sync demand: paid immediately without group
+    /// commit, deferred to the step barrier with it.
+    fn record_sync(&mut self) -> Result<(), StorageError> {
+        if self.cfg.group_commit {
+            self.dirty = true;
+            Ok(())
+        } else {
+            self.sync_backend()
+        }
+    }
+
     /// Opens a fresh segment and makes it the append target.
     fn rotate_segment(&mut self) -> Result<(), StorageError> {
         let seq = self.manifest.next_file_seq;
         self.manifest.next_file_seq += 1;
         let name = segment_name(seq);
         self.backend.append(&name, &segment_header(seq))?;
-        self.backend.sync()?;
+        self.sync_backend()?;
         self.manifest.segments.push(name);
         self.manifest.store(&mut self.backend)?;
+        self.fsyncs += 1; // the manifest switch is a write_atomic barrier
         self.current_segment_len = SEGMENT_HEADER_LEN;
         Ok(())
     }
@@ -568,11 +644,11 @@ where
         };
         self.backend.append(segment, &framed)?;
         if sync_now {
-            self.backend.sync()?;
+            self.record_sync()?;
         }
         self.current_segment_len += framed.len();
         if self.current_segment_len >= self.cfg.segment_max_bytes {
-            self.backend.sync()?;
+            self.sync_backend()?;
             self.rotate_segment()?;
         }
         Ok(())
@@ -627,6 +703,7 @@ where
         self.manifest.next_file_seq += 1;
         let snap_name = snapshot_name(seq);
         self.backend.write_atomic(&snap_name, &snap.to_bytes())?;
+        self.fsyncs += 1; // write_atomic is durable on return: one barrier
         self.manifest.snapshot = Some(snap_name);
         self.rotate_segment()?;
         for name in old_files {
@@ -723,11 +800,12 @@ where
                     self.pending.remove(&payload.id());
                 }
             }
-            // batch: one fsync for the whole event batch, below
+            // batch: one fsync for the whole event batch, below (with
+            // group commit, deferred further to the step barrier)
             self.append_record_with(&WalRecordRef::from_tob_event(&ev), false)?;
         }
         if self.cfg.sync_every_record {
-            self.backend.sync()?;
+            self.record_sync()?;
         }
         Ok(())
     }
@@ -739,6 +817,25 @@ where
         F::apply(&mut self.stable_state, &req.op);
         self.delivered += 1;
         self.commits_since_snapshot += 1;
+        if self.commits_since_snapshot >= self.cfg.snapshot_every {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    fn log_commit_batch(&mut self, reqs: &[SharedReq<F::Op>]) -> Result<(), StorageError> {
+        if !self.enabled || reqs.is_empty() {
+            return Ok(());
+        }
+        // group commit: fold the whole batch into the stable-state
+        // mirror, then check the snapshot cadence once — a batch crosses
+        // it at most once, where the sequential path could snapshot (and
+        // pay a sync barrier) several times mid-batch
+        for req in reqs {
+            F::apply(&mut self.stable_state, &req.op);
+        }
+        self.delivered += reqs.len() as u64;
+        self.commits_since_snapshot += reqs.len() as u64;
         if self.commits_since_snapshot >= self.cfg.snapshot_every {
             self.write_snapshot()?;
         }
@@ -787,6 +884,17 @@ where
 
     fn take_sync_stall(&mut self) -> VirtualTime {
         self.backend.take_sync_stall()
+    }
+
+    fn sync_step(&mut self) -> Result<(), StorageError> {
+        if self.dirty {
+            self.sync_backend()?;
+        }
+        Ok(())
+    }
+
+    fn take_fsyncs(&mut self) -> u64 {
+        std::mem::take(&mut self.fsyncs)
     }
 }
 
@@ -934,6 +1042,7 @@ mod tests {
             segment_max_bytes: 128, // rotate every couple of records
             snapshot_every: u64::MAX,
             sync_every_record: true,
+            group_commit: false,
         };
         let (mut store, _) = KvStore8::open(disk.clone(), 1, cfg).unwrap();
         for i in 0..20u64 {

@@ -134,6 +134,14 @@ pub trait Process {
         VirtualTime::ZERO
     }
 
+    /// Drains the number of physical fsync barriers the process issued
+    /// since the previous call. The simulator accumulates this into
+    /// `Metrics::fsyncs`, giving workloads an fsyncs/op measure;
+    /// processes without durable storage return zero.
+    fn take_fsyncs(&mut self) -> u64 {
+        0
+    }
+
     /// Whether the process has permanently failed (crash-stopped), e.g.
     /// because it could no longer persist its write-ahead state. A
     /// failed process executes no further steps; runtimes treat it
