@@ -26,6 +26,16 @@
 //! report alongside, plus the batched-vs-unbatched speedup at the
 //! 10³-ops / 3-replica acceptance point. Archived as `BENCH_PR5.json`.
 //!
+//! Since the zero-copy wire path (PR 6), every *batched* configuration
+//! is additionally measured with cross-step flush deferral on (`+defer`,
+//! the new default) and off (the PR-5 pipeline), and two more rows land
+//! in the JSON report per configuration: **allocations/op** (counting
+//! global allocator over the whole instrumented run — where the pooled
+//! encode buffers and borrowing decodes show up) and **WAL encoded
+//! bytes/op** (bytes the pooled `frame_into` encoder actually appended,
+//! from `DiskStats`). The acceptance point compares deferral on/off at
+//! 10³ ops / 3 replicas. Archived as `BENCH_PR6.json`.
+//!
 //! `SATURATION_SMOKE=1` shrinks the grid to a seconds-long CI smoke run.
 
 use bayou_core::{recover_paxos_replica, BayouCluster, ClusterConfig, ProtocolMode};
@@ -35,6 +45,39 @@ use bayou_types::{Level, ReplicaId, VirtualTime};
 use criterion::{
     criterion_group, criterion_main, record_metric, BenchmarkId, Criterion, Throughput,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting allocator: the allocations/op rows come from the delta of
+/// this counter across one instrumented saturation run.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Simulated fsync latency of the modeled disks (an SSD-ish 100 µs),
 /// charged to the replicas' simulated CPUs.
@@ -50,12 +93,14 @@ struct Config {
     compaction: bool,
     /// The batched pipeline vs the per-request baseline.
     batched: bool,
+    /// Cross-step flush deferral (only meaningful when `batched`).
+    deferral: bool,
 }
 
 impl Config {
     fn label(&self) -> String {
         format!(
-            "{}/n{}/ops{}/{}{}",
+            "{}/n{}/ops{}/{}{}{}",
             if self.batched { "batched" } else { "unbatched" },
             self.n,
             self.ops,
@@ -65,11 +110,12 @@ impl Config {
                 "weak"
             },
             if self.compaction { "+compact" } else { "" },
+            if self.deferral { "+defer" } else { "" },
         )
     }
 }
 
-fn build_cluster(cfg: Config) -> BayouCluster<KvStore> {
+fn build_cluster(cfg: Config) -> (BayouCluster<KvStore>, Vec<MemDisk>) {
     // per-replica in-memory disks so group commit and fsync accounting
     // are on the hot path (the disks outlive the factory closure)
     let disks: Vec<MemDisk> = (0..cfg.n).map(|_| MemDisk::new()).collect();
@@ -84,20 +130,23 @@ fn build_cluster(cfg: Config) -> BayouCluster<KvStore> {
         ..StoreConfig::default()
     };
     let base = ClusterConfig::new(cfg.n, 42);
-    BayouCluster::with_factory(base.sim, move |id: ReplicaId| {
+    let factory_disks = disks.clone();
+    let cluster = BayouCluster::with_factory(base.sim, move |id: ReplicaId| {
         let mut r = recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
             id,
             n,
             ProtocolMode::Improved,
             Default::default(),
-            disks[id.index()].clone(),
+            factory_disks[id.index()].clone(),
             store_cfg,
         );
         r.set_compaction(cfg.compaction);
         r.set_delivery_batching(cfg.batched);
         r.set_link_coalescing(cfg.batched);
+        r.set_flush_deferral(cfg.deferral.then_some(bayou_core::DEFAULT_FLUSH_DELAY));
         r
-    })
+    });
+    (cluster, disks)
 }
 
 fn schedule_ops(cluster: &mut BayouCluster<KvStore>, cfg: Config) {
@@ -122,7 +171,7 @@ fn schedule_ops(cluster: &mut BayouCluster<KvStore>, cfg: Config) {
 
 /// One full run to quiescence (the criterion timing target).
 fn run_saturation(cfg: Config) {
-    let mut cluster = build_cluster(cfg);
+    let (mut cluster, _disks) = build_cluster(cfg);
     schedule_ops(&mut cluster, cfg);
     let trace = cluster.run_until(VirtualTime::from_secs(55));
     assert!(
@@ -132,11 +181,26 @@ fn run_saturation(cfg: Config) {
     );
 }
 
+/// What one instrumented run measured. Deterministic per config (the
+/// allocation count too: the simulator is single-threaded and seeded).
+struct Measured {
+    /// Simulated seconds until every replica committed the workload.
+    commit_secs: f64,
+    msgs_per_op: f64,
+    fsyncs_per_op: f64,
+    /// Heap allocations per op across the whole run (workload
+    /// construction + protocol + storage) — the pooled-codec headline.
+    allocs_per_op: f64,
+    /// WAL bytes appended per op (the pooled `frame_into` encoder's
+    /// actual output volume).
+    wal_bytes_per_op: f64,
+}
+
 /// One instrumented run: advances in slices until every replica has
-/// committed the whole workload, returning (simulated seconds to full
-/// commitment, messages/op, fsyncs/op). Deterministic per config.
-fn measure(cfg: Config) -> (f64, f64, f64) {
-    let mut cluster = build_cluster(cfg);
+/// committed the whole workload.
+fn measure(cfg: Config) -> Measured {
+    let (mut cluster, disks) = build_cluster(cfg);
+    let alloc_before = allocations();
     schedule_ops(&mut cluster, cfg);
     // every scheduled op is an update, so every one of them commits
     let target = cfg.ops as u64;
@@ -155,13 +219,17 @@ fn measure(cfg: Config) -> (f64, f64, f64) {
         );
         slice += step;
     };
+    let allocs = allocations() - alloc_before;
+    let wal_bytes: u64 = disks.iter().map(|d| d.stats().appended_bytes).sum();
     let m = cluster.metrics();
     let ops = cfg.ops as f64;
-    (
-        committed_at.as_secs_f64(),
-        m.messages_sent as f64 / ops,
-        m.fsyncs as f64 / ops,
-    )
+    Measured {
+        commit_secs: committed_at.as_secs_f64(),
+        msgs_per_op: m.messages_sent as f64 / ops,
+        fsyncs_per_op: m.fsyncs as f64 / ops,
+        allocs_per_op: allocs as f64 / ops,
+        wal_bytes_per_op: wal_bytes as f64 / ops,
+    }
 }
 
 fn smoke() -> bool {
@@ -175,23 +243,29 @@ fn grid() -> Vec<Config> {
         strong_every: 0,
         compaction: false,
         batched: true,
+        deferral: false,
     };
     if smoke() {
-        return [true, false]
+        // deferral-on (the default), deferral-off and unbatched
+        return [(true, true), (true, false), (false, false)]
             .into_iter()
-            .map(|batched| Config {
+            .map(|(batched, deferral)| Config {
                 ops: 100,
                 batched,
+                deferral,
                 ..base
             })
             .collect();
     }
     let mut grid = Vec::new();
-    for batched in [true, false] {
+    // batched with deferral on (the default), batched with deferral off
+    // (the PR-5 pipeline), and the per-request unbatched baseline
+    for (batched, deferral) in [(true, true), (true, false), (false, false)] {
         for ops in [100usize, 1_000, 10_000] {
             grid.push(Config {
                 ops,
                 batched,
+                deferral,
                 ..base
             });
         }
@@ -200,16 +274,19 @@ fn grid() -> Vec<Config> {
         grid.push(Config {
             n: 5,
             batched,
+            deferral,
             ..base
         });
         grid.push(Config {
             strong_every: 8,
             batched,
+            deferral,
             ..base
         });
         grid.push(Config {
             compaction: true,
             batched,
+            deferral,
             ..base
         });
     }
@@ -225,14 +302,16 @@ fn bench_saturation(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("run", cfg.label()), &cfg, |b, &cfg| {
             b.iter(|| run_saturation(cfg))
         });
-        let (commit_secs, msgs_per_op, fsyncs_per_op) = measure(cfg);
+        let m = measure(cfg);
         record_metric(
             "saturation_counters",
             &cfg.label(),
             &[
-                ("sim_ops_per_sec", cfg.ops as f64 / commit_secs),
-                ("messages_per_op", msgs_per_op),
-                ("fsyncs_per_op", fsyncs_per_op),
+                ("sim_ops_per_sec", cfg.ops as f64 / m.commit_secs),
+                ("messages_per_op", m.msgs_per_op),
+                ("fsyncs_per_op", m.fsyncs_per_op),
+                ("allocations_per_op", m.allocs_per_op),
+                ("wal_bytes_per_op", m.wal_bytes_per_op),
             ],
         );
     }
@@ -247,9 +326,10 @@ fn bench_saturation(c: &mut Criterion) {
         strong_every: 0,
         compaction: false,
         batched,
+        deferral: false,
     };
-    let (b_secs, b_msgs, b_syncs) = measure(point(true));
-    let (u_secs, u_msgs, u_syncs) = measure(point(false));
+    let b = measure(point(true));
+    let u = measure(point(false));
     record_metric(
         "saturation_speedup",
         if smoke() {
@@ -258,14 +338,50 @@ fn bench_saturation(c: &mut Criterion) {
             "n3/ops1000/weak"
         },
         &[
-            ("batched_sim_ops_per_sec", point(true).ops as f64 / b_secs),
+            (
+                "batched_sim_ops_per_sec",
+                point(true).ops as f64 / b.commit_secs,
+            ),
             (
                 "unbatched_sim_ops_per_sec",
-                point(false).ops as f64 / u_secs,
+                point(false).ops as f64 / u.commit_secs,
             ),
-            ("speedup", u_secs / b_secs),
-            ("messages_per_op_ratio", u_msgs / b_msgs),
-            ("fsyncs_per_op_ratio", u_syncs / b_syncs),
+            ("speedup", u.commit_secs / b.commit_secs),
+            ("messages_per_op_ratio", u.msgs_per_op / b.msgs_per_op),
+            ("fsyncs_per_op_ratio", u.fsyncs_per_op / b.fsyncs_per_op),
+        ],
+    );
+
+    // the PR-6 acceptance point: flush deferral on vs off at the same
+    // 10³ ops / 3 replicas (both on the batched pipeline). Deferral on
+    // must land at ≤ 2.0 messages/op against the PR-5 floor of ~4.
+    let defer_point = |deferral| Config {
+        deferral,
+        ..point(true)
+    };
+    let on = measure(defer_point(true));
+    let off = measure(defer_point(false));
+    record_metric(
+        "deferral_speedup",
+        if smoke() {
+            "n3/ops100/weak"
+        } else {
+            "n3/ops1000/weak"
+        },
+        &[
+            ("deferred_messages_per_op", on.msgs_per_op),
+            ("flushed_messages_per_op", off.msgs_per_op),
+            ("messages_per_op_ratio", off.msgs_per_op / on.msgs_per_op),
+            ("deferred_allocations_per_op", on.allocs_per_op),
+            ("flushed_allocations_per_op", off.allocs_per_op),
+            (
+                "deferred_sim_ops_per_sec",
+                defer_point(true).ops as f64 / on.commit_secs,
+            ),
+            (
+                "flushed_sim_ops_per_sec",
+                defer_point(false).ops as f64 / off.commit_secs,
+            ),
         ],
     );
 }

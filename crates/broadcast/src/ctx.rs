@@ -125,10 +125,24 @@ impl<M> Default for StepBuffers<M> {
     }
 }
 
+impl<M> StepBuffers<M> {
+    /// True when no destination holds a buffered message.
+    ///
+    /// With cross-step flush deferral the owner parks non-empty buffers
+    /// between steps; this is the signal that a flush deadline must be
+    /// armed.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
 impl<'a, M> StepCoalescer<'a, M> {
     /// Wraps `outer` for one handler step. `wrap` builds the frame
-    /// message from a multi-message buffer; `store` is the (empty)
-    /// reusable backing store from the previous step.
+    /// message from a multi-message buffer; `store` is the reusable
+    /// backing store from the previous step — empty after a normal
+    /// flush, or still holding *parked* frames when the owner deferred
+    /// the previous step's flush (cross-step coalescing), in which case
+    /// this step's sends append after them in the same per-peer order.
     pub fn new(
         outer: &'a mut dyn Context<M>,
         wrap: fn(Vec<M>) -> M,
@@ -136,7 +150,6 @@ impl<'a, M> StepCoalescer<'a, M> {
         mut store: StepBuffers<M>,
     ) -> Self {
         let n = outer.cluster_size();
-        debug_assert!(store.bufs.iter().all(|b| b.is_empty()) && store.order.is_empty());
         store.bufs.resize_with(n, Vec::new);
         StepCoalescer {
             outer,
@@ -144,6 +157,19 @@ impl<'a, M> StepCoalescer<'a, M> {
             store,
             on,
         }
+    }
+
+    /// True when at least one destination has a buffered message.
+    pub fn has_frames(&self) -> bool {
+        !self.store.is_empty()
+    }
+
+    /// Ends the step *without* flushing: returns the backing store with
+    /// its buffered frames intact, to be handed to the next step's
+    /// coalescer (or flushed later by [`StepCoalescer::finish`] on a
+    /// deadline). Nothing is sent.
+    pub fn park(self) -> StepBuffers<M> {
+        self.store
     }
 
     /// Flushes every destination's buffer (in first-send order) as one

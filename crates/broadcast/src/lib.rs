@@ -45,11 +45,12 @@ mod paxos;
 mod rb;
 mod sequencer;
 mod tob;
+mod wire;
 
 pub use ctx::{MapCtx, StepBuffers, StepCoalescer};
 pub use fifo::FifoRelease;
 pub use link::{LinkMsg, PerfectLink};
-pub use paxos::{Ballot, PaxosConfig, PaxosMsg, PaxosTob};
+pub use paxos::{Ballot, Entry, PaxosConfig, PaxosMsg, PaxosTob};
 pub use rb::{RbId, RbMsg, ReliableBroadcast};
 pub use sequencer::{SequencerMsg, SequencerTob};
 pub use tob::{BaselineMark, Tob, TobDelivery, TobEvent};

@@ -65,6 +65,34 @@ pub struct Entry<M> {
 }
 
 impl<M> Entry<M> {
+    /// Creates an entry from its broadcast identity and payload.
+    ///
+    /// Exposed so the wire codec (and external codec tests) can rebuild
+    /// entries decoded from bytes; protocol code constructs entries only
+    /// from locally-cast payloads.
+    pub fn new(sender: ReplicaId, seq: u64, payload: M) -> Self {
+        Entry {
+            sender,
+            seq,
+            payload,
+        }
+    }
+
+    /// The replica that originally cast the payload.
+    pub fn sender(&self) -> ReplicaId {
+        self.sender
+    }
+
+    /// The per-sender broadcast sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The carried payload.
+    pub fn payload(&self) -> &M {
+        &self.payload
+    }
+
     fn key(&self) -> (ReplicaId, u64) {
         (self.sender, self.seq)
     }

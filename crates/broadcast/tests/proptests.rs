@@ -1,10 +1,15 @@
 //! Property-based tests of the broadcast substrate: RB and TOB contracts
-//! under randomized schedules, delays and partitions.
+//! under randomized schedules, delays and partitions, plus round-trips
+//! of the Paxos/link frame codecs through pooled (dirty-reuse) buffers.
 
-use bayou_broadcast::{FifoRelease, PaxosMsg, PaxosTob, Tob, TobDelivery};
+use bayou_broadcast::{
+    Ballot, Entry, FifoRelease, LinkMsg, PaxosMsg, PaxosTob, RbId, RbMsg, Tob, TobDelivery,
+};
 use bayou_sim::{NetworkConfig, Partition, PartitionSchedule, Sim, SimConfig};
-use bayou_types::{Context, Process, ReplicaId, TimerId, VirtualTime};
+use bayou_types::{BufPool, Context, Process, ReplicaId, TimerId, VirtualTime, Wire};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn ms(v: u64) -> VirtualTime {
     VirtualTime::from_millis(v)
@@ -147,6 +152,56 @@ proptest! {
         prop_assert_eq!(&orders[1], &orders[2]);
     }
 
+    /// Every Paxos frame variant survives pooled encode → decode, with
+    /// the pooled buffer deliberately dirty: it previously carried a
+    /// large `Catchup` frame plus trailing garbage, so a decode that
+    /// read past the encoded length or assumed a fresh zeroed `Vec`
+    /// would surface here.
+    #[test]
+    fn paxos_frames_round_trip_through_dirty_pool_buffers(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = BufPool::new();
+        // dirty the pool's one buffer with a big frame + garbage
+        let mut big = pool.checkout();
+        PaxosMsg::Catchup {
+            first: 0,
+            entries: (0..48u64).map(|i| entry(i as u32 % 3, i, i * 13)).collect(),
+            stable_upto: 48,
+            floor: 7,
+        }
+        .encode(&mut big);
+        big.extend_from_slice(&[0x5Au8; 192]);
+        pool.checkin(big);
+
+        for _ in 0..24 {
+            let msg = random_paxos_msg(&mut rng);
+            let buf = pool.encode(&msg);
+            let back = PaxosMsg::<u64>::from_bytes(&buf).expect("pooled frame decodes");
+            prop_assert_eq!(back, msg);
+            pool.checkin(buf);
+        }
+        prop_assert_eq!(pool.misses(), 1, "one buffer serves the whole run");
+    }
+
+    /// The link/RB layers' frames under the same dirty-reuse regime.
+    #[test]
+    fn link_frames_round_trip_through_dirty_pool_buffers(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = BufPool::new();
+        let mut big = pool.checkout();
+        big.extend_from_slice(&[0xC3u8; 256]);
+        pool.checkin(big);
+
+        for _ in 0..24 {
+            let msg: LinkMsg<RbMsg<u64>> = random_link_msg(&mut rng);
+            let buf = pool.encode(&msg);
+            let back = LinkMsg::<RbMsg<u64>>::from_bytes(&buf).expect("pooled frame decodes");
+            prop_assert_eq!(back, msg);
+            pool.checkin(buf);
+        }
+        prop_assert_eq!(pool.misses(), 1, "one buffer serves the whole run");
+    }
+
     /// FifoRelease emits exactly the pushed entries, in per-sender seq
     /// order, regardless of the (duplicate-laden) push order.
     #[test]
@@ -168,6 +223,123 @@ proptest! {
             let seqs: Vec<u64> = out.iter().filter(|(x, _)| *x == s).map(|(_, q)| *q).collect();
             let expect: Vec<u64> = (0..seqs.len() as u64).collect();
             prop_assert_eq!(seqs, expect);
+        }
+    }
+}
+
+// -- seed-driven frame generators for the codec round-trips ---------------
+
+fn entry(sender: u32, seq: u64, payload: u64) -> Entry<u64> {
+    Entry::new(ReplicaId::new(sender), seq, payload)
+}
+
+fn ballot(rng: &mut StdRng) -> Ballot {
+    Ballot {
+        round: rng.gen_range(0..1_000),
+        leader: ReplicaId::new(rng.gen_range(0..5u32)),
+    }
+}
+
+fn entries(rng: &mut StdRng) -> Vec<Entry<u64>> {
+    (0..rng.gen_range(0..6u64))
+        .map(|_| {
+            entry(
+                rng.gen_range(0..5u32),
+                rng.gen_range(0..1_000),
+                rng.gen_range(0..u64::MAX),
+            )
+        })
+        .collect()
+}
+
+/// A random frame covering every `PaxosMsg` variant.
+fn random_paxos_msg(rng: &mut StdRng) -> PaxosMsg<u64> {
+    match rng.gen_range(0..8u8) {
+        0 => PaxosMsg::Submit {
+            entries: entries(rng),
+            decided_upto: rng.gen_range(0..1_000),
+            committed_upto: rng.gen_range(0..1_000),
+        },
+        1 => PaxosMsg::Prepare {
+            ballot: ballot(rng),
+            decided_upto: rng.gen_range(0..1_000),
+        },
+        2 => PaxosMsg::Promise {
+            ballot: ballot(rng),
+            accepted: (0..rng.gen_range(0..4u64))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..1_000),
+                        ballot(rng),
+                        entry(
+                            rng.gen_range(0..5u32),
+                            rng.gen_range(0..1_000),
+                            rng.gen_range(0..u64::MAX),
+                        ),
+                    )
+                })
+                .collect(),
+            decided_upto: rng.gen_range(0..1_000),
+            committed_upto: rng.gen_range(0..1_000),
+        },
+        3 => PaxosMsg::Accept {
+            ballot: ballot(rng),
+            slot: rng.gen_range(0..1_000),
+            entry: entry(
+                rng.gen_range(0..5u32),
+                rng.gen_range(0..1_000),
+                rng.gen_range(0..u64::MAX),
+            ),
+        },
+        4 => PaxosMsg::Accepted {
+            ballot: ballot(rng),
+            slot: rng.gen_range(0..1_000),
+        },
+        5 => PaxosMsg::Decide {
+            slot: rng.gen_range(0..1_000),
+            entry: entry(
+                rng.gen_range(0..5u32),
+                rng.gen_range(0..1_000),
+                rng.gen_range(0..u64::MAX),
+            ),
+            stable_upto: rng.gen_range(0..1_000),
+        },
+        6 => PaxosMsg::DecideAck {
+            upto: rng.gen_range(0..1_000),
+            committed_upto: rng.gen_range(0..1_000),
+            stable_upto: rng.gen_range(0..1_000),
+        },
+        _ => PaxosMsg::Catchup {
+            first: rng.gen_range(0..1_000),
+            entries: entries(rng),
+            stable_upto: rng.gen_range(0..1_000),
+            floor: rng.gen_range(0..1_000),
+        },
+    }
+}
+
+/// A random link frame (data frames carry RB payloads, as on the real
+/// replica wire).
+fn random_link_msg(rng: &mut StdRng) -> LinkMsg<RbMsg<u64>> {
+    if rng.gen_range(0..2u8) == 0 {
+        LinkMsg::Data {
+            seq: rng.gen_range(0..1_000),
+            payloads: (0..rng.gen_range(0..5u64))
+                .map(|_| RbMsg {
+                    id: RbId {
+                        origin: ReplicaId::new(rng.gen_range(0..5u32)),
+                        seq: rng.gen_range(0..1_000),
+                    },
+                    payload: rng.gen_range(0..u64::MAX),
+                })
+                .collect(),
+        }
+    } else {
+        LinkMsg::Ack {
+            upto: rng.gen_range(0..1_000),
+            sparse: (0..rng.gen_range(0..4u64))
+                .map(|_| rng.gen_range(0..1_000))
+                .collect(),
         }
     }
 }

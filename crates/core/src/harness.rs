@@ -30,6 +30,11 @@ pub struct ClusterConfig {
     /// per-peer frames ([`BayouReplica::set_link_coalescing`]; on by
     /// default — off is the one-frame-per-payload baseline).
     pub link_coalescing: bool,
+    /// Cross-step flush-deferral budget
+    /// ([`BayouReplica::set_flush_deferral`];
+    /// [`crate::DEFAULT_FLUSH_DELAY`] by default — `None` is the
+    /// flush-every-step PR-5 baseline).
+    pub flush_deferral: Option<VirtualTime>,
 }
 
 impl ClusterConfig {
@@ -43,6 +48,7 @@ impl ClusterConfig {
             compaction: false,
             delivery_batching: true,
             link_coalescing: true,
+            flush_deferral: Some(crate::DEFAULT_FLUSH_DELAY),
         }
     }
 
@@ -76,6 +82,20 @@ impl ClusterConfig {
     /// the one-frame-per-payload baseline.
     pub fn without_link_coalescing(mut self) -> Self {
         self.link_coalescing = false;
+        self
+    }
+
+    /// Disables cross-step flush deferral on every replica (builder
+    /// style): the flush-every-step PR-5 baseline.
+    pub fn without_flush_deferral(mut self) -> Self {
+        self.flush_deferral = None;
+        self
+    }
+
+    /// Sets an explicit cross-step flush-deferral budget (builder
+    /// style).
+    pub fn with_flush_deferral(mut self, delay: VirtualTime) -> Self {
+        self.flush_deferral = Some(delay);
         self
     }
 }
@@ -142,11 +162,13 @@ where
         let compaction = config.compaction;
         let delivery_batching = config.delivery_batching;
         let link_coalescing = config.link_coalescing;
+        let flush_deferral = config.flush_deferral;
         Self::with_factory(config.sim, move |_| {
             let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
             r.set_compaction(compaction);
             r.set_delivery_batching(delivery_batching);
             r.set_link_coalescing(link_coalescing);
+            r.set_flush_deferral(flush_deferral);
             r
         })
     }

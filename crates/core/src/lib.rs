@@ -71,4 +71,6 @@ pub use harness::{BayouCluster, ClusterConfig, SessionScript};
 pub use naive::{NaiveMixed, NaiveMsg};
 pub use nulltob::NullTob;
 pub use persist::recover_paxos_replica;
-pub use replica::{BayouMsg, BayouReplica, ProtocolMode, ReplicaStats, WireReq};
+pub use replica::{
+    BayouMsg, BayouReplica, ProtocolMode, ReplicaStats, WireReq, DEFAULT_FLUSH_DELAY,
+};

@@ -96,6 +96,12 @@ type Msg<F, T> = BayouMsg<
     <T as Tob<SharedReq<<F as DataType>::Op>>>::Msg,
 >;
 
+/// Default cross-step flush-deferral budget: 4× the simulator's default
+/// 10µs handler step, so a saturated replica's consecutive invocations
+/// share step frames while an isolated invocation is delayed by well
+/// under any protocol timeout. See [`BayouReplica::set_flush_deferral`].
+pub const DEFAULT_FLUSH_DELAY: VirtualTime = VirtualTime::from_micros(40);
+
 /// Which variant of the protocol a replica runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProtocolMode {
@@ -270,8 +276,19 @@ where
     /// frames ([`BayouMsg::Batch`]); toggled together with the RB link's
     /// frame coalescing by [`BayouReplica::set_link_coalescing`].
     frame_coalescing: bool,
-    /// Reusable backing store of the step coalescer.
+    /// Reusable backing store of the step coalescer. With flush deferral
+    /// this also *carries* frames parked across steps until a deadline.
     step_frames: StepBuffers<Msg<F, T>>,
+    /// Cross-step flush-deferral budget: step-end frames may be parked
+    /// across consecutive handler steps for up to this long before they
+    /// are flushed ([`BayouReplica::set_flush_deferral`]). `None` (or
+    /// coalescing off) flushes every step — the PR-5 behaviour.
+    flush_deferral: Option<VirtualTime>,
+    /// Deadline of the currently parked frames (set at first park).
+    defer_deadline: Option<VirtualTime>,
+    /// The timer guaranteeing parked frames flush even if the replica
+    /// goes idle (no further steps before the deadline).
+    defer_timer: Option<TimerId>,
     /// Reusable buffer: the TOB deliveries collected across one handler
     /// step (all messages of a frame), committed as one batch.
     delivery_scratch: Vec<TobDelivery<SharedReq<F::Op>>>,
@@ -300,6 +317,8 @@ where
     /// state object (e.g. [`bayou_data::ReplayState`] for comparison
     /// runs).
     pub fn with_state_object(n: usize, mode: ProtocolMode, tob: T, state: S) -> Self {
+        let mut rb = ReliableBroadcast::new(n, VirtualTime::from_millis(60));
+        rb.set_flush_deferral(Some(DEFAULT_FLUSH_DELAY));
         BayouReplica {
             mode,
             state,
@@ -314,7 +333,7 @@ where
             to_be_executed: VecDeque::new(),
             to_be_rolled_back: VecDeque::new(),
             reqs_awaiting_resp: HashMap::new(),
-            rb: ReliableBroadcast::new(n, VirtualTime::from_millis(60)),
+            rb,
             tob,
             tob_seq: 0,
             tob_order: Vec::new(),
@@ -334,6 +353,9 @@ where
             adjust_scratch: Vec::new(),
             frame_coalescing: true,
             step_frames: StepBuffers::default(),
+            flush_deferral: Some(DEFAULT_FLUSH_DELAY),
+            defer_deadline: None,
+            defer_timer: None,
             delivery_scratch: Vec::new(),
         }
     }
@@ -427,6 +449,8 @@ where
         let recovered_pending: Vec<(u64, SharedReq<F::Op>)> =
             pending.into_iter().map(|(_, seq, r)| (seq, r)).collect();
 
+        let mut rb = ReliableBroadcast::new(n, VirtualTime::from_millis(60));
+        rb.set_flush_deferral(Some(DEFAULT_FLUSH_DELAY));
         BayouReplica {
             mode,
             state,
@@ -441,7 +465,7 @@ where
             to_be_executed,
             to_be_rolled_back: VecDeque::new(),
             reqs_awaiting_resp: HashMap::new(),
-            rb: ReliableBroadcast::new(n, VirtualTime::from_millis(60)),
+            rb,
             tob,
             tob_seq,
             tob_order,
@@ -461,6 +485,9 @@ where
             adjust_scratch: Vec::new(),
             frame_coalescing: true,
             step_frames: StepBuffers::default(),
+            flush_deferral: Some(DEFAULT_FLUSH_DELAY),
+            defer_deadline: None,
+            defer_timer: None,
             delivery_scratch: Vec::new(),
         }
     }
@@ -518,6 +545,27 @@ where
     pub fn set_link_coalescing(&mut self, on: bool) {
         self.rb.set_coalescing(on);
         self.frame_coalescing = on;
+    }
+
+    /// Sets (or clears) cross-step flush deferral: with a budget, the
+    /// replica's step-end frames may be *parked* across consecutive
+    /// handler steps (and the RB link defers framing its outboxes
+    /// likewise), so a saturated burst of invocations shares wire frames
+    /// instead of emitting one set per step. A timer guarantees parked
+    /// frames flush within the budget even if the replica goes idle; the
+    /// worst-case added latency for any message is twice the budget (a
+    /// link-deferred payload flushed by the link timer can be parked once
+    /// more at the step level). On by default with
+    /// [`DEFAULT_FLUSH_DELAY`]; `None` restores flush-every-step — the
+    /// PR-5 baseline. Only effective while frame coalescing is on.
+    pub fn set_flush_deferral(&mut self, delay: Option<VirtualTime>) {
+        self.flush_deferral = delay;
+        self.rb.set_flush_deferral(delay);
+    }
+
+    /// The current cross-step flush-deferral budget, if any.
+    pub fn flush_deferral(&self) -> Option<VirtualTime> {
+        self.flush_deferral
     }
 
     /// Committed entries dropped below the watermark so far. The
@@ -1091,7 +1139,49 @@ where
     /// back. A sync failure crash-stops the replica; the runtime then
     /// discards the step's buffered sends and outputs, so nothing backed
     /// by the failed sync escapes.
-    fn close_step(&mut self, cctx: StepCoalescer<'_, BayouMsg<F::Op, F::State, T::Msg>>) {
+    ///
+    /// With cross-step flush deferral on, frames are instead *parked* in
+    /// the backing store: the first park fixes a deadline one budget
+    /// ahead and arms a flush timer; subsequent steps keep appending
+    /// until a step closes at-or-past the deadline (or the timer fires —
+    /// see [`BayouReplica::flush_deferred`]), at which point everything
+    /// parked flushes as one set of per-peer frames.
+    fn close_step(&mut self, mut cctx: StepCoalescer<'_, BayouMsg<F::Op, F::State, T::Msg>>) {
+        let res = self.persist.sync_step();
+        self.persist_ok(res);
+        if self.frame_coalescing {
+            if let Some(budget) = self.flush_deferral {
+                if cctx.has_frames() {
+                    let now = cctx.now();
+                    let deadline = *self.defer_deadline.get_or_insert(now + budget);
+                    if now >= deadline {
+                        self.defer_deadline = None;
+                        self.defer_timer = None;
+                        self.step_frames = cctx.finish();
+                    } else {
+                        if self.defer_timer.is_none() {
+                            self.defer_timer = Some(cctx.set_timer(deadline - now));
+                        }
+                        self.step_frames = cctx.park();
+                    }
+                } else {
+                    self.defer_deadline = None;
+                    self.step_frames = cctx.park();
+                }
+                return;
+            }
+        }
+        self.step_frames = cctx.finish();
+    }
+
+    /// The deferred-flush timer fired: flush everything parked,
+    /// bypassing the deferral logic of [`BayouReplica::close_step`]
+    /// (which would otherwise re-park with a fresh deadline and defer
+    /// forever).
+    fn flush_deferred(&mut self, ctx: &mut dyn Context<BayouMsg<F::Op, F::State, T::Msg>>) {
+        self.defer_timer = None;
+        self.defer_deadline = None;
+        let cctx = self.step_ctx(ctx);
         let res = self.persist.sync_step();
         self.persist_ok(res);
         self.step_frames = cctx.finish();
@@ -1269,6 +1359,13 @@ where
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>) {
         if self.failure.is_some() {
+            return;
+        }
+        if self.defer_timer == Some(timer) {
+            // the parked frames' latency budget expired with the replica
+            // idle: flush them now (must not go through close_step, which
+            // would re-park them with a fresh deadline)
+            self.flush_deferred(ctx);
             return;
         }
         let mut cctx = self.step_ctx(ctx);

@@ -19,9 +19,11 @@
 
 use bayou_broadcast::{Tob, TobDelivery};
 use bayou_core::{BayouMsg, BayouReplica, ProtocolMode};
-use bayou_data::{KvOp, KvStore};
+use bayou_data::{KvOp, KvOpView, KvStore};
+use bayou_storage::{frame_into, FRAME_OVERHEAD};
 use bayou_types::{
-    Context, Dot, Level, Process, ReplicaId, Req, SharedReq, TimerId, Timestamp, VirtualTime,
+    BufPool, Context, Dot, Level, Process, ReplicaId, Req, SharedReq, TimerId, Timestamp,
+    VirtualTime, Wire, WireView,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -196,5 +198,58 @@ fn steady_state_delivery_allocations_stay_bounded() {
     assert!(
         per_req_late <= per_req_early * 1.5 + 2.0,
         "delivery allocations grow with history: early {per_req_early:.1}, late {per_req_late:.1} per request"
+    );
+}
+
+/// The wire layer itself: steady-state encode (pooled buffer + in-place
+/// framing) and decode (borrowing views) of a serve-path frame must
+/// perform **zero** heap allocations per frame after warm-up. This is
+/// the gate behind the PR-6 zero-copy codec: `BufPool` keeps grown
+/// buffers, `frame_into` patches the header in place, and `WireView`
+/// decoding yields `&str` slices of the received bytes instead of
+/// materializing `String`s.
+#[test]
+fn wire_layer_steady_state_allocates_zero_per_frame() {
+    let request: Req<KvOp> = Req::new(
+        Timestamp::new(7),
+        Dot::new(ReplicaId::new(1), 42),
+        Level::Weak,
+        KvOp::put("steady-state-key", 99),
+    );
+
+    let mut pool = BufPool::new();
+    // warm-up: the pool's buffer grows to frame size exactly once
+    for _ in 0..4 {
+        let mut buf = pool.checkout();
+        frame_into(&mut buf, |out| request.encode(out));
+        pool.checkin(buf);
+    }
+    assert_eq!(pool.misses(), 1, "one buffer serves every frame");
+
+    const FRAMES: u64 = 1_000;
+    let before = allocations();
+    let mut decoded_total = 0i64;
+    for _ in 0..FRAMES {
+        // encode: pooled checkout, in-place framing, no fresh Vec
+        let mut buf = pool.checkout();
+        frame_into(&mut buf, |out| request.encode(out));
+        // decode: a borrowed view of the framed payload — key bytes stay
+        // in `buf`, nothing is copied out
+        let view = Req::<KvOpView>::view_from_bytes(&buf[FRAME_OVERHEAD..])
+            .expect("framed request decodes");
+        match &view.op {
+            KvOpView::Put(key, v) => {
+                assert_eq!(*key, "steady-state-key");
+                decoded_total += *v;
+            }
+            _ => panic!("wrong op"),
+        }
+        pool.checkin(buf);
+    }
+    let spent = allocations() - before;
+    assert_eq!(decoded_total, 99 * FRAMES as i64);
+    assert_eq!(
+        spent, 0,
+        "steady-state wire path must allocate nothing: {spent} allocations over {FRAMES} frames"
     );
 }

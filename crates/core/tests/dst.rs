@@ -51,6 +51,7 @@ fn dst_factory(
     disks: Vec<MemDisk>,
     store_cfg: StoreConfig,
     compaction: bool,
+    deferral: Option<VirtualTime>,
     crash_seed: u64,
 ) -> impl FnMut(ReplicaId) -> DurableReplica {
     let incarnations = Rc::new(RefCell::new(vec![0u64; n]));
@@ -69,6 +70,7 @@ fn dst_factory(
             store_cfg,
         );
         r.set_compaction(compaction);
+        r.set_flush_deferral(deferral);
         r
     }
 }
@@ -91,6 +93,9 @@ struct Outcome {
 struct CaseOpts {
     n: usize,
     compaction: bool,
+    /// Cross-step flush deferral: `None` runs the flush-every-step
+    /// pipeline, `Some(budget)` parks frames for up to that long.
+    deferral: Option<VirtualTime>,
     /// Injected always-false "spec check" (fails whenever a partition
     /// dropped a message) — exercises the failure/shrink machinery
     /// deterministically. Never set by real cases.
@@ -102,7 +107,19 @@ fn case_opts(seed: u64) -> CaseOpts {
         // mostly 3-replica clusters, every 4th case a 5-replica one
         n: if seed % 4 == 3 { 5 } else { 3 },
         compaction: (seed >> 2).is_multiple_of(2),
+        deferral: seed_deferral(seed),
         canary: false,
+    }
+}
+
+/// The seed's flush-deferral dimension: off for a quarter of the cases
+/// (the PR-5 pipeline must keep passing), else a budget swept across
+/// 20–160 µs — well below, at, and well above the default 40 µs.
+fn seed_deferral(seed: u64) -> Option<VirtualTime> {
+    if (seed >> 3).is_multiple_of(4) {
+        None
+    } else {
+        Some(VirtualTime::from_micros(20 + ((seed >> 5) % 8) * 20))
     }
 }
 
@@ -225,7 +242,14 @@ fn run_faults(seed: u64, faults: &[Fault], opts: CaseOpts, work_until: u64) -> O
     let (sim, disks, store_cfg, deadline) = case_env(seed, faults, n, work_until);
     let mut cluster: BayouCluster<KvStore> = BayouCluster::with_factory(
         sim,
-        dst_factory(n, disks.clone(), store_cfg, opts.compaction, seed),
+        dst_factory(
+            n,
+            disks.clone(),
+            store_cfg,
+            opts.compaction,
+            opts.deferral,
+            seed,
+        ),
     );
     for (at, replica, op) in workload_ops(seed, n, work_until) {
         cluster.invoke_at(at, replica, op, Level::Weak);
@@ -363,12 +387,15 @@ fn failure_kind(msg: &str) -> String {
 /// The one-line repro for a failing case. The failing check may have
 /// run with options other than `case_opts(seed)` (the proptests pin
 /// their own), so the line pins them explicitly via `DST_N` /
-/// `DST_COMPACTION` — the fuzz entry honours the overrides, making the
-/// replay exact regardless of which tier found the failure.
+/// `DST_COMPACTION` / `DST_DEFERRAL_US` (0 = off) — the fuzz entry
+/// honours the overrides, making the replay exact regardless of which
+/// tier found the failure.
 fn repro_line(seed: u64, opts: CaseOpts) -> String {
     format!(
-        "DST_SEED={seed} DST_N={} DST_COMPACTION={} cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture",
-        opts.n, opts.compaction as u8
+        "DST_SEED={seed} DST_N={} DST_COMPACTION={} DST_DEFERRAL_US={} cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture",
+        opts.n,
+        opts.compaction as u8,
+        opts.deferral.map_or(0, |d| d.as_nanos() / 1_000),
     )
 }
 
@@ -443,6 +470,9 @@ fn fuzz() {
         if let Some(c) = env_u64("DST_COMPACTION") {
             opts.compaction = c != 0;
         }
+        if let Some(us) = env_u64("DST_DEFERRAL_US") {
+            opts.deferral = (us != 0).then(|| VirtualTime::from_micros(us));
+        }
         check_case(seed, opts);
         cases += 1;
         if single || start.elapsed() >= budget {
@@ -464,17 +494,28 @@ proptest! {
     /// Randomized full-nemesis schedules (partitions, skew, fsync
     /// latency, loss/duplication bursts, outages incl. quorum-loss
     /// windows) converge, keep their durable images equivalent to the
-    /// live history, and quiesce (compaction off).
+    /// live history, and quiesce (compaction off; flush deferral swept
+    /// by the seed).
     #[test]
     fn randomized_fault_schedules_converge(seed in 0u64..1_000_000) {
-        check_case(seed, CaseOpts { n: 3, compaction: false, canary: false });
+        check_case(seed, CaseOpts {
+            n: 3,
+            compaction: false,
+            deferral: seed_deferral(seed),
+            canary: false,
+        });
     }
 
     /// The same property with committed-history compaction enabled,
     /// plus full watermark catch-up at quiescence.
     #[test]
     fn randomized_fault_schedules_converge_under_compaction(seed in 0u64..1_000_000) {
-        check_case(seed, CaseOpts { n: 3, compaction: true, canary: false });
+        check_case(seed, CaseOpts {
+            n: 3,
+            compaction: true,
+            deferral: seed_deferral(seed),
+            canary: false,
+        });
     }
 
     /// Determinism: a seed fully determines the outcome — end time,
@@ -547,7 +588,14 @@ fn quorum_loss_window_case(compaction: bool) {
     let sim = nem.apply(SimConfig::new(n, seed).with_max_time(deadline));
     let mut cluster: BayouCluster<KvStore> = BayouCluster::with_factory(
         sim,
-        dst_factory(n, disks.clone(), store_cfg, compaction, seed),
+        dst_factory(
+            n,
+            disks.clone(),
+            store_cfg,
+            compaction,
+            Some(bayou_core::DEFAULT_FLUSH_DELAY),
+            seed,
+        ),
     );
 
     // workload: before, during and after the window, on all replicas
@@ -657,10 +705,64 @@ fn full_cluster_outage_recovers_from_disks() {
     let opts = CaseOpts {
         n,
         compaction: true,
+        deferral: Some(bayou_core::DEFAULT_FLUSH_DELAY),
         canary: false,
     };
     let work_until = workload_horizon_ms(&faults, n);
     run_faults(7, &faults, opts, work_until);
+}
+
+/// A deferred-but-undelivered frame must be released by the flush
+/// timer even when its sender then goes completely idle: one strong
+/// op, a deliberately large deferral budget, no further traffic. The
+/// op still completes well inside the budget's latency bound (not the
+/// 60 ms RB retransmission period), the run quiesces, and the commit
+/// reaches every replica — no quiescence wedge.
+#[test]
+fn idle_sender_deferred_frame_is_timer_flushed() {
+    let n = 3;
+    let seed = 3;
+    let disks: Vec<MemDisk> = (0..n).map(|_| MemDisk::new()).collect();
+    let store_cfg = StoreConfig::default();
+    let deadline = VirtualTime::from_secs(30);
+    let sim = SimConfig::new(n, seed).with_max_time(deadline);
+    let mut cluster: BayouCluster<KvStore> = BayouCluster::with_factory(
+        sim,
+        dst_factory(
+            n,
+            disks.clone(),
+            store_cfg,
+            false,
+            Some(VirtualTime::from_millis(2)),
+            seed,
+        ),
+    );
+    cluster.invoke_at(
+        ms(1),
+        ReplicaId::new(0),
+        KvOp::put("lone", 1),
+        Level::Strong,
+    );
+
+    let trace = cluster.run_until(deadline);
+    assert!(trace.quiescent, "deferred frame wedged the cluster");
+    assert!(trace.events.iter().all(|e| !e.is_pending()));
+    let returned = trace.events[0].returned_at.expect("completed");
+    assert!(
+        returned < ms(50),
+        "strong op took {returned}: the retransmission safety net, \
+         not the flush timer, released the deferred frame"
+    );
+    cluster.assert_convergence_alive();
+    for r in ReplicaId::all(n) {
+        assert_eq!(
+            cluster.replica(r).committed_total(),
+            1,
+            "{r} never saw the deferred commit"
+        );
+    }
+
+    assert_durable_prefix_equivalence("idle-sender deferral", &cluster, &disks, store_cfg, n);
 }
 
 // ---- the failure/shrink machinery itself --------------------------------
@@ -678,6 +780,7 @@ fn injected_failure_reproduces_and_shrinks_to_the_culprit() {
     let opts = CaseOpts {
         n,
         compaction: true,
+        deferral: Some(bayou_core::DEFAULT_FLUSH_DELAY),
         canary: true,
     };
     let partition = Fault::Partition {
@@ -727,7 +830,7 @@ fn injected_failure_reproduces_and_shrinks_to_the_culprit() {
     assert_eq!(
         repro_line(seed, opts),
         format!(
-            "DST_SEED={seed} DST_N=3 DST_COMPACTION=1 cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture"
+            "DST_SEED={seed} DST_N=3 DST_COMPACTION=1 DST_DEFERRAL_US=40 cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture"
         )
     );
 
@@ -764,6 +867,9 @@ fn inspect() {
     if let Some(c) = env_u64("DST_COMPACTION") {
         opts.compaction = c != 0;
     }
+    if let Some(us) = env_u64("DST_DEFERRAL_US") {
+        opts.deferral = (us != 0).then(|| VirtualTime::from_micros(us));
+    }
     let n = opts.n;
     let nem = nemesis_for(seed, n);
     eprintln!("faults: {:#?}", nem.faults());
@@ -773,7 +879,14 @@ fn inspect() {
     let (sim_cfg, disks, store_cfg, deadline) = case_env(seed, nem.faults(), n, work_until);
     let mut sim = bayou_sim::Sim::new(
         sim_cfg,
-        dst_factory(n, disks.clone(), store_cfg, opts.compaction, seed),
+        dst_factory(
+            n,
+            disks.clone(),
+            store_cfg,
+            opts.compaction,
+            opts.deferral,
+            seed,
+        ),
     );
     for (at, replica, op) in workload_ops(seed, n, work_until) {
         sim.schedule_input(at, replica, Invocation::new(op, Level::Weak));

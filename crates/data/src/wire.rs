@@ -16,7 +16,7 @@
 use crate::{
     BankOp, CalendarOp, CounterOp, Expr, Instr, KvOp, ListOp, RegisterOp, ScriptOp, SetOp,
 };
-use bayou_types::{Wire, WireError, WireReader};
+use bayou_types::{Wire, WireError, WireReader, WireView};
 
 impl Wire for ListOp {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -302,6 +302,352 @@ impl Wire for ScriptOp {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Borrow-decoding views
+//
+// One view enum per string-carrying op type, decoding the *same byte
+// layout* as the owned [`Wire`] impl above but yielding `&str` slices of
+// the input frame instead of allocating `String`s. Ops whose fields are
+// all fixed-width (`RegisterOp`, `CounterOp`) are their own view. The
+// proptests in `tests/proptests.rs` assert `decode_view ∘ into_owned ≡
+// decode` for every op type, including decodes from dirty reused pool
+// buffers.
+// ---------------------------------------------------------------------------
+
+macro_rules! fixed_width_view {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'a> WireView<'a> for $t {
+            type Owned = $t;
+            fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+                <$t as Wire>::decode(r)
+            }
+            fn into_owned(self) -> $t {
+                self
+            }
+        }
+    )*};
+}
+
+fixed_width_view!(RegisterOp, CounterOp);
+
+/// Borrowed view of a [`ListOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListOpView<'a> {
+    /// See [`ListOp::Append`].
+    Append(&'a str),
+    /// See [`ListOp::Duplicate`].
+    Duplicate,
+    /// See [`ListOp::Read`].
+    Read,
+    /// See [`ListOp::GetFirst`].
+    GetFirst,
+    /// See [`ListOp::Size`].
+    Size,
+}
+
+impl<'a> WireView<'a> for ListOpView<'a> {
+    type Owned = ListOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ListOpView::Append(<&str>::decode_view(r)?)),
+            1 => Ok(ListOpView::Duplicate),
+            2 => Ok(ListOpView::Read),
+            3 => Ok(ListOpView::GetFirst),
+            4 => Ok(ListOpView::Size),
+            tag => Err(WireError::BadTag { ty: "ListOp", tag }),
+        }
+    }
+    fn into_owned(self) -> ListOp {
+        match self {
+            ListOpView::Append(s) => ListOp::Append(s.to_owned()),
+            ListOpView::Duplicate => ListOp::Duplicate,
+            ListOpView::Read => ListOp::Read,
+            ListOpView::GetFirst => ListOp::GetFirst,
+            ListOpView::Size => ListOp::Size,
+        }
+    }
+}
+
+/// Borrowed view of a [`KvOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOpView<'a> {
+    /// See [`KvOp::Get`].
+    Get(&'a str),
+    /// See [`KvOp::Put`].
+    Put(&'a str, i64),
+    /// See [`KvOp::PutIfAbsent`].
+    PutIfAbsent(&'a str, i64),
+    /// See [`KvOp::Remove`].
+    Remove(&'a str),
+    /// See [`KvOp::Keys`].
+    Keys,
+    /// See [`KvOp::Size`].
+    Size,
+}
+
+impl<'a> WireView<'a> for KvOpView<'a> {
+    type Owned = KvOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(KvOpView::Get(<&str>::decode_view(r)?)),
+            1 => Ok(KvOpView::Put(<&str>::decode_view(r)?, i64::decode(r)?)),
+            2 => Ok(KvOpView::PutIfAbsent(
+                <&str>::decode_view(r)?,
+                i64::decode(r)?,
+            )),
+            3 => Ok(KvOpView::Remove(<&str>::decode_view(r)?)),
+            4 => Ok(KvOpView::Keys),
+            5 => Ok(KvOpView::Size),
+            tag => Err(WireError::BadTag { ty: "KvOp", tag }),
+        }
+    }
+    fn into_owned(self) -> KvOp {
+        match self {
+            KvOpView::Get(k) => KvOp::Get(k.to_owned()),
+            KvOpView::Put(k, v) => KvOp::Put(k.to_owned(), v),
+            KvOpView::PutIfAbsent(k, v) => KvOp::PutIfAbsent(k.to_owned(), v),
+            KvOpView::Remove(k) => KvOp::Remove(k.to_owned()),
+            KvOpView::Keys => KvOp::Keys,
+            KvOpView::Size => KvOp::Size,
+        }
+    }
+}
+
+/// Borrowed view of a [`SetOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetOpView<'a> {
+    /// See [`SetOp::Add`].
+    Add(&'a str),
+    /// See [`SetOp::Remove`].
+    Remove(&'a str),
+    /// See [`SetOp::Contains`].
+    Contains(&'a str),
+    /// See [`SetOp::Elements`].
+    Elements,
+}
+
+impl<'a> WireView<'a> for SetOpView<'a> {
+    type Owned = SetOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(SetOpView::Add(<&str>::decode_view(r)?)),
+            1 => Ok(SetOpView::Remove(<&str>::decode_view(r)?)),
+            2 => Ok(SetOpView::Contains(<&str>::decode_view(r)?)),
+            3 => Ok(SetOpView::Elements),
+            tag => Err(WireError::BadTag { ty: "SetOp", tag }),
+        }
+    }
+    fn into_owned(self) -> SetOp {
+        match self {
+            SetOpView::Add(e) => SetOp::Add(e.to_owned()),
+            SetOpView::Remove(e) => SetOp::Remove(e.to_owned()),
+            SetOpView::Contains(e) => SetOp::Contains(e.to_owned()),
+            SetOpView::Elements => SetOp::Elements,
+        }
+    }
+}
+
+/// Borrowed view of a [`BankOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankOpView<'a> {
+    /// See [`BankOp::Deposit`].
+    Deposit(&'a str, i64),
+    /// See [`BankOp::Withdraw`].
+    Withdraw(&'a str, i64),
+    /// See [`BankOp::Balance`].
+    Balance(&'a str),
+    /// See [`BankOp::Total`].
+    Total,
+}
+
+impl<'a> WireView<'a> for BankOpView<'a> {
+    type Owned = BankOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(BankOpView::Deposit(
+                <&str>::decode_view(r)?,
+                i64::decode(r)?,
+            )),
+            1 => Ok(BankOpView::Withdraw(
+                <&str>::decode_view(r)?,
+                i64::decode(r)?,
+            )),
+            2 => Ok(BankOpView::Balance(<&str>::decode_view(r)?)),
+            3 => Ok(BankOpView::Total),
+            tag => Err(WireError::BadTag { ty: "BankOp", tag }),
+        }
+    }
+    fn into_owned(self) -> BankOp {
+        match self {
+            BankOpView::Deposit(a, v) => BankOp::Deposit(a.to_owned(), v),
+            BankOpView::Withdraw(a, v) => BankOp::Withdraw(a.to_owned(), v),
+            BankOpView::Balance(a) => BankOp::Balance(a.to_owned()),
+            BankOpView::Total => BankOp::Total,
+        }
+    }
+}
+
+/// Borrowed view of a [`CalendarOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalendarOpView<'a> {
+    /// See [`CalendarOp::Reserve`].
+    Reserve {
+        /// The room.
+        room: &'a str,
+        /// The slot.
+        slot: u32,
+        /// The reserver.
+        who: &'a str,
+    },
+    /// See [`CalendarOp::Cancel`].
+    Cancel {
+        /// The room.
+        room: &'a str,
+        /// The slot.
+        slot: u32,
+        /// The canceller.
+        who: &'a str,
+    },
+    /// See [`CalendarOp::Holder`].
+    Holder {
+        /// The room.
+        room: &'a str,
+        /// The slot.
+        slot: u32,
+    },
+    /// See [`CalendarOp::Schedule`].
+    Schedule(&'a str),
+}
+
+impl<'a> WireView<'a> for CalendarOpView<'a> {
+    type Owned = CalendarOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CalendarOpView::Reserve {
+                room: <&str>::decode_view(r)?,
+                slot: u32::decode(r)?,
+                who: <&str>::decode_view(r)?,
+            }),
+            1 => Ok(CalendarOpView::Cancel {
+                room: <&str>::decode_view(r)?,
+                slot: u32::decode(r)?,
+                who: <&str>::decode_view(r)?,
+            }),
+            2 => Ok(CalendarOpView::Holder {
+                room: <&str>::decode_view(r)?,
+                slot: u32::decode(r)?,
+            }),
+            3 => Ok(CalendarOpView::Schedule(<&str>::decode_view(r)?)),
+            tag => Err(WireError::BadTag {
+                ty: "CalendarOp",
+                tag,
+            }),
+        }
+    }
+    fn into_owned(self) -> CalendarOp {
+        match self {
+            CalendarOpView::Reserve { room, slot, who } => CalendarOp::Reserve {
+                room: room.to_owned(),
+                slot,
+                who: who.to_owned(),
+            },
+            CalendarOpView::Cancel { room, slot, who } => CalendarOp::Cancel {
+                room: room.to_owned(),
+                slot,
+                who: who.to_owned(),
+            },
+            CalendarOpView::Holder { room, slot } => CalendarOp::Holder {
+                room: room.to_owned(),
+                slot,
+            },
+            CalendarOpView::Schedule(room) => CalendarOp::Schedule(room.to_owned()),
+        }
+    }
+}
+
+/// Borrowed view of an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprView<'a> {
+    /// See [`Expr::Const`].
+    Const(i64),
+    /// See [`Expr::Load`].
+    Load(&'a str),
+    /// See [`Expr::Acc`].
+    Acc,
+    /// See [`Expr::AccPlus`].
+    AccPlus(i64),
+}
+
+impl<'a> WireView<'a> for ExprView<'a> {
+    type Owned = Expr;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ExprView::Const(i64::decode(r)?)),
+            1 => Ok(ExprView::Load(<&str>::decode_view(r)?)),
+            2 => Ok(ExprView::Acc),
+            3 => Ok(ExprView::AccPlus(i64::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Expr", tag }),
+        }
+    }
+    fn into_owned(self) -> Expr {
+        match self {
+            ExprView::Const(v) => Expr::Const(v),
+            ExprView::Load(k) => Expr::Load(k.to_owned()),
+            ExprView::Acc => Expr::Acc,
+            ExprView::AccPlus(v) => Expr::AccPlus(v),
+        }
+    }
+}
+
+/// Borrowed view of an [`Instr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrView<'a> {
+    /// See [`Instr::Read`].
+    Read(&'a str),
+    /// See [`Instr::Write`].
+    Write(&'a str, ExprView<'a>),
+}
+
+impl<'a> WireView<'a> for InstrView<'a> {
+    type Owned = Instr;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(InstrView::Read(<&str>::decode_view(r)?)),
+            1 => Ok(InstrView::Write(
+                <&str>::decode_view(r)?,
+                ExprView::decode_view(r)?,
+            )),
+            tag => Err(WireError::BadTag { ty: "Instr", tag }),
+        }
+    }
+    fn into_owned(self) -> Instr {
+        match self {
+            InstrView::Read(k) => Instr::Read(k.to_owned()),
+            InstrView::Write(k, e) => Instr::Write(k.to_owned(), e.into_owned()),
+        }
+    }
+}
+
+/// Borrowed view of a [`ScriptOp`]: the instruction list spine is owned,
+/// every key and expression string borrows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptOpView<'a> {
+    /// The instructions (see [`ScriptOp`]).
+    pub instrs: Vec<InstrView<'a>>,
+}
+
+impl<'a> WireView<'a> for ScriptOpView<'a> {
+    type Owned = ScriptOp;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        Ok(ScriptOpView {
+            instrs: Vec::decode_view(r)?,
+        })
+    }
+    fn into_owned(self) -> ScriptOp {
+        ScriptOp::new(self.instrs.into_iter().map(InstrView::into_owned).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +678,58 @@ mod tests {
         round_trips::<crate::Bank>(6);
         round_trips::<crate::Calendar>(7);
         round_trips::<crate::Script>(8);
+    }
+
+    macro_rules! view_round_trips {
+        ($f:ty, $v:ident, $seed:expr) => {{
+            let mut rng = StdRng::seed_from_u64($seed);
+            for _ in 0..200 {
+                let op = <$f as RandomOp>::random_op(&mut rng);
+                let bytes = op.to_bytes();
+                let view = $v::view_from_bytes(&bytes).unwrap();
+                assert_eq!(view.into_owned(), op, "{}", stringify!($v));
+            }
+        }};
+    }
+
+    #[test]
+    fn op_views_decode_the_owned_layout() {
+        view_round_trips!(crate::AppendList, ListOpView, 21);
+        view_round_trips!(crate::RwRegister, RegisterOp, 22);
+        view_round_trips!(crate::Counter, CounterOp, 23);
+        view_round_trips!(crate::KvStore, KvOpView, 24);
+        view_round_trips!(crate::AddRemoveSet, SetOpView, 25);
+        view_round_trips!(crate::Bank, BankOpView, 26);
+        view_round_trips!(crate::Calendar, CalendarOpView, 27);
+        view_round_trips!(crate::Script, ScriptOpView, 28);
+    }
+
+    #[test]
+    fn op_views_borrow_from_the_frame() {
+        let op = KvOp::put("pooled-key", 9);
+        let bytes = op.to_bytes();
+        let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        match KvOpView::view_from_bytes(&bytes).unwrap() {
+            KvOpView::Put(k, 9) => assert!(range.contains(&(k.as_ptr() as usize))),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_views_reject_bad_input_like_owned_decode() {
+        let op = CalendarOp::Reserve {
+            room: "aurora".into(),
+            slot: 4,
+            who: "kim".into(),
+        };
+        let bytes = op.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(CalendarOpView::view_from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(matches!(
+            ListOpView::view_from_bytes(&[9]),
+            Err(WireError::BadTag { ty: "ListOp", .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! Property-based tests of the data-type layer: determinism, read-only
-//! laws, and state-object equivalence under arbitrary LIFO schedules.
+//! laws, state-object equivalence under arbitrary LIFO schedules, and
+//! round-trips of the pooled/borrowing wire codec.
 
 use bayou_data::{
     apply_all, replay, AddRemoveSet, AppendList, Bank, Calendar, Counter, DataType, DeltaState,
     KvStore, RandomOp, ReplayState, RwRegister, Script, ScriptOp, StateObject, UndoLogState,
 };
-use bayou_types::{Dot, ReplicaId};
+use bayou_data::{
+    BankOpView, CalendarOpView, CounterOp, KvOpView, ListOpView, RegisterOp, ScriptOpView,
+    SetOpView,
+};
+use bayou_types::{BufPool, Dot, Level, ReplicaId, Req, Timestamp, Wire, WireView};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -215,3 +220,67 @@ proptest! {
         prop_assert_eq!(whole, prefix_state);
     }
 }
+
+/// The pooled/borrowing wire codec: random requests of every data type
+/// must survive pooled encode → borrowing view decode → `into_owned`,
+/// with the pooled buffer deliberately *dirty* — it previously carried a
+/// different, larger frame (plus trailing garbage), so any decode that
+/// peeked past the encoded length or depended on a fresh zeroed `Vec`
+/// would surface here.
+macro_rules! pooled_codec_round_trips {
+    ($name:ident, $ty:ty, $view:ty) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn pooled_dirty_buffer_round_trips(seed in 0u64..10_000, n in 1usize..24) {
+                    let ops = ops_of::<$ty>(seed, n);
+                    let mut pool = BufPool::new();
+                    // dirty the pool's one buffer: a large unrelated
+                    // frame followed by garbage bytes
+                    let mut big = pool.checkout();
+                    Req::new(
+                        Timestamp::new(-1),
+                        Dot::new(ReplicaId::new(9), 9),
+                        Level::Strong,
+                        <$ty as RandomOp>::random_op(
+                            &mut StdRng::seed_from_u64(seed ^ 0xD117),
+                        ),
+                    )
+                    .encode(&mut big);
+                    big.extend_from_slice(&[0xA5; 256]);
+                    pool.checkin(big);
+
+                    for (k, op) in ops.iter().enumerate() {
+                        let req = Req::new(
+                            Timestamp::new(k as i64),
+                            Dot::new(ReplicaId::new(0), k as u64 + 1),
+                            Level::Weak,
+                            op.clone(),
+                        );
+                        let buf = pool.encode(&req);
+                        let owned = Req::<$view>::view_from_bytes(&buf)
+                            .expect("pooled frame decodes as a view")
+                            .into_owned();
+                        prop_assert_eq!(owned.timestamp, req.timestamp);
+                        prop_assert_eq!(owned.dot, req.dot);
+                        prop_assert_eq!(owned.level, req.level);
+                        prop_assert_eq!(&owned.op, op);
+                        pool.checkin(buf);
+                    }
+                    prop_assert_eq!(pool.misses(), 1, "one buffer serves the whole run");
+                }
+            }
+        }
+    };
+}
+
+pooled_codec_round_trips!(codec_append_list, AppendList, ListOpView);
+pooled_codec_round_trips!(codec_kv_store, KvStore, KvOpView);
+pooled_codec_round_trips!(codec_counter, Counter, CounterOp);
+pooled_codec_round_trips!(codec_add_remove_set, AddRemoveSet, SetOpView);
+pooled_codec_round_trips!(codec_bank, Bank, BankOpView);
+pooled_codec_round_trips!(codec_calendar, Calendar, CalendarOpView);
+pooled_codec_round_trips!(codec_rw_register, RwRegister, RegisterOp);
+pooled_codec_round_trips!(codec_script, Script, ScriptOpView);

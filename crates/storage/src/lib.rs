@@ -76,6 +76,8 @@ mod store;
 pub use backend::{DiskStats, FileStorage, MemDisk, NullStorage, Storage, StorageError};
 pub use crc::crc32;
 pub use manifest::{Manifest, MANIFEST_FILE};
-pub use record::{frame, scan_frames, FrameScan, WalRecord, WalRecordRef, FRAME_OVERHEAD};
+pub use record::{
+    frame, frame_into, scan_frames, FrameScan, WalRecord, WalRecordRef, FRAME_OVERHEAD,
+};
 pub use snapshot::{AcceptedSlot, DecidedSlot, PendingKind, PendingReq, Snapshot};
 pub use store::{NullPersistence, Persistence, Recovered, ReplicaStore, StoreConfig};

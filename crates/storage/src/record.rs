@@ -398,6 +398,23 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Frames a payload into a reused buffer: clears `out`, reserves the
+/// 8-byte header, runs `encode` to append the payload in place, then
+/// patches the length and checksum — the zero-allocation (steady-state)
+/// counterpart of [`frame`]`(&payload_bytes)`, byte-for-byte identical
+/// to it. `out` is typically checked out of a [`bayou_types::BufPool`];
+/// `encode` is a closure so both [`Wire`] values and borrowed encoders
+/// like [`WalRecordRef`] fit.
+pub fn frame_into(out: &mut Vec<u8>, encode: impl FnOnce(&mut Vec<u8>)) {
+    out.clear();
+    out.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
+    encode(out);
+    let len = out.len() - FRAME_OVERHEAD;
+    let crc = crc32(&out[FRAME_OVERHEAD..]);
+    out[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+}
+
 /// The result of scanning a stream of framed records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameScan<T> {
@@ -513,6 +530,15 @@ mod tests {
         for rec in sample_records() {
             let bytes = rec.to_bytes();
             assert_eq!(WalRecord::<u64>::from_bytes(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn frame_into_matches_frame_even_on_a_dirty_buffer() {
+        let mut buf = vec![0xAB; 256]; // dirty, oversized reused buffer
+        for rec in sample_records() {
+            frame_into(&mut buf, |o| rec.encode(o));
+            assert_eq!(buf, frame(&rec.to_bytes()));
         }
     }
 

@@ -26,11 +26,11 @@
 
 use crate::backend::{Storage, StorageError};
 use crate::manifest::Manifest;
-use crate::record::{frame, scan_frames, FrameScan, WalRecord, WalRecordRef};
+use crate::record::{frame_into, scan_frames, FrameScan, WalRecord, WalRecordRef};
 use crate::snapshot::{PendingKind, Snapshot};
 use bayou_broadcast::{BaselineMark, FifoRelease, TobEvent};
 use bayou_data::DataType;
-use bayou_types::{ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
+use bayou_types::{BufPool, ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -298,6 +298,11 @@ pub struct ReplicaStore<F: DataType, B: Storage> {
     /// Group commit: records appended since the last sync barrier
     /// (deferred syncs owed to the next [`Persistence::sync_step`]).
     dirty: bool,
+    /// Reusable encode buffers: WAL record framing and snapshot encoding
+    /// check buffers out of here instead of allocating per record, so a
+    /// steady-state append allocates nothing
+    /// (`core/tests/alloc_regression.rs`).
+    enc_pool: BufPool,
 }
 
 impl<F, B> ReplicaStore<F, B>
@@ -335,6 +340,7 @@ where
             snapshots_written: 0,
             fsyncs: 0,
             dirty: false,
+            enc_pool: BufPool::new(),
         };
         if !store.enabled {
             return Ok((store, Recovered::empty(n)));
@@ -635,18 +641,24 @@ where
         rec: &WalRecordRef<'_, F::Op>,
         sync_now: bool,
     ) -> Result<(), StorageError> {
-        let framed = frame(&rec.to_bytes());
+        // pooled framing: the buffer is checked back in below, so the
+        // steady-state append (encode + frame + write) allocates nothing
+        let mut framed = self.enc_pool.checkout();
+        frame_into(&mut framed, |out| rec.encode(out));
         // disjoint field borrows: the segment name stays in the manifest
-        let Some(segment) = self.manifest.segments.last() else {
-            return Err(StorageError::Corrupt(
+        let append_res = match self.manifest.segments.last() {
+            Some(segment) => self.backend.append(segment, &framed),
+            None => Err(StorageError::Corrupt(
                 "enabled store lost its open segment".into(),
-            ));
+            )),
         };
-        self.backend.append(segment, &framed)?;
+        let framed_len = framed.len();
+        self.enc_pool.checkin(framed);
+        append_res?;
         if sync_now {
             self.record_sync()?;
         }
-        self.current_segment_len += framed.len();
+        self.current_segment_len += framed_len;
         if self.current_segment_len >= self.cfg.segment_max_bytes {
             self.sync_backend()?;
             self.rotate_segment()?;

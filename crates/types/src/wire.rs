@@ -433,6 +433,305 @@ impl<Op: Wire> Wire for Req<Op> {
     }
 }
 
+/// A pool of reusable encode buffers with *grow-and-keep* semantics.
+///
+/// [`Wire::to_bytes`] allocates a fresh `Vec` per call — fine for
+/// recovery and snapshots, but a steady hot-path cost when every WAL
+/// record or wire frame pays it. A `BufPool` amortizes that: checked-in
+/// buffers keep their capacity, so after warm-up every
+/// [`BufPool::checkout`] returns an already-grown buffer and the encode
+/// path performs zero heap allocations per frame (asserted by the
+/// counting-allocator regression tests).
+///
+/// Owners hold one pool per independent encode site (per link, per peer,
+/// per store) rather than sharing globally — checkout order then stays
+/// deterministic and buffers stay sized to their site's frames.
+///
+/// A checked-out buffer is always *cleared*: pooling can never leak
+/// stale bytes from a previous frame into the next (the proptests
+/// include decode-from-dirty-reused-buffer cases).
+///
+/// # Examples
+///
+/// ```
+/// use bayou_types::{BufPool, Wire};
+/// let mut pool = BufPool::new();
+/// let mut buf = pool.checkout();
+/// 7u64.encode(&mut buf);
+/// let bytes = buf.clone();
+/// pool.checkin(buf);
+/// // the next checkout reuses the capacity and starts empty
+/// let again = pool.checkout();
+/// assert!(again.is_empty() && again.capacity() >= bytes.len());
+/// ```
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    checkouts: u64,
+    misses: u64,
+}
+
+impl BufPool {
+    /// Creates an empty pool.
+    pub const fn new() -> Self {
+        BufPool {
+            free: Vec::new(),
+            checkouts: 0,
+            misses: 0,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (allocating a fresh one only
+    /// when the pool is empty — a *miss*, counted for diagnostics).
+    pub fn checkout(&mut self) -> Vec<u8> {
+        self.checkouts += 1;
+        match self.free.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty(), "checked-in buffers are cleared");
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool, clearing it but keeping its
+    /// capacity for the next checkout.
+    pub fn checkin(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Encodes `v` into a pooled buffer (checkout + encode in one step).
+    pub fn encode<T: Wire>(&mut self, v: &T) -> Vec<u8> {
+        let mut buf = self.checkout();
+        v.encode(&mut buf);
+        buf
+    }
+
+    /// Total checkouts served.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Checkouts that had to allocate a fresh buffer. In steady state
+    /// this stops growing: every frame reuses pooled capacity.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Borrow-decoding: the read-path companion of [`Wire`].
+///
+/// A *view* decodes from a received frame's bytes without materializing
+/// owned `String`s/`Vec`s — string fields come out as `&str` slices of
+/// the input buffer. Conversion to the owned type
+/// ([`WireView::into_owned`]) happens only at the point a value is
+/// actually retained (committed to a list, stored in a map); transient
+/// decodes (CRC/shape validation, filtering, metric extraction) stay
+/// allocation-free.
+///
+/// Every view decodes the **same byte layout** as its `Owned` type's
+/// [`Wire`] impl — `decode_view` then `into_owned` must equal
+/// `Owned::decode` on all inputs (asserted by proptests across all op
+/// types).
+pub trait WireView<'a>: Sized {
+    /// The owning type this view borrows from the input for.
+    type Owned;
+
+    /// Decodes one view from the reader, advancing it.
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError>;
+
+    /// Converts the view into its owned equivalent (the allocation the
+    /// view deferred).
+    fn into_owned(self) -> Self::Owned;
+
+    /// Decodes a view that must span the entire input.
+    fn view_from_bytes(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode_view(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+/// Implements [`WireView`] as the identity for types whose owned decode
+/// already borrows nothing (fixed-width fields only).
+macro_rules! identity_view {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'a> WireView<'a> for $t {
+            type Owned = $t;
+            fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+                <$t as Wire>::decode(r)
+            }
+            fn into_owned(self) -> $t {
+                self
+            }
+        }
+    )*};
+}
+
+identity_view!(
+    u8,
+    u16,
+    u32,
+    u64,
+    i64,
+    bool,
+    Timestamp,
+    VirtualTime,
+    ReplicaId,
+    Dot,
+    Level,
+    ReqMeta
+);
+
+impl<'a> WireView<'a> for &'a str {
+    type Owned = String;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let bytes = r.take(n)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+    fn into_owned(self) -> String {
+        self.to_owned()
+    }
+}
+
+/// Byte strings: same layout as `Vec<u8>` (`u32` length + raw bytes),
+/// decoded as a slice of the input.
+impl<'a> WireView<'a> for &'a [u8] {
+    type Owned = Vec<u8>;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        r.take(n)
+    }
+    fn into_owned(self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+impl<'a, V: WireView<'a>> WireView<'a> for Option<V> {
+    type Owned = Option<V::Owned>;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(V::decode_view(r)?)),
+            tag => Err(WireError::BadTag { ty: "Option", tag }),
+        }
+    }
+    fn into_owned(self) -> Option<V::Owned> {
+        self.map(V::into_owned)
+    }
+}
+
+/// Sequences of views. The `Vec` spine itself is owned (one allocation
+/// per list), but every element still borrows its strings from the
+/// input — the dominant cost for payload-bearing frames.
+impl<'a, V: WireView<'a>> WireView<'a> for Vec<V> {
+    type Owned = Vec<V::Owned>;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let n = r.take_len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(V::decode_view(r)?);
+        }
+        Ok(v)
+    }
+    fn into_owned(self) -> Vec<V::Owned> {
+        self.into_iter().map(V::into_owned).collect()
+    }
+}
+
+/// A request whose op decodes as a view: `Req<KvOpView>` is the view of
+/// `Req<KvOp>` — the metadata fields are fixed-width, so only the op
+/// borrows.
+impl<'a, V: WireView<'a>> WireView<'a> for Req<V> {
+    type Owned = Req<V::Owned>;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let timestamp = Timestamp::decode(r)?;
+        let dot = Dot::decode(r)?;
+        let level = Level::decode(r)?;
+        let op = V::decode_view(r)?;
+        Ok(Req::new(timestamp, dot, level, op))
+    }
+    fn into_owned(self) -> Req<V::Owned> {
+        Req::new(self.timestamp, self.dot, self.level, self.op.into_owned())
+    }
+}
+
+/// Borrowed view of a [`Value`]: strings are slices of the input; maps
+/// decode as (key, value) pairs in encoded (sorted) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueView<'a> {
+    /// See [`Value::Unit`].
+    Unit,
+    /// See [`Value::Bool`].
+    Bool(bool),
+    /// See [`Value::Int`].
+    Int(i64),
+    /// See [`Value::Str`].
+    Str(&'a str),
+    /// See [`Value::List`].
+    List(Vec<ValueView<'a>>),
+    /// See [`Value::Map`] (pairs in encoded order).
+    Map(Vec<(&'a str, ValueView<'a>)>),
+    /// See [`Value::None`].
+    None,
+}
+
+impl<'a> WireView<'a> for ValueView<'a> {
+    type Owned = Value;
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ValueView::Unit),
+            1 => Ok(ValueView::Bool(bool::decode(r)?)),
+            2 => Ok(ValueView::Int(i64::decode(r)?)),
+            3 => Ok(ValueView::Str(<&str>::decode_view(r)?)),
+            4 => Ok(ValueView::List(Vec::decode_view(r)?)),
+            5 => {
+                let n = r.take_len()?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = <&str>::decode_view(r)?;
+                    let v = ValueView::decode_view(r)?;
+                    pairs.push((k, v));
+                }
+                Ok(ValueView::Map(pairs))
+            }
+            6 => Ok(ValueView::None),
+            tag => Err(WireError::BadTag { ty: "Value", tag }),
+        }
+    }
+    fn into_owned(self) -> Value {
+        match self {
+            ValueView::Unit => Value::Unit,
+            ValueView::Bool(b) => Value::Bool(b),
+            ValueView::Int(i) => Value::Int(i),
+            ValueView::Str(s) => Value::Str(s.to_owned()),
+            ValueView::List(items) => {
+                Value::List(items.into_iter().map(ValueView::into_owned).collect())
+            }
+            ValueView::Map(pairs) => Value::Map(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v.into_owned()))
+                    .collect(),
+            ),
+            ValueView::None => Value::None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +879,127 @@ mod tests {
                 b'a', b'b',
             ]
         );
+    }
+
+    #[test]
+    fn buf_pool_reuses_capacity_and_clears() {
+        let mut pool = BufPool::new();
+        let mut a = pool.checkout();
+        assert_eq!(pool.misses(), 1, "first checkout allocates");
+        Value::Str("a long enough string to force growth".into()).encode(&mut a);
+        let cap = a.capacity();
+        pool.checkin(a);
+        let b = pool.checkout();
+        assert!(b.is_empty(), "checked-out buffers are cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.misses(), 1, "second checkout reuses");
+        assert_eq!(pool.checkouts(), 2);
+        pool.checkin(b);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pooled_encode_matches_to_bytes() {
+        let mut pool = BufPool::new();
+        let req = Req::new(
+            Timestamp::new(7),
+            Dot::new(ReplicaId::new(1), 3),
+            Level::Weak,
+            String::from("payload"),
+        );
+        let pooled = pool.encode(&req);
+        assert_eq!(pooled, req.to_bytes());
+        pool.checkin(pooled);
+        // a dirty-reuse round: a longer value first, a shorter one after
+        let long = pool.encode(&String::from("a much longer previous frame body"));
+        pool.checkin(long);
+        let short = pool.encode(&String::from("x"));
+        assert_eq!(short, String::from("x").to_bytes(), "no stale bytes leak");
+    }
+
+    fn view_round_trip<'a, V>(bytes: &'a [u8], expect: &V::Owned)
+    where
+        V: WireView<'a>,
+        V::Owned: PartialEq + fmt::Debug,
+    {
+        let view = V::view_from_bytes(bytes).unwrap();
+        assert_eq!(&view.into_owned(), expect);
+    }
+
+    #[test]
+    fn views_decode_the_owned_layout() {
+        let s = String::from("héllo");
+        view_round_trip::<&str>(&s.to_bytes(), &s);
+        let v = vec![1u8, 2, 3];
+        view_round_trip::<&[u8]>(&v.to_bytes(), &v);
+        let opt = Some(String::from("x"));
+        view_round_trip::<Option<&str>>(&opt.to_bytes(), &opt);
+        let list = vec![String::from("a"), String::from("bb")];
+        view_round_trip::<Vec<&str>>(&list.to_bytes(), &list);
+        let req = Req::new(
+            Timestamp::new(9),
+            Dot::new(ReplicaId::new(1), 2),
+            Level::Weak,
+            String::from("op"),
+        );
+        view_round_trip::<Req<&str>>(&req.to_bytes(), &req);
+    }
+
+    #[test]
+    fn value_views_cover_every_variant() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::List(vec![Value::Unit]));
+        for v in [
+            Value::Unit,
+            Value::None,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Str("s".into()),
+            Value::ints([1, 2, 3]),
+            Value::Map(m),
+        ] {
+            view_round_trip::<ValueView>(&v.to_bytes(), &v);
+        }
+    }
+
+    #[test]
+    fn string_view_borrows_from_the_input() {
+        let bytes = String::from("borrowed").to_bytes();
+        let view = <&str>::view_from_bytes(&bytes).unwrap();
+        let input_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(
+            input_range.contains(&(view.as_ptr() as usize)),
+            "the view must point into the input buffer"
+        );
+    }
+
+    #[test]
+    fn views_reject_bad_input_like_owned_decode() {
+        let full = Req::new(
+            Timestamp::new(1),
+            Dot::new(ReplicaId::new(0), 1),
+            Level::Weak,
+            String::from("payload"),
+        )
+        .to_bytes();
+        for cut in 0..full.len() {
+            assert!(
+                Req::<&str>::view_from_bytes(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode as a view"
+            );
+        }
+        // invalid UTF-8 in a string field
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(<&str>::view_from_bytes(&bytes), Err(WireError::BadUtf8));
+        // trailing bytes are rejected
+        let mut ok = String::from("x").to_bytes();
+        ok.push(0);
+        assert!(matches!(
+            <&str>::view_from_bytes(&ok),
+            Err(WireError::TrailingBytes(1))
+        ));
     }
 
     #[test]
