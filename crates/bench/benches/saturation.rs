@@ -144,6 +144,7 @@ fn build_cluster(cfg: Config) -> (BayouCluster<KvStore>, Vec<MemDisk>) {
         r.set_delivery_batching(cfg.batched);
         r.set_link_coalescing(cfg.batched);
         r.set_flush_deferral(cfg.deferral.then_some(bayou_core::DEFAULT_FLUSH_DELAY));
+        r.meter_wire_bytes();
         r
     });
     (cluster, disks)
@@ -194,6 +195,10 @@ struct Measured {
     /// WAL bytes appended per op (the pooled `frame_into` encoder's
     /// actual output volume).
     wal_bytes_per_op: f64,
+    /// Encoded network frame bytes sent per op (the coalescer's
+    /// [`FrameMeter`](bayou_broadcast::FrameMeter) accounting) — what
+    /// link coalescing and flush deferral actually save on the wire.
+    wire_bytes_per_op: f64,
 }
 
 /// One instrumented run: advances in slices until every replica has
@@ -229,6 +234,7 @@ fn measure(cfg: Config) -> Measured {
         fsyncs_per_op: m.fsyncs as f64 / ops,
         allocs_per_op: allocs as f64 / ops,
         wal_bytes_per_op: wal_bytes as f64 / ops,
+        wire_bytes_per_op: m.wire_bytes as f64 / ops,
     }
 }
 
@@ -312,6 +318,7 @@ fn bench_saturation(c: &mut Criterion) {
                 ("fsyncs_per_op", m.fsyncs_per_op),
                 ("allocations_per_op", m.allocs_per_op),
                 ("wal_bytes_per_op", m.wal_bytes_per_op),
+                ("wire_bytes_per_op", m.wire_bytes_per_op),
             ],
         );
     }
@@ -374,6 +381,8 @@ fn bench_saturation(c: &mut Criterion) {
             ("messages_per_op_ratio", off.msgs_per_op / on.msgs_per_op),
             ("deferred_allocations_per_op", on.allocs_per_op),
             ("flushed_allocations_per_op", off.allocs_per_op),
+            ("deferred_wire_bytes_per_op", on.wire_bytes_per_op),
+            ("flushed_wire_bytes_per_op", off.wire_bytes_per_op),
             (
                 "deferred_sim_ops_per_sec",
                 defer_point(true).ops as f64 / on.commit_secs,

@@ -1,6 +1,8 @@
 //! Context adapter that re-wraps message types between protocol layers.
 
 use bayou_types::{Context, ReplicaId, TimerId, Timestamp, VirtualTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Adapts a [`Context`] over an outer (composed) message type into a
 /// [`Context`] over an inner (layer-local) message type, by wrapping every
@@ -76,6 +78,57 @@ impl<I, O> Context<I> for MapCtx<'_, I, O> {
     }
 }
 
+/// Accounts the encoded size of every frame leaving a
+/// [`StepCoalescer`] (attach with [`StepCoalescer::with_meter`]).
+///
+/// `measure` computes a frame's serialized size under the owner's wire
+/// codec; the byte counter is shared (the owner keeps a clone of the
+/// meter and drains it via [`FrameMeter::take_bytes`], typically from
+/// `Process::take_wire_bytes`). The counter is atomic only so the meter
+/// is `Send` alongside its replica — each replica runs single-threaded,
+/// so metering stays deterministic.
+pub struct FrameMeter<M> {
+    measure: Arc<dyn Fn(&M) -> u64 + Send + Sync>,
+    bytes: Arc<AtomicU64>,
+}
+
+impl<M> Clone for FrameMeter<M> {
+    fn clone(&self) -> Self {
+        FrameMeter {
+            measure: Arc::clone(&self.measure),
+            bytes: Arc::clone(&self.bytes),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for FrameMeter<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameMeter")
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<M> FrameMeter<M> {
+    /// Creates a meter around a frame-size function.
+    pub fn new(measure: Arc<dyn Fn(&M) -> u64 + Send + Sync>) -> Self {
+        FrameMeter {
+            measure,
+            bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Accounts one outgoing frame.
+    pub fn record(&self, msg: &M) {
+        self.bytes.fetch_add((self.measure)(msg), Ordering::Relaxed);
+    }
+
+    /// Drains the bytes accounted since the previous call.
+    pub fn take_bytes(&self) -> u64 {
+        self.bytes.swap(0, Ordering::Relaxed)
+    }
+}
+
 /// A step-end *frame coalescer*: buffers every message a handler step
 /// sends, per destination, and flushes each destination's buffer as one
 /// wrapped frame when the step ends.
@@ -103,6 +156,7 @@ pub struct StepCoalescer<'a, M> {
     wrap: fn(Vec<M>) -> M,
     store: StepBuffers<M>,
     on: bool,
+    meter: Option<FrameMeter<M>>,
 }
 
 /// The reusable backing store of a [`StepCoalescer`]: per-destination
@@ -156,7 +210,16 @@ impl<'a, M> StepCoalescer<'a, M> {
             wrap,
             store,
             on,
+            meter: None,
         }
+    }
+
+    /// Attaches a wire-bytes meter: every frame this coalescer hands to
+    /// the underlying context (pass-through sends included) is measured
+    /// first. `None` detaches (builder style, zero cost when unused).
+    pub fn with_meter(mut self, meter: Option<FrameMeter<M>>) -> Self {
+        self.meter = meter;
+        self
     }
 
     /// True when at least one destination has a buffered message.
@@ -179,6 +242,7 @@ impl<'a, M> StepCoalescer<'a, M> {
             outer,
             wrap,
             mut store,
+            meter,
             ..
         } = self;
         for to in store.order.drain(..) {
@@ -190,6 +254,9 @@ impl<'a, M> StepCoalescer<'a, M> {
                 // a real frame owns its Vec (it goes on the wire)
                 wrap(std::mem::take(buf))
             };
+            if let Some(m) = &meter {
+                m.record(&frame);
+            }
             outer.send(to, frame);
         }
         store
@@ -215,6 +282,9 @@ impl<M> Context<M> for StepCoalescer<'_, M> {
 
     fn send(&mut self, to: ReplicaId, msg: M) {
         if !self.on || to.index() >= self.store.bufs.len() {
+            if let Some(m) = &self.meter {
+                m.record(&msg);
+            }
             self.outer.send(to, msg);
             return;
         }

@@ -9,28 +9,41 @@ pub struct Invocation<Op> {
     pub op: Op,
     /// Weak (tentative response) or strong (stable response).
     pub level: Level,
+    /// Opaque client correlation tag, echoed on the [`Response`].
+    ///
+    /// A serving front end dispatches many pipelined requests into a
+    /// replica whose dots are assigned on arrival, so the sender cannot
+    /// predict `Response::meta` — the tag is how it routes a response
+    /// back to the connection that asked. Tags are *not* persisted:
+    /// responses re-emitted after crash recovery carry `None`, which
+    /// tells the front end the original session is gone.
+    pub tag: Option<u64>,
 }
 
 impl<Op> Invocation<Op> {
     /// Creates an invocation.
     pub fn new(op: Op, level: Level) -> Self {
-        Invocation { op, level }
+        Invocation {
+            op,
+            level,
+            tag: None,
+        }
     }
 
     /// A weak invocation.
     pub fn weak(op: Op) -> Self {
-        Invocation {
-            op,
-            level: Level::Weak,
-        }
+        Invocation::new(op, Level::Weak)
     }
 
     /// A strong invocation.
     pub fn strong(op: Op) -> Self {
-        Invocation {
-            op,
-            level: Level::Strong,
-        }
+        Invocation::new(op, Level::Strong)
+    }
+
+    /// Attaches a client correlation tag (builder style).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
     }
 }
 
@@ -54,6 +67,10 @@ pub struct Response {
     /// The state-object trace used to compute `value`, excluding the
     /// request itself.
     pub exec_trace: Vec<ReqId>,
+    /// The client correlation tag of the [`Invocation`], echoed back.
+    /// `None` for untagged invocations and for responses re-derived
+    /// after a crash restart (tags are in-memory only).
+    pub tag: Option<u64>,
 }
 
 /// One history event: an invocation together with everything observed

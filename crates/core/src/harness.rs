@@ -6,7 +6,7 @@ use crate::replica::{BayouReplica, ProtocolMode};
 use bayou_broadcast::{PaxosConfig, PaxosTob, Tob};
 use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_sim::{OutputRecord, Sim, SimConfig};
-use bayou_types::{Level, ReplicaId, ReqId, SharedReq, VirtualTime};
+use bayou_types::{Level, ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
 use std::collections::HashMap;
 
 /// Configuration of a simulated Bayou cluster.
@@ -169,6 +169,36 @@ where
             r.set_delivery_batching(delivery_batching);
             r.set_link_coalescing(link_coalescing);
             r.set_flush_deferral(flush_deferral);
+            r
+        })
+    }
+
+    /// Like [`BayouCluster::new`], but with wire-bytes metering installed
+    /// on every replica ([`BayouReplica::meter_wire_bytes`]): the encoded
+    /// size of every frame the replicas send accumulates into
+    /// [`bayou_sim::Metrics::wire_bytes`], the numerator of the bytes/op
+    /// saturation metric. Requires the data type's operations and state
+    /// to be wire-encodable; metering consumes no randomness or timers,
+    /// so runs stay schedule-identical to unmetered ones.
+    pub fn new_metered(config: ClusterConfig) -> Self
+    where
+        F::Op: Wire,
+        F::State: Wire,
+    {
+        let n = config.sim.n;
+        let mode = config.mode;
+        let paxos = config.paxos;
+        let compaction = config.compaction;
+        let delivery_batching = config.delivery_batching;
+        let link_coalescing = config.link_coalescing;
+        let flush_deferral = config.flush_deferral;
+        Self::with_factory(config.sim, move |_| {
+            let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
+            r.set_compaction(compaction);
+            r.set_delivery_batching(delivery_batching);
+            r.set_link_coalescing(link_coalescing);
+            r.set_flush_deferral(flush_deferral);
+            r.meter_wire_bytes();
             r
         })
     }

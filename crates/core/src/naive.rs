@@ -90,6 +90,7 @@ impl<F: DataType> NaiveMixed<F> {
             meta: r.meta(),
             value,
             exec_trace: trace,
+            tag: None,
         });
     }
 }

@@ -77,13 +77,14 @@
 
 use crate::api::{EventRecord, Invocation, Response};
 use bayou_broadcast::{
-    BaselineMark, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, StepBuffers, StepCoalescer, Tob,
-    TobDelivery,
+    BaselineMark, FrameMeter, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, StepBuffers,
+    StepCoalescer, Tob, TobDelivery,
 };
 use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_storage::{NullPersistence, PendingKind, Persistence, StorageError};
 use bayou_types::{
-    Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime,
+    Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime, Wire,
+    WireError, WireReader,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -171,6 +172,69 @@ pub enum BayouMsg<Op, St, TM> {
     Batch(Vec<BayouMsg<Op, St, TM>>),
 }
 
+impl<Op: Wire> Wire for WireReq<Op> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.req.encode(out);
+        self.tob_seq.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WireReq {
+            req: SharedReq::decode(r)?,
+            tob_seq: u64::decode(r)?,
+        })
+    }
+}
+
+/// The replica's complete frame codec: what one [`BayouMsg`] costs on a
+/// real wire. Used by the wire-bytes meter
+/// ([`BayouReplica::meter_wire_bytes`]) and available to byte-oriented
+/// transports. Tags are append-only, like every other codec in the tree.
+impl<Op, St, TM> Wire for BayouMsg<Op, St, TM>
+where
+    Op: Wire,
+    St: Wire,
+    TM: Wire,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BayouMsg::Rb(frame) => {
+                out.push(0);
+                frame.encode(out);
+            }
+            BayouMsg::Tob(tm) => {
+                out.push(1);
+                tm.encode(out);
+            }
+            BayouMsg::BaselineRequest => out.push(2),
+            BayouMsg::Baseline { state, mark } => {
+                out.push(3);
+                state.encode(out);
+                mark.encode(out);
+            }
+            BayouMsg::Batch(msgs) => {
+                out.push(4);
+                msgs.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(BayouMsg::Rb(LinkMsg::decode(r)?)),
+            1 => Ok(BayouMsg::Tob(TM::decode(r)?)),
+            2 => Ok(BayouMsg::BaselineRequest),
+            3 => Ok(BayouMsg::Baseline {
+                state: St::decode(r)?,
+                mark: BaselineMark::decode(r)?,
+            }),
+            4 => Ok(BayouMsg::Batch(Vec::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                ty: "BayouMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Counters describing one replica's protocol activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplicaStats {
@@ -223,6 +287,10 @@ where
     to_be_executed: VecDeque<SharedReq<F::Op>>,
     to_be_rolled_back: VecDeque<SharedReq<F::Op>>,
     reqs_awaiting_resp: HashMap<ReqId, Option<(Value, Vec<ReqId>)>>,
+    /// Client correlation tags of locally-invoked requests still owed a
+    /// response ([`Invocation::tag`]). In-memory only: recovery starts
+    /// empty, so post-restart re-emissions carry no tag.
+    client_tags: HashMap<ReqId, u64>,
     rb: ReliableBroadcast<WireReq<F::Op>>,
     tob: T,
     tob_seq: u64,
@@ -292,6 +360,10 @@ where
     /// Reusable buffer: the TOB deliveries collected across one handler
     /// step (all messages of a frame), committed as one batch.
     delivery_scratch: Vec<TobDelivery<SharedReq<F::Op>>>,
+    /// Wire-bytes meter attached to every step's frame coalescer
+    /// ([`BayouReplica::meter_wire_bytes`]); `None` (the default) costs
+    /// nothing.
+    wire_meter: Option<FrameMeter<Msg<F, T>>>,
 }
 
 impl<F, T, S> BayouReplica<F, T, S>
@@ -333,6 +405,7 @@ where
             to_be_executed: VecDeque::new(),
             to_be_rolled_back: VecDeque::new(),
             reqs_awaiting_resp: HashMap::new(),
+            client_tags: HashMap::new(),
             rb,
             tob,
             tob_seq: 0,
@@ -357,6 +430,7 @@ where
             defer_deadline: None,
             defer_timer: None,
             delivery_scratch: Vec::new(),
+            wire_meter: None,
         }
     }
 
@@ -465,6 +539,7 @@ where
             to_be_executed,
             to_be_rolled_back: VecDeque::new(),
             reqs_awaiting_resp: HashMap::new(),
+            client_tags: HashMap::new(),
             rb,
             tob,
             tob_seq,
@@ -489,6 +564,7 @@ where
             defer_deadline: None,
             defer_timer: None,
             delivery_scratch: Vec::new(),
+            wire_meter: None,
         }
     }
 
@@ -566,6 +642,36 @@ where
     /// The current cross-step flush-deferral budget, if any.
     pub fn flush_deferral(&self) -> Option<VirtualTime> {
         self.flush_deferral
+    }
+
+    /// Whether wire-bytes metering is enabled.
+    pub fn wire_metering(&self) -> bool {
+        self.wire_meter.is_some()
+    }
+
+    /// Enables wire-bytes metering: every frame leaving the replica is
+    /// measured under the real [`Wire`] codec (encoded into a reused
+    /// scratch buffer, counted, discarded) and drained by the runtime
+    /// through [`Process::take_wire_bytes`] into the simulator's
+    /// `wire_bytes` metric — the network-side analogue of the WAL's
+    /// bytes accounting.
+    ///
+    /// Off by default. Metering consumes no randomness and changes no
+    /// message or timer, so deterministic schedules (DST) are unaffected
+    /// by toggling it; the cost is one extra encode per outgoing frame.
+    pub fn meter_wire_bytes(&mut self)
+    where
+        F::Op: Wire,
+        F::State: Wire,
+        T::Msg: Wire,
+    {
+        let scratch = std::sync::Mutex::new(Vec::<u8>::new());
+        self.wire_meter = Some(FrameMeter::new(Arc::new(move |m: &Msg<F, T>| {
+            let mut buf = scratch.lock().unwrap_or_else(|e| e.into_inner());
+            buf.clear();
+            m.encode(&mut buf);
+            buf.len() as u64
+        })));
     }
 
     /// Committed entries dropped below the watermark so far. The
@@ -797,10 +903,12 @@ where
         let id = r.id();
         if self.reqs_awaiting_resp.contains_key(&id) && self.executed_contains(id) {
             if let Some(Some((value, trace))) = self.reqs_awaiting_resp.remove(&id) {
+                let tag = self.client_tags.remove(&id);
                 self.outputs.push(Response {
                     meta: r.meta(),
                     value,
                     exec_trace: trace,
+                    tag,
                 });
             }
             // a `None` stored response cannot happen here: r ∈ executed
@@ -1130,6 +1238,7 @@ where
             self.frame_coalescing,
             std::mem::take(&mut self.step_frames),
         )
+        .with_meter(self.wire_meter.clone())
     }
 
     /// Closes one handler step: settles the step's deferred group-commit
@@ -1279,12 +1388,16 @@ where
         let ctx = &mut cctx;
         self.stats.invocations += 1;
         self.curr_event_no += 1;
+        let tag = inv.tag;
         let r = Arc::new(Req::new(
             ctx.clock(),
             Dot::new(ctx.id(), self.curr_event_no),
             inv.level,
             inv.op,
         ));
+        if let Some(tag) = tag {
+            self.client_tags.insert(r.id(), tag);
+        }
         let tob_cast = match self.mode {
             ProtocolMode::Original => true,
             ProtocolMode::Improved => r.level.is_strong() || !F::is_read_only(&r.op),
@@ -1315,10 +1428,12 @@ where
                     // causality).
                     let trace_before = self.state.trace().to_vec();
                     let value = self.state.execute(r.id(), &r.op);
+                    let tag = self.client_tags.remove(&r.id());
                     self.outputs.push(Response {
                         meta: r.meta(),
                         value,
                         exec_trace: trace_before,
+                        tag,
                     });
                     self.state.rollback(r.id());
                     if !F::is_read_only(&r.op) {
@@ -1412,10 +1527,12 @@ where
             self.stats.executions += 1;
             if awaiting {
                 if head.level.is_weak() || self.committed_contains(head.id()) {
+                    let tag = self.client_tags.remove(&head.id());
                     self.outputs.push(Response {
                         meta: head.meta(),
                         value,
                         exec_trace: trace_before,
+                        tag,
                     });
                     self.reqs_awaiting_resp.remove(&head.id());
                 } else {
@@ -1447,6 +1564,10 @@ where
 
     fn take_storage_stall(&mut self) -> VirtualTime {
         self.persist.take_sync_stall()
+    }
+
+    fn take_wire_bytes(&mut self) -> u64 {
+        self.wire_meter.as_ref().map_or(0, FrameMeter::take_bytes)
     }
 
     fn take_fsyncs(&mut self) -> u64 {

@@ -1,0 +1,115 @@
+//! The `bayou-load` binary: drives a running `bayou-server` and reports
+//! throughput and latency quantiles, optionally archiving them as a
+//! BENCH-format JSON record file.
+
+use bayou_server::load::{run_load, LoadConfig};
+use std::io::Write;
+
+const USAGE: &str = "\
+bayou-load — load generator for bayou-server
+
+USAGE:
+    bayou-load [OPTIONS]
+
+OPTIONS:
+    --addr ADDR            server address (default 127.0.0.1:4600)
+    --ops N                total operations (default 10000)
+    --conns N              concurrent connections (default 8)
+    --window N             closed-loop in-flight window per conn (default 16)
+    --strong-every N       every Nth op is strong; 0 = all weak (default 8)
+    --keys N               key-space size (default 64)
+    --skew F               key-skew exponent, 1.0 = uniform (default 1.0)
+    --rate F               open-loop aggregate ops/sec (default: closed loop)
+    --seed N               RNG seed (default 1)
+    --out PATH             write a JSON record array to PATH
+    --name NAME            record name inside the JSON (default \"mixed\")
+    -h, --help             print this help
+";
+
+fn parse_args() -> Result<(LoadConfig, Option<String>, String), String> {
+    let mut cfg = LoadConfig::default();
+    let mut out = None;
+    let mut name = "mixed".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        macro_rules! parse {
+            ($flag:literal) => {
+                value($flag)?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", $flag))?
+            };
+        }
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--ops" => cfg.ops = parse!("--ops"),
+            "--conns" => cfg.conns = parse!("--conns"),
+            "--window" => cfg.window = parse!("--window"),
+            "--strong-every" => cfg.strong_every = parse!("--strong-every"),
+            "--keys" => cfg.keys = parse!("--keys"),
+            "--skew" => cfg.skew = parse!("--skew"),
+            "--rate" => cfg.rate = Some(parse!("--rate")),
+            "--seed" => cfg.seed = parse!("--seed"),
+            "--out" => out = Some(value("--out")?),
+            "--name" => name = value("--name")?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if cfg.conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+    if cfg.keys == 0 {
+        return Err("--keys must be at least 1".into());
+    }
+    Ok((cfg, out, name))
+}
+
+fn main() {
+    let (cfg, out, name) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("bayou-load: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mode = match cfg.rate {
+        Some(r) => format!("open loop @ {r} ops/s"),
+        None => format!("closed loop, window {}", cfg.window),
+    };
+    println!(
+        "bayou-load: {} ops over {} conns to {} ({mode}, strong every {}, {} keys, skew {})",
+        cfg.ops, cfg.conns, cfg.addr, cfg.strong_every, cfg.keys, cfg.skew
+    );
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bayou-load: run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    if let Some(path) = out {
+        let json = format!("[\n{}\n]\n", report.json_record("serving", &name, &cfg));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("bayou-load: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if report.errors > 0 || report.oks == 0 {
+        eprintln!(
+            "bayou-load: FAILED ({} errors, {} oks)",
+            report.errors, report.oks
+        );
+        std::process::exit(1);
+    }
+}

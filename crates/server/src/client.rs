@@ -1,0 +1,159 @@
+//! A pipelined TCP client for the Bayou serving protocol.
+//!
+//! The client separates sending from receiving so callers can keep many
+//! requests in flight on one connection: [`Client::send`] frames and
+//! writes an operation and returns its correlation tag immediately;
+//! [`Client::recv`] blocks for the next response frame, in completion
+//! order (which is not send order — weak ops answer in microseconds,
+//! strong ops at commit). [`Client::call`] is the one-at-a-time
+//! convenience wrapper.
+
+use crate::protocol::{encode_frame, read_frame, wire_err, Reply, Request, ResponseMsg};
+use bayou_data::KvOp;
+use bayou_types::{Level, Wire};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a Bayou server.
+pub struct Client {
+    read: TcpStream,
+    write: TcpStream,
+    /// Reusable encode buffer (send path allocates nothing per frame).
+    enc: Vec<u8>,
+    /// Reusable frame buffer (receive path allocates only the decoded
+    /// reply's owned values).
+    dec: Vec<u8>,
+    next_tag: u64,
+}
+
+impl Client {
+    /// Connects, with `TCP_NODELAY` so pipelined small frames are not
+    /// Nagle-delayed.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write = stream.try_clone()?;
+        Ok(Client {
+            read: stream,
+            write,
+            enc: Vec::new(),
+            dec: Vec::new(),
+            next_tag: 1,
+        })
+    }
+
+    /// Sets (or clears) the receive timeout used by [`Client::recv`].
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read.set_read_timeout(timeout)
+    }
+
+    /// Sends one operation without waiting; returns its correlation tag.
+    pub fn send(&mut self, level: Level, op: KvOp) -> io::Result<u64> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.enc.clear();
+        encode_frame(&mut self.enc, &Request::Op { tag, level, op });
+        self.write.write_all(&self.enc)?;
+        Ok(tag)
+    }
+
+    /// Blocks for the next response frame (completion order).
+    pub fn recv(&mut self) -> io::Result<(u64, Reply)> {
+        if !read_frame(&mut self.read, &mut self.dec)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let msg = ResponseMsg::from_bytes(&self.dec).map_err(wire_err)?;
+        Ok((msg.tag, msg.reply))
+    }
+
+    /// Sends one operation and waits for *its* reply, asserting nothing
+    /// else is in flight (one-at-a-time convenience).
+    pub fn call(&mut self, level: Level, op: KvOp) -> io::Result<Reply> {
+        let tag = self.send(level, op)?;
+        let (got, reply) = self.recv()?;
+        if got != tag {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response tag {got} for un-pipelined request {tag}"),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Splits into independently-owned send and receive halves, so an
+    /// open-loop sender can pace writes on one thread while a receiver
+    /// thread blocks on responses.
+    pub fn split(self) -> (SendHalf, RecvHalf) {
+        (
+            SendHalf {
+                write: self.write,
+                enc: self.enc,
+                next_tag: self.next_tag,
+            },
+            RecvHalf {
+                read: self.read,
+                dec: self.dec,
+            },
+        )
+    }
+
+    /// Round-trips a ping (connection liveness / server readiness).
+    pub fn ping(&mut self) -> io::Result<()> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.enc.clear();
+        encode_frame(&mut self.enc, &Request::Ping { tag });
+        self.write.write_all(&self.enc)?;
+        // ping is an idle-connection probe: the next frame must be ours
+        match self.recv()? {
+            (got, Reply::Pong) if got == tag => Ok(()),
+            (got, reply) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ping {tag} answered with tag {got}: {reply:?}"),
+            )),
+        }
+    }
+}
+
+/// Sending half of a split [`Client`].
+pub struct SendHalf {
+    write: TcpStream,
+    enc: Vec<u8>,
+    next_tag: u64,
+}
+
+impl SendHalf {
+    /// Sends one operation without waiting; returns its correlation tag.
+    pub fn send(&mut self, level: Level, op: KvOp) -> io::Result<u64> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.enc.clear();
+        encode_frame(&mut self.enc, &Request::Op { tag, level, op });
+        self.write.write_all(&self.enc)?;
+        Ok(tag)
+    }
+}
+
+/// Receiving half of a split [`Client`].
+pub struct RecvHalf {
+    read: TcpStream,
+    dec: Vec<u8>,
+}
+
+impl RecvHalf {
+    /// Blocks for the next response frame (completion order).
+    pub fn recv(&mut self) -> io::Result<(u64, Reply)> {
+        if !read_frame(&mut self.read, &mut self.dec)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let msg = ResponseMsg::from_bytes(&self.dec).map_err(wire_err)?;
+        Ok((msg.tag, msg.reply))
+    }
+}

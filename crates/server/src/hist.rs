@@ -1,0 +1,175 @@
+//! HDR-style fixed-bucket latency histogram.
+//!
+//! Log-linear layout: 32 linear buckets per power of two (5 bits of
+//! sub-bucket resolution), which bounds the relative quantile error at
+//! ~3% while keeping the whole table a fixed 1 920-slot array — no
+//! allocation per sample, mergeable across load-generator threads, and
+//! covering the full `u64` range (nanoseconds here, so up to centuries).
+
+/// Sub-bucket resolution bits: 2^5 = 32 linear buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Linear buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: one linear segment plus 32 buckets for each of
+/// the remaining 59 octaves (exponents 5..=63).
+const BUCKETS: usize = SUB + (63 - SUB_BITS as usize) * SUB + SUB;
+
+/// A fixed-bucket log-linear histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("total", &self.total)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let shift = exp - SUB_BITS;
+    // the top SUB_BITS+1 bits select the sub-bucket within the octave
+    let sub = (v >> shift) as usize - SUB;
+    SUB * (exp - SUB_BITS) as usize + SUB + sub
+}
+
+/// Upper edge of a bucket: the largest value that maps into it.
+fn value_of(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx - SUB) / SUB;
+    let sub = (idx - SUB) % SUB + SUB;
+    // u128: the top bucket's edge is exactly u64::MAX
+    (((sub as u128 + 1) << octave) - 1).min(u64::MAX as u128) as u64
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded sample (exact, not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another histogram into this one (cross-thread merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within the bucket
+    /// resolution (~3% relative error). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return value_of(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // every bucket's upper edge maps back to that bucket, and the
+        // next value starts the next bucket
+        for idx in 0..BUCKETS - 1 {
+            let edge = value_of(idx);
+            assert_eq!(index_of(edge), idx, "edge of bucket {idx}");
+            assert_eq!(index_of(edge + 1), idx + 1, "start of bucket {}", idx + 1);
+        }
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp_are_accurate() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - want).abs() / want;
+            assert!(err < 0.04, "q={q}: got {got}, want {want} (err {err:.3})");
+        }
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 70, 900, 1_000_000, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 800, 44_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The client wire protocol: length-prefixed frames carrying requests
+//! and responses.
+//!
+//! Framing is a `u32` little-endian payload length followed by the
+//! payload, encoded with the same [`Wire`] layout contract as the WAL
+//! and snapshot codecs: one tag byte per enum variant, fields in
+//! declaration order, little-endian integers, length-prefixed strings,
+//! append-only tags. A length prefix above [`MAX_FRAME`] is rejected
+//! before any buffer is sized from it, so a hostile peer cannot make the
+//! server reserve gigabytes from four bytes of input.
+//!
+//! The server decodes requests as [`RequestView`]s — borrowed straight
+//! from the connection's reusable read buffer ([`read_frame`]), so the
+//! steady-state decode path allocates nothing per frame (gated by
+//! `tests/alloc.rs`, the client-codec extension of the storage crate's
+//! counting-allocator gate).
+
+use bayou_data::{KvOp, KvOpView};
+use bayou_types::{Level, Value, Wire, WireError, WireReader, WireView};
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload length. Larger prefixes are
+/// rejected as [`io::ErrorKind::InvalidData`] before any allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A client request.
+///
+/// `tag` is an opaque per-connection correlation value chosen by the
+/// client; the server echoes it on the matching [`ResponseMsg`], which
+/// is what makes request pipelining possible — responses to weak and
+/// strong operations interleave in completion order, not send order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Invoke one operation at one consistency level.
+    Op {
+        /// Client correlation tag, echoed on the response.
+        tag: u64,
+        /// Weak (tentative response) or strong (stable response).
+        level: Level,
+        /// The operation.
+        op: KvOp,
+    },
+    /// Liveness probe; answered immediately with [`Reply::Pong`].
+    Ping {
+        /// Client correlation tag, echoed on the response.
+        tag: u64,
+    },
+}
+
+impl Wire for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Op { tag, level, op } => {
+                out.push(0);
+                tag.encode(out);
+                level.encode(out);
+                op.encode(out);
+            }
+            Request::Ping { tag } => {
+                out.push(1);
+                tag.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Request::Op {
+                tag: u64::decode(r)?,
+                level: Level::decode(r)?,
+                op: KvOp::decode(r)?,
+            }),
+            1 => Ok(Request::Ping {
+                tag: u64::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { ty: "Request", tag }),
+        }
+    }
+}
+
+/// Borrowed view of a [`Request`]: the op's keys are slices of the
+/// input frame (see [`KvOpView`]), so the server's hot decode path
+/// allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestView<'a> {
+    /// See [`Request::Op`].
+    Op {
+        /// Client correlation tag.
+        tag: u64,
+        /// The consistency level.
+        level: Level,
+        /// The operation, borrowing from the frame.
+        op: KvOpView<'a>,
+    },
+    /// See [`Request::Ping`].
+    Ping {
+        /// Client correlation tag.
+        tag: u64,
+    },
+}
+
+impl<'a> WireView<'a> for RequestView<'a> {
+    type Owned = Request;
+
+    fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(RequestView::Op {
+                tag: u64::decode(r)?,
+                level: Level::decode(r)?,
+                op: KvOpView::decode_view(r)?,
+            }),
+            1 => Ok(RequestView::Ping {
+                tag: u64::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { ty: "Request", tag }),
+        }
+    }
+
+    fn into_owned(self) -> Request {
+        match self {
+            RequestView::Op { tag, level, op } => Request::Op {
+                tag,
+                level,
+                op: op.into_owned(),
+            },
+            RequestView::Ping { tag } => Request::Ping { tag },
+        }
+    }
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The operation's return value.
+    Ok(Value),
+    /// Load shed: the connection's outstanding-op window is full or the
+    /// server is past its high-water mark. The operation was **not**
+    /// invoked; the client may retry. Typed, so overload is never a
+    /// silent stall.
+    Busy,
+    /// The operation failed (e.g. its replica crashed before
+    /// responding). The message is human-readable.
+    Err(String),
+    /// Answer to [`Request::Ping`].
+    Pong,
+}
+
+impl Wire for Reply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Ok(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Reply::Busy => out.push(1),
+            Reply::Err(msg) => {
+                out.push(2);
+                msg.encode(out);
+            }
+            Reply::Pong => out.push(3),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Reply::Ok(Value::decode(r)?)),
+            1 => Ok(Reply::Busy),
+            2 => Ok(Reply::Err(String::decode(r)?)),
+            3 => Ok(Reply::Pong),
+            tag => Err(WireError::BadTag { ty: "Reply", tag }),
+        }
+    }
+}
+
+/// One response frame: the client's correlation tag plus the reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMsg {
+    /// The tag of the [`Request`] being answered.
+    pub tag: u64,
+    /// The answer.
+    pub reply: Reply,
+}
+
+impl Wire for ResponseMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag.encode(out);
+        self.reply.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ResponseMsg {
+            tag: u64::decode(r)?,
+            reply: Reply::decode(r)?,
+        })
+    }
+}
+
+/// Appends one framed message (`u32` LE payload length + payload) to
+/// `out` — the caller's reusable encode buffer, so steady-state encodes
+/// allocate nothing. The length slot is reserved up front and patched
+/// once the payload is written.
+pub fn encode_frame<T: Wire>(out: &mut Vec<u8>, msg: &T) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    msg.encode(out);
+    let len = out.len() - at - 4;
+    assert!(len <= MAX_FRAME, "outgoing frame exceeds MAX_FRAME");
+    out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Encodes `msg` into `buf` (cleared first) and writes the frame to `w`.
+pub fn write_frame<T: Wire>(w: &mut impl Write, buf: &mut Vec<u8>, msg: &T) -> io::Result<()> {
+    buf.clear();
+    encode_frame(buf, msg);
+    w.write_all(buf)
+}
+
+/// Reads one frame's payload into `buf` (resized in place, so a reused
+/// buffer makes the steady-state read path allocation-free).
+///
+/// Returns `Ok(false)` on clean end-of-stream (the peer closed between
+/// frames); end-of-stream mid-frame, or a length prefix above
+/// [`MAX_FRAME`], is an error.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// Maps a codec error into the [`io::Error`] the serving path reports.
+pub fn wire_err(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request::Op {
+                tag: 7,
+                level: Level::Weak,
+                op: KvOp::put("k", 1),
+            },
+            Request::Op {
+                tag: u64::MAX,
+                level: Level::Strong,
+                op: KvOp::get("k"),
+            },
+            Request::Ping { tag: 0 },
+        ] {
+            let bytes = req.to_bytes();
+            assert_eq!(Request::from_bytes(&bytes).unwrap(), req);
+            let view = RequestView::view_from_bytes(&bytes).unwrap();
+            assert_eq!(view.into_owned(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for reply in [
+            Reply::Ok(Value::Int(9)),
+            Reply::Ok(Value::Str("v".into())),
+            Reply::Busy,
+            Reply::Err("replica crashed".into()),
+            Reply::Pong,
+        ] {
+            let msg = ResponseMsg { tag: 3, reply };
+            assert_eq!(ResponseMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_through_io() {
+        let mut wire = Vec::new();
+        let mut buf = Vec::new();
+        let req = Request::Op {
+            tag: 1,
+            level: Level::Weak,
+            op: KvOp::put("key", 42),
+        };
+        write_frame(&mut wire, &mut buf, &req).unwrap();
+        let mut rd = &wire[..];
+        assert!(read_frame(&mut rd, &mut buf).unwrap());
+        assert_eq!(
+            RequestView::view_from_bytes(&buf).unwrap().into_owned(),
+            req
+        );
+        assert!(!read_frame(&mut rd, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(b"junk");
+        let mut buf = Vec::new();
+        let err = read_frame(&mut &wire[..], &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(buf.capacity(), 0, "no buffer sized from the hostile prefix");
+    }
+
+    #[test]
+    fn eof_mid_header_and_mid_payload_are_errors() {
+        let mut buf = Vec::new();
+        let err = read_frame(&mut &[1u8, 0][..], &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // header promises 8 bytes, stream carries 2
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2]);
+        assert!(read_frame(&mut &wire[..], &mut buf).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! The concurrent TCP server fronting a live Bayou cluster.
+//!
+//! Plain `std::net`, thread-per-connection: each accepted socket gets a
+//! reader thread that decodes pipelined request frames straight out of a
+//! reusable buffer ([`crate::protocol::RequestView`] borrow-decoding —
+//! no allocation per frame on the hot path) and dispatches operations
+//! into the [`LiveCluster`]; a single dispatcher thread routes replica
+//! responses back to the owning connection by correlation tag.
+//!
+//! ## Backpressure and load shedding
+//!
+//! Two explicit limits keep overload typed instead of silent:
+//!
+//! * **per-connection window** ([`ServerConfig::window`]): a connection
+//!   may have at most `window` operations outstanding; further ops get
+//!   an immediate [`Reply::Busy`] without touching the cluster;
+//! * **global high-water mark** ([`ServerConfig::high_water`]): once the
+//!   server-wide outstanding-op table reaches it, every new op from any
+//!   connection is shed with [`Reply::Busy`] until responses drain it.
+//!
+//! Past both gates, the invoke itself can still block briefly on the
+//! replica's bounded input channel — bounded memory end to end.
+//!
+//! ## Crash routing
+//!
+//! Connections hash onto replicas (`conn_id mod n`) so sessions stay
+//! sticky — one replica sees a connection's ops in order. When a replica
+//! is crashed through [`Server::crash_replica`], its in-flight ops fail
+//! immediately with a typed [`Reply::Err`] (their tags were in-memory
+//! only, so the recovered replica re-derives responses without tags and
+//! the dispatcher drops them), and new ops fail over to the next live
+//! replica until [`Server::restart_replica`] brings it back.
+
+use crate::protocol::{read_frame, write_frame, Reply, RequestView, ResponseMsg};
+use bayou_broadcast::{PaxosConfig, PaxosTob};
+use bayou_core::{recover_paxos_replica, BayouReplica, Invocation, ProtocolMode, Response};
+use bayou_data::{DeltaState, KvOp, KvOpView, KvStore};
+use bayou_net::{LiveCluster, LiveConfig};
+use bayou_storage::{FileStorage, StoreConfig};
+use bayou_types::{Level, ReplicaId, SharedReq, WireView};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The replica type the server fronts: Bayou over the KV store with the
+/// default Paxos TOB.
+pub type KvReplica = BayouReplica<KvStore, PaxosTob<SharedReq<KvOp>>, DeltaState<KvStore>>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub listen: String,
+    /// Number of replicas in the fronted cluster.
+    pub replicas: usize,
+    /// Root directory for durable replica state (one subdirectory per
+    /// replica, recovered on restart). `None` runs in-memory replicas.
+    pub data_dir: Option<PathBuf>,
+    /// Per-connection outstanding-op window; ops past it are shed with
+    /// [`Reply::Busy`].
+    pub window: usize,
+    /// Server-wide outstanding-op high-water mark; past it every new op
+    /// is shed with [`Reply::Busy`].
+    pub high_water: usize,
+    /// Storage tuning for durable replicas.
+    pub store: StoreConfig,
+    /// Seed for the replicas' random streams.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            replicas: 3,
+            data_dir: None,
+            window: 32,
+            high_water: 1024,
+            store: StoreConfig {
+                snapshot_every: 256,
+                ..StoreConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// One connection's server-side state: the write half (stream + reusable
+/// encode buffer behind one lock, so pipelined responses from the
+/// dispatcher and immediate Busy/Pong replies from the reader interleave
+/// whole-frame) and the outstanding-op count.
+struct Conn {
+    writer: Mutex<ConnWriter>,
+    inflight: AtomicUsize,
+}
+
+struct ConnWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Best-effort response write; a dead connection just drops it.
+    fn reply(&self, tag: u64, reply: Reply) {
+        let mut w = self.writer.lock();
+        let ConnWriter { stream, buf } = &mut *w;
+        let _ = write_frame(stream, buf, &ResponseMsg { tag, reply });
+    }
+}
+
+/// An operation in flight between a connection and a replica.
+struct Pending {
+    conn: Arc<Conn>,
+    client_tag: u64,
+    replica: ReplicaId,
+}
+
+struct Shared {
+    cluster: LiveCluster<KvReplica>,
+    /// Outstanding ops by server-global tag. Its size is the load-shed
+    /// signal; entries leave on response or on replica crash.
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_tag: AtomicU64,
+    crashed: Vec<AtomicBool>,
+    stop: AtomicBool,
+    conn_seq: AtomicU64,
+    shed: AtomicU64,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    window: usize,
+    high_water: usize,
+    n: usize,
+}
+
+/// A running server. Dropping it leaks the threads; call
+/// [`Server::stop`] for an orderly shutdown that returns the replicas.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the cluster, binds the listener and spawns the accept and
+    /// dispatcher threads.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let n = config.replicas;
+        assert!(n > 0, "server needs at least one replica");
+        let live = LiveConfig {
+            n,
+            seed: config.seed,
+            delay: Duration::ZERO,
+            channel_capacity: 4096,
+        };
+        let cluster = match config.data_dir.clone() {
+            Some(root) => {
+                std::fs::create_dir_all(&root)?;
+                let store = config.store;
+                LiveCluster::new(live, move |id, n| {
+                    let dir = root.join(format!("replica-{}", id.index()));
+                    let backend = FileStorage::open(dir).expect("open replica data dir");
+                    recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                        id,
+                        n,
+                        ProtocolMode::Improved,
+                        PaxosConfig::default(),
+                        backend,
+                        store,
+                    )
+                })
+            }
+            None => LiveCluster::new(live, |_, n| {
+                BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+            }),
+        };
+
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cluster,
+            pending: Mutex::new(HashMap::new()),
+            next_tag: AtomicU64::new(1),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            stop: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            window: config.window,
+            high_water: config.high_water,
+            n,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("bayou-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        let disp_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("bayou-dispatch".into())
+            .spawn(move || dispatch_loop(disp_shared))?;
+
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Operations shed with [`Reply::Busy`] so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Crashes a replica: it goes silent, its in-flight ops fail with a
+    /// typed [`Reply::Err`] (never a silent stall), and new ops from its
+    /// connections fail over to the next live replica.
+    pub fn crash_replica(&self, r: ReplicaId) {
+        self.shared.crashed[r.index()].store(true, Ordering::SeqCst);
+        self.shared.cluster.control().crash(r);
+        let failed: Vec<(Arc<Conn>, u64)> = {
+            let mut pending = self.shared.pending.lock();
+            let mut failed = Vec::new();
+            pending.retain(|_, p| {
+                if p.replica == r {
+                    failed.push((Arc::clone(&p.conn), p.client_tag));
+                    false
+                } else {
+                    true
+                }
+            });
+            failed
+        };
+        for (conn, tag) in failed {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+            conn.reply(tag, Reply::Err(format!("replica {} crashed", r.index())));
+        }
+    }
+
+    /// Restarts a crashed replica through the cluster factory (recovering
+    /// from durable storage when the server was started with a data dir)
+    /// and routes its connections back to it.
+    pub fn restart_replica(&self, r: ReplicaId) {
+        self.shared.cluster.restart(r);
+        self.shared.crashed[r.index()].store(false, Ordering::SeqCst);
+    }
+
+    /// Orderly shutdown: closes every connection, joins all threads and
+    /// returns the final replica states (for convergence inspection).
+    pub fn stop(mut self) -> Vec<KvReplica> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for c in self.shared.conns.lock().drain(..) {
+            if let Some(c) = c.upgrade() {
+                let _ = c.writer.lock().stream.shutdown(Shutdown::Both);
+            }
+        }
+        // wake the acceptor so it observes the stop flag
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let readers: Vec<JoinHandle<()>> = self.shared.readers.lock().drain(..).collect();
+        for h in readers {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        self.shared.pending.lock().clear();
+        let shared = match Arc::try_unwrap(self.shared) {
+            Ok(s) => s,
+            Err(_) => panic!("server threads still hold the shared state after join"),
+        };
+        shared.cluster.shutdown()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+                let reader_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("bayou-conn-{conn_id}"))
+                    .spawn(move || reader_loop(reader_shared, stream, conn_id))
+                    .expect("spawn connection reader");
+                shared.readers.lock().push(handle);
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Routes replica responses back to connections until stopped.
+fn dispatch_loop(shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        if let Some((_, resp)) = shared.cluster.recv_output(Duration::from_millis(50)) {
+            route_response(&shared, resp);
+        }
+    }
+}
+
+fn route_response(shared: &Shared, resp: Response) {
+    // untagged responses are re-derivations after a crash restart: the
+    // session that asked is gone (its ops were failed at crash time)
+    let Some(tag) = resp.tag else { return };
+    // already failed over / failed at crash time
+    let Some(p) = shared.pending.lock().remove(&tag) else {
+        return;
+    };
+    p.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+    p.conn.reply(p.client_tag, Reply::Ok(resp.value));
+}
+
+/// First live replica at or after the connection's home slot.
+fn pick_replica(shared: &Shared, conn_id: u64) -> Option<ReplicaId> {
+    let base = (conn_id as usize) % shared.n;
+    (0..shared.n)
+        .map(|i| (base + i) % shared.n)
+        .find(|&r| !shared.crashed[r].load(Ordering::SeqCst))
+        .map(|r| ReplicaId::new(r as u32))
+}
+
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(ConnWriter {
+            stream: write_stream,
+            buf: Vec::new(),
+        }),
+        inflight: AtomicUsize::new(0),
+    });
+    shared.conns.lock().push(Arc::downgrade(&conn));
+
+    // the reusable frame buffer: steady-state reads resize in place and
+    // RequestView borrows from it, so the decode path allocates nothing
+    let mut frame = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match read_frame(&mut stream, &mut frame) {
+            Ok(true) => {}
+            // clean close, I/O error, hostile length: drop the connection
+            Ok(false) | Err(_) => break,
+        }
+        match RequestView::view_from_bytes(&frame) {
+            // a malformed frame poisons the stream; close it
+            Err(_) => break,
+            Ok(RequestView::Ping { tag }) => conn.reply(tag, Reply::Pong),
+            Ok(RequestView::Op { tag, level, op }) => {
+                handle_op(&shared, &conn, conn_id, tag, level, op)
+            }
+        }
+    }
+    let _ = conn.writer.lock().stream.shutdown(Shutdown::Both);
+}
+
+fn handle_op(
+    shared: &Shared,
+    conn: &Arc<Conn>,
+    conn_id: u64,
+    client_tag: u64,
+    level: Level,
+    op: KvOpView<'_>,
+) {
+    // per-connection window: pipelining is bounded, overload is typed
+    if conn.inflight.load(Ordering::SeqCst) >= shared.window {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        conn.reply(client_tag, Reply::Busy);
+        return;
+    }
+    let Some(replica) = pick_replica(shared, conn_id) else {
+        conn.reply(client_tag, Reply::Err("no live replica".into()));
+        return;
+    };
+    let tag = {
+        let mut pending = shared.pending.lock();
+        // global high-water mark: shed before the cluster sees the op
+        if pending.len() >= shared.high_water {
+            drop(pending);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            conn.reply(client_tag, Reply::Busy);
+            return;
+        }
+        let tag = shared.next_tag.fetch_add(1, Ordering::SeqCst);
+        conn.inflight.fetch_add(1, Ordering::SeqCst);
+        pending.insert(
+            tag,
+            Pending {
+                conn: Arc::clone(conn),
+                client_tag,
+                replica,
+            },
+        );
+        tag
+    };
+    // outside the pending lock: a full replica input channel blocks here
+    // (bounded memory), and the pending entry is already in place for
+    // the dispatcher
+    shared.cluster.invoke(
+        replica,
+        Invocation::new(op.into_owned(), level).with_tag(tag),
+    );
+}

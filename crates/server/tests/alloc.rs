@@ -1,0 +1,147 @@
+//! Counting-allocator gate for the serving-path codec: once the
+//! connection's reusable buffers have warmed up, encoding a request
+//! frame, reading it back, and borrow-decoding it as a [`RequestView`]
+//! must allocate **nothing** per frame — the client-codec extension of
+//! the storage crate's zero-copy wire gate.
+
+use bayou_data::{KvOp, KvOpView};
+use bayou_server::protocol::{encode_frame, read_frame, Reply, RequestView, ResponseMsg};
+use bayou_server::Request;
+use bayou_types::{Level, Value, WireView};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs a measurement window up to 5 times and returns the minimum
+/// allocation count observed. The counter is process-wide, so the
+/// libtest harness's own threads occasionally contribute a couple of
+/// stray allocations; a genuine per-frame cost would show up in *every*
+/// window (as ≥ one allocation per frame), while ambient noise does
+/// not, so requiring one strictly-clean window keeps the gate exact
+/// without flaking.
+fn min_allocations_over_windows(mut window: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        window();
+        best = best.min(allocations() - before);
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Both directions in one test: the process-wide allocation counter
+/// cannot distinguish threads, so the two measurement windows must run
+/// sequentially, never as parallel `#[test]`s.
+#[test]
+fn codec_allocates_zero_per_frame_at_steady_state() {
+    request_decode_path();
+    response_encode_path();
+}
+
+/// The server's receive path: reusable encode buffer on the client side,
+/// reusable frame buffer on the server side, borrowed request view.
+fn request_decode_path() {
+    let request = Request::Op {
+        tag: 7,
+        level: Level::Weak,
+        op: KvOp::put("steady-state-key", 99),
+    };
+
+    let mut enc = Vec::new();
+    let mut frame = Vec::new();
+
+    // warm-up: both buffers grow to frame size exactly once
+    for _ in 0..4 {
+        enc.clear();
+        encode_frame(&mut enc, &request);
+        let mut rd = &enc[..];
+        assert!(read_frame(&mut rd, &mut frame).unwrap());
+    }
+
+    const FRAMES: u64 = 1_000;
+    let mut decoded_total = 0i64;
+    let spent = min_allocations_over_windows(|| {
+        decoded_total = 0;
+        for i in 0..FRAMES {
+            enc.clear();
+            encode_frame(&mut enc, &request);
+            let mut rd = &enc[..];
+            assert!(read_frame(&mut rd, &mut frame).unwrap());
+            let view = RequestView::view_from_bytes(&frame).expect("framed request decodes");
+            match view {
+                RequestView::Op {
+                    tag,
+                    level: Level::Weak,
+                    op: KvOpView::Put(key, v),
+                } => {
+                    assert_eq!(tag, 7);
+                    assert_eq!(key, "steady-state-key");
+                    decoded_total += v;
+                }
+                other => panic!("decoded {other:?} at frame {i}"),
+            }
+        }
+    });
+    assert_eq!(decoded_total, 99 * FRAMES as i64);
+    assert_eq!(
+        spent, 0,
+        "steady-state request decode must allocate nothing: {spent} allocations over {FRAMES} frames"
+    );
+}
+
+/// The server's transmit path: framing a non-`Str` response into the
+/// connection's reusable write buffer allocates nothing per frame.
+fn response_encode_path() {
+    let msg = ResponseMsg {
+        tag: 3,
+        reply: Reply::Ok(Value::Int(42)),
+    };
+    let mut buf = Vec::new();
+    for _ in 0..4 {
+        buf.clear();
+        encode_frame(&mut buf, &msg);
+    }
+
+    const FRAMES: u64 = 1_000;
+    let spent = min_allocations_over_windows(|| {
+        for _ in 0..FRAMES {
+            buf.clear();
+            encode_frame(&mut buf, &msg);
+        }
+    });
+    assert_eq!(
+        spent, 0,
+        "steady-state response encode must allocate nothing: {spent} allocations over {FRAMES} frames"
+    );
+}

@@ -1,0 +1,250 @@
+//! End-to-end loopback tests: a real `bayou-server` over real TCP
+//! sockets, driven by the pipelined client — request pipelining across
+//! weak and strong levels, typed load shedding under backpressure, and a
+//! replica crash + durable restart mid-run.
+
+use bayou_data::KvOp;
+use bayou_server::{Client, Reply, Server, ServerConfig};
+use bayou_types::{Level, ReplicaId, Value};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    let mut client = Client::connect(addr).expect("client connects");
+    client
+        .set_recv_timeout(Some(Duration::from_secs(20)))
+        .expect("set timeout");
+    client.ping().expect("server answers ping");
+    client
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "bayou-server-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn pipelined_weak_and_strong_ops_over_tcp() {
+    // window > burst size: this test asserts every op completes Ok, so
+    // none may be shed (shedding behavior has its own tests below)
+    let (server, addr) = start(ServerConfig {
+        window: 64,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    // pipeline a mixed burst: every 4th op strong, none waited on
+    const OPS: u64 = 40;
+    let mut tags = HashMap::new();
+    for i in 0..OPS {
+        let level = if i % 4 == 3 {
+            Level::Strong
+        } else {
+            Level::Weak
+        };
+        let tag = client
+            .send(level, KvOp::put(format!("k{}", i % 8), i as i64))
+            .expect("send");
+        tags.insert(tag, level);
+    }
+    // responses arrive in completion order (weak long before strong);
+    // every tag must be answered exactly once, all Ok
+    for _ in 0..OPS {
+        let (tag, reply) = client.recv().expect("response");
+        assert!(tags.remove(&tag).is_some(), "tag {tag} unknown or repeated");
+        assert!(matches!(reply, Reply::Ok(_)), "op {tag} failed: {reply:?}");
+    }
+    assert!(tags.is_empty(), "unanswered: {tags:?}");
+
+    // a strong read observes the last committed write of k7 (op 39)
+    let reply = client
+        .call(Level::Strong, KvOp::get("k7"))
+        .expect("strong get");
+    assert_eq!(reply, Reply::Ok(Value::Int(39)));
+
+    assert_eq!(server.shed_count(), 0, "nothing shed under light load");
+    let replicas = server.stop();
+    assert_eq!(replicas.len(), 3);
+    let s0 = replicas[0].materialize();
+    assert_eq!(s0.len(), 8, "8 distinct keys");
+    for r in &replicas[1..] {
+        assert_eq!(r.materialize(), s0, "replicas diverged");
+        assert!(r.tentative_ids().is_empty());
+    }
+}
+
+#[test]
+fn window_overflow_sheds_with_typed_busy() {
+    // a 2-op connection window: a pipelined burst of slow (strong) ops
+    // must overflow it and be answered Busy, never silently stalled
+    let (server, addr) = start(ServerConfig {
+        window: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    const OPS: u64 = 16;
+    for i in 0..OPS {
+        client
+            .send(Level::Strong, KvOp::put("contended", i as i64))
+            .expect("send");
+    }
+    let (mut oks, mut busy) = (0u64, 0u64);
+    for _ in 0..OPS {
+        match client.recv().expect("every op is answered") {
+            (_, Reply::Ok(_)) => oks += 1,
+            (_, Reply::Busy) => busy += 1,
+            (tag, reply) => panic!("op {tag}: unexpected {reply:?}"),
+        }
+    }
+    assert!(oks >= 2, "the in-window ops complete (got {oks})");
+    assert!(busy > 0, "the burst must overflow a 2-op window");
+    assert_eq!(oks + busy, OPS);
+    assert_eq!(server.shed_count(), busy);
+    server.stop();
+}
+
+#[test]
+fn high_water_mark_sheds_new_ops_server_wide() {
+    // high_water 1: with one strong op pending anywhere, the next op on
+    // any connection is shed
+    let (server, addr) = start(ServerConfig {
+        high_water: 1,
+        ..ServerConfig::default()
+    });
+    let mut a = connect(&addr);
+    let mut b = connect(&addr);
+
+    a.send(Level::Strong, KvOp::put("hw", 1)).expect("send");
+    // the probe races the strong op's commit: Busy while it is still
+    // pending (the expected case — commit takes a Paxos round), Ok if it
+    // already drained — both typed, never a stall
+    let saw_busy = match b
+        .call(Level::Weak, KvOp::put("probe", 1))
+        .expect("probe answered")
+    {
+        Reply::Busy => true,
+        Reply::Ok(_) => false,
+        other => panic!("unexpected {other:?}"),
+    };
+    let (_, first) = a.recv().expect("first op answered");
+    assert!(matches!(first, Reply::Ok(_)), "first op: {first:?}");
+    assert_eq!(
+        server.shed_count(),
+        u64::from(saw_busy),
+        "shed counter matches observed Busy replies"
+    );
+    server.stop();
+}
+
+#[test]
+fn replica_crash_fails_pending_ops_and_durable_restart_converges() {
+    let root = fresh_dir("crash");
+    let (server, addr) = start(ServerConfig {
+        data_dir: Some(root.clone()),
+        ..ServerConfig::default()
+    });
+    // first connection: sticky-routed to replica 0
+    let mut client = connect(&addr);
+
+    // phase 1: committed baseline
+    for i in 0..8 {
+        let reply = client
+            .call(Level::Strong, KvOp::put(format!("base{i}"), i))
+            .expect("baseline put");
+        assert!(matches!(reply, Reply::Ok(_)), "baseline {i}: {reply:?}");
+    }
+
+    // phase 2: pipeline strong ops at replica 0, then crash it mid-run.
+    // Every in-flight op must be answered — Ok if it committed first,
+    // a typed Err if the crash beat it — never dropped.
+    const INFLIGHT: u64 = 6;
+    for i in 0..INFLIGHT {
+        client
+            .send(Level::Strong, KvOp::put("racing", i as i64))
+            .expect("send");
+    }
+    server.crash_replica(ReplicaId::new(0));
+    let (mut oks, mut errs) = (0u64, 0u64);
+    for _ in 0..INFLIGHT {
+        match client.recv().expect("in-flight op answered after crash") {
+            (_, Reply::Ok(_)) => oks += 1,
+            (_, Reply::Err(msg)) => {
+                assert!(msg.contains("crashed"), "unexpected error: {msg}");
+                errs += 1;
+            }
+            (tag, reply) => panic!("op {tag}: unexpected {reply:?}"),
+        }
+    }
+    assert_eq!(oks + errs, INFLIGHT);
+
+    // phase 3: with replica 0 down, the connection fails over to a live
+    // replica; quorum (2 of 3) still commits strong ops
+    let reply = client
+        .call(Level::Strong, KvOp::put("failover", 1))
+        .expect("failover put");
+    assert!(matches!(reply, Reply::Ok(_)), "failover: {reply:?}");
+
+    // phase 4: restart replica 0 from its FileStorage dir; it recovers
+    // and serves again
+    server.restart_replica(ReplicaId::new(0));
+    std::thread::sleep(Duration::from_millis(300));
+    let reply = client
+        .call(Level::Strong, KvOp::put("post-restart", 2))
+        .expect("post-restart put");
+    assert!(matches!(reply, Reply::Ok(_)), "post-restart: {reply:?}");
+
+    // let anti-entropy settle, then check all three replicas agree
+    std::thread::sleep(Duration::from_millis(800));
+    let replicas = server.stop();
+    assert_eq!(replicas.len(), 3);
+    let s0 = replicas[0].materialize();
+    assert_eq!(s0.get("failover"), Some(&1));
+    assert_eq!(s0.get("post-restart"), Some(&2));
+    for (i, r) in replicas.iter().enumerate().skip(1) {
+        assert_eq!(r.materialize(), s0, "replica {i} diverged after recovery");
+        assert!(r.tentative_ids().is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn malformed_frame_closes_only_that_connection() {
+    use std::io::Write;
+    let (server, addr) = start(ServerConfig::default());
+
+    // a raw socket writes a frame whose payload is garbage
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    let garbage = [0xFFu8; 16];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .expect("header");
+    raw.write_all(&garbage).expect("payload");
+    // server closes this connection...
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 1];
+    let n = std::io::Read::read(&mut raw, &mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "connection closed after malformed frame");
+
+    // ...while a well-behaved connection is unaffected
+    let mut client = connect(&addr);
+    let reply = client
+        .call(Level::Weak, KvOp::put("still-serving", 1))
+        .expect("well-formed op after another conn was dropped");
+    assert!(matches!(reply, Reply::Ok(_)));
+    server.stop();
+}

@@ -12,6 +12,7 @@
 /// Multi-producer single-consumer channels (mirrors `crossbeam::channel`).
 pub mod channel {
     use std::sync::mpsc;
+    use std::sync::Mutex;
     use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
@@ -113,17 +114,25 @@ pub mod channel {
     }
 
     /// Receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    ///
+    /// `Sync` like the real crate's receiver (which is MPMC): the inner
+    /// `mpsc::Receiver` is single-consumer, so concurrent receives are
+    /// serialized through a mutex.
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
 
     impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            self.inner().recv().map_err(|_| RecvError)
         }
 
         /// Returns a message if one is immediately available.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
+            self.inner().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
@@ -131,7 +140,7 @@ pub mod channel {
 
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
+            self.inner().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
@@ -141,13 +150,13 @@ pub mod channel {
     /// Creates a channel with unbounded capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(Mutex::new(rx)))
     }
 
     /// Creates a channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Tx::Bounded(tx)), Receiver(rx))
+        (Sender(Tx::Bounded(tx)), Receiver(Mutex::new(rx)))
     }
 
     /// Internal `select!` helper: ties the `Ok` type of a select-arm

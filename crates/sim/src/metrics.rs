@@ -42,6 +42,12 @@ pub struct Metrics {
     /// Physical fsync barriers issued by the replicas' storage engines
     /// (zero for non-durable processes) — the numerator of fsyncs/op.
     pub fsyncs: u64,
+    /// Encoded wire bytes of the frames replicas sent, as reported by
+    /// processes with a frame meter
+    /// ([`bayou_types::Process::take_wire_bytes`]); zero when metering
+    /// is off. The network-side analogue of WAL bytes — the numerator of
+    /// bytes/op.
+    pub wire_bytes: u64,
     /// Total handler executions per replica.
     pub steps: Vec<u64>,
 }
@@ -72,7 +78,7 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped(part)={} dropped(crash)={} dropped(loss)={} dup={} timers={} inputs={} internal={} fsyncs={} steps={:?}",
+            "sent={} delivered={} dropped(part)={} dropped(crash)={} dropped(loss)={} dup={} timers={} inputs={} internal={} fsyncs={} wire_bytes={} steps={:?}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped_partition,
@@ -83,6 +89,7 @@ impl fmt::Display for Metrics {
             self.inputs,
             self.internal_steps,
             self.fsyncs,
+            self.wire_bytes,
             self.steps
         )
     }

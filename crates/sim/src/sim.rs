@@ -507,6 +507,7 @@ impl<P: Process> Sim<P> {
         // everything the step produced — and every queued event behind
         // it — is delayed by exactly that much.
         self.metrics.fsyncs += self.processes[i].take_fsyncs();
+        self.metrics.wire_bytes += self.processes[i].take_wire_bytes();
         let stall = self.processes[i].take_storage_stall();
         let done = if stall > VirtualTime::ZERO {
             self.metrics.storage_stall += stall;

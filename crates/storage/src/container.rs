@@ -15,6 +15,26 @@ pub(crate) fn seal(magic: &[u8; 4], version: u32, body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Like [`seal`], but appends the envelope to `out` (typically a pooled
+/// buffer) with the body encoded in place by `encode_body` — no fresh
+/// body `Vec` per container. The checksum slot is reserved up front and
+/// patched once the body is written.
+pub(crate) fn seal_into(
+    out: &mut Vec<u8>,
+    magic: &[u8; 4],
+    version: u32,
+    encode_body: impl FnOnce(&mut Vec<u8>),
+) {
+    out.extend_from_slice(magic);
+    version.encode(out);
+    let crc_at = out.len();
+    0u32.encode(out);
+    let body_at = out.len();
+    encode_body(out);
+    let crc = crc32(&out[body_at..]);
+    out[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
 /// Validates the envelope (magic, version, checksum) and returns the
 /// body. `what` names the container in error messages.
 pub(crate) fn unseal<'a>(
@@ -66,6 +86,14 @@ mod tests {
     fn seal_unseal_round_trip() {
         let sealed = seal(b"TEST", 3, b"payload");
         assert_eq!(unseal(b"TEST", 3, "test", &sealed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_appends() {
+        let mut out = b"prefix".to_vec();
+        seal_into(&mut out, b"TEST", 3, |b| b.extend_from_slice(b"payload"));
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], seal(b"TEST", 3, b"payload").as_slice());
     }
 
     #[test]

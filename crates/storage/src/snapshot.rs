@@ -105,18 +105,28 @@ where
 {
     /// Serializes with magic, version and a body checksum.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Vec::new();
-        self.delivered.encode(&mut body);
-        self.state.encode(&mut body);
-        self.promised.encode(&mut body);
-        self.accepted.encode(&mut body);
-        self.decided.encode(&mut body);
-        self.pending.encode(&mut body);
-        // version-2 tail: compaction floor + baseline + dot high-waters
-        self.mark.encode(&mut body);
-        self.baseline.encode(&mut body);
-        self.event_high.encode(&mut body);
-        crate::container::seal(MAGIC, VERSION, &body)
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialized snapshot (byte-identical to
+    /// [`Snapshot::to_bytes`]) to `out` — the pooled-buffer encode path,
+    /// so a store writing snapshots reuses one checked-out buffer
+    /// instead of building a fresh body `Vec` per snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        crate::container::seal_into(out, MAGIC, VERSION, |body| {
+            self.delivered.encode(body);
+            self.state.encode(body);
+            self.promised.encode(body);
+            self.accepted.encode(body);
+            self.decided.encode(body);
+            self.pending.encode(body);
+            // version-2 tail: compaction floor + baseline + dot high-waters
+            self.mark.encode(body);
+            self.baseline.encode(body);
+            self.event_high.encode(body);
+        });
     }
 
     /// Parses and validates a serialized snapshot — the current compact

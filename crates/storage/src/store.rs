@@ -714,7 +714,12 @@ where
         let seq = self.manifest.next_file_seq;
         self.manifest.next_file_seq += 1;
         let snap_name = snapshot_name(seq);
-        self.backend.write_atomic(&snap_name, &snap.to_bytes())?;
+        // pooled encode: reuse a checkout buffer instead of a fresh Vec
+        let mut encoded = self.enc_pool.checkout();
+        snap.encode_into(&mut encoded);
+        let write_res = self.backend.write_atomic(&snap_name, &encoded);
+        self.enc_pool.checkin(encoded);
+        write_res?;
         self.fsyncs += 1; // write_atomic is durable on return: one barrier
         self.manifest.snapshot = Some(snap_name);
         self.rotate_segment()?;

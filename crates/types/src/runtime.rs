@@ -142,6 +142,17 @@ pub trait Process {
         0
     }
 
+    /// Drains the number of *encoded wire bytes* the process sent since
+    /// the previous call — the frames' serialized sizes under the
+    /// process's codec, whether or not the runtime actually serialized
+    /// them (the in-process runtimes pass messages by value). The
+    /// simulator accumulates this into `Metrics::wire_bytes`, the
+    /// network analogue of the WAL's bytes accounting; processes without
+    /// a wire codec (or with metering off) return zero.
+    fn take_wire_bytes(&mut self) -> u64 {
+        0
+    }
+
     /// Whether the process has permanently failed (crash-stopped), e.g.
     /// because it could no longer persist its write-ahead state. A
     /// failed process executes no further steps; runtimes treat it

@@ -248,6 +248,18 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
+impl<T: Wire> Wire for std::sync::Arc<T> {
+    /// Encodes the pointee; decoding rebuilds a fresh (unshared) `Arc`.
+    /// This is what lets shared request handles (`SharedReq`) appear
+    /// inside larger wire enums without a copy at encode time.
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
+    }
+}
+
 macro_rules! tuple_wire {
     ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
         impl<$($t: Wire),+> Wire for ($($t,)+) {
