@@ -76,6 +76,10 @@ impl<I, O> Context<I> for MapCtx<'_, I, O> {
     fn omega(&mut self) -> ReplicaId {
         self.outer.omega()
     }
+
+    fn omega_for(&mut self, lane: u32) -> ReplicaId {
+        self.outer.omega_for(lane)
+    }
 }
 
 /// Accounts the encoded size of every frame leaving a
@@ -304,6 +308,10 @@ impl<M> Context<M> for StepCoalescer<'_, M> {
 
     fn omega(&mut self) -> ReplicaId {
         self.outer.omega()
+    }
+
+    fn omega_for(&mut self, lane: u32) -> ReplicaId {
+        self.outer.omega_for(lane)
     }
 }
 

@@ -197,6 +197,18 @@ pub struct PaxosConfig {
     pub pump_period: VirtualTime,
     /// Maximum entries per `Submit`/`Catchup` batch.
     pub batch_limit: usize,
+    /// Leader flow control: at most this many proposals in flight
+    /// (proposed under our ballot but not yet decided) at once. Further
+    /// pending entries wait until a decision frees a slot, which bounds
+    /// the leader's retransmission burst (the pump re-ships every
+    /// inflight proposal each period) and caps one group's commit
+    /// pipeline at roughly `max_inflight / round-trip` — the per-group
+    /// ceiling the sharded saturation bench measures. The default is
+    /// unbounded, preserving the fully-pipelined behaviour. Safety
+    /// re-proposals after a leader change (accepted-but-undecided slots
+    /// merged from promises) bypass the window: they must never be
+    /// withheld.
+    pub max_inflight: usize,
 }
 
 impl Default for PaxosConfig {
@@ -204,6 +216,7 @@ impl Default for PaxosConfig {
         PaxosConfig {
             pump_period: VirtualTime::from_millis(40),
             batch_limit: 64,
+            max_inflight: usize::MAX,
         }
     }
 }
@@ -473,13 +486,20 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         self.ensure_pump(ctx);
     }
 
-    /// Proposes pending entries if we are leading.
+    /// Proposes pending entries if we are leading, up to the
+    /// `max_inflight` flow-control window.
     fn try_propose(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
         let Role::Leading { ballot } = self.role else {
             return;
         };
+        if self.inflight.len() >= self.config.max_inflight {
+            return;
+        }
         let pending: Vec<Entry<M>> = self.pending.iter().cloned().collect();
         for entry in pending {
+            if self.inflight.len() >= self.config.max_inflight {
+                break;
+            }
             if self.proposed_keys.contains(&entry.key()) || self.key_decided(entry.key()) {
                 continue;
             }
@@ -1014,6 +1034,28 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
 
     fn on_start(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
         self.me = Some(ctx.id());
+        // A restored endpoint starts with compaction state the live
+        // delivery path would have accumulated but `restore` could not:
+        // its own delivered cursor (replayed deliveries drain before
+        // `me` is known), and a clean truncation point at the restored
+        // boundary when the FIFO gate holds nothing back. Without these
+        // a cluster that restarts wholesale into a quiet period can
+        // never advance its watermark — every replica reports 0 for
+        // itself, so the computed minimum stays 0 forever.
+        self.comp.note_peer(ctx.id().index(), self.delivered);
+        if self.fifo.held_count() == 0 {
+            let (fifo, n) = (&self.fifo, self.n);
+            self.comp
+                .record_clean_point(self.fifo_cursor, self.delivered, || {
+                    ReplicaId::all(n).map(|r| fifo.next_seq(r)).collect()
+                });
+        }
+        self.refresh_stable();
+        // The endpoint may also already owe the cluster work — a
+        // watermark poll, a decided-but-undrained slot, a gap. Pumping
+        // is otherwise only armed from message handlers, so if nothing
+        // ever arrives the obligation would sit forever: arm it here.
+        self.ensure_pump(ctx);
     }
 
     fn cast(&mut self, seq: u64, payload: M, ctx: &mut dyn Context<PaxosMsg<M>>) {
@@ -1177,6 +1219,12 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                             acks.insert(from);
                         }
                         self.check_decided(slot, ctx);
+                        // a decision freed window space: refill it (the
+                        // unbounded default skips the pending rescan —
+                        // everything castable was proposed on arrival)
+                        if self.config.max_inflight != usize::MAX {
+                            self.try_propose(ctx);
+                        }
                     }
                 }
             }
@@ -1444,6 +1492,35 @@ mod tests {
                 assert_eq!(d.tob_no, i as u64);
             }
         }
+    }
+
+    #[test]
+    fn inflight_window_bounds_pipeline_and_still_delivers_all() {
+        let n = 3;
+        // a tiny flow-control window: a 20-cast burst must trickle
+        // through 2 proposals at a time and still deliver completely,
+        // in one total order, with sender FIFO intact
+        let config = PaxosConfig {
+            max_inflight: 2,
+            ..Default::default()
+        };
+        let cfg = SimConfig::new(n, 77).with_max_time(ms(5_000));
+        let mut sim = Sim::new(cfg, move |_| TobProc {
+            tob: PaxosTob::new(n, config),
+            next_seq: 0,
+            delivered: Vec::new(),
+            out: Vec::new(),
+        });
+        for k in 0..20u64 {
+            sim.schedule_input(ms(1), ReplicaId::new(0), format!("m{k}"));
+        }
+        sim.run_until(ms(5_000));
+        let orders = orders_of(&sim, n);
+        assert_eq!(orders[0].len(), 20, "all delivered: {:?}", orders[0]);
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+        let expected: Vec<String> = (0..20).map(|k| format!("m{k}")).collect();
+        assert_eq!(orders[0], expected, "windowed proposals keep FIFO");
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod group;
 mod harness;
 mod naive;
 mod nulltob;
@@ -67,10 +68,11 @@ mod persist;
 mod replica;
 
 pub use api::{EventRecord, Invocation, Response, RunTrace};
+pub use group::{recover_grouped_paxos, GroupedCluster, GroupedMsg, GroupedReplica};
 pub use harness::{BayouCluster, ClusterConfig, SessionScript};
 pub use naive::{NaiveMixed, NaiveMsg};
 pub use nulltob::NullTob;
-pub use persist::recover_paxos_replica;
+pub use persist::{recover_paxos_replica, recover_paxos_replica_on};
 pub use replica::{
     BayouMsg, BayouReplica, ProtocolMode, ReplicaStats, WireReq, DEFAULT_FLUSH_DELAY,
 };

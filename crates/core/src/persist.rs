@@ -14,8 +14,9 @@
 use crate::replica::{BayouReplica, ProtocolMode};
 use bayou_broadcast::{PaxosConfig, PaxosTob, Tob, TobEvent};
 use bayou_data::{DataType, StateObject};
-use bayou_storage::{PendingKind, ReplicaStore, Storage, StoreConfig};
+use bayou_storage::{PendingKind, ReplicaStore, Storage, StoreConfig, SyncBarrier};
 use bayou_types::{ReplicaId, SharedReq, Wire};
+use std::sync::Arc;
 
 /// Opens `backend` and returns the replica it describes: fresh when the
 /// store is empty, recovered from snapshot + WAL otherwise.
@@ -44,8 +45,41 @@ where
     S: StateObject<F>,
     B: Storage + Send + 'static,
 {
-    let (store, recovered) = ReplicaStore::<F, B>::open(backend, n, store_cfg)
+    recover_paxos_replica_on(me, n, mode, paxos, backend, store_cfg, None)
+}
+
+/// Like [`recover_paxos_replica`], but optionally routing the store's
+/// deferred group-commit syncs to a shared [`SyncBarrier`]
+/// ([`bayou_storage::ReplicaStore::defer_sync_to_barrier`]) — the
+/// multi-group wiring, where N per-group stores inside one process
+/// share one backend and the host settles one physical fsync per step
+/// for all of them. With `barrier = None` this is exactly
+/// [`recover_paxos_replica`].
+///
+/// # Panics
+///
+/// Panics if the store cannot be opened or its contents fail validation.
+pub fn recover_paxos_replica_on<F, S, B>(
+    me: ReplicaId,
+    n: usize,
+    mode: ProtocolMode,
+    paxos: PaxosConfig,
+    backend: B,
+    store_cfg: StoreConfig,
+    barrier: Option<Arc<SyncBarrier>>,
+) -> BayouReplica<F, PaxosTob<SharedReq<F::Op>>, S>
+where
+    F: DataType,
+    F::Op: Wire,
+    F::State: Wire,
+    S: StateObject<F>,
+    B: Storage + Send + 'static,
+{
+    let (mut store, recovered) = ReplicaStore::<F, B>::open(backend, n, store_cfg)
         .unwrap_or_else(|e| panic!("replica {me} cannot open its store: {e}"));
+    if let Some(barrier) = barrier {
+        store.defer_sync_to_barrier(barrier);
+    }
 
     // High-water marks: never reuse a TOB-cast number or an event
     // number. Scanned over the *full* durable event stream, not just the

@@ -56,6 +56,17 @@ impl KvOp {
     pub fn remove(k: impl Into<String>) -> KvOp {
         KvOp::Remove(k.into())
     }
+
+    /// The key this operation addresses, if it addresses one. Keyless
+    /// operations ([`KvOp::Keys`], [`KvOp::Size`]) return `None`; a
+    /// sharded deployment pins those to one designated group, so their
+    /// answers are per-shard views, not cross-shard aggregates.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::PutIfAbsent(k, _) | KvOp::Remove(k) => Some(k),
+            KvOp::Keys | KvOp::Size => None,
+        }
+    }
 }
 
 impl fmt::Display for KvOp {

@@ -385,6 +385,21 @@ pub enum KvOpView<'a> {
     Size,
 }
 
+impl<'a> KvOpView<'a> {
+    /// The key this operation addresses, if any — the borrowed twin of
+    /// [`KvOp::key`], so a router can pick a shard before the op is
+    /// promoted to its owned form.
+    pub fn key(&self) -> Option<&'a str> {
+        match self {
+            KvOpView::Get(k)
+            | KvOpView::Put(k, _)
+            | KvOpView::PutIfAbsent(k, _)
+            | KvOpView::Remove(k) => Some(k),
+            KvOpView::Keys | KvOpView::Size => None,
+        }
+    }
+}
+
 impl<'a> WireView<'a> for KvOpView<'a> {
     type Owned = KvOp;
     fn decode_view(r: &mut WireReader<'a>) -> Result<Self, WireError> {

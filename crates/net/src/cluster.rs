@@ -320,6 +320,10 @@ impl<M> Context<M> for LiveCtx<'_, M> {
     fn omega(&mut self) -> ReplicaId {
         self.ctl.leader()
     }
+
+    fn omega_for(&mut self, lane: u32) -> ReplicaId {
+        self.ctl.leader_for(lane)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

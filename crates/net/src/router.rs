@@ -104,6 +104,25 @@ impl PartitionControl {
         ReplicaId::new(self.leader.load(Ordering::SeqCst))
     }
 
+    /// The current Ω output for protocol *lane* `lane` (a replication
+    /// group in a sharded host): lanes round-robin over the live
+    /// replicas, so co-hosted groups spread their leader work instead
+    /// of funnelling it through the lowest id. Lane 0 is exactly
+    /// [`PartitionControl::leader`].
+    pub fn leader_for(&self, lane: u32) -> ReplicaId {
+        let crashed = self.crashed.lock();
+        let live: Vec<u32> = crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !**c)
+            .map(|(i, _)| i as u32)
+            .collect();
+        match live.is_empty() {
+            true => ReplicaId::new(0),
+            false => ReplicaId::new(live[lane as usize % live.len()]),
+        }
+    }
+
     /// Whether `r` has crashed.
     pub fn is_crashed(&self, r: ReplicaId) -> bool {
         self.crashed.lock().get(r.index()).copied().unwrap_or(false)

@@ -21,6 +21,7 @@ OPTIONS:
     --skew F               key-skew exponent, 1.0 = uniform (default 1.0)
     --rate F               open-loop aggregate ops/sec (default: closed loop)
     --seed N               RNG seed (default 1)
+    --shards N             server shard count, recorded in the JSON (default 1)
     --out PATH             write a JSON record array to PATH
     --name NAME            record name inside the JSON (default \"mixed\")
     -h, --help             print this help
@@ -53,6 +54,7 @@ fn parse_args() -> Result<(LoadConfig, Option<String>, String), String> {
             "--skew" => cfg.skew = parse!("--skew"),
             "--rate" => cfg.rate = Some(parse!("--rate")),
             "--seed" => cfg.seed = parse!("--seed"),
+            "--shards" => cfg.shards = parse!("--shards"),
             "--out" => out = Some(value("--out")?),
             "--name" => name = value("--name")?,
             "-h" | "--help" => {
@@ -67,6 +69,9 @@ fn parse_args() -> Result<(LoadConfig, Option<String>, String), String> {
     }
     if cfg.keys == 0 {
         return Err("--keys must be at least 1".into());
+    }
+    if cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     Ok((cfg, out, name))
 }

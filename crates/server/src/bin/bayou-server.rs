@@ -12,9 +12,10 @@ USAGE:
 OPTIONS:
     --listen ADDR          bind address (default 127.0.0.1:4600)
     --replicas N           cluster size (default 3)
+    --shards N             replication groups the keyspace hashes over (default 1)
     --data-dir PATH        durable storage root (default: in-memory)
     --window N             per-connection in-flight window (default 32)
-    --high-water N         global pending-op shed threshold (default 1024)
+    --high-water N         per-group pending-op shed threshold (default 1024)
     --snapshot-every N     ops between snapshots (default 256)
     --seed N               simulation seed for the cluster RNG (default 0)
     -h, --help             print this help
@@ -37,6 +38,11 @@ fn parse_args() -> Result<ServerConfig, String> {
                 cfg.replicas = value("--replicas")?
                     .parse()
                     .map_err(|e| format!("--replicas: {e}"))?
+            }
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
             }
             "--data-dir" => cfg.data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--window" => {
@@ -69,6 +75,9 @@ fn parse_args() -> Result<ServerConfig, String> {
     if cfg.replicas == 0 {
         return Err("--replicas must be at least 1".into());
     }
+    if cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     Ok(cfg)
 }
 
@@ -86,6 +95,7 @@ fn main() {
         .map(|d| d.display().to_string())
         .unwrap_or_else(|| "in-memory".into());
     let replicas = cfg.replicas;
+    let shards = cfg.shards;
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -94,9 +104,11 @@ fn main() {
         }
     };
     println!(
-        "bayou-server listening on {} ({} replicas, storage: {})",
+        "bayou-server listening on {} ({} replicas, {} shard{}, storage: {})",
         server.local_addr(),
         replicas,
+        shards,
+        if shards == 1 { "" } else { "s" },
         durable
     );
     // Serve until killed. The accept/dispatch/reader threads own all the

@@ -50,6 +50,11 @@ pub struct LoadConfig {
     pub rate: Option<f64>,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Shard count of the server under test — an annotation carried
+    /// into [`LoadReport::json_record`] so archived rows are
+    /// self-describing. The generator itself never routes: keys hash to
+    /// groups server-side, so the workload is shard-oblivious.
+    pub shards: usize,
 }
 
 impl Default for LoadConfig {
@@ -64,6 +69,7 @@ impl Default for LoadConfig {
             skew: 1.0,
             rate: None,
             seed: 1,
+            shards: 1,
         }
     }
 }
@@ -104,7 +110,8 @@ impl LoadReport {
                 "\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, ",
                 "\"max_us\": {:.1}, \"elapsed_secs\": {:.3}, ",
                 "\"ops\": {}, \"oks\": {}, \"busy\": {}, \"errors\": {}, ",
-                "\"conns\": {}, \"window\": {}, \"strong_every\": {}}}"
+                "\"conns\": {}, \"window\": {}, \"strong_every\": {}, ",
+                "\"shards\": {}}}"
             ),
             group,
             name,
@@ -121,6 +128,7 @@ impl LoadReport {
             cfg.conns,
             cfg.window,
             cfg.strong_every,
+            cfg.shards,
         )
     }
 

@@ -215,6 +215,35 @@ pub fn write_frame<T: Wire>(w: &mut impl Write, buf: &mut Vec<u8>, msg: &T) -> i
     w.write_all(buf)
 }
 
+/// Appends one framed `ResponseMsg { tag, reply: Reply::Ok(value) }` to
+/// `out` without constructing either enum — the dispatcher's hot path
+/// encodes the replica's `Value` in place by reference. Byte-identical
+/// to [`encode_frame`] of the owned message (gated by a unit test here
+/// and by `tests/alloc.rs` at steady state).
+pub fn encode_ok_response(out: &mut Vec<u8>, tag: u64, value: &Value) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    tag.encode(out);
+    out.push(0); // Reply::Ok variant tag
+    value.encode(out);
+    let len = out.len() - at - 4;
+    assert!(len <= MAX_FRAME, "outgoing frame exceeds MAX_FRAME");
+    out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Encodes an `Ok(value)` response into `buf` (cleared first) via the
+/// borrow path and writes the frame to `w`.
+pub fn write_ok_response(
+    w: &mut impl Write,
+    buf: &mut Vec<u8>,
+    tag: u64,
+    value: &Value,
+) -> io::Result<()> {
+    buf.clear();
+    encode_ok_response(buf, tag, value);
+    w.write_all(buf)
+}
+
 /// Reads one frame's payload into `buf` (resized in place, so a reused
 /// buffer makes the steady-state read path allocation-free).
 ///
@@ -292,6 +321,31 @@ mod tests {
         ] {
             let msg = ResponseMsg { tag: 3, reply };
             assert_eq!(ResponseMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn borrowed_ok_encode_is_byte_identical_to_owned() {
+        for value in [
+            Value::None,
+            Value::Int(-3),
+            Value::Bool(true),
+            Value::Str("a longer string value".into()),
+            Value::strs(["k0", "k1", "k2"]),
+        ] {
+            for tag in [0u64, 7, u64::MAX] {
+                let mut owned = Vec::new();
+                encode_frame(
+                    &mut owned,
+                    &ResponseMsg {
+                        tag,
+                        reply: Reply::Ok(value.clone()),
+                    },
+                );
+                let mut borrowed = Vec::new();
+                encode_ok_response(&mut borrowed, tag, &value);
+                assert_eq!(borrowed, owned, "tag {tag}, value {value:?}");
+            }
         }
     }
 

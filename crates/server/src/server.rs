@@ -5,7 +5,21 @@
 //! reusable buffer ([`crate::protocol::RequestView`] borrow-decoding —
 //! no allocation per frame on the hot path) and dispatches operations
 //! into the [`LiveCluster`]; a single dispatcher thread routes replica
-//! responses back to the owning connection by correlation tag.
+//! responses back to the owning connection by correlation tag, encoding
+//! `Ok` replies through the borrow path
+//! ([`crate::protocol::encode_ok_response`]) so the response side is as
+//! allocation-free as the request side.
+//!
+//! ## Sharding
+//!
+//! Each replica process hosts [`ServerConfig::shards`] independent
+//! Bayou groups ([`GroupedReplica`]); a static [`ShardRouter`] hashes
+//! every operation's key to one group, so ops on different shards never
+//! contend on the same total order. Keyless operations (`keys()`,
+//! `size()`) are pinned to group 0 — in a sharded deployment they are
+//! per-shard views, not cross-shard aggregates. `shards = 1` (the
+//! default) is the classic single-group server: one group, every key in
+//! it, identical wire behavior.
 //!
 //! ## Backpressure and load shedding
 //!
@@ -14,9 +28,11 @@
 //! * **per-connection window** ([`ServerConfig::window`]): a connection
 //!   may have at most `window` operations outstanding; further ops get
 //!   an immediate [`Reply::Busy`] without touching the cluster;
-//! * **global high-water mark** ([`ServerConfig::high_water`]): once the
-//!   server-wide outstanding-op table reaches it, every new op from any
-//!   connection is shed with [`Reply::Busy`] until responses drain it.
+//! * **per-group high-water mark** ([`ServerConfig::high_water`]): once
+//!   a group's outstanding-op table reaches it, every new op routed to
+//!   that group is shed with [`Reply::Busy`] until responses drain it —
+//!   one overloaded shard does not shed traffic for the others. With
+//!   one group this is exactly the old server-wide mark.
 //!
 //! Past both gates, the invoke itself can still block briefly on the
 //! replica's bounded input channel — bounded memory end to end.
@@ -25,19 +41,24 @@
 //!
 //! Connections hash onto replicas (`conn_id mod n`) so sessions stay
 //! sticky — one replica sees a connection's ops in order. When a replica
-//! is crashed through [`Server::crash_replica`], its in-flight ops fail
-//! immediately with a typed [`Reply::Err`] (their tags were in-memory
-//! only, so the recovered replica re-derives responses without tags and
-//! the dispatcher drops them), and new ops fail over to the next live
-//! replica until [`Server::restart_replica`] brings it back.
+//! is crashed through [`Server::crash_replica`], its in-flight ops
+//! (across every group it hosts) fail immediately with a typed
+//! [`Reply::Err`] (their tags were in-memory only, so the recovered
+//! replica re-derives responses without tags and the dispatcher drops
+//! them), and new ops fail over to the next live replica until
+//! [`Server::restart_replica`] brings it back.
 
-use crate::protocol::{read_frame, write_frame, Reply, RequestView, ResponseMsg};
+use crate::protocol::{
+    read_frame, write_frame, write_ok_response, Reply, RequestView, ResponseMsg,
+};
 use bayou_broadcast::{PaxosConfig, PaxosTob};
-use bayou_core::{recover_paxos_replica, BayouReplica, Invocation, ProtocolMode, Response};
+use bayou_core::{
+    recover_grouped_paxos, BayouReplica, GroupedReplica, Invocation, ProtocolMode, Response,
+};
 use bayou_data::{DeltaState, KvOp, KvOpView, KvStore};
 use bayou_net::{LiveCluster, LiveConfig};
 use bayou_storage::{FileStorage, StoreConfig};
-use bayou_types::{Level, ReplicaId, SharedReq, WireView};
+use bayou_types::{GroupId, Level, ReplicaId, SharedReq, Value, WireView};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -48,9 +69,50 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// The replica type the server fronts: Bayou over the KV store with the
-/// default Paxos TOB.
+/// One group's replica type: Bayou over the KV store with the default
+/// Paxos TOB.
 pub type KvReplica = BayouReplica<KvStore, PaxosTob<SharedReq<KvOp>>, DeltaState<KvStore>>;
+
+/// The process the server fronts: one host multiplexing
+/// [`ServerConfig::shards`] [`KvReplica`] groups.
+pub type KvHost = GroupedReplica<KvStore, PaxosTob<SharedReq<KvOp>>, DeltaState<KvStore>>;
+
+/// Static keyspace partitioner: FNV-1a over the key's bytes, modulo the
+/// shard count. Deterministic and config-free, so every server process
+/// (and any client that wants locality hints) computes the same
+/// placement; rebalancing would need a versioned map in its place.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` groups (must be nonzero).
+    pub fn new(shards: usize) -> ShardRouter {
+        assert!(shards > 0, "router needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The group an operation on `key` belongs to. `None` (keyless ops:
+    /// `keys()`, `size()`) pins to group 0.
+    pub fn route(&self, key: Option<&str>) -> GroupId {
+        let Some(key) = key else {
+            return GroupId::new(0);
+        };
+        // FNV-1a, 64-bit
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        GroupId::new((h % self.shards as u64) as u32)
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -60,14 +122,19 @@ pub struct ServerConfig {
     pub listen: String,
     /// Number of replicas in the fronted cluster.
     pub replicas: usize,
+    /// Number of replication groups the keyspace is sharded over; each
+    /// replica process hosts one instance of every group. `1` is the
+    /// classic unsharded server.
+    pub shards: usize,
     /// Root directory for durable replica state (one subdirectory per
-    /// replica, recovered on restart). `None` runs in-memory replicas.
+    /// replica holding all of its groups' stores, recovered on
+    /// restart). `None` runs in-memory replicas.
     pub data_dir: Option<PathBuf>,
     /// Per-connection outstanding-op window; ops past it are shed with
     /// [`Reply::Busy`].
     pub window: usize,
-    /// Server-wide outstanding-op high-water mark; past it every new op
-    /// is shed with [`Reply::Busy`].
+    /// Per-group outstanding-op high-water mark; past it every new op
+    /// routed to that group is shed with [`Reply::Busy`].
     pub high_water: usize,
     /// Storage tuning for durable replicas.
     pub store: StoreConfig,
@@ -80,6 +147,7 @@ impl Default for ServerConfig {
         ServerConfig {
             listen: "127.0.0.1:0".into(),
             replicas: 3,
+            shards: 1,
             data_dir: None,
             window: 32,
             high_water: 1024,
@@ -113,9 +181,18 @@ impl Conn {
         let ConnWriter { stream, buf } = &mut *w;
         let _ = write_frame(stream, buf, &ResponseMsg { tag, reply });
     }
+
+    /// Best-effort `Ok(value)` write through the borrow-encode path —
+    /// no `Reply`/`ResponseMsg` constructed, the value encodes by
+    /// reference into the connection's reusable buffer.
+    fn reply_ok(&self, tag: u64, value: &Value) {
+        let mut w = self.writer.lock();
+        let ConnWriter { stream, buf } = &mut *w;
+        let _ = write_ok_response(stream, buf, tag, value);
+    }
 }
 
-/// An operation in flight between a connection and a replica.
+/// An operation in flight between a connection and a replica group.
 struct Pending {
     conn: Arc<Conn>,
     client_tag: u64,
@@ -123,15 +200,20 @@ struct Pending {
 }
 
 struct Shared {
-    cluster: LiveCluster<KvReplica>,
-    /// Outstanding ops by server-global tag. Its size is the load-shed
-    /// signal; entries leave on response or on replica crash.
-    pending: Mutex<HashMap<u64, Pending>>,
+    cluster: LiveCluster<KvHost>,
+    /// Outstanding ops by server-global tag, one table per group. Each
+    /// table's size is that group's load-shed signal; entries leave on
+    /// response or on replica crash.
+    pending: Vec<Mutex<HashMap<u64, Pending>>>,
+    router: ShardRouter,
     next_tag: AtomicU64,
     crashed: Vec<AtomicBool>,
     stop: AtomicBool,
     conn_seq: AtomicU64,
-    shed: AtomicU64,
+    /// Ops shed with [`Reply::Busy`], per group (high-water sheds are
+    /// charged to the op's group; window sheds to the group it would
+    /// have routed to).
+    shed: Vec<AtomicU64>,
     conns: Mutex<Vec<Weak<Conn>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     window: usize,
@@ -140,7 +222,7 @@ struct Shared {
 }
 
 /// A running server. Dropping it leaks the threads; call
-/// [`Server::stop`] for an orderly shutdown that returns the replicas.
+/// [`Server::stop`] for an orderly shutdown that returns the hosts.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -153,7 +235,9 @@ impl Server {
     /// dispatcher threads.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let n = config.replicas;
+        let shards = config.shards;
         assert!(n > 0, "server needs at least one replica");
+        assert!(shards > 0, "server needs at least one shard");
         let live = LiveConfig {
             n,
             seed: config.seed,
@@ -167,9 +251,10 @@ impl Server {
                 LiveCluster::new(live, move |id, n| {
                     let dir = root.join(format!("replica-{}", id.index()));
                     let backend = FileStorage::open(dir).expect("open replica data dir");
-                    recover_paxos_replica::<KvStore, DeltaState<KvStore>, _>(
+                    recover_grouped_paxos::<KvStore, DeltaState<KvStore>, _>(
                         id,
                         n,
+                        shards,
                         ProtocolMode::Improved,
                         PaxosConfig::default(),
                         backend,
@@ -177,8 +262,14 @@ impl Server {
                     )
                 })
             }
-            None => LiveCluster::new(live, |_, n| {
-                BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+            None => LiveCluster::new(live, move |_, n| {
+                GroupedReplica::new(
+                    (0..shards)
+                        .map(|_| {
+                            BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
+                        })
+                        .collect(),
+                )
             }),
         };
 
@@ -186,12 +277,13 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cluster,
-            pending: Mutex::new(HashMap::new()),
+            pending: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            router: ShardRouter::new(shards),
             next_tag: AtomicU64::new(1),
             crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             stop: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
             window: config.window,
@@ -221,20 +313,41 @@ impl Server {
         self.addr
     }
 
-    /// Operations shed with [`Reply::Busy`] so far.
-    pub fn shed_count(&self) -> u64 {
-        self.shared.shed.load(Ordering::Relaxed)
+    /// Number of replication groups the keyspace is sharded over.
+    pub fn shards(&self) -> usize {
+        self.shared.router.shards()
     }
 
-    /// Crashes a replica: it goes silent, its in-flight ops fail with a
-    /// typed [`Reply::Err`] (never a silent stall), and new ops from its
-    /// connections fail over to the next live replica.
+    /// The server's key→group placement (for tests and locality-aware
+    /// clients).
+    pub fn router(&self) -> ShardRouter {
+        self.shared.router
+    }
+
+    /// Operations shed with [`Reply::Busy`] so far, across all groups.
+    pub fn shed_count(&self) -> u64 {
+        self.shared
+            .shed
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Operations shed with [`Reply::Busy`] charged to one group.
+    pub fn shed_count_group(&self, gid: GroupId) -> u64 {
+        self.shared.shed[gid.index()].load(Ordering::Relaxed)
+    }
+
+    /// Crashes a replica: it goes silent, its in-flight ops — in every
+    /// group it hosts — fail with a typed [`Reply::Err`] (never a
+    /// silent stall), and new ops from its connections fail over to the
+    /// next live replica.
     pub fn crash_replica(&self, r: ReplicaId) {
         self.shared.crashed[r.index()].store(true, Ordering::SeqCst);
         self.shared.cluster.control().crash(r);
-        let failed: Vec<(Arc<Conn>, u64)> = {
-            let mut pending = self.shared.pending.lock();
-            let mut failed = Vec::new();
+        let mut failed: Vec<(Arc<Conn>, u64)> = Vec::new();
+        for table in &self.shared.pending {
+            let mut pending = table.lock();
             pending.retain(|_, p| {
                 if p.replica == r {
                     failed.push((Arc::clone(&p.conn), p.client_tag));
@@ -243,8 +356,7 @@ impl Server {
                     true
                 }
             });
-            failed
-        };
+        }
         for (conn, tag) in failed {
             conn.inflight.fetch_sub(1, Ordering::SeqCst);
             conn.reply(tag, Reply::Err(format!("replica {} crashed", r.index())));
@@ -252,16 +364,17 @@ impl Server {
     }
 
     /// Restarts a crashed replica through the cluster factory (recovering
-    /// from durable storage when the server was started with a data dir)
-    /// and routes its connections back to it.
+    /// every group from durable storage when the server was started with
+    /// a data dir) and routes its connections back to it.
     pub fn restart_replica(&self, r: ReplicaId) {
         self.shared.cluster.restart(r);
         self.shared.crashed[r.index()].store(false, Ordering::SeqCst);
     }
 
     /// Orderly shutdown: closes every connection, joins all threads and
-    /// returns the final replica states (for convergence inspection).
-    pub fn stop(mut self) -> Vec<KvReplica> {
+    /// returns the final host states (every group, for convergence
+    /// inspection).
+    pub fn stop(mut self) -> Vec<KvHost> {
         self.shared.stop.store(true, Ordering::SeqCst);
         for c in self.shared.conns.lock().drain(..) {
             if let Some(c) = c.upgrade() {
@@ -280,7 +393,9 @@ impl Server {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        self.shared.pending.lock().clear();
+        for table in &self.shared.pending {
+            table.lock().clear();
+        }
         let shared = match Arc::try_unwrap(self.shared) {
             Ok(s) => s,
             Err(_) => panic!("server threads still hold the shared state after join"),
@@ -316,22 +431,22 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Routes replica responses back to connections until stopped.
 fn dispatch_loop(shared: Arc<Shared>) {
     while !shared.stop.load(Ordering::SeqCst) {
-        if let Some((_, resp)) = shared.cluster.recv_output(Duration::from_millis(50)) {
-            route_response(&shared, resp);
+        if let Some((_, (gid, resp))) = shared.cluster.recv_output(Duration::from_millis(50)) {
+            route_response(&shared, gid, resp);
         }
     }
 }
 
-fn route_response(shared: &Shared, resp: Response) {
+fn route_response(shared: &Shared, gid: GroupId, resp: Response) {
     // untagged responses are re-derivations after a crash restart: the
     // session that asked is gone (its ops were failed at crash time)
     let Some(tag) = resp.tag else { return };
     // already failed over / failed at crash time
-    let Some(p) = shared.pending.lock().remove(&tag) else {
+    let Some(p) = shared.pending[gid.index()].lock().remove(&tag) else {
         return;
     };
     p.conn.inflight.fetch_sub(1, Ordering::SeqCst);
-    p.conn.reply(p.client_tag, Reply::Ok(resp.value));
+    p.conn.reply_ok(p.client_tag, &resp.value);
 }
 
 /// First live replica at or after the connection's home slot.
@@ -387,9 +502,11 @@ fn handle_op(
     level: Level,
     op: KvOpView<'_>,
 ) {
+    // route on the borrowed key, before the op is promoted to owned
+    let gid = shared.router.route(op.key());
     // per-connection window: pipelining is bounded, overload is typed
     if conn.inflight.load(Ordering::SeqCst) >= shared.window {
-        shared.shed.fetch_add(1, Ordering::Relaxed);
+        shared.shed[gid.index()].fetch_add(1, Ordering::Relaxed);
         conn.reply(client_tag, Reply::Busy);
         return;
     }
@@ -398,11 +515,12 @@ fn handle_op(
         return;
     };
     let tag = {
-        let mut pending = shared.pending.lock();
-        // global high-water mark: shed before the cluster sees the op
+        let mut pending = shared.pending[gid.index()].lock();
+        // per-group high-water mark: shed before the cluster sees the
+        // op, without letting one hot shard starve the others
         if pending.len() >= shared.high_water {
             drop(pending);
-            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.shed[gid.index()].fetch_add(1, Ordering::Relaxed);
             conn.reply(client_tag, Reply::Busy);
             return;
         }
@@ -423,6 +541,45 @@ fn handle_op(
     // the dispatcher
     shared.cluster.invoke(
         replica,
-        Invocation::new(op.into_owned(), level).with_tag(tag),
+        (gid, Invocation::new(op.into_owned(), level).with_tag(tag)),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_is_deterministic_and_total() {
+        let router = ShardRouter::new(4);
+        for key in ["a", "b", "user:17", "k0", ""] {
+            let g = router.route(Some(key));
+            assert!(g.index() < 4);
+            assert_eq!(g, router.route(Some(key)), "placement must be stable");
+        }
+        assert_eq!(router.route(None), GroupId::new(0), "keyless ops pin to 0");
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_group_zero() {
+        let router = ShardRouter::new(1);
+        for key in ["a", "b", "anything"] {
+            assert_eq!(router.route(Some(key)), GroupId::new(0));
+        }
+    }
+
+    #[test]
+    fn router_spreads_keys_across_groups() {
+        let router = ShardRouter::new(4);
+        let mut per_group = [0usize; 4];
+        for i in 0..1000 {
+            per_group[router.route(Some(&format!("key-{i}"))).index()] += 1;
+        }
+        for (g, count) in per_group.iter().enumerate() {
+            assert!(
+                *count > 100,
+                "group {g} got {count}/1000 keys — hash is not spreading"
+            );
+        }
+    }
 }

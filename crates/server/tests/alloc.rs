@@ -5,7 +5,9 @@
 //! the storage crate's zero-copy wire gate.
 
 use bayou_data::{KvOp, KvOpView};
-use bayou_server::protocol::{encode_frame, read_frame, Reply, RequestView, ResponseMsg};
+use bayou_server::protocol::{
+    encode_frame, encode_ok_response, read_frame, Reply, RequestView, ResponseMsg,
+};
 use bayou_server::Request;
 use bayou_types::{Level, Value, WireView};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -67,6 +69,7 @@ fn min_allocations_over_windows(mut window: impl FnMut()) -> u64 {
 fn codec_allocates_zero_per_frame_at_steady_state() {
     request_decode_path();
     response_encode_path();
+    borrowed_response_encode_path();
 }
 
 /// The server's receive path: reusable encode buffer on the client side,
@@ -143,5 +146,49 @@ fn response_encode_path() {
     assert_eq!(
         spent, 0,
         "steady-state response encode must allocate nothing: {spent} allocations over {FRAMES} frames"
+    );
+}
+
+/// The dispatcher's actual transmit path ([`encode_ok_response`]): a
+/// borrowed `Value` — including a `Str`, which the owned path could only
+/// frame by building a `Reply::Ok` around it — encodes into the
+/// connection's reusable write buffer with zero allocations per frame,
+/// and the bytes are identical to the owned encode.
+fn borrowed_response_encode_path() {
+    let values = [Value::Int(42), Value::Str("a steady-state reply".into())];
+
+    // byte-identity against the owned path, checked outside the window
+    for value in &values {
+        let mut owned = Vec::new();
+        encode_frame(
+            &mut owned,
+            &ResponseMsg {
+                tag: 3,
+                reply: Reply::Ok(value.clone()),
+            },
+        );
+        let mut borrowed = Vec::new();
+        encode_ok_response(&mut borrowed, 3, value);
+        assert_eq!(borrowed, owned, "borrow encode diverged for {value:?}");
+    }
+
+    let mut buf = Vec::new();
+    for value in &values {
+        buf.clear();
+        encode_ok_response(&mut buf, 3, value);
+    }
+
+    const FRAMES: u64 = 1_000;
+    let spent = min_allocations_over_windows(|| {
+        for i in 0..FRAMES {
+            let value = &values[(i % 2) as usize];
+            buf.clear();
+            encode_ok_response(&mut buf, i, value);
+        }
+    });
+    assert_eq!(
+        spent, 0,
+        "steady-state borrowed response encode must allocate nothing: \
+         {spent} allocations over {FRAMES} frames"
     );
 }

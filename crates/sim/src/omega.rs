@@ -71,21 +71,42 @@ impl OmegaOracle {
     /// replicas; the eventual leader in stable runs is the lowest-id
     /// non-crashed replica.
     pub fn query(&self, t: VirtualTime, crashed: &[bool]) -> ReplicaId {
-        let eventual = crashed
-            .iter()
-            .position(|c| !c)
-            .map(|i| ReplicaId::new(i as u32))
-            .unwrap_or(ReplicaId::new(0));
+        self.query_for(t, crashed, 0)
+    }
+
+    /// The oracle's output at time `t` for protocol *lane* `lane` (a
+    /// replication group in a sharded host). Lane 0 is exactly
+    /// [`OmegaOracle::query`]; in stable runs past GST the lanes'
+    /// eventual leaders round-robin over the non-crashed replicas, so N
+    /// co-hosted groups spread their leader work over the live cluster
+    /// instead of funnelling it through the lowest id. Each lane still
+    /// honours the Ω contract on its own: its output stabilises on a
+    /// single correct replica.
+    pub fn query_for(&self, t: VirtualTime, crashed: &[bool], lane: u32) -> ReplicaId {
         match self.stability {
-            Stability::Stable { gst } if t >= gst => eventual,
+            Stability::Stable { gst } if t >= gst => {
+                let live: Vec<u32> = crashed
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !**c)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                match live.is_empty() {
+                    true => ReplicaId::new(0),
+                    false => ReplicaId::new(live[lane as usize % live.len()]),
+                }
+            }
             _ => {
                 // Rotate pseudo-randomly among all replicas (crashed or
                 // not — a suspicious failure detector may even nominate a
                 // dead replica; protocols must stay safe regardless).
+                // Lanes decorrelate through the hash (lane 0 adds
+                // nothing, keeping single-lane runs bit-identical).
                 let epoch = t.as_nanos() / self.rotation_period.as_nanos().max(1);
                 let h = epoch
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(self.seed)
+                    .wrapping_add((lane as u64).wrapping_mul(0xA076_1D64_78BD_642F))
                     .rotate_left(17)
                     .wrapping_mul(0xD134_2543_DE82_EF95);
                 ReplicaId::new((h % self.n as u64) as u32)

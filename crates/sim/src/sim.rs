@@ -276,6 +276,14 @@ impl<P: Process> Sim<P> {
         &self.processes[r.index()]
     }
 
+    /// Mutable access to a replica's process — a test control hook
+    /// (e.g. muting one replication group on one host between runs).
+    /// Mutating protocol state mid-run forfeits schedule determinism;
+    /// use only at run boundaries.
+    pub fn process_mut(&mut self, r: ReplicaId) -> &mut P {
+        &mut self.processes[r.index()]
+    }
+
     /// Consumes the simulator, returning the processes.
     pub fn into_processes(self) -> Vec<P> {
         self.processes
@@ -674,6 +682,10 @@ impl<M> Context<M> for SimCtx<'_, M> {
 
     fn omega(&mut self) -> ReplicaId {
         self.omega.query(self.now, self.crashed)
+    }
+
+    fn omega_for(&mut self, lane: u32) -> ReplicaId {
+        self.omega.query_for(self.now, self.crashed, lane)
     }
 }
 

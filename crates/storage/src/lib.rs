@@ -70,6 +70,7 @@ mod container;
 mod crc;
 mod manifest;
 mod record;
+mod shared;
 mod snapshot;
 mod store;
 
@@ -79,5 +80,6 @@ pub use manifest::{Manifest, MANIFEST_FILE};
 pub use record::{
     frame, frame_into, scan_frames, FrameScan, WalRecord, WalRecordRef, FRAME_OVERHEAD,
 };
+pub use shared::{Prefixed, SharedBackend, SyncBarrier};
 pub use snapshot::{AcceptedSlot, DecidedSlot, PendingKind, PendingReq, Snapshot};
 pub use store::{NullPersistence, Persistence, Recovered, ReplicaStore, StoreConfig};

@@ -298,6 +298,12 @@ pub struct ReplicaStore<F: DataType, B: Storage> {
     /// Group commit: records appended since the last sync barrier
     /// (deferred syncs owed to the next [`Persistence::sync_step`]).
     dirty: bool,
+    /// When set, record-level sync demands are routed to this shared
+    /// barrier instead of the store's own `dirty` flag, and
+    /// [`Persistence::sync_step`] becomes a no-op — the multi-group host
+    /// settles the barrier with one physical sync for all groups
+    /// sharing the backend (see [`crate::SyncBarrier`]).
+    barrier: Option<Arc<crate::shared::SyncBarrier>>,
     /// Reusable encode buffers: WAL record framing and snapshot encoding
     /// check buffers out of here instead of allocating per record, so a
     /// steady-state append allocates nothing
@@ -340,6 +346,7 @@ where
             snapshots_written: 0,
             fsyncs: 0,
             dirty: false,
+            barrier: None,
             enc_pool: BufPool::new(),
         };
         if !store.enabled {
@@ -604,14 +611,37 @@ where
     }
 
     /// A record-level sync demand: paid immediately without group
-    /// commit, deferred to the step barrier with it.
+    /// commit, deferred to the step barrier with it — the store's own
+    /// barrier by default, a host-shared [`crate::SyncBarrier`] when
+    /// [`ReplicaStore::defer_sync_to_barrier`] routed it there.
     fn record_sync(&mut self) -> Result<(), StorageError> {
         if self.cfg.group_commit {
-            self.dirty = true;
+            match &self.barrier {
+                Some(barrier) => barrier.mark_dirty(),
+                None => self.dirty = true,
+            }
             Ok(())
         } else {
             self.sync_backend()
         }
+    }
+
+    /// Routes this store's group-commit sync debt to a shared barrier:
+    /// from now on record-level sync demands mark `barrier` dirty and
+    /// [`Persistence::sync_step`] is a no-op, because the multi-group
+    /// host settles the barrier itself — once per handler step, one
+    /// physical sync for every group sharing the backend, still before
+    /// any of the step's output leaves the process. Only meaningful with
+    /// [`StoreConfig::group_commit`]; internal syncs at rotation and
+    /// snapshot boundaries are unaffected (they sync the shared backend,
+    /// which is sound — at worst another group's bytes ride along).
+    pub fn defer_sync_to_barrier(&mut self, barrier: Arc<crate::shared::SyncBarrier>) {
+        if self.dirty {
+            // debt accrued before the handoff moves to the barrier
+            barrier.mark_dirty();
+            self.dirty = false;
+        }
+        self.barrier = Some(barrier);
     }
 
     /// Opens a fresh segment and makes it the append target.
@@ -904,7 +934,9 @@ where
     }
 
     fn sync_step(&mut self) -> Result<(), StorageError> {
-        if self.dirty {
+        // with a shared barrier the host pays the step sync for every
+        // group at once; this store no longer owes one of its own
+        if self.barrier.is_none() && self.dirty {
             self.sync_backend()?;
         }
         Ok(())

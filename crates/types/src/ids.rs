@@ -65,6 +65,72 @@ impl From<u32> for ReplicaId {
     }
 }
 
+/// Identifier of a replication group (one independent Bayou instance:
+/// its own total order, WAL namespace and compaction watermark).
+///
+/// A process hosting `g` groups runs one `BayouReplica` per group; the
+/// pair `(ReplicaId, GroupId)` addresses a single protocol endpoint.
+/// Groups never exchange protocol state, so dots are unique only
+/// *within* a group — the keyspace partition guarantees no request ever
+/// crosses a group boundary.
+///
+/// # Examples
+///
+/// ```
+/// use bayou_types::GroupId;
+/// let a = GroupId::new(0);
+/// let b = GroupId::new(1);
+/// assert!(a < b);
+/// assert_eq!(b.index(), 1);
+/// assert_eq!(b.to_string(), "G1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        GroupId(index)
+    }
+
+    /// Returns the index of this group.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over the identifiers of `g` groups.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bayou_types::GroupId;
+    /// let ids: Vec<_> = GroupId::all(2).collect();
+    /// assert_eq!(ids, vec![GroupId::new(0), GroupId::new(1)]);
+    /// ```
+    pub fn all(g: usize) -> impl Iterator<Item = GroupId> + Clone {
+        (0..g as u32).map(GroupId)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
 /// A *dot*: the pair `(replica, event number)` that uniquely identifies an
 /// invocation event system-wide.
 ///
@@ -137,6 +203,18 @@ mod tests {
     #[test]
     fn replica_id_display() {
         assert_eq!(ReplicaId::new(2).to_string(), "R2");
+    }
+
+    #[test]
+    fn group_id_ordering_index_and_display() {
+        let ids: Vec<_> = GroupId::all(3).collect();
+        assert_eq!(ids.len(), 3);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert!(ids[0] < ids[1]);
+        assert_eq!(GroupId::new(7).to_string(), "G7");
+        assert_eq!(GroupId::from(4).as_u32(), 4);
     }
 
     #[test]

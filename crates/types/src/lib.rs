@@ -32,7 +32,7 @@ mod value;
 mod wire;
 
 pub use error::BayouError;
-pub use ids::{Dot, ReplicaId, ReqId};
+pub use ids::{Dot, GroupId, ReplicaId, ReqId};
 pub use level::Level;
 pub use req::{Req, ReqMeta, SharedReq};
 pub use runtime::{Context, Process, TimerId};

@@ -80,6 +80,22 @@ pub trait Context<M> {
     /// single correct replica; in *asynchronous* runs it may change
     /// forever.
     fn omega(&mut self) -> ReplicaId;
+
+    /// Queries the Ω failure detector for one *lane*: the replica
+    /// currently trusted to lead independent protocol instance `lane`
+    /// (a replication group in a sharded host). Lane 0 is exactly
+    /// [`Context::omega`]; runtimes that know the live set spread the
+    /// other lanes' eventual leaders across it, so co-hosted groups do
+    /// not all funnel their leader work through one replica. The Ω
+    /// contract is per lane: in a stable run each lane's output
+    /// eventually stabilises on a single correct replica (not
+    /// necessarily the same one per lane). The default delegates every
+    /// lane to [`Context::omega`] — correct for any runtime, just
+    /// without leadership spreading.
+    fn omega_for(&mut self, lane: u32) -> ReplicaId {
+        let _ = lane;
+        self.omega()
+    }
 }
 
 /// A replica-side protocol: a reactive state machine.

@@ -28,7 +28,7 @@
 //! assert_eq!(back.op, 42);
 //! ```
 
-use crate::{Dot, Level, ReplicaId, Req, ReqMeta, Timestamp, Value, VirtualTime};
+use crate::{Dot, GroupId, Level, ReplicaId, Req, ReqMeta, Timestamp, Value, VirtualTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -342,6 +342,15 @@ impl Wire for ReplicaId {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(ReplicaId::new(u32::decode(r)?))
+    }
+}
+
+impl Wire for GroupId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u32().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GroupId::new(u32::decode(r)?))
     }
 }
 
