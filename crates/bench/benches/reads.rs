@@ -1,0 +1,251 @@
+//! Criterion bench: read scalability under leader leases — closed-loop
+//! simulated-cluster runs at a 90%-strong-read mix, leases on vs off.
+//!
+//! With leases off every strong read is a TOB round: it enters the
+//! commit pipeline, pays the Paxos message cost, and returns at commit
+//! — so a closed-loop client waits a full commit latency per read. With
+//! leases on the leaseholder serves strong reads locally from committed
+//! state ([`Served::Lease`]) — no broadcast, no commit latency — and
+//! only the 10% writes still ride the pipeline. The client session is
+//! bound to the leaseholder (replica 0), mirroring the serving path's
+//! strong-read routing, with a 10 µs think time: throughput here is the
+//! serve rate a real client population sees (Little's law), which is
+//! where lease reads win — the batched commit pipeline amortizes
+//! *open-loop* read cost well, but cannot hide the per-read commit
+//! latency from a waiting client.
+//!
+//! Reported per configuration (`record_metric`, deterministic — the
+//! simulator is a pure function of the config):
+//!
+//! * **sim ops/sec**: the mix size divided by the simulated time from
+//!   its first invocation until its last response;
+//! * **messages/op** over the whole run;
+//! * **lease-served fraction**: strong reads answered `Served::Lease`
+//!   (lease-on runs must serve > 90% of reads locally once the lease is
+//!   warm — any remainder fell back to a TOB round, visibly, before the
+//!   first grant quorum);
+//! * **incremental messages per read**: total messages minus a
+//!   writes-only baseline run, divided by the read count — ~0 for lease
+//!   reads (lease grant traffic is time-based, not read-based), ~a full
+//!   Paxos round for TOB reads.
+//!
+//! The acceptance point asserts the PR-9 gate: lease-on simulated
+//! strong-read throughput ≥ 5× lease-off at the 90%-read mix, and
+//! ≤ 1 incremental message per lease read. Archived as `BENCH_PR9.json`.
+//!
+//! `READS_SMOKE=1` shrinks the grid to a seconds-long CI smoke run.
+
+use bayou_core::{BayouCluster, ClusterConfig, Invocation, RunTrace, Served, SessionScript};
+use bayou_data::{KvOp, KvStore};
+use bayou_types::{LeaseConfig, Level, ReplicaId, VirtualTime};
+use criterion::{
+    criterion_group, criterion_main, record_metric, BenchmarkId, Criterion, Throughput,
+};
+
+/// One read-mix configuration.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    ops: usize,
+    /// Every `read_every`-th op is a weak write; the rest are strong
+    /// reads (0 = writes only, the baseline for message attribution).
+    read_every: usize,
+    lease: bool,
+}
+
+impl Config {
+    fn label(&self) -> String {
+        format!(
+            "{}/ops{}/{}",
+            if self.lease { "lease" } else { "tob" },
+            self.ops,
+            if self.read_every > 0 {
+                "reads90"
+            } else {
+                "writes"
+            },
+        )
+    }
+
+    fn reads(&self) -> usize {
+        match self.ops.checked_div(self.read_every) {
+            None => 0,
+            Some(writes) => self.ops - writes,
+        }
+    }
+}
+
+/// Simulated microseconds of lease warm-up before the mix starts:
+/// leadership is established by the priming write, and the first grant
+/// quorum needs a couple of pump ticks — starting the session before
+/// that would measure the fallback path, not the lease path.
+const WARMUP_US: u64 = 600_000;
+
+fn build_cluster(cfg: Config) -> BayouCluster<KvStore> {
+    let mut base = ClusterConfig::new(3, 42);
+    base.sim = base.sim.with_max_time(VirtualTime::from_secs(30));
+    if cfg.lease {
+        base = base.with_lease(LeaseConfig::default());
+    }
+    BayouCluster::new(base)
+}
+
+/// The closed-loop client session at the leaseholder: 90% strong reads,
+/// 10% weak writes, 10 µs think time.
+fn mix_script(cfg: Config) -> SessionScript<KvOp> {
+    let steps = (0..cfg.ops)
+        .map(|k| {
+            if cfg.read_every > 0 && k % cfg.read_every != cfg.read_every - 1 {
+                Invocation::strong(KvOp::get(format!("k{}", k % 64)))
+            } else {
+                Invocation::weak(KvOp::put(format!("k{}", k % 64), k as i64))
+            }
+        })
+        .collect();
+    let mut script = SessionScript::new(ReplicaId::new(0), steps);
+    script.think_time = VirtualTime::from_micros(10);
+    script.start_at = VirtualTime::from_micros(WARMUP_US);
+    script
+}
+
+/// One full closed-loop run: a priming strong write (establishes Ω
+/// leadership and starts the grant traffic), then the mix session after
+/// the warm-up window. The prime is invoked at replica 1 — an output at
+/// the *session's* replica would advance the closed loop early, pulling
+/// the mix into the warm-up window.
+fn run_mix(cfg: Config) -> (RunTrace<KvOp>, u64) {
+    let mut cluster = build_cluster(cfg);
+    cluster.invoke_at(
+        VirtualTime::from_millis(1),
+        ReplicaId::new(1),
+        KvOp::put("prime", 0),
+        Level::Strong,
+    );
+    let trace = cluster.run_sessions(vec![mix_script(cfg)]);
+    assert_eq!(trace.events.len(), cfg.ops + 1, "{}", cfg.label());
+    assert!(
+        trace.events.iter().all(|e| !e.is_pending()),
+        "read-mix run left pending events ({})",
+        cfg.label()
+    );
+    (trace, cluster.metrics().messages_sent)
+}
+
+/// What one instrumented run measured (deterministic per config).
+struct Measured {
+    /// Simulated seconds from the mix's first invocation until its last
+    /// response.
+    serve_secs: f64,
+    messages: u64,
+    /// Strong reads answered locally under the lease.
+    lease_served: usize,
+}
+
+fn measure(cfg: Config) -> Measured {
+    let (trace, messages) = run_mix(cfg);
+    let warm = VirtualTime::from_micros(WARMUP_US);
+    let mix = || trace.events.iter().filter(|e| e.invoked_at >= warm);
+    let first = mix().map(|e| e.invoked_at).min().unwrap();
+    let last = mix().filter_map(|e| e.returned_at).max().unwrap();
+    let lease_served = mix()
+        .filter(|e| matches!(e.served, Some(Served::Lease { .. })))
+        .count();
+    Measured {
+        serve_secs: (last - first).as_secs_f64(),
+        messages,
+        lease_served,
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("READS_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn ops() -> usize {
+    if smoke() {
+        200
+    } else {
+        2_000
+    }
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reads");
+    g.sample_size(if smoke() { 2 } else { 3 });
+    g.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 3 }));
+    let grid = [false, true].map(|lease| Config {
+        ops: ops(),
+        read_every: 10,
+        lease,
+    });
+    for cfg in grid {
+        g.throughput(Throughput::Elements(cfg.ops as u64));
+        g.bench_with_input(BenchmarkId::new("run", cfg.label()), &cfg, |b, &cfg| {
+            b.iter(|| run_mix(cfg))
+        });
+    }
+    g.finish();
+
+    // the PR-9 acceptance point: lease-on vs all-TOB at the 90%-read
+    // mix, with a writes-only baseline per config to attribute the
+    // incremental message cost of a strong read
+    let mix = |lease| Config {
+        ops: ops(),
+        read_every: 10,
+        lease,
+    };
+    let writes_only = |lease| Config {
+        ops: ops() / 10,
+        read_every: 0,
+        lease,
+    };
+    let on = measure(mix(true));
+    let off = measure(mix(false));
+    let on_base = measure(writes_only(true));
+    let off_base = measure(writes_only(false));
+    let reads = mix(true).reads() as f64;
+    let on_msgs_per_read = (on.messages.saturating_sub(on_base.messages)) as f64 / reads;
+    let off_msgs_per_read = (off.messages.saturating_sub(off_base.messages)) as f64 / reads;
+    let on_ops_per_sec = mix(true).ops as f64 / on.serve_secs;
+    let off_ops_per_sec = mix(false).ops as f64 / off.serve_secs;
+    let speedup = on_ops_per_sec / off_ops_per_sec;
+    let lease_fraction = on.lease_served as f64 / reads;
+    record_metric(
+        "reads_speedup",
+        &format!("n3/ops{}/reads90", ops()),
+        &[
+            ("lease_sim_ops_per_sec", on_ops_per_sec),
+            ("tob_sim_ops_per_sec", off_ops_per_sec),
+            ("speedup", speedup),
+            ("lease_served_fraction", lease_fraction),
+            ("lease_messages_per_read", on_msgs_per_read),
+            ("tob_messages_per_read", off_msgs_per_read),
+            (
+                "lease_messages_per_op",
+                on.messages as f64 / mix(true).ops as f64,
+            ),
+            (
+                "tob_messages_per_op",
+                off.messages as f64 / mix(false).ops as f64,
+            ),
+        ],
+    );
+    assert!(
+        speedup >= 5.0,
+        "lease reads must be ≥5× TOB reads at the 90% mix, got {speedup:.2}×"
+    );
+    assert!(
+        lease_fraction > 0.9,
+        "lease must serve >90% of strong reads locally, got {lease_fraction:.3}"
+    );
+    assert!(
+        on_msgs_per_read <= 1.0,
+        "lease reads must cost ~0 incremental messages, got {on_msgs_per_read:.2}"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_reads
+}
+criterion_main!(benches);

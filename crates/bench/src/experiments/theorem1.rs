@@ -139,6 +139,7 @@ pub fn theorem1() -> Theorem1Result {
                 value: Some(out.output.value.clone()),
                 exec_trace: Some(out.output.exec_trace.clone()),
                 tob_cast: out.output.meta.level == Level::Strong,
+                served: Some(out.output.served),
             }
         };
     let trace: RunTrace<ListOp> = RunTrace {

@@ -36,7 +36,7 @@
 
 use crate::fifo::FifoRelease;
 use crate::tob::{BaselineMark, CompactionState, Tob, TobDelivery, TobEvent};
-use bayou_types::{Context, ReplicaId, TimerId, VirtualTime};
+use bayou_types::{Context, LeaseConfig, ReplicaId, TimerId, Timestamp, VirtualTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -188,6 +188,31 @@ pub enum PaxosMsg<M> {
         /// by replay and must request a baseline state transfer.
         floor: u64,
     },
+    /// Leader lease grant/renewal: the leader asks each follower to
+    /// promise, for `duration_us` on the *follower's* clock, not to help
+    /// any other replica lead (no promises, no acceptances for foreign
+    /// ballots). Sent every pump period while leading with a lease
+    /// configured.
+    LeaseGrant {
+        /// The granting leader's ballot; followers honor the grant only
+        /// at their exactly-promised ballot.
+        ballot: Ballot,
+        /// Monotonically increasing grant round (stale acks are dropped).
+        grant: u64,
+        /// Guard window on the follower's clock, in microseconds.
+        duration_us: u64,
+    },
+    /// A follower's acknowledgement of a lease grant, echoing its local
+    /// clock at grant receipt — the leader's input for the delay-immune
+    /// clock-rate check (see the lease methods on [`PaxosTob`]).
+    LeaseAck {
+        /// The ballot being acknowledged.
+        ballot: Ballot,
+        /// The grant round being acknowledged.
+        grant: u64,
+        /// The follower's clock (µs) when it installed the guard.
+        clock: i64,
+    },
 }
 
 /// Tuning knobs for [`PaxosTob`].
@@ -299,6 +324,38 @@ pub struct PaxosTob<M> {
     /// Set when a floor-clamped `Catchup` told us our missing prefix no
     /// longer exists as replayable history (we need a baseline).
     baseline_from: Option<ReplicaId>,
+
+    // -- leader lease ------------------------------------------------------
+    /// Lease parameters, when the local-read fast path is enabled. All
+    /// lease state below is inert (and costs no clock reads) when `None`.
+    lease: Option<LeaseConfig>,
+    /// Monotonically increasing grant round (leader side).
+    lease_grant_no: u64,
+    /// Our clock at the current grant round's send.
+    lease_grant_sent: i64,
+    /// Replicas counted toward the current grant's quorum (incl. self).
+    lease_counted: HashSet<ReplicaId>,
+    /// Local-clock bound of the held lease: committed reads may be
+    /// served while `clock < valid_until` (and the barrier is cleared).
+    lease_valid_until: i64,
+    /// First slot of our leadership: local reads additionally require
+    /// `prefix >= barrier`, so every slot decided under prior leaders
+    /// has been delivered into the committed state being read.
+    lease_barrier: u64,
+    /// Per-peer `(follower clock, our clock at ack receipt)` from the
+    /// last lease ack — the calibration pair for the rate check.
+    lease_calib: Vec<Option<(i64, i64)>>,
+    /// The leaseholder we promised a guard to (possibly ourselves).
+    lease_guard_leader: Option<ReplicaId>,
+    /// Local-clock bound of the guard promise.
+    lease_guard_until: i64,
+    /// Local-clock bound below which a restarted endpoint refuses all
+    /// coordination: a guard promised before the crash may still be
+    /// running, and its deadline did not survive the restart.
+    lease_mute_until: Option<i64>,
+    /// Set by [`PaxosTob::restore`]; realized as a mute window at
+    /// `on_start` (where a clock is available) if a lease is configured.
+    lease_boot_mute: bool,
 }
 
 impl<M: Clone + fmt::Debug> PaxosTob<M> {
@@ -331,6 +388,17 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             durable: Vec::new(),
             comp: CompactionState::new(n),
             baseline_from: None,
+            lease: None,
+            lease_grant_no: 0,
+            lease_grant_sent: i64::MIN,
+            lease_counted: HashSet::new(),
+            lease_valid_until: i64::MIN,
+            lease_barrier: 0,
+            lease_calib: vec![None; n],
+            lease_guard_leader: None,
+            lease_guard_until: i64::MIN,
+            lease_mute_until: None,
+            lease_boot_mute: false,
         }
     }
 
@@ -408,6 +476,11 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         events: impl IntoIterator<Item = TobEvent<M>>,
     ) -> Vec<TobDelivery<M>> {
         for ev in events {
+            // the crashed incarnation had durable state, so it may have
+            // promised a lease guard whose deadline died with it: mute
+            // after restart (realized at `on_start`, where a clock
+            // exists, and only if a lease is actually configured)
+            self.lease_boot_mute = true;
             match ev {
                 TobEvent::Promised { round, leader } => {
                     let b = Ballot { round, leader };
@@ -705,6 +778,13 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
     }
 
     fn start_prepare(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        if self.lease_blocks(ctx.id(), ctx) {
+            // a live guard for another leaseholder (or a post-restart
+            // mute) forbids our candidacy; the pump retries once it runs
+            // out
+            self.ensure_pump(ctx);
+            return;
+        }
         let ballot = Ballot {
             round: self.promised.round + 1,
             leader: ctx.id(),
@@ -771,6 +851,11 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             .map_or(0, |m| m + 1)
             .max(self.next_slot)
             .max(self.comp.floor.slot_floor);
+        // fresh leadership: local reads must wait until every slot
+        // decided under prior leaders is delivered, and no residual
+        // lease window may carry over
+        self.lease_barrier = self.next_slot;
+        self.lease_drop_leadership();
         self.try_propose(ctx);
     }
 
@@ -813,6 +898,115 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
         self.comp.on && self.comp.stable() < self.delivered
     }
 
+    // ---- leader lease ---------------------------------------------------
+    //
+    // The lease is a *time-bounded mutual-exclusion promise* measured on
+    // each replica's own (possibly skewed, possibly drifting) clock:
+    //
+    // * On every pump tick the leader sends `LeaseGrant { duration }`.
+    //   A follower at the leader's exactly-promised ballot installs a
+    //   guard — for `duration` on its clock it will not promise to, or
+    //   accept from, any *other* would-be leader — and echoes its clock
+    //   reading in a `LeaseAck`.
+    // * The leader counts an acking follower toward the lease quorum
+    //   only when a **delay-immune over-estimate** of the follower's
+    //   clock rate passes: with `f` the follower clocks echoed in two
+    //   consecutive counted acks, `l_recv` our clock when the earlier
+    //   ack arrived and `l_send` our clock when the later grant left,
+    //   the real-time interval `[l_recv, l_send]` is *covered by* the
+    //   follower's measurement interval, so `(f_i − f_prev) / (l_send −
+    //   l_recv)` bounds `rate_f / rate_l` from above for any network
+    //   delays. Counting requires that ratio ≤ `duration / (duration −
+    //   epsilon)` — exactly the condition under which the follower's
+    //   guard (duration on its clock) outlives our window (`duration −
+    //   epsilon` on ours, from the grant's send). Clock *offsets* cancel
+    //   entirely; drift beyond the epsilon margin fails the check and
+    //   merely disables the fast path.
+    // * With a quorum counted, any competing leader needs promises and
+    //   acceptances from a quorum, which intersects the guarded set: no
+    //   new command can be chosen behind our back while the window
+    //   lasts, so our contiguously-delivered committed state is the
+    //   linearization frontier and local reads of it are linearizable.
+    //   The `lease_barrier` (first slot of our leadership, set when
+    //   phase 1 completes) additionally gates reads until every slot
+    //   decided under prior leaders has been delivered.
+    // * The leader self-guards for the full `duration` at each grant
+    //   send — its own promise/acceptance would pierce the quorum
+    //   argument just like a follower's.
+    // * A restarted endpoint has forgotten any guard it promised, so
+    //   `restore` schedules a one-shot *mute*: for one full `duration`
+    //   on the post-restart clock it refuses all coordination. The
+    //   clock's rate is a property of the replica (not the boot), so the
+    //   mute window always covers the remainder of a pre-crash guard.
+
+    /// Whether the lease machinery currently forbids helping `candidate`
+    /// lead (promising, accepting, or starting our own candidacy): a
+    /// live guard names a different leaseholder, or a post-restart mute
+    /// is in force. Expired windows are cleared on the way out. Costs a
+    /// clock read only when a lease is configured.
+    fn lease_blocks(&mut self, candidate: ReplicaId, ctx: &mut dyn Context<PaxosMsg<M>>) -> bool {
+        if self.lease.is_none() {
+            return false;
+        }
+        let now = ctx.clock().value();
+        if let Some(mute) = self.lease_mute_until {
+            if now < mute {
+                return true;
+            }
+            self.lease_mute_until = None;
+        }
+        if let Some(holder) = self.lease_guard_leader {
+            if now < self.lease_guard_until {
+                return holder != candidate;
+            }
+            self.lease_guard_leader = None;
+        }
+        false
+    }
+
+    /// Leader side: drops all lease-*holding* state (step-down, lost
+    /// ballot). Any guard we promised — including our own self-guard —
+    /// stays: it is a promise to others and must run out on the clock.
+    fn lease_drop_leadership(&mut self) {
+        self.lease_counted.clear();
+        self.lease_valid_until = i64::MIN;
+    }
+
+    /// Sends the per-tick lease grant while leading (no-op without a
+    /// configured lease) and opens the leader's self-guard.
+    fn lease_pump_grant(&mut self, ctx: &mut dyn Context<PaxosMsg<M>>) {
+        let (Some(cfg), Role::Leading { ballot }) = (self.lease, &self.role) else {
+            return;
+        };
+        let ballot = *ballot;
+        let me = ctx.id();
+        let now = ctx.clock().value();
+        self.lease_grant_no += 1;
+        self.lease_grant_sent = now;
+        self.lease_counted.clear();
+        self.lease_counted.insert(me);
+        self.lease_guard_leader = Some(me);
+        self.lease_guard_until = self.lease_guard_until.max(now + cfg.duration_us as i64);
+        if self.lease_counted.len() >= self.quorum() {
+            // single-replica quorum: the grant is its own ack
+            self.lease_valid_until = self
+                .lease_valid_until
+                .max(now + (cfg.duration_us - cfg.epsilon_us) as i64);
+        }
+        for to in ReplicaId::all(self.n) {
+            if to != me {
+                ctx.send(
+                    to,
+                    PaxosMsg::LeaseGrant {
+                        ballot,
+                        grant: self.lease_grant_no,
+                        duration_us: cfg.duration_us,
+                    },
+                );
+            }
+        }
+    }
+
     fn needs_pump(&self) -> bool {
         !self.pending.is_empty()
             || !self.standby.is_empty()
@@ -825,6 +1019,8 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             // on_message/on_timer — the pump must come back for them
             || self.fifo_cursor < self.prefix
             || self.watermark_poll_owed()
+            // a leaseholder renews every tick for as long as it leads
+            || (self.lease.is_some() && matches!(self.role, Role::Leading { .. }))
     }
 
     fn has_gap(&self) -> bool {
@@ -859,6 +1055,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             self.role = Role::Follower;
             self.inflight.clear();
             self.proposed_keys.clear();
+            self.lease_drop_leadership();
         }
 
         if leader == me {
@@ -873,6 +1070,7 @@ impl<M: Clone + fmt::Debug> PaxosTob<M> {
             }
             match self.role {
                 Role::Leading { .. } => {
+                    self.lease_pump_grant(ctx);
                     // retransmit inflight proposals
                     let inflight: Vec<(u64, Entry<M>, Ballot)> = match self.role {
                         Role::Leading { ballot } => self
@@ -1051,6 +1249,16 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 });
         }
         self.refresh_stable();
+        if self.lease_boot_mute {
+            self.lease_boot_mute = false;
+            if let Some(cfg) = self.lease {
+                // one full lease duration on the post-restart clock
+                // covers the remainder of any guard the crashed
+                // incarnation promised (the clock's rate is a property
+                // of the replica and survives the restart)
+                self.lease_mute_until = Some(ctx.clock().value() + cfg.duration_us as i64);
+            }
+        }
         // The endpoint may also already owe the cluster work — a
         // watermark poll, a decided-but-undrained slot, a gap. Pumping
         // is otherwise only armed from message handlers, so if nothing
@@ -1140,12 +1348,13 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 ballot,
                 decided_upto,
             } => {
-                if ballot > self.promised {
+                if ballot > self.promised && !self.lease_blocks(ballot.leader, ctx) {
                     self.promise(ballot);
                     if !matches!(self.role, Role::Follower) {
                         self.role = Role::Follower;
                         self.inflight.clear();
                         self.proposed_keys.clear();
+                        self.lease_drop_leadership();
                     }
                     let mut accepted: Vec<(u64, Ballot, Entry<M>)> = self
                         .accepted
@@ -1205,7 +1414,7 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 slot,
                 entry,
             } => {
-                if ballot >= self.promised {
+                if ballot >= self.promised && !self.lease_blocks(ballot.leader, ctx) {
                     self.promise(ballot);
                     self.record_accept(slot, ballot, &entry);
                     self.accepted.insert(slot, (ballot, entry));
@@ -1287,6 +1496,73 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
                 }
                 self.ensure_pump(ctx);
             }
+            PaxosMsg::LeaseGrant {
+                ballot,
+                grant,
+                duration_us,
+            } => {
+                // Guard only at our exactly-promised ballot: a promise to
+                // any other candidate after this grant was cut means the
+                // granting leader can no longer count on us, and a guard
+                // would fence the wrong leadership. `lease_blocks` keeps
+                // a live guard for a *different* holder (or a post-
+                // restart mute) from being overwritten.
+                if self.lease.is_some()
+                    && ballot == self.promised
+                    && ballot.leader == from
+                    && !self.lease_blocks(from, ctx)
+                {
+                    let now = ctx.clock().value();
+                    self.lease_guard_leader = Some(from);
+                    self.lease_guard_until = self.lease_guard_until.max(now + duration_us as i64);
+                    ctx.send(
+                        from,
+                        PaxosMsg::LeaseAck {
+                            ballot,
+                            grant,
+                            clock: now,
+                        },
+                    );
+                }
+            }
+            PaxosMsg::LeaseAck {
+                ballot,
+                grant,
+                clock,
+            } => {
+                if let (Some(cfg), Role::Leading { ballot: my_ballot }) = (self.lease, &self.role) {
+                    if *my_ballot == ballot && grant == self.lease_grant_no {
+                        let now = ctx.clock().value();
+                        let (dur, eps) = (cfg.duration_us as i128, cfg.epsilon_us as i128);
+                        // Count the follower only when the delay-immune
+                        // over-estimate of its clock rate stays within
+                        // the epsilon margin (see the lease notes above):
+                        // our interval [prev ack receipt, this grant's
+                        // send] is covered by the follower's measurement
+                        // interval, so df/dl ≥ rate_f/rate_l never
+                        // under-reports a fast follower clock.
+                        if let Some((f_prev, l_prev)) = self.lease_calib[from.index()] {
+                            let df = (clock - f_prev) as i128;
+                            let dl = (self.lease_grant_sent - l_prev) as i128;
+                            if df >= 0 && dl > 0 && df * (dur - eps) <= dl * dur {
+                                self.lease_counted.insert(from);
+                                if self.lease_counted.len() >= self.quorum() {
+                                    self.lease_valid_until = self
+                                        .lease_valid_until
+                                        .max(self.lease_grant_sent + (dur - eps) as i64);
+                                }
+                            }
+                        }
+                        // the echoed clock was read before this ack's
+                        // arrival regardless of reordering, so the pair
+                        // is a sound future calibration point; keep the
+                        // newest follower reading
+                        if self.lease_calib[from.index()].is_none_or(|(f, _)| clock > f) {
+                            self.lease_calib[from.index()] = Some((clock, now));
+                        }
+                    }
+                }
+            }
         }
         let out = self.drain_deliveries();
         if let Some(to) = ack_to {
@@ -1330,6 +1606,26 @@ impl<M: Clone + fmt::Debug> Tob<M> for PaxosTob<M> {
         if !on {
             self.durable.clear();
         }
+    }
+
+    fn set_lease(&mut self, config: Option<LeaseConfig>) {
+        self.lease = config;
+        if config.is_none() {
+            self.lease_drop_leadership();
+            self.lease_guard_leader = None;
+            self.lease_mute_until = None;
+        }
+    }
+
+    fn lease_ready(&mut self, now: Timestamp) -> bool {
+        self.lease.is_some()
+            && matches!(self.role, Role::Leading { .. })
+            && now.value() < self.lease_valid_until
+            // every slot decided under prior leaders — and everything we
+            // decided since — is delivered into the committed state
+            && self.prefix >= self.lease_barrier
+            && self.fifo_cursor >= self.prefix
+            && self.fifo.held_count() == 0
     }
 
     fn drain_durable(&mut self) -> Vec<TobEvent<M>> {

@@ -1,6 +1,8 @@
 //! The Total Order Broadcast abstraction.
 
-use bayou_types::{Context, ReplicaId, TimerId, Wire, WireError, WireReader};
+use bayou_types::{
+    Context, LeaseConfig, ReplicaId, TimerId, Timestamp, Wire, WireError, WireReader,
+};
 use std::fmt;
 
 /// A message delivered by Total Order Broadcast.
@@ -85,6 +87,26 @@ pub trait Tob<M: Clone + fmt::Debug> {
     /// durable state (e.g. a null TOB) may ignore this.
     fn set_durable(&mut self, on: bool) {
         let _ = on;
+    }
+
+    /// Enables (or disables) the leader lease: when configured, the
+    /// implementation maintains a time-bounded, quorum-acknowledged
+    /// lease for the current leader so the owner can serve linearizable
+    /// reads locally from committed state (see [`Tob::lease_ready`]).
+    /// Disabled by default; implementations without a leader (e.g. a
+    /// null TOB) may ignore it — their `lease_ready` stays `false` and
+    /// every strong read takes the full broadcast round.
+    fn set_lease(&mut self, config: Option<LeaseConfig>) {
+        let _ = config;
+    }
+
+    /// Whether this endpoint currently holds a valid leader lease *and*
+    /// has delivered every message decided up to its leadership barrier,
+    /// so a strong read served from the owner's committed state at local
+    /// clock `now` is linearizable. Always `false` by default.
+    fn lease_ready(&mut self, now: Timestamp) -> bool {
+        let _ = now;
+        false
     }
 
     /// Drains the durable state transitions recorded since the last call.

@@ -120,6 +120,26 @@ impl<M: Wire> Wire for PaxosMsg<M> {
                 stable_upto.encode(out);
                 floor.encode(out);
             }
+            PaxosMsg::LeaseGrant {
+                ballot,
+                grant,
+                duration_us,
+            } => {
+                out.push(8);
+                ballot.encode(out);
+                grant.encode(out);
+                duration_us.encode(out);
+            }
+            PaxosMsg::LeaseAck {
+                ballot,
+                grant,
+                clock,
+            } => {
+                out.push(9);
+                ballot.encode(out);
+                grant.encode(out);
+                clock.encode(out);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -163,6 +183,16 @@ impl<M: Wire> Wire for PaxosMsg<M> {
                 entries: Vec::decode(r)?,
                 stable_upto: u64::decode(r)?,
                 floor: u64::decode(r)?,
+            }),
+            8 => Ok(PaxosMsg::LeaseGrant {
+                ballot: Ballot::decode(r)?,
+                grant: u64::decode(r)?,
+                duration_us: u64::decode(r)?,
+            }),
+            9 => Ok(PaxosMsg::LeaseAck {
+                ballot: Ballot::decode(r)?,
+                grant: u64::decode(r)?,
+                clock: i64::decode(r)?,
             }),
             tag => Err(WireError::BadTag {
                 ty: "PaxosMsg",
@@ -308,6 +338,22 @@ mod tests {
             stable_upto: 1,
             floor: 2,
         });
+        rt(PaxosMsg::<u64>::LeaseGrant {
+            ballot: Ballot {
+                round: 2,
+                leader: ReplicaId::new(1),
+            },
+            grant: 17,
+            duration_us: 400_000,
+        });
+        rt(PaxosMsg::<u64>::LeaseAck {
+            ballot: Ballot {
+                round: 2,
+                leader: ReplicaId::new(1),
+            },
+            grant: 17,
+            clock: -123_456,
+        });
         rt(LinkMsg::Data {
             seq: 12,
             payloads: vec![5u64, 6, 7],
@@ -359,10 +405,10 @@ mod tests {
     #[test]
     fn bad_tags_fail_cleanly() {
         assert!(matches!(
-            PaxosMsg::<u64>::from_bytes(&[8]),
+            PaxosMsg::<u64>::from_bytes(&[10]),
             Err(WireError::BadTag {
                 ty: "PaxosMsg",
-                tag: 8
+                tag: 10
             })
         ));
         assert!(matches!(

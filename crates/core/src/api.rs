@@ -18,6 +18,11 @@ pub struct Invocation<Op> {
     /// responses re-emitted after crash recovery carry `None`, which
     /// tells the front end the original session is gone.
     pub tag: Option<u64>,
+    /// Session floor for a weak *read*: the replica serves it only when
+    /// it has caught up to the session's writes and previously-observed
+    /// commit point, and answers [`Served::Retry`] otherwise. Ignored
+    /// for writes and strong operations.
+    pub guard: Option<SessionGuard>,
 }
 
 impl<Op> Invocation<Op> {
@@ -27,6 +32,7 @@ impl<Op> Invocation<Op> {
             op,
             level,
             tag: None,
+            guard: None,
         }
     }
 
@@ -44,6 +50,64 @@ impl<Op> Invocation<Op> {
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = Some(tag);
         self
+    }
+
+    /// Attaches a session guard (builder style).
+    pub fn with_guard(mut self, guard: SessionGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+}
+
+/// Session floor carried on a guarded weak read (the replica-channel
+/// form of the wire-level `bayou_types::ReadGuard`).
+///
+/// A replica serves a guarded read only when both floors hold locally;
+/// otherwise it refuses with [`Served::Retry`] instead of returning a
+/// value that would violate the session's guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionGuard {
+    /// The replica the session's writes were invoked on.
+    pub origin: ReplicaId,
+    /// Read-your-writes floor: the serving replica must have executed
+    /// the origin's writes through per-origin counter `min_seq`.
+    pub min_seq: u64,
+    /// Monotonic-reads floor: the serving replica's committed-operation
+    /// count must have reached `min_commit`.
+    pub min_commit: u64,
+}
+
+/// How a [`Response`] was produced — the provenance a client (and the
+/// correctness checkers) need to interpret the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Tentative response computed from speculative state (weak path).
+    Speculative,
+    /// Stable response emitted at commit (the TOB round).
+    Committed,
+    /// Strong read served locally from committed state under a held
+    /// leader lease; `committed` is the replica's committed-operation
+    /// count at serve time — the linearization-point evidence the DST
+    /// stale-read checker cross-validates against the TOB order.
+    Lease {
+        /// Committed operations applied when the read was served.
+        committed: u64,
+    },
+    /// Guarded weak read refused by a lagging replica. The operation was
+    /// *not* executed; the cursor tells the client how far this replica
+    /// had caught up, so it can retry here later or elsewhere.
+    Retry {
+        /// The replica's executed high-water for the guard's origin.
+        seen_seq: u64,
+        /// The replica's committed-operation count.
+        committed: u64,
+    },
+}
+
+impl Served {
+    /// Whether the response carries an actual value (a retry does not).
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Served::Retry { .. })
     }
 }
 
@@ -71,6 +135,9 @@ pub struct Response {
     /// `None` for untagged invocations and for responses re-derived
     /// after a crash restart (tags are in-memory only).
     pub tag: Option<u64>,
+    /// How the response was produced (speculative, committed, lease-
+    /// served, or a typed session retry).
+    pub served: Served,
 }
 
 /// One history event: an invocation together with everything observed
@@ -93,6 +160,9 @@ pub struct EventRecord<Op> {
     pub exec_trace: Option<Vec<ReqId>>,
     /// Whether the request was TOB-cast (`tob(e)` in the proofs).
     pub tob_cast: bool,
+    /// Provenance of the response ([`Response::served`]), or `None`
+    /// while pending.
+    pub served: Option<Served>,
 }
 
 impl<Op> EventRecord<Op> {
@@ -155,6 +225,7 @@ mod tests {
     }
 
     fn record(n: u64, value: Option<Value>) -> EventRecord<&'static str> {
+        let served = value.as_ref().map(|_| Served::Speculative);
         EventRecord {
             meta: meta(n),
             op: "op",
@@ -164,6 +235,7 @@ mod tests {
             value,
             exec_trace: None,
             tob_cast: true,
+            served,
         }
     }
 

@@ -317,6 +317,16 @@ where
         }
     }
 
+    /// Enables (or disables) leader leases in every group. Each group
+    /// runs its own lease over its own lane Ω (`Context::omega_for`
+    /// with the group's lane), so different groups may hold leases on
+    /// different hosts concurrently.
+    pub fn set_lease(&mut self, lease: Option<bayou_types::LeaseConfig>) {
+        for g in &mut self.groups {
+            g.set_lease(lease);
+        }
+    }
+
     /// Enables (or disables) frame coalescing: inside every group (RB
     /// link + inner step frames) *and* at the host level, where a step's
     /// frames from different groups to one peer merge into one
@@ -815,6 +825,19 @@ where
     ) {
         self.sim
             .schedule_input(at, replica, (gid, Invocation::new(op, level)));
+    }
+
+    /// Schedules a fully-formed invocation (tags, session guards)
+    /// addressed to `(replica, group)` — the grouped twin of
+    /// [`crate::BayouCluster::schedule_at`].
+    pub fn schedule_at(
+        &mut self,
+        at: VirtualTime,
+        replica: ReplicaId,
+        gid: GroupId,
+        inv: Invocation<F::Op>,
+    ) {
+        self.sim.schedule_input(at, replica, (gid, inv));
     }
 
     /// Mutes (or unmutes) `gid` on `replica` — a `(replica, group)`

@@ -6,7 +6,7 @@ use crate::replica::{BayouReplica, ProtocolMode};
 use bayou_broadcast::{PaxosConfig, PaxosTob, Tob};
 use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_sim::{OutputRecord, Sim, SimConfig};
-use bayou_types::{Level, ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
+use bayou_types::{LeaseConfig, Level, ReplicaId, ReqId, SharedReq, VirtualTime, Wire};
 use std::collections::HashMap;
 
 /// Configuration of a simulated Bayou cluster.
@@ -35,6 +35,11 @@ pub struct ClusterConfig {
     /// [`crate::DEFAULT_FLUSH_DELAY`] by default — `None` is the
     /// flush-every-step PR-5 baseline).
     pub flush_deferral: Option<VirtualTime>,
+    /// Leader-lease configuration ([`BayouReplica::set_lease`]): with a
+    /// config the lane leader serves strong reads locally while its
+    /// quorum-confirmed lease window holds. `None` (the default) is the
+    /// all-TOB baseline, bit-for-bit.
+    pub lease: Option<LeaseConfig>,
 }
 
 impl ClusterConfig {
@@ -49,6 +54,7 @@ impl ClusterConfig {
             delivery_batching: true,
             link_coalescing: true,
             flush_deferral: Some(crate::DEFAULT_FLUSH_DELAY),
+            lease: None,
         }
     }
 
@@ -96,6 +102,12 @@ impl ClusterConfig {
     /// style).
     pub fn with_flush_deferral(mut self, delay: VirtualTime) -> Self {
         self.flush_deferral = Some(delay);
+        self
+    }
+
+    /// Enables leader leases on every replica (builder style).
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = Some(lease);
         self
     }
 }
@@ -163,12 +175,14 @@ where
         let delivery_batching = config.delivery_batching;
         let link_coalescing = config.link_coalescing;
         let flush_deferral = config.flush_deferral;
+        let lease = config.lease;
         Self::with_factory(config.sim, move |_| {
             let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
             r.set_compaction(compaction);
             r.set_delivery_batching(delivery_batching);
             r.set_link_coalescing(link_coalescing);
             r.set_flush_deferral(flush_deferral);
+            r.set_lease(lease);
             r
         })
     }
@@ -192,12 +206,14 @@ where
         let delivery_batching = config.delivery_batching;
         let link_coalescing = config.link_coalescing;
         let flush_deferral = config.flush_deferral;
+        let lease = config.lease;
         Self::with_factory(config.sim, move |_| {
             let mut r = BayouReplica::new(n, mode, PaxosTob::new(n, paxos));
             r.set_compaction(compaction);
             r.set_delivery_batching(delivery_batching);
             r.set_link_coalescing(link_coalescing);
             r.set_flush_deferral(flush_deferral);
+            r.set_lease(lease);
             r.meter_wire_bytes();
             r
         })
@@ -301,6 +317,11 @@ where
     pub fn invoke_at(&mut self, at: VirtualTime, replica: ReplicaId, op: F::Op, level: Level) {
         self.sim
             .schedule_input(at, replica, Invocation::new(op, level));
+    }
+
+    /// Schedules a fully-formed invocation (tags, session guards).
+    pub fn schedule_at(&mut self, at: VirtualTime, replica: ReplicaId, inv: Invocation<F::Op>) {
+        self.sim.schedule_input(at, replica, inv);
     }
 
     /// Runs until quiescence or the configured limits; returns the
@@ -480,6 +501,7 @@ where
             ev.returned_at = Some(out.time);
             ev.value = Some(out.output.value.clone());
             ev.exec_trace = Some(out.output.exec_trace.clone());
+            ev.served = Some(out.output.served);
         }
         by_id.clear();
 

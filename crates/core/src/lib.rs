@@ -67,7 +67,7 @@ mod nulltob;
 mod persist;
 mod replica;
 
-pub use api::{EventRecord, Invocation, Response, RunTrace};
+pub use api::{EventRecord, Invocation, Response, RunTrace, Served, SessionGuard};
 pub use group::{recover_grouped_paxos, GroupedCluster, GroupedMsg, GroupedReplica};
 pub use harness::{BayouCluster, ClusterConfig, SessionScript};
 pub use naive::{NaiveMixed, NaiveMsg};

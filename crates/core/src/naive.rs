@@ -2,7 +2,7 @@
 //! `BEC(weak, F)` together with `Seq(strong, F)` — which Theorem 1 proves
 //! impossible for arbitrary `F`.
 
-use crate::api::{Invocation, Response};
+use crate::api::{Invocation, Response, Served};
 use bayou_broadcast::{LinkMsg, MapCtx, PaxosTob, RbMsg, ReliableBroadcast, Tob};
 use bayou_data::DataType;
 use bayou_types::{
@@ -86,11 +86,16 @@ impl<F: DataType> NaiveMixed<F> {
     }
 
     fn respond(&mut self, r: &Req<F::Op>, value: Value, trace: Vec<ReqId>) {
+        let served = match r.level {
+            Level::Weak => Served::Speculative,
+            Level::Strong => Served::Committed,
+        };
         self.outputs.push(Response {
             meta: r.meta(),
             value,
             exec_trace: trace,
             tag: None,
+            served,
         });
     }
 }

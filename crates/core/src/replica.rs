@@ -75,7 +75,7 @@
 //! pass its last durable report, so its missing suffix is always still
 //! replayable.
 
-use crate::api::{EventRecord, Invocation, Response};
+use crate::api::{EventRecord, Invocation, Response, Served};
 use bayou_broadcast::{
     BaselineMark, FrameMeter, LinkMsg, MapCtx, RbMsg, ReliableBroadcast, StepBuffers,
     StepCoalescer, Tob, TobDelivery,
@@ -83,8 +83,8 @@ use bayou_broadcast::{
 use bayou_data::{DataType, DeltaState, StateObject};
 use bayou_storage::{NullPersistence, PendingKind, Persistence, StorageError};
 use bayou_types::{
-    Context, Dot, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value, VirtualTime, Wire,
-    WireError, WireReader,
+    Context, Dot, LeaseConfig, Process, ReplicaId, Req, ReqId, SharedReq, TimerId, Value,
+    VirtualTime, Wire, WireError, WireReader,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -248,6 +248,12 @@ pub struct ReplicaStats {
     pub tob_deliveries: u64,
     /// RB deliveries processed (remote only).
     pub rb_deliveries: u64,
+    /// Strong reads served locally under a held leader lease (no TOB
+    /// round, no messages).
+    pub lease_reads: u64,
+    /// Guarded weak reads refused with [`Served::Retry`] because this
+    /// replica had not caught up to the session's floors.
+    pub session_retries: u64,
 }
 
 /// A Bayou replica (Algorithm 1 of the paper) for data type `F` over a
@@ -364,6 +370,23 @@ where
     /// ([`BayouReplica::meter_wire_bytes`]); `None` (the default) costs
     /// nothing.
     wire_meter: Option<FrameMeter<Msg<F, T>>>,
+    // ---- read scalability ----------------------------------------------
+    /// Leader-lease configuration ([`BayouReplica::set_lease`]): with a
+    /// config, the TOB endpoint runs the lease protocol and strong
+    /// read-only operations are served locally from `committed_state`
+    /// while [`Tob::lease_ready`] holds. `None` (the default) keeps the
+    /// replica bit-for-bit on the all-TOB path.
+    lease: Option<LeaseConfig>,
+    /// Materialization of `baseline · committed` — the linearizable
+    /// snapshot lease-served reads answer from. Maintained only while
+    /// `lease` is set (one [`DataType::apply`] per commit), rebuilt by
+    /// [`BayouReplica::set_lease`], replaced on baseline install.
+    committed_state: F::State,
+    /// Per-origin high-water of observed dot event numbers: entry `i` is
+    /// the largest `event_no` this replica has admitted into its
+    /// evaluation order from replica `i` (plus its own invocations).
+    /// The serving side of [`crate::api::SessionGuard::min_seq`].
+    seen_seq: Vec<u64>,
 }
 
 impl<F, T, S> BayouReplica<F, T, S>
@@ -431,6 +454,9 @@ where
             defer_timer: None,
             delivery_scratch: Vec::new(),
             wire_meter: None,
+            lease: None,
+            committed_state: F::State::default(),
+            seen_seq: vec![0; n],
         }
     }
 
@@ -523,6 +549,18 @@ where
         let recovered_pending: Vec<(u64, SharedReq<F::Op>)> =
             pending.into_iter().map(|(_, seq, r)| (seq, r)).collect();
 
+        // session floors survive a restart only as far as the WAL saw the
+        // requests: rebuild the per-origin high-waters from everything
+        // recovered (dots of purely-local reads are gone, which only
+        // makes the guard check more conservative)
+        let mut seen_seq = vec![0u64; n];
+        for r in deliveries
+            .iter()
+            .chain(recovered_pending.iter().map(|(_, r)| r))
+        {
+            let slot = &mut seen_seq[r.origin().index()];
+            *slot = (*slot).max(r.id().event_no());
+        }
         let mut rb = ReliableBroadcast::new(n, VirtualTime::from_millis(60));
         rb.set_flush_deferral(Some(DEFAULT_FLUSH_DELAY));
         BayouReplica {
@@ -565,6 +603,9 @@ where
             defer_timer: None,
             delivery_scratch: Vec::new(),
             wire_meter: None,
+            lease: None,
+            committed_state: F::State::default(),
+            seen_seq,
         }
     }
 
@@ -596,6 +637,52 @@ where
     /// Whether committed-history compaction is enabled.
     pub fn compaction_enabled(&self) -> bool {
         self.compaction
+    }
+
+    /// Enables (or disables) leader leases on this replica and its TOB
+    /// endpoint: the per-lane Ω leader piggybacks time-bounded lease
+    /// grants on its TOB traffic and, while the quorum-confirmed window
+    /// holds ([`Tob::lease_ready`]), serves strong *read-only*
+    /// operations locally from the committed state — no TOB round, no
+    /// messages. A read that misses the window falls back to the
+    /// ordinary TOB round; it never silently downgrades.
+    ///
+    /// Off by default. With `None` the replica takes no clock readings
+    /// and sends no lease frames — behaviour is bit-for-bit the all-TOB
+    /// baseline.
+    pub fn set_lease(&mut self, lease: Option<LeaseConfig>) {
+        self.lease = lease;
+        self.tob.set_lease(lease);
+        if lease.is_some() {
+            // (re)materialize `baseline · committed` — from here on it is
+            // maintained incrementally at every commit
+            let mut state = self.baseline.clone();
+            for r in &self.committed {
+                F::apply(&mut state, &r.op);
+            }
+            self.committed_state = state;
+        } else {
+            self.committed_state = F::State::default();
+        }
+    }
+
+    /// The leader-lease configuration, if any.
+    pub fn lease(&self) -> Option<LeaseConfig> {
+        self.lease
+    }
+
+    /// The per-origin high-water of admitted dot event numbers — what a
+    /// guarded read's [`crate::api::SessionGuard::min_seq`] is checked
+    /// against (serving side of the session cursor).
+    pub fn seen_seq(&self, origin: ReplicaId) -> u64 {
+        self.seen_seq.get(origin.index()).copied().unwrap_or(0)
+    }
+
+    /// Advances the per-origin high-water for an admitted request.
+    fn note_seen(&mut self, id: ReqId) {
+        if let Some(slot) = self.seen_seq.get_mut(id.replica().index()) {
+            *slot = (*slot).max(id.event_no());
+        }
     }
 
     /// Enables (or disables) batched commit of TOB delivery batches: one
@@ -801,6 +888,7 @@ where
             r.id()
         );
         let pos = self.tentative.partition_point(|x| x.as_ref() < r.as_ref());
+        self.note_seen(r.id());
         self.tentative_seq.insert(r.id(), tob_seq);
         self.tentative.insert(pos, r);
         self.adjust_execution();
@@ -883,6 +971,10 @@ where
         }
         self.tob_order.push(id);
         self.committed_set.insert(id);
+        self.note_seen(id);
+        if self.lease.is_some() {
+            F::apply(&mut self.committed_state, &r.op);
+        }
         self.committed.push(r.clone());
         if self.tentative_seq.remove(&id).is_some() {
             self.tentative.retain(|x| x.id() != id);
@@ -909,6 +1001,7 @@ where
                     value,
                     exec_trace: trace,
                     tag,
+                    served: Served::Committed,
                 });
             }
             // a `None` stored response cannot happen here: r ∈ executed
@@ -1052,6 +1145,11 @@ where
         self.compacted = mark.delivered;
         self.baseline = state.clone();
         self.baseline_mark = mark;
+        if self.lease.is_some() {
+            // committed list is now empty: the snapshot *is* the
+            // committed state
+            self.committed_state = state.clone();
+        }
         self.state = S::with_state(state);
         self.dropped_since_state = 0;
         self.adjust_execution();
@@ -1196,6 +1294,10 @@ where
             let id = r.id();
             self.tob_order.push(id);
             self.committed_set.insert(id);
+            self.note_seen(id);
+            if self.lease.is_some() {
+                F::apply(&mut self.committed_state, &r.op);
+            }
             self.committed.push(r.clone());
             any_tentative |= self.tentative_seq.remove(&id).is_some();
         }
@@ -1389,18 +1491,36 @@ where
         self.stats.invocations += 1;
         self.curr_event_no += 1;
         let tag = inv.tag;
+        let guard = inv.guard;
         let r = Arc::new(Req::new(
             ctx.clock(),
             Dot::new(ctx.id(), self.curr_event_no),
             inv.level,
             inv.op,
         ));
+        self.note_seen(r.id());
         if let Some(tag) = tag {
             self.client_tags.insert(r.id(), tag);
         }
+        // Leader-lease fast path: a strong *read* arriving while the TOB
+        // holds a quorum-confirmed lease window is served locally from
+        // the committed state — no TOB round, no messages. The check
+        // reads the (possibly skewed) local clock, so it is reached only
+        // with a lease configured: lease-off runs take the exact
+        // baseline step sequence.
+        let lease_read = self.mode == ProtocolMode::Improved
+            && r.level.is_strong()
+            && F::is_read_only(&r.op)
+            && self.lease.is_some()
+            && {
+                let now = ctx.clock();
+                self.tob.lease_ready(now)
+            };
         let tob_cast = match self.mode {
             ProtocolMode::Original => true,
-            ProtocolMode::Improved => r.level.is_strong() || !F::is_read_only(&r.op),
+            ProtocolMode::Improved => {
+                !lease_read && (r.level.is_strong() || !F::is_read_only(&r.op))
+            }
         };
         self.journal.push(EventRecord {
             meta: r.meta(),
@@ -1411,6 +1531,7 @@ where
             value: None,
             exec_trace: None,
             tob_cast,
+            served: None,
         });
         match self.mode {
             ProtocolMode::Original => {
@@ -1421,6 +1542,40 @@ where
             }
             ProtocolMode::Improved => {
                 if r.level.is_weak() {
+                    // Session guard: a guarded weak read is served only
+                    // when this replica stands at-or-past both session
+                    // floors *and* its execution has caught up with the
+                    // evaluation order (so everything admitted is
+                    // actually in the state the read runs on). Otherwise
+                    // the read is refused with a typed retry — never
+                    // answered with state that would violate the
+                    // session's guarantees.
+                    if F::is_read_only(&r.op) {
+                        if let Some(g) = guard {
+                            let seen = self.seen_seq(g.origin);
+                            let committed = self.committed_total();
+                            let caught_up = seen >= g.min_seq
+                                && committed >= g.min_commit
+                                && self.to_be_executed.is_empty()
+                                && self.to_be_rolled_back.is_empty();
+                            if !caught_up {
+                                self.stats.session_retries += 1;
+                                let tag = self.client_tags.remove(&r.id());
+                                self.outputs.push(Response {
+                                    meta: r.meta(),
+                                    value: Value::Unit,
+                                    exec_trace: Vec::new(),
+                                    tag,
+                                    served: Served::Retry {
+                                        seen_seq: seen,
+                                        committed,
+                                    },
+                                });
+                                self.close_step(cctx);
+                                return;
+                            }
+                        }
+                    }
                     // Execute immediately on the current state; the
                     // tentative response reflects exactly what this
                     // replica has executed so far (no concurrent request
@@ -1434,6 +1589,7 @@ where
                         value,
                         exec_trace: trace_before,
                         tag,
+                        served: Served::Speculative,
                     });
                     self.state.rollback(r.id());
                     if !F::is_read_only(&r.op) {
@@ -1441,6 +1597,20 @@ where
                             self.adjust_tentative_order(r, seq);
                         }
                     }
+                } else if lease_read {
+                    // a read-only op leaves the committed state untouched
+                    self.stats.lease_reads += 1;
+                    let value = F::apply(&mut self.committed_state, &r.op);
+                    let tag = self.client_tags.remove(&r.id());
+                    self.outputs.push(Response {
+                        meta: r.meta(),
+                        value,
+                        exec_trace: self.tob_order.clone(),
+                        tag,
+                        served: Served::Lease {
+                            committed: self.committed_total(),
+                        },
+                    });
                 } else {
                     self.reqs_awaiting_resp.insert(r.id(), None);
                     self.broadcast_req(&r, ctx, false);
@@ -1528,11 +1698,17 @@ where
             if awaiting {
                 if head.level.is_weak() || self.committed_contains(head.id()) {
                     let tag = self.client_tags.remove(&head.id());
+                    let served = if head.level.is_weak() {
+                        Served::Speculative
+                    } else {
+                        Served::Committed
+                    };
                     self.outputs.push(Response {
                         meta: head.meta(),
                         value,
                         exec_trace: trace_before,
                         tag,
+                        served,
                     });
                     self.reqs_awaiting_resp.remove(&head.id());
                 } else {

@@ -23,11 +23,13 @@
 //! `DST_SEED` when set. See `docs/TESTING.md`.
 
 use bayou_broadcast::PaxosConfig;
-use bayou_core::{recover_paxos_replica, BayouCluster, BayouReplica, ProtocolMode};
-use bayou_data::{DeltaState, KvOp, KvStore};
+use bayou_core::{
+    recover_paxos_replica, BayouCluster, BayouReplica, ProtocolMode, RunTrace, Served,
+};
+use bayou_data::{DataType, DeltaState, KvOp, KvStore};
 use bayou_sim::{shrink, Fault, Nemesis, NemesisConfig, SimConfig};
 use bayou_storage::{MemDisk, ReplicaStore, StoreConfig};
-use bayou_types::{Level, ReplicaId, ReqId, VirtualTime};
+use bayou_types::{LeaseConfig, Level, ReplicaId, ReqId, VirtualTime};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +54,7 @@ fn dst_factory(
     store_cfg: StoreConfig,
     compaction: bool,
     deferral: Option<VirtualTime>,
+    lease: Option<LeaseConfig>,
     crash_seed: u64,
 ) -> impl FnMut(ReplicaId) -> DurableReplica {
     let incarnations = Rc::new(RefCell::new(vec![0u64; n]));
@@ -71,6 +74,7 @@ fn dst_factory(
         );
         r.set_compaction(compaction);
         r.set_flush_deferral(deferral);
+        r.set_lease(lease);
         r
     }
 }
@@ -84,6 +88,8 @@ struct Outcome {
     states: Vec<std::collections::BTreeMap<String, i64>>,
     /// Per replica: total commits ever delivered.
     totals: Vec<u64>,
+    /// Lease-served strong reads across the run (0 for baseline cases).
+    lease_reads: u64,
     /// `(end time, dispatched events)` — the full-trace fingerprint.
     trace: (VirtualTime, u64),
 }
@@ -96,6 +102,12 @@ struct CaseOpts {
     /// Cross-step flush deferral: `None` runs the flush-every-step
     /// pipeline, `Some(budget)` parks frames for up to that long.
     deferral: Option<VirtualTime>,
+    /// Leader lease: `None` is the all-TOB baseline; `Some` arms the
+    /// fast read path, switches the workload to the strong-read-heavy
+    /// mix, aims an extra fault at the leaseholder, and turns on the
+    /// stale-read oracle. Lease runs never quiesce (the grant pump runs
+    /// forever), so the quiescence and watermark assertions are waived.
+    lease: Option<LeaseConfig>,
     /// Injected always-false "spec check" (fails whenever a partition
     /// dropped a message) — exercises the failure/shrink machinery
     /// deterministically. Never set by real cases.
@@ -108,8 +120,29 @@ fn case_opts(seed: u64) -> CaseOpts {
         n: if seed % 4 == 3 { 5 } else { 3 },
         compaction: (seed >> 2).is_multiple_of(2),
         deferral: seed_deferral(seed),
+        lease: seed_lease(seed),
         canary: false,
     }
+}
+
+/// The seed's lease dimension: off for half the cases (the baseline
+/// must keep passing bit-for-bit), else a duration swept across
+/// 100–450 ms with an epsilon of a tenth — short enough that expiry
+/// races happen inside every schedule, long enough to span several
+/// 40 ms grant rounds.
+fn seed_lease(seed: u64) -> Option<LeaseConfig> {
+    if (seed >> 6).is_multiple_of(2) {
+        None
+    } else {
+        Some(lease_sweep(seed))
+    }
+}
+
+/// The swept lease parameters of a seed (used whenever a case forces
+/// the lease on regardless of [`seed_lease`]'s coin flip).
+fn lease_sweep(seed: u64) -> LeaseConfig {
+    let duration_us = 100_000 + ((seed >> 7) % 8) * 50_000;
+    LeaseConfig::new(duration_us, duration_us / 10)
 }
 
 /// The seed's flush-deferral dimension: off for a quarter of the cases
@@ -129,6 +162,55 @@ fn nemesis_config() -> NemesisConfig {
 
 fn nemesis_for(seed: u64, n: usize) -> Nemesis {
     Nemesis::generate(n, seed, &nemesis_config())
+}
+
+/// The lease fault family: the general nemesis schedule plus one fault
+/// aimed squarely at the leaseholder. Replica 0 is the eventual leader
+/// of every stable run, so the targeted fault lands on whoever is most
+/// likely holding the lease:
+///
+/// * **skew/drift** — rates swept across 0.5–2.0×, mostly beyond the
+///   allowed ratio `D/(D−ε) ≈ 1.11`, where the rate check must *disable*
+///   the fast path rather than let it serve stale;
+/// * **crash mid-lease** — the leaseholder dies with its guards still
+///   live on the followers' clocks; a successor may not commit (or
+///   serve) anything until they expire;
+/// * **isolation** — the leaseholder keeps its lease but loses the
+///   cluster; its window must lapse un-renewed before the majority side
+///   makes progress;
+/// * every fourth seed adds nothing: expiry races come from the base
+///   schedule and the short swept durations alone.
+fn lease_nemesis(seed: u64, n: usize) -> Nemesis {
+    let mut faults = nemesis_for(seed, n).faults().to_vec();
+    let leader = ReplicaId::new(0);
+    match seed % 4 {
+        0 => faults.push(Fault::ClockSkew {
+            replica: leader,
+            offset_us: -200_000 + ((seed >> 2) % 9) as i64 * 50_000,
+            rate: [0.5, 0.9, 1.05, 1.2, 2.0][((seed >> 5) % 5) as usize],
+        }),
+        1 => faults.push(Fault::Outage {
+            replica: leader,
+            from: ms(1_200),
+            until: ms(2_400),
+        }),
+        2 => faults.push(Fault::Partition {
+            from: ms(900),
+            until: ms(2_100),
+            blocks: vec![vec![leader], ReplicaId::all(n).skip(1).collect()],
+        }),
+        _ => {}
+    }
+    Nemesis::from_faults(n, faults)
+}
+
+/// The nemesis a case runs under: lease cases get the targeted family.
+fn nemesis_for_opts(seed: u64, opts: CaseOpts) -> Nemesis {
+    if opts.lease.is_some() {
+        lease_nemesis(seed, opts.n)
+    } else {
+        nemesis_for(seed, opts.n)
+    }
 }
 
 /// The workload horizon of a schedule: invocations are sprayed across
@@ -197,6 +279,99 @@ fn workload_ops(seed: u64, n: usize, work_until: u64) -> Vec<(VirtualTime, Repli
         .collect()
 }
 
+/// The lease cases' workload: strong reads dominate (the fast path under
+/// attack), mixed with enough strong updates to keep the linearization
+/// frontier moving and weak traffic to keep speculation busy.
+fn lease_workload_ops(
+    seed: u64,
+    n: usize,
+    work_until: u64,
+) -> Vec<(VirtualTime, ReplicaId, KvOp, Level)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4C45_4153); // "LEAS"
+    let n_ops = rng.gen_range(60..140u64);
+    (0..n_ops)
+        .map(|_| {
+            let at = rng.gen_range(1..work_until);
+            let replica = ReplicaId::new(rng.gen_range(0..n as u32));
+            let key = format!("k{}", rng.gen_range(0..9u8));
+            let (op, level) = match rng.gen_range(0..10u8) {
+                0..=4 => (KvOp::get(key), Level::Strong),
+                5 | 6 => (KvOp::put(key, rng.gen_range(-50..50i64)), Level::Strong),
+                7 => (
+                    KvOp::put_if_absent(key, rng.gen_range(0..9i64)),
+                    Level::Strong,
+                ),
+                8 => (KvOp::put(key, rng.gen_range(-50..50i64)), Level::Weak),
+                _ => (KvOp::get(key), Level::Weak),
+            };
+            (ms(at), replica, op, level)
+        })
+        .collect()
+}
+
+/// The lease linearizability oracle: a lease-served strong read carries
+/// the committed frontier it answered from; every strong *update* that
+/// returned anywhere before the read was invoked must sit inside that
+/// frontier (its global TOB position below `committed`). A violation is
+/// a stale strong read — the one thing the lease machinery must never
+/// produce, under any combination of skew, drift, crashes and
+/// partitions.
+///
+/// Two classes of record are excluded as unreadable rather than wrong:
+///
+/// * **restart chimeras** — a lease-served read leaves no durable trace,
+///   so a restarted replica may reuse its dot; the harness then pairs
+///   the *new* invocation's journal entry with the *old* invocation's
+///   stray response (see `build_trace`). The surviving journal is always
+///   from the final incarnation while the stray response predates the
+///   restart, so a chimera is exactly a record that returned before it
+///   was invoked — skip those on both sides of the comparison;
+/// * **fully-compacted updates** — with compaction on, an id compacted
+///   at *every* replica drops out of all retained TOB views and its
+///   global position is unrecoverable. Such ids are the oldest
+///   deliveries, far below any later frontier, so they are skipped;
+///   with compaction off a missing position stays a hard failure.
+fn assert_no_stale_lease_reads(seed: u64, trace: &RunTrace<KvOp>, compaction: bool) -> u64 {
+    let chimera =
+        |e: &bayou_core::EventRecord<KvOp>| e.returned_at.is_some_and(|r| r < e.invoked_at);
+    let mut lease_reads = 0u64;
+    for e in &trace.events {
+        let Some(Served::Lease { committed }) = e.served else {
+            continue;
+        };
+        if chimera(e) {
+            continue;
+        }
+        lease_reads += 1;
+        for w in &trace.events {
+            if w.meta.level != Level::Strong || KvStore::is_read_only(&w.op) || chimera(w) {
+                continue;
+            }
+            let Some(ret) = w.returned_at else { continue };
+            if ret >= e.invoked_at {
+                continue;
+            }
+            let no = match trace.tob_no(w.meta.id()) {
+                Some(no) => no,
+                None if compaction => continue,
+                None => panic!(
+                    "seed {seed}: strong update {} returned without a TOB delivery",
+                    w.meta.id()
+                ),
+            };
+            assert!(
+                (no as u64) < committed,
+                "seed {seed}: STALE lease read {} (invoked {}, frontier {committed}) \
+                 missed strong update {} (returned {ret}, tobNo {no})",
+                e.meta.id(),
+                e.invoked_at,
+                w.meta.id(),
+            );
+        }
+    }
+    lease_reads
+}
+
 /// Durable-prefix equivalence: reopen each disk (forked, read-only
 /// probe) and check the recovered delivery order against the live
 /// replica's committed order wherever the two overlap — the durable
@@ -248,15 +423,35 @@ fn run_faults(seed: u64, faults: &[Fault], opts: CaseOpts, work_until: u64) -> O
             store_cfg,
             opts.compaction,
             opts.deferral,
+            opts.lease,
             seed,
         ),
     );
-    for (at, replica, op) in workload_ops(seed, n, work_until) {
-        cluster.invoke_at(at, replica, op, Level::Weak);
+    if opts.lease.is_some() {
+        for (at, replica, op, level) in lease_workload_ops(seed, n, work_until) {
+            cluster.invoke_at(at, replica, op, level);
+        }
+    } else {
+        for (at, replica, op) in workload_ops(seed, n, work_until) {
+            cluster.invoke_at(at, replica, op, Level::Weak);
+        }
     }
 
     let trace = cluster.run_until(deadline);
-    assert!(trace.quiescent, "seed {seed}: schedule must quiesce");
+    let mut lease_reads = 0u64;
+    if opts.lease.is_none() {
+        assert!(trace.quiescent, "seed {seed}: schedule must quiesce");
+    } else {
+        // the grant pump never lets a lease run quiesce, but the data
+        // plane must still make progress: commits reach everyone by the
+        // deadline (a lease wedging elections would show up here), and
+        // no lease-served read may ever be stale
+        assert!(
+            cluster.committed_totals().iter().all(|&t| t > 0),
+            "seed {seed}: a lease run made no commit progress"
+        );
+        lease_reads = assert_no_stale_lease_reads(seed, &trace, opts.compaction);
+    }
     if opts.canary {
         let dropped = cluster.metrics().messages_dropped_partition;
         assert!(dropped == 0, "canary: partition dropped {dropped} messages");
@@ -276,8 +471,9 @@ fn run_faults(seed: u64, faults: &[Fault], opts: CaseOpts, work_until: u64) -> O
 
     // watermark catch-up: at quiescence the idle-time beacon must have
     // closed the final speculation window — every replica's committed
-    // prefix is fully compacted, nothing stays resident forever
-    if opts.compaction {
+    // prefix is fully compacted, nothing stays resident forever (lease
+    // runs are exempt: without quiescence the final window never closes)
+    if opts.compaction && opts.lease.is_none() {
         for r in ReplicaId::all(n) {
             let live = cluster.replica(r);
             assert_eq!(
@@ -304,6 +500,7 @@ fn run_faults(seed: u64, faults: &[Fault], opts: CaseOpts, work_until: u64) -> O
             .map(|r| cluster.replica(r).materialize())
             .collect(),
         totals: cluster.committed_totals(),
+        lease_reads,
         trace: (trace.end_time, cluster.metrics().total_steps()),
     }
 }
@@ -311,7 +508,7 @@ fn run_faults(seed: u64, faults: &[Fault], opts: CaseOpts, work_until: u64) -> O
 /// Generates the seed's schedule and runs it (the determinism-test
 /// body).
 fn run_case(seed: u64, opts: CaseOpts) -> Outcome {
-    let nem = nemesis_for(seed, opts.n);
+    let nem = nemesis_for_opts(seed, opts);
     let work_until = workload_horizon_ms(nem.faults(), opts.n);
     run_faults(seed, nem.faults(), opts, work_until)
 }
@@ -322,7 +519,7 @@ fn run_case(seed: u64, opts: CaseOpts) -> Outcome {
 /// never drift between the tier that found a failure and the tier that
 /// replays it.
 fn check_case(seed: u64, opts: CaseOpts) {
-    let nem = nemesis_for(seed, opts.n);
+    let nem = nemesis_for_opts(seed, opts);
     let work_until = workload_horizon_ms(nem.faults(), opts.n);
     if let Err(msg) = run_checked(seed, nem.faults(), opts, work_until) {
         report_failure(seed, nem.faults(), opts, &msg);
@@ -392,10 +589,12 @@ fn failure_kind(msg: &str) -> String {
 /// tier found the failure.
 fn repro_line(seed: u64, opts: CaseOpts) -> String {
     format!(
-        "DST_SEED={seed} DST_N={} DST_COMPACTION={} DST_DEFERRAL_US={} cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture",
+        "DST_SEED={seed} DST_N={} DST_COMPACTION={} DST_DEFERRAL_US={} DST_LEASE_MS={} DST_EPSILON_US={} cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture",
         opts.n,
         opts.compaction as u8,
         opts.deferral.map_or(0, |d| d.as_nanos() / 1_000),
+        opts.lease.map_or(0, |l| l.duration_us / 1_000),
+        opts.lease.map_or(0, |l| l.epsilon_us),
     )
 }
 
@@ -473,6 +672,14 @@ fn fuzz() {
         if let Some(us) = env_u64("DST_DEFERRAL_US") {
             opts.deferral = (us != 0).then(|| VirtualTime::from_micros(us));
         }
+        if let Some(lease_ms) = env_u64("DST_LEASE_MS") {
+            opts.lease = (lease_ms != 0).then(|| {
+                LeaseConfig::new(
+                    lease_ms * 1_000,
+                    env_u64("DST_EPSILON_US").unwrap_or(lease_ms * 100),
+                )
+            });
+        }
         check_case(seed, opts);
         cases += 1;
         if single || start.elapsed() >= budget {
@@ -502,6 +709,7 @@ proptest! {
             n: 3,
             compaction: false,
             deferral: seed_deferral(seed),
+            lease: None,
             canary: false,
         });
     }
@@ -514,18 +722,123 @@ proptest! {
             n: 3,
             compaction: true,
             deferral: seed_deferral(seed),
+            lease: None,
+            canary: false,
+        });
+    }
+
+    /// The lease fault family: strong-read-heavy workloads under
+    /// leader-targeted skew/drift/crash/partition schedules (on top of
+    /// the general nemesis). Every lease-served read is checked against
+    /// the linearizability oracle; convergence and durable-prefix
+    /// equivalence still hold.
+    #[test]
+    fn randomized_lease_schedules_never_serve_stale_reads(seed in 0u64..1_000_000) {
+        check_case(seed, CaseOpts {
+            n: 3,
+            compaction: (seed >> 2).is_multiple_of(2),
+            deferral: seed_deferral(seed),
+            lease: Some(lease_sweep(seed)),
             canary: false,
         });
     }
 
     /// Determinism: a seed fully determines the outcome — end time,
     /// event count, orders and states (the backbone of the harness: a
-    /// failing seed is a reproducible bug report).
+    /// failing seed is a reproducible bug report). The seed's lease
+    /// dimension is included, so lease runs must be as replayable as
+    /// the baseline.
     #[test]
     fn schedules_are_deterministic(seed in 0u64..1_000_000) {
         let opts = case_opts(seed);
         prop_assert_eq!(run_case(seed, opts), run_case(seed, opts));
     }
+}
+
+// ---- lease fault family (deterministic schedules) -----------------------
+
+/// Non-vacuity of the oracle: a fault-free lease schedule actually
+/// produces lease-served reads, so the fuzz families' "zero stale reads"
+/// verdict is a statement about exercised code, not an empty set.
+#[test]
+fn fault_free_lease_schedule_serves_lease_reads() {
+    let opts = CaseOpts {
+        n: 3,
+        compaction: false,
+        deferral: None,
+        lease: Some(LeaseConfig::default()),
+        canary: false,
+    };
+    let out = run_faults(5, &[], opts, 2_500);
+    assert!(
+        out.lease_reads > 0,
+        "the fast path never engaged on a fault-free schedule"
+    );
+}
+
+/// Drift beyond epsilon: the leaseholder's clock runs slow (followers'
+/// guards expire in real time before the leader's window does — the
+/// dangerous direction). The rate check must exclude the followers and
+/// fall back to TOB; either way, no stale read.
+#[test]
+fn leader_clock_drift_beyond_epsilon_never_serves_stale() {
+    let faults = vec![Fault::ClockSkew {
+        replica: ReplicaId::new(0),
+        offset_us: 150_000,
+        rate: 0.5,
+    }];
+    let opts = CaseOpts {
+        n: 3,
+        compaction: false,
+        deferral: None,
+        lease: Some(LeaseConfig::default()),
+        canary: false,
+    };
+    run_faults(9, &faults, opts, 2_500);
+}
+
+/// The leaseholder crashes with its guards still live on the followers'
+/// clocks; the successor must wait them out before committing anything.
+/// The oracle checks every lease-served read on both sides of the
+/// failover.
+#[test]
+fn leader_crash_mid_lease_never_serves_stale() {
+    let faults = vec![Fault::Outage {
+        replica: ReplicaId::new(0),
+        from: ms(1_000),
+        until: ms(2_200),
+    }];
+    let opts = CaseOpts {
+        n: 3,
+        compaction: false,
+        deferral: Some(bayou_core::DEFAULT_FLUSH_DELAY),
+        lease: Some(LeaseConfig::default()),
+        canary: false,
+    };
+    run_faults(13, &faults, opts, 3_000);
+}
+
+/// The leaseholder is partitioned away mid-lease: its window lapses
+/// un-renewed, the majority side takes over, and reads served by either
+/// side stay linearizable.
+#[test]
+fn partitioned_leaseholder_never_serves_stale() {
+    let faults = vec![Fault::Partition {
+        from: ms(900),
+        until: ms(2_100),
+        blocks: vec![
+            vec![ReplicaId::new(0)],
+            vec![ReplicaId::new(1), ReplicaId::new(2)],
+        ],
+    }];
+    let opts = CaseOpts {
+        n: 3,
+        compaction: true,
+        deferral: None,
+        lease: Some(LeaseConfig::default()),
+        canary: false,
+    };
+    run_faults(17, &faults, opts, 3_000);
 }
 
 // ---- quorum-loss windows (deterministic schedules) ----------------------
@@ -594,6 +907,7 @@ fn quorum_loss_window_case(compaction: bool) {
             store_cfg,
             compaction,
             Some(bayou_core::DEFAULT_FLUSH_DELAY),
+            None,
             seed,
         ),
     );
@@ -706,6 +1020,7 @@ fn full_cluster_outage_recovers_from_disks() {
         n,
         compaction: true,
         deferral: Some(bayou_core::DEFAULT_FLUSH_DELAY),
+        lease: None,
         canary: false,
     };
     let work_until = workload_horizon_ms(&faults, n);
@@ -734,6 +1049,7 @@ fn idle_sender_deferred_frame_is_timer_flushed() {
             store_cfg,
             false,
             Some(VirtualTime::from_millis(2)),
+            None,
             seed,
         ),
     );
@@ -781,6 +1097,7 @@ fn injected_failure_reproduces_and_shrinks_to_the_culprit() {
         n,
         compaction: true,
         deferral: Some(bayou_core::DEFAULT_FLUSH_DELAY),
+        lease: None,
         canary: true,
     };
     let partition = Fault::Partition {
@@ -830,7 +1147,7 @@ fn injected_failure_reproduces_and_shrinks_to_the_culprit() {
     assert_eq!(
         repro_line(seed, opts),
         format!(
-            "DST_SEED={seed} DST_N=3 DST_COMPACTION=1 DST_DEFERRAL_US=40 cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture"
+            "DST_SEED={seed} DST_N=3 DST_COMPACTION=1 DST_DEFERRAL_US=40 DST_LEASE_MS=0 DST_EPSILON_US=0 cargo test -p bayou-core --test dst -- --ignored fuzz --nocapture"
         )
     );
 
@@ -885,6 +1202,7 @@ fn inspect() {
             store_cfg,
             opts.compaction,
             opts.deferral,
+            opts.lease,
             seed,
         ),
     );

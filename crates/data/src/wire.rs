@@ -398,6 +398,14 @@ impl<'a> KvOpView<'a> {
             KvOpView::Keys | KvOpView::Size => None,
         }
     }
+
+    /// Whether the operation is read-only — the borrowed twin of
+    /// [`crate::DataType::is_read_only`] for [`crate::KvStore`], so a
+    /// server can route reads (leaseholder vs sticky follower) before
+    /// the op is promoted to its owned form.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, KvOpView::Get(_) | KvOpView::Keys | KvOpView::Size)
+    }
 }
 
 impl<'a> WireView<'a> for KvOpView<'a> {

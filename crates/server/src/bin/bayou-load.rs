@@ -17,6 +17,8 @@ OPTIONS:
     --conns N              concurrent connections (default 8)
     --window N             closed-loop in-flight window per conn (default 16)
     --strong-every N       every Nth op is strong; 0 = all weak (default 8)
+    --read-every N         every op reads except each Nth, which writes
+                           (N=10 is a 90%-read mix); 0 = 50/50 coin (default 0)
     --keys N               key-space size (default 64)
     --skew F               key-skew exponent, 1.0 = uniform (default 1.0)
     --rate F               open-loop aggregate ops/sec (default: closed loop)
@@ -50,6 +52,7 @@ fn parse_args() -> Result<(LoadConfig, Option<String>, String), String> {
             "--conns" => cfg.conns = parse!("--conns"),
             "--window" => cfg.window = parse!("--window"),
             "--strong-every" => cfg.strong_every = parse!("--strong-every"),
+            "--read-every" => cfg.read_every = parse!("--read-every"),
             "--keys" => cfg.keys = parse!("--keys"),
             "--skew" => cfg.skew = parse!("--skew"),
             "--rate" => cfg.rate = Some(parse!("--rate")),
@@ -88,8 +91,12 @@ fn main() {
         Some(r) => format!("open loop @ {r} ops/s"),
         None => format!("closed loop, window {}", cfg.window),
     };
+    let mix = match cfg.read_every {
+        0 => "50/50 put-get".to_string(),
+        n => format!("write every {n}th"),
+    };
     println!(
-        "bayou-load: {} ops over {} conns to {} ({mode}, strong every {}, {} keys, skew {})",
+        "bayou-load: {} ops over {} conns to {} ({mode}, strong every {}, {mix}, {} keys, skew {})",
         cfg.ops, cfg.conns, cfg.addr, cfg.strong_every, cfg.keys, cfg.skew
     );
     let report = match run_load(&cfg) {

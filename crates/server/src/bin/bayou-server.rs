@@ -1,6 +1,7 @@
 //! The `bayou-server` binary: serves a durable replica cluster over TCP.
 
 use bayou_server::{Server, ServerConfig};
+use bayou_types::LeaseConfig;
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -18,6 +19,9 @@ OPTIONS:
     --high-water N         per-group pending-op shed threshold (default 1024)
     --snapshot-every N     ops between snapshots (default 256)
     --seed N               simulation seed for the cluster RNG (default 0)
+    --lease MS             arm leader leases of MS milliseconds (clock margin
+                           MS/10); strong reads are then served locally by the
+                           leaseholder. Default: off, every strong op a TOB round
     -h, --help             print this help
 ";
 
@@ -65,6 +69,15 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--lease" => {
+                let ms: u64 = value("--lease")?
+                    .parse()
+                    .map_err(|e| format!("--lease: {e}"))?;
+                if ms == 0 {
+                    return Err("--lease must be at least 1 millisecond".into());
+                }
+                cfg.lease = Some(LeaseConfig::new(ms * 1000, (ms * 1000 / 10).max(1)));
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -96,6 +109,10 @@ fn main() {
         .unwrap_or_else(|| "in-memory".into());
     let replicas = cfg.replicas;
     let shards = cfg.shards;
+    let lease = match cfg.lease {
+        Some(l) => format!("{}ms", l.duration_us / 1000),
+        None => "off".into(),
+    };
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -104,12 +121,13 @@ fn main() {
         }
     };
     println!(
-        "bayou-server listening on {} ({} replicas, {} shard{}, storage: {})",
+        "bayou-server listening on {} ({} replicas, {} shard{}, storage: {}, lease: {})",
         server.local_addr(),
         replicas,
         shards,
         if shards == 1 { "" } else { "s" },
-        durable
+        durable,
+        lease
     );
     // Serve until killed. The accept/dispatch/reader threads own all the
     // work; this thread just keeps the Server alive.

@@ -10,7 +10,7 @@
 
 use crate::protocol::{encode_frame, read_frame, wire_err, Reply, Request, ResponseMsg};
 use bayou_data::KvOp;
-use bayou_types::{Level, Wire};
+use bayou_types::{Level, ReadGuard, Wire};
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -54,6 +54,20 @@ impl Client {
         self.next_tag += 1;
         self.enc.clear();
         encode_frame(&mut self.enc, &Request::Op { tag, level, op });
+        self.write.write_all(&self.enc)?;
+        Ok(tag)
+    }
+
+    /// Sends one session-guarded operation without waiting; returns its
+    /// correlation tag. Reads are served only by a replica caught up to
+    /// the session's floors (otherwise [`Reply::Retry`]); writes under a
+    /// guard advance the session's server-side read-your-writes cursor
+    /// when they complete.
+    pub fn send_guarded(&mut self, guard: ReadGuard, op: KvOp) -> io::Result<u64> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.enc.clear();
+        encode_frame(&mut self.enc, &Request::GuardedOp { tag, guard, op });
         self.write.write_all(&self.enc)?;
         Ok(tag)
     }
@@ -116,6 +130,94 @@ impl Client {
                 format!("ping {tag} answered with tag {got}: {reply:?}"),
             )),
         }
+    }
+}
+
+/// A client-side session over a [`Client`]: every operation goes out
+/// guarded under one session id, so the server enforces read-your-writes
+/// through its cursor table (writes advance the cursor, reads carry it
+/// as a floor) and a lagging replica refuses with a typed
+/// [`Reply::Retry`] instead of returning a stale value. The session
+/// retries refusals with a bounded backoff loop and surfaces the final
+/// `Retry` if the replica never catches up — downgrades are visible,
+/// never silent.
+pub struct Session<'a> {
+    client: &'a mut Client,
+    id: u64,
+    /// Monotonic-reads floor carried on every guard; raise it with
+    /// [`Session::observe_commit`] when an out-of-band commit frontier
+    /// is learned (e.g. from a strong read).
+    min_commit: u64,
+    attempts: u32,
+    backoff: Duration,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session with the given client-chosen id. Ids name cursor
+    /// table entries server-side; two clients sharing an id share a
+    /// session.
+    pub fn new(client: &'a mut Client, id: u64) -> Session<'a> {
+        Session {
+            client,
+            id,
+            min_commit: 0,
+            attempts: 200,
+            backoff: Duration::from_millis(2),
+        }
+    }
+
+    /// The guard this session currently sends. `min_seq` stays 0 — the
+    /// read-your-writes floor is the *server's* cursor for this id,
+    /// which is merged in on top of whatever the client sends.
+    pub fn guard(&self) -> ReadGuard {
+        ReadGuard {
+            session: self.id,
+            min_seq: 0,
+            min_commit: self.min_commit,
+        }
+    }
+
+    /// Raises the monotonic-reads floor to a commit frontier learned out
+    /// of band.
+    pub fn observe_commit(&mut self, committed: u64) {
+        self.min_commit = self.min_commit.max(committed);
+    }
+
+    /// Sends one guarded operation and waits for its reply (tag-checked,
+    /// one at a time).
+    fn round_trip(&mut self, op: KvOp) -> io::Result<Reply> {
+        let tag = self.client.send_guarded(self.guard(), op)?;
+        let (got, reply) = self.client.recv()?;
+        if got != tag {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response tag {got} for un-pipelined session request {tag}"),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// A session write: completes like a plain weak op, and its
+    /// completion advances the session's server-side cursor so later
+    /// [`Session::read`]s observe it.
+    pub fn write(&mut self, op: KvOp) -> io::Result<Reply> {
+        self.round_trip(op)
+    }
+
+    /// A session read: retried on [`Reply::Retry`] until a replica
+    /// caught up to the session's floors serves it, or the attempt
+    /// budget runs out (the last typed `Retry` is then returned so the
+    /// caller sees the refusal, not a stale value).
+    pub fn read(&mut self, op: KvOp) -> io::Result<Reply> {
+        let mut last = self.round_trip(op.clone())?;
+        for _ in 1..self.attempts {
+            if !matches!(last, Reply::Retry { .. }) {
+                return Ok(last);
+            }
+            std::thread::sleep(self.backoff);
+            last = self.round_trip(op.clone())?;
+        }
+        Ok(last)
     }
 }
 

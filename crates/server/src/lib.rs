@@ -27,7 +27,7 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, Session};
 pub use hist::Histogram;
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use protocol::{Reply, Request, RequestView, ResponseMsg, MAX_FRAME};

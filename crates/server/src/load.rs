@@ -41,6 +41,10 @@ pub struct LoadConfig {
     /// Every `strong_every`-th op per connection is strong (0 = all
     /// weak).
     pub strong_every: u64,
+    /// Read-heavy mix: with `read_every = N > 0`, every op is a `get`
+    /// except each `N`-th, which is a `put` (so `N = 10` is a 90%-read
+    /// workload). `0` keeps the legacy unbiased put/get coin flip.
+    pub read_every: u64,
     /// Key-space size.
     pub keys: u64,
     /// Key-skew exponent: key = `⌊keys · u^skew⌋` for uniform `u`.
@@ -65,6 +69,7 @@ impl Default for LoadConfig {
             ops: 10_000,
             window: 16,
             strong_every: 8,
+            read_every: 0,
             keys: 64,
             skew: 1.0,
             rate: None,
@@ -85,6 +90,8 @@ pub struct LoadReport {
     pub busy: u64,
     /// Operations answered with [`Reply::Err`].
     pub errors: u64,
+    /// Guarded reads refused with a typed [`Reply::Retry`] cursor.
+    pub retries: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Completed (ok) operations per wall-clock second.
@@ -110,8 +117,9 @@ impl LoadReport {
                 "\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, ",
                 "\"max_us\": {:.1}, \"elapsed_secs\": {:.3}, ",
                 "\"ops\": {}, \"oks\": {}, \"busy\": {}, \"errors\": {}, ",
+                "\"retries\": {}, ",
                 "\"conns\": {}, \"window\": {}, \"strong_every\": {}, ",
-                "\"shards\": {}}}"
+                "\"read_every\": {}, \"shards\": {}}}"
             ),
             group,
             name,
@@ -125,9 +133,11 @@ impl LoadReport {
             self.oks,
             self.busy,
             self.errors,
+            self.retries,
             cfg.conns,
             cfg.window,
             cfg.strong_every,
+            cfg.read_every,
             cfg.shards,
         )
     }
@@ -135,7 +145,7 @@ impl LoadReport {
     /// Human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} ops in {:.3}s: {:.0} ok/s (ok {}, busy {}, err {}), \
+            "{} ops in {:.3}s: {:.0} ok/s (ok {}, busy {}, err {}, retry {}), \
              latency p50 {:.0}µs p99 {:.0}µs p999 {:.0}µs max {:.0}µs",
             self.sent,
             self.elapsed.as_secs_f64(),
@@ -143,6 +153,7 @@ impl LoadReport {
             self.oks,
             self.busy,
             self.errors,
+            self.retries,
             self.quantile_us(0.5),
             self.quantile_us(0.99),
             self.quantile_us(0.999),
@@ -156,7 +167,21 @@ struct WorkerStats {
     oks: u64,
     busy: u64,
     errors: u64,
+    retries: u64,
     hist: Histogram,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            sent: 0,
+            oks: 0,
+            busy: 0,
+            errors: 0,
+            retries: 0,
+            hist: Histogram::new(),
+        }
+    }
 }
 
 /// xorshift64*: dependency-free deterministic stream per connection.
@@ -177,7 +202,15 @@ fn gen_op(rng: &mut u64, cfg: &LoadConfig, op_no: u64) -> (Level, KvOp) {
     };
     let u = (next_rand(rng) >> 11) as f64 / (1u64 << 53) as f64;
     let key = ((cfg.keys as f64) * u.powf(cfg.skew)) as u64 % cfg.keys.max(1);
-    let op = if next_rand(rng) & 1 == 0 {
+    // advance the rng either way so read_every never shifts the key
+    // stream — lease-on and lease-off runs see identical workloads
+    let coin = next_rand(rng) & 1 == 0;
+    let write = if cfg.read_every > 0 {
+        op_no % cfg.read_every == cfg.read_every - 1
+    } else {
+        coin
+    };
+    let op = if write {
         KvOp::put(format!("k{key}"), op_no as i64)
     } else {
         KvOp::get(format!("k{key}"))
@@ -190,6 +223,7 @@ fn account(reply: &Reply, stats: &mut WorkerStats) {
         Reply::Ok(_) => stats.oks += 1,
         Reply::Busy => stats.busy += 1,
         Reply::Err(_) => stats.errors += 1,
+        Reply::Retry { .. } => stats.retries += 1,
         Reply::Pong => {}
     }
 }
@@ -199,13 +233,7 @@ fn closed_loop_worker(cfg: &LoadConfig, quota: u64, seed: u64) -> io::Result<Wor
     let mut client = Client::connect(&cfg.addr)?;
     client.set_recv_timeout(Some(Duration::from_secs(30)))?;
     let mut rng = seed | 1;
-    let mut stats = WorkerStats {
-        sent: 0,
-        oks: 0,
-        busy: 0,
-        errors: 0,
-        hist: Histogram::new(),
-    };
+    let mut stats = WorkerStats::new();
     let mut outstanding: HashMap<u64, Instant> = HashMap::new();
     while stats.sent < quota || !outstanding.is_empty() {
         if stats.sent < quota && outstanding.len() < cfg.window {
@@ -234,13 +262,7 @@ fn open_loop_worker(cfg: &LoadConfig, quota: u64, seed: u64, rate: f64) -> io::R
 
     let recv_flight = Arc::clone(&in_flight);
     let receiver = std::thread::spawn(move || -> io::Result<WorkerStats> {
-        let mut stats = WorkerStats {
-            sent: 0,
-            oks: 0,
-            busy: 0,
-            errors: 0,
-            hist: Histogram::new(),
-        };
+        let mut stats = WorkerStats::new();
         let mut got = 0;
         while got < quota {
             let (tag, reply) = rx.recv()?;
@@ -299,13 +321,7 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
             None => closed_loop_worker(&cfg, quota, seed),
         }));
     }
-    let mut merged = WorkerStats {
-        sent: 0,
-        oks: 0,
-        busy: 0,
-        errors: 0,
-        hist: Histogram::new(),
-    };
+    let mut merged = WorkerStats::new();
     let mut first_err = None;
     for h in handles {
         match h.join() {
@@ -314,6 +330,7 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
                 merged.oks += s.oks;
                 merged.busy += s.busy;
                 merged.errors += s.errors;
+                merged.retries += s.retries;
                 merged.hist.merge(&s.hist);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
@@ -331,6 +348,7 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         oks: merged.oks,
         busy: merged.busy,
         errors: merged.errors,
+        retries: merged.retries,
         elapsed,
         throughput: merged.oks as f64 / elapsed.as_secs_f64().max(1e-9),
         hist: merged.hist,

@@ -16,7 +16,7 @@
 //! counting-allocator gate).
 
 use bayou_data::{KvOp, KvOpView};
-use bayou_types::{Level, Value, Wire, WireError, WireReader, WireView};
+use bayou_types::{Level, ReadGuard, Value, Wire, WireError, WireReader, WireView};
 use std::io::{self, Read, Write};
 
 /// Hard ceiling on a frame's payload length. Larger prefixes are
@@ -45,6 +45,20 @@ pub enum Request {
         /// Client correlation tag, echoed on the response.
         tag: u64,
     },
+    /// A weak operation issued on behalf of a client session. The server
+    /// merges its cursor table for `guard.session` into the guard's
+    /// floors; a read is served only by a replica that has caught up to
+    /// them (else [`Reply::Retry`]), and a write's completion advances
+    /// the session's read-your-writes cursor server-side.
+    GuardedOp {
+        /// Client correlation tag, echoed on the response.
+        tag: u64,
+        /// The session cursor (client-supplied floors; the server's
+        /// table only ever raises them).
+        guard: ReadGuard,
+        /// The operation.
+        op: KvOp,
+    },
 }
 
 impl Wire for Request {
@@ -60,6 +74,12 @@ impl Wire for Request {
                 out.push(1);
                 tag.encode(out);
             }
+            Request::GuardedOp { tag, guard, op } => {
+                out.push(2);
+                tag.encode(out);
+                guard.encode(out);
+                op.encode(out);
+            }
         }
     }
 
@@ -72,6 +92,11 @@ impl Wire for Request {
             }),
             1 => Ok(Request::Ping {
                 tag: u64::decode(r)?,
+            }),
+            2 => Ok(Request::GuardedOp {
+                tag: u64::decode(r)?,
+                guard: ReadGuard::decode(r)?,
+                op: KvOp::decode(r)?,
             }),
             tag => Err(WireError::BadTag { ty: "Request", tag }),
         }
@@ -97,6 +122,16 @@ pub enum RequestView<'a> {
         /// Client correlation tag.
         tag: u64,
     },
+    /// See [`Request::GuardedOp`].
+    GuardedOp {
+        /// Client correlation tag.
+        tag: u64,
+        /// The session cursor ([`ReadGuard`] is `Copy` — no borrow
+        /// needed).
+        guard: ReadGuard,
+        /// The operation, borrowing from the frame.
+        op: KvOpView<'a>,
+    },
 }
 
 impl<'a> WireView<'a> for RequestView<'a> {
@@ -112,6 +147,11 @@ impl<'a> WireView<'a> for RequestView<'a> {
             1 => Ok(RequestView::Ping {
                 tag: u64::decode(r)?,
             }),
+            2 => Ok(RequestView::GuardedOp {
+                tag: u64::decode(r)?,
+                guard: ReadGuard::decode(r)?,
+                op: KvOpView::decode_view(r)?,
+            }),
             tag => Err(WireError::BadTag { ty: "Request", tag }),
         }
     }
@@ -124,6 +164,11 @@ impl<'a> WireView<'a> for RequestView<'a> {
                 op: op.into_owned(),
             },
             RequestView::Ping { tag } => Request::Ping { tag },
+            RequestView::GuardedOp { tag, guard, op } => Request::GuardedOp {
+                tag,
+                guard,
+                op: op.into_owned(),
+            },
         }
     }
 }
@@ -143,6 +188,17 @@ pub enum Reply {
     Err(String),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// The serving replica has not caught up to the session's guard: the
+    /// [`Request::GuardedOp`] read was **not** executed. Carries the
+    /// replica's own cursor (its per-origin executed counter and
+    /// committed count) so the client can retry — typed, so a lagging
+    /// follower never serves a stale session read silently.
+    Retry {
+        /// The replica's executed counter for the guard's origin.
+        seen_seq: u64,
+        /// The replica's committed-operation count.
+        committed: u64,
+    },
 }
 
 impl Wire for Reply {
@@ -158,6 +214,14 @@ impl Wire for Reply {
                 msg.encode(out);
             }
             Reply::Pong => out.push(3),
+            Reply::Retry {
+                seen_seq,
+                committed,
+            } => {
+                out.push(4);
+                seen_seq.encode(out);
+                committed.encode(out);
+            }
         }
     }
 
@@ -167,6 +231,10 @@ impl Wire for Reply {
             1 => Ok(Reply::Busy),
             2 => Ok(Reply::Err(String::decode(r)?)),
             3 => Ok(Reply::Pong),
+            4 => Ok(Reply::Retry {
+                seen_seq: u64::decode(r)?,
+                committed: u64::decode(r)?,
+            }),
             tag => Err(WireError::BadTag { ty: "Reply", tag }),
         }
     }
@@ -244,6 +312,36 @@ pub fn write_ok_response(
     w.write_all(buf)
 }
 
+/// Appends one framed `ResponseMsg { tag, reply: Reply::Retry { .. } }`
+/// to `out` without constructing either enum — the session-read reply
+/// path's twin of [`encode_ok_response`], byte-identical to the owned
+/// encode and allocation-free (gated by `tests/alloc.rs`).
+pub fn encode_retry_response(out: &mut Vec<u8>, tag: u64, seen_seq: u64, committed: u64) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    tag.encode(out);
+    out.push(4); // Reply::Retry variant tag
+    seen_seq.encode(out);
+    committed.encode(out);
+    let len = out.len() - at - 4;
+    assert!(len <= MAX_FRAME, "outgoing frame exceeds MAX_FRAME");
+    out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Encodes a `Retry` response into `buf` (cleared first) via the borrow
+/// path and writes the frame to `w`.
+pub fn write_retry_response(
+    w: &mut impl Write,
+    buf: &mut Vec<u8>,
+    tag: u64,
+    seen_seq: u64,
+    committed: u64,
+) -> io::Result<()> {
+    buf.clear();
+    encode_retry_response(buf, tag, seen_seq, committed);
+    w.write_all(buf)
+}
+
 /// Reads one frame's payload into `buf` (resized in place, so a reused
 /// buffer makes the steady-state read path allocation-free).
 ///
@@ -302,6 +400,15 @@ mod tests {
                 op: KvOp::get("k"),
             },
             Request::Ping { tag: 0 },
+            Request::GuardedOp {
+                tag: 12,
+                guard: ReadGuard {
+                    session: 9,
+                    min_seq: 4,
+                    min_commit: 17,
+                },
+                op: KvOp::get("k"),
+            },
         ] {
             let bytes = req.to_bytes();
             assert_eq!(Request::from_bytes(&bytes).unwrap(), req);
@@ -318,9 +425,33 @@ mod tests {
             Reply::Busy,
             Reply::Err("replica crashed".into()),
             Reply::Pong,
+            Reply::Retry {
+                seen_seq: 3,
+                committed: 41,
+            },
         ] {
             let msg = ResponseMsg { tag: 3, reply };
             assert_eq!(ResponseMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn borrowed_retry_encode_is_byte_identical_to_owned() {
+        for (tag, seen_seq, committed) in [(0u64, 0u64, 0u64), (7, 3, 41), (u64::MAX, 9, 1)] {
+            let mut owned = Vec::new();
+            encode_frame(
+                &mut owned,
+                &ResponseMsg {
+                    tag,
+                    reply: Reply::Retry {
+                        seen_seq,
+                        committed,
+                    },
+                },
+            );
+            let mut borrowed = Vec::new();
+            encode_retry_response(&mut borrowed, tag, seen_seq, committed);
+            assert_eq!(borrowed, owned, "tag {tag}");
         }
     }
 

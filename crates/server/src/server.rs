@@ -49,16 +49,18 @@
 //! [`Server::restart_replica`] brings it back.
 
 use crate::protocol::{
-    read_frame, write_frame, write_ok_response, Reply, RequestView, ResponseMsg,
+    read_frame, write_frame, write_ok_response, write_retry_response, Reply, RequestView,
+    ResponseMsg,
 };
 use bayou_broadcast::{PaxosConfig, PaxosTob};
 use bayou_core::{
     recover_grouped_paxos, BayouReplica, GroupedReplica, Invocation, ProtocolMode, Response,
+    Served, SessionGuard,
 };
 use bayou_data::{DeltaState, KvOp, KvOpView, KvStore};
 use bayou_net::{LiveCluster, LiveConfig};
 use bayou_storage::{FileStorage, StoreConfig};
-use bayou_types::{GroupId, Level, ReplicaId, SharedReq, Value, WireView};
+use bayou_types::{GroupId, LeaseConfig, Level, ReadGuard, ReplicaId, SharedReq, Value, WireView};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -140,6 +142,14 @@ pub struct ServerConfig {
     pub store: StoreConfig,
     /// Seed for the replicas' random streams.
     pub seed: u64,
+    /// Leader lease for the strong-read fast path: `Some` arms
+    /// quorum-acked leases on every group (strong read-only ops are then
+    /// routed to the lowest live replica — the Ω leader of a stable
+    /// cluster — and served locally from committed state while its lease
+    /// holds, falling back to the full TOB round when it doesn't).
+    /// `None` (the default) is the all-TOB baseline, bit-for-bit the old
+    /// behavior.
+    pub lease: Option<LeaseConfig>,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +166,7 @@ impl Default for ServerConfig {
                 ..StoreConfig::default()
             },
             seed: 0,
+            lease: None,
         }
     }
 }
@@ -190,6 +201,14 @@ impl Conn {
         let ConnWriter { stream, buf } = &mut *w;
         let _ = write_ok_response(stream, buf, tag, value);
     }
+
+    /// Best-effort `Retry` write through the borrow-encode path (the
+    /// replica's catch-up cursor goes straight into the frame buffer).
+    fn reply_retry(&self, tag: u64, seen_seq: u64, committed: u64) {
+        let mut w = self.writer.lock();
+        let ConnWriter { stream, buf } = &mut *w;
+        let _ = write_retry_response(stream, buf, tag, seen_seq, committed);
+    }
 }
 
 /// An operation in flight between a connection and a replica group.
@@ -197,6 +216,20 @@ struct Pending {
     conn: Arc<Conn>,
     client_tag: u64,
     replica: ReplicaId,
+    /// `Some(session)` when this op's completion should advance that
+    /// session's read-your-writes cursor (guarded non-read-only ops
+    /// only — reads never enter the evaluation order, so their dots
+    /// must never become a floor).
+    session: Option<u64>,
+}
+
+/// Where a session's writes last landed: the replica that assigned the
+/// dot and the per-origin counter reached. A guarded read is only served
+/// by a replica that has executed `origin`'s ops through `seq`.
+#[derive(Debug, Clone, Copy)]
+struct SessionCursor {
+    origin: ReplicaId,
+    seq: u64,
 }
 
 struct Shared {
@@ -219,6 +252,15 @@ struct Shared {
     window: usize,
     high_water: usize,
     n: usize,
+    /// Whether leader leases are armed — gates the strong-read-to-leader
+    /// routing so a lease-off server is bit-for-bit the old one.
+    lease_on: bool,
+    /// Per-session write cursors, advanced by completed guarded writes
+    /// and merged into every guarded read's floors. Sessions are client
+    /// chosen identifiers; the table is in-memory only (a restarted
+    /// server starts sessions fresh, which only weakens floors — never
+    /// unsafe, the replica still enforces whatever guard it is sent).
+    sessions: Mutex<HashMap<u64, SessionCursor>>,
 }
 
 /// A running server. Dropping it leaks the threads; call
@@ -244,6 +286,7 @@ impl Server {
             delay: Duration::ZERO,
             channel_capacity: 4096,
         };
+        let lease = config.lease;
         let cluster = match config.data_dir.clone() {
             Some(root) => {
                 std::fs::create_dir_all(&root)?;
@@ -251,7 +294,7 @@ impl Server {
                 LiveCluster::new(live, move |id, n| {
                     let dir = root.join(format!("replica-{}", id.index()));
                     let backend = FileStorage::open(dir).expect("open replica data dir");
-                    recover_grouped_paxos::<KvStore, DeltaState<KvStore>, _>(
+                    let mut host = recover_grouped_paxos::<KvStore, DeltaState<KvStore>, _>(
                         id,
                         n,
                         shards,
@@ -259,17 +302,21 @@ impl Server {
                         PaxosConfig::default(),
                         backend,
                         store,
-                    )
+                    );
+                    host.set_lease(lease);
+                    host
                 })
             }
             None => LiveCluster::new(live, move |_, n| {
-                GroupedReplica::new(
+                let mut host = GroupedReplica::new(
                     (0..shards)
                         .map(|_| {
                             BayouReplica::new(n, ProtocolMode::Improved, PaxosTob::with_defaults(n))
                         })
                         .collect(),
-                )
+                );
+                host.set_lease(lease);
+                host
             }),
         };
 
@@ -289,6 +336,8 @@ impl Server {
             window: config.window,
             high_water: config.high_water,
             n,
+            lease_on: lease.is_some(),
+            sessions: Mutex::new(HashMap::new()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -446,6 +495,33 @@ fn route_response(shared: &Shared, gid: GroupId, resp: Response) {
         return;
     };
     p.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+    if let Served::Retry {
+        seen_seq,
+        committed,
+    } = resp.served
+    {
+        // the replica refused the guarded read (it lags the session's
+        // floors) and did NOT execute it — hand the cursor back as a
+        // typed reply, never a silently-downgraded value
+        p.conn.reply_retry(p.client_tag, seen_seq, committed);
+        return;
+    }
+    if let Some(session) = p.session {
+        // a completed session write advances the read-your-writes
+        // cursor to the dot its replica assigned
+        let id = resp.meta.id();
+        let mut sessions = shared.sessions.lock();
+        let cur = sessions.entry(session).or_insert(SessionCursor {
+            origin: id.replica(),
+            seq: 0,
+        });
+        if cur.origin != id.replica() || id.event_no() > cur.seq {
+            *cur = SessionCursor {
+                origin: id.replica(),
+                seq: id.event_no(),
+            };
+        }
+    }
     p.conn.reply_ok(p.client_tag, &resp.value);
 }
 
@@ -454,6 +530,17 @@ fn pick_replica(shared: &Shared, conn_id: u64) -> Option<ReplicaId> {
     let base = (conn_id as usize) % shared.n;
     (0..shared.n)
         .map(|i| (base + i) % shared.n)
+        .find(|&r| !shared.crashed[r].load(Ordering::SeqCst))
+        .map(|r| ReplicaId::new(r as u32))
+}
+
+/// The presumed Ω leader: the lowest live replica. Paxos phase 1 in this
+/// codebase is won by the lowest-id contender of a stable membership, so
+/// routing strong reads here maximizes lease fast-path hits; a wrong
+/// guess is safe — a non-leaseholder simply serves the read through the
+/// full TOB round.
+fn pick_leader(shared: &Shared) -> Option<ReplicaId> {
+    (0..shared.n)
         .find(|&r| !shared.crashed[r].load(Ordering::SeqCst))
         .map(|r| ReplicaId::new(r as u32))
 }
@@ -487,7 +574,10 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) {
             Err(_) => break,
             Ok(RequestView::Ping { tag }) => conn.reply(tag, Reply::Pong),
             Ok(RequestView::Op { tag, level, op }) => {
-                handle_op(&shared, &conn, conn_id, tag, level, op)
+                handle_op(&shared, &conn, conn_id, tag, level, op, None)
+            }
+            Ok(RequestView::GuardedOp { tag, guard, op }) => {
+                handle_op(&shared, &conn, conn_id, tag, Level::Weak, op, Some(guard))
             }
         }
     }
@@ -501,6 +591,7 @@ fn handle_op(
     client_tag: u64,
     level: Level,
     op: KvOpView<'_>,
+    guard: Option<ReadGuard>,
 ) {
     // route on the borrowed key, before the op is promoted to owned
     let gid = shared.router.route(op.key());
@@ -510,10 +601,47 @@ fn handle_op(
         conn.reply(client_tag, Reply::Busy);
         return;
     }
-    let Some(replica) = pick_replica(shared, conn_id) else {
+    let read_only = op.is_read_only();
+    // with leases armed, strong reads go to the presumed leaseholder
+    // (which serves them locally, no TOB round); everything else stays
+    // sticky to the connection's home replica. Lease off: all sticky,
+    // exactly the old routing.
+    let picked = if shared.lease_on && level == Level::Strong && read_only {
+        pick_leader(shared)
+    } else {
+        pick_replica(shared, conn_id)
+    };
+    let Some(replica) = picked else {
         conn.reply(client_tag, Reply::Err("no live replica".into()));
         return;
     };
+    // a guarded read carries its session's floors (the server-side
+    // cursor raises the client's); a guarded write registers for a
+    // cursor advance when its response lands
+    let mut session_guard = None;
+    let mut session_write = None;
+    if let Some(g) = guard {
+        if read_only {
+            let cursor = shared.sessions.lock().get(&g.session).copied();
+            session_guard = Some(match cursor {
+                Some(c) => SessionGuard {
+                    origin: c.origin,
+                    min_seq: c.seq.max(g.min_seq),
+                    min_commit: g.min_commit,
+                },
+                // no writes recorded for this session: the guard floors
+                // are whatever the client asked for, checked against
+                // the serving replica's own counter
+                None => SessionGuard {
+                    origin: replica,
+                    min_seq: g.min_seq,
+                    min_commit: g.min_commit,
+                },
+            });
+        } else {
+            session_write = Some(g.session);
+        }
+    }
     let tag = {
         let mut pending = shared.pending[gid.index()].lock();
         // per-group high-water mark: shed before the cluster sees the
@@ -532,6 +660,7 @@ fn handle_op(
                 conn: Arc::clone(conn),
                 client_tag,
                 replica,
+                session: session_write,
             },
         );
         tag
@@ -539,10 +668,11 @@ fn handle_op(
     // outside the pending lock: a full replica input channel blocks here
     // (bounded memory), and the pending entry is already in place for
     // the dispatcher
-    shared.cluster.invoke(
-        replica,
-        (gid, Invocation::new(op.into_owned(), level).with_tag(tag)),
-    );
+    let mut inv = Invocation::new(op.into_owned(), level).with_tag(tag);
+    if let Some(sg) = session_guard {
+        inv = inv.with_guard(sg);
+    }
+    shared.cluster.invoke(replica, (gid, inv));
 }
 
 #[cfg(test)]

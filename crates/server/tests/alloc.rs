@@ -6,7 +6,8 @@
 
 use bayou_data::{KvOp, KvOpView};
 use bayou_server::protocol::{
-    encode_frame, encode_ok_response, read_frame, Reply, RequestView, ResponseMsg,
+    encode_frame, encode_ok_response, encode_retry_response, read_frame, Reply, RequestView,
+    ResponseMsg,
 };
 use bayou_server::Request;
 use bayou_types::{Level, Value, WireView};
@@ -70,6 +71,7 @@ fn codec_allocates_zero_per_frame_at_steady_state() {
     request_decode_path();
     response_encode_path();
     borrowed_response_encode_path();
+    borrowed_retry_encode_path();
 }
 
 /// The server's receive path: reusable encode buffer on the client side,
@@ -189,6 +191,41 @@ fn borrowed_response_encode_path() {
     assert_eq!(
         spent, 0,
         "steady-state borrowed response encode must allocate nothing: \
+         {spent} allocations over {FRAMES} frames"
+    );
+}
+
+/// The session-read refusal path ([`encode_retry_response`]): a typed
+/// `Retry` cursor frames straight into the connection's reusable write
+/// buffer — a lagging follower sheds guarded reads without allocating,
+/// so retry storms cannot create memory pressure.
+fn borrowed_retry_encode_path() {
+    // byte-identity against the owned path, checked outside the window
+    let mut owned = Vec::new();
+    encode_frame(
+        &mut owned,
+        &ResponseMsg {
+            tag: 5,
+            reply: Reply::Retry {
+                seen_seq: 9,
+                committed: 120,
+            },
+        },
+    );
+    let mut buf = Vec::new();
+    encode_retry_response(&mut buf, 5, 9, 120);
+    assert_eq!(buf, owned, "borrowed retry encode diverged from owned");
+
+    const FRAMES: u64 = 1_000;
+    let spent = min_allocations_over_windows(|| {
+        for i in 0..FRAMES {
+            buf.clear();
+            encode_retry_response(&mut buf, i, i, i * 3);
+        }
+    });
+    assert_eq!(
+        spent, 0,
+        "steady-state retry encode must allocate nothing: \
          {spent} allocations over {FRAMES} frames"
     );
 }

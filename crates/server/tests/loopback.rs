@@ -1,11 +1,13 @@
 //! End-to-end loopback tests: a real `bayou-server` over real TCP
 //! sockets, driven by the pipelined client — request pipelining across
-//! weak and strong levels, typed load shedding under backpressure, and a
-//! replica crash + durable restart mid-run.
+//! weak and strong levels, typed load shedding under backpressure, a
+//! replica crash + durable restart mid-run, leased strong reads across a
+//! leader failover, and session-guarded follower reads with typed
+//! `Retry` refusals.
 
 use bayou_data::KvOp;
-use bayou_server::{Client, KvHost, KvReplica, Reply, Server, ServerConfig};
-use bayou_types::{GroupId, Level, ReplicaId, Value};
+use bayou_server::{Client, KvHost, KvReplica, Reply, Server, ServerConfig, Session};
+use bayou_types::{GroupId, LeaseConfig, Level, ReadGuard, ReplicaId, Value};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -309,6 +311,120 @@ fn sharded_server_partitions_keys_and_converges_per_group() {
         union, expected,
         "union over groups must be exactly the written map"
     );
+}
+
+#[test]
+fn leased_strong_reads_stay_fresh_across_leader_failover() {
+    // leases armed: strong reads route to the presumed leaseholder and
+    // are served locally once its lease holds. Crashing the leader must
+    // never yield a stale strong read — the next leader serves through
+    // the full TOB round until its own lease is quorum-acked.
+    let (server, addr) = start(ServerConfig {
+        lease: Some(LeaseConfig::new(200_000, 20_000)),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    let reply = client
+        .call(Level::Strong, KvOp::put("k", 1))
+        .expect("strong put");
+    assert!(matches!(reply, Reply::Ok(_)), "put: {reply:?}");
+    // give replica 0 time to win phase 1 and get a lease quorum-acked,
+    // so at least some of these reads take the local fast path
+    std::thread::sleep(Duration::from_millis(300));
+    for _ in 0..8 {
+        let reply = client.call(Level::Strong, KvOp::get("k")).expect("read");
+        assert_eq!(reply, Reply::Ok(Value::Int(1)), "leased read went stale");
+    }
+
+    // kill the (presumed) leaseholder mid-lease; commit a newer value
+    // through the surviving quorum and read it back strongly — the
+    // failover leader has no lease yet, so this exercises the typed
+    // fallback, and freshness must hold throughout
+    server.crash_replica(ReplicaId::new(0));
+    let reply = client
+        .call(Level::Strong, KvOp::put("k", 2))
+        .expect("failover put");
+    assert!(matches!(reply, Reply::Ok(_)), "failover put: {reply:?}");
+    for _ in 0..8 {
+        let reply = client.call(Level::Strong, KvOp::get("k")).expect("read");
+        assert_eq!(
+            reply,
+            Reply::Ok(Value::Int(2)),
+            "stale strong read after failover"
+        );
+    }
+    // and again once the new leader has had time to acquire its lease
+    std::thread::sleep(Duration::from_millis(300));
+    let reply = client.call(Level::Strong, KvOp::get("k")).expect("read");
+    assert_eq!(reply, Reply::Ok(Value::Int(2)));
+    server.stop();
+}
+
+#[test]
+fn guarded_read_with_unreachable_floor_is_refused_with_typed_retry() {
+    // a guard whose monotonic-reads floor is beyond anything the run
+    // commits: the replica must refuse with the typed cursor (and never
+    // execute the read), not block or return a possibly-stale value
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = connect(&addr);
+
+    let reply = client
+        .call(Level::Weak, KvOp::put("g", 7))
+        .expect("weak put");
+    assert!(matches!(reply, Reply::Ok(_)));
+
+    let guard = ReadGuard {
+        session: 7,
+        min_seq: 0,
+        min_commit: 1_000_000,
+    };
+    let tag = client
+        .send_guarded(guard, KvOp::get("g"))
+        .expect("guarded send");
+    let (got, reply) = client.recv().expect("guarded reply");
+    assert_eq!(got, tag);
+    let Reply::Retry {
+        seen_seq: _,
+        committed,
+    } = reply
+    else {
+        panic!("expected a typed Retry, got {reply:?}");
+    };
+    assert!(
+        committed < 1_000_000,
+        "the cursor reports how far the replica actually got"
+    );
+    server.stop();
+}
+
+#[test]
+fn session_reads_observe_the_sessions_writes_across_replicas() {
+    // read-your-writes through the server's session-cursor table: the
+    // write lands on connection A's replica, the guarded read goes to
+    // connection B's (a different, sticky follower), which serves it
+    // only once anti-entropy has caught it up to the session's floor —
+    // until then the session loop absorbs typed Retry refusals
+    let (server, addr) = start(ServerConfig::default());
+    let mut writer = connect(&addr); // conn 0 -> replica 0
+    let mut reader = connect(&addr); // conn 1 -> replica 1
+
+    const SESSION: u64 = 42;
+    {
+        let mut s = Session::new(&mut writer, SESSION);
+        for i in 0..4 {
+            let reply = s.write(KvOp::put("ryw", i)).expect("session write");
+            assert!(matches!(reply, Reply::Ok(_)), "write {i}: {reply:?}");
+        }
+    }
+    let mut s = Session::new(&mut reader, SESSION);
+    let reply = s.read(KvOp::get("ryw")).expect("session read");
+    assert_eq!(
+        reply,
+        Reply::Ok(Value::Int(3)),
+        "session read missed the session's own last write"
+    );
+    server.stop();
 }
 
 #[test]

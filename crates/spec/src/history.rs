@@ -1,7 +1,7 @@
 //! Histories: the observable behaviour of a run (§3.2).
 
 use crate::relation::Relation;
-use bayou_core::RunTrace;
+use bayou_core::{RunTrace, Served};
 use bayou_data::DataType;
 use bayou_types::{BayouError, Level, ReplicaId, ReqId, Timestamp, Value, VirtualTime};
 
@@ -66,6 +66,11 @@ impl<Op: Clone> History<Op> {
     /// Returns [`BayouError::MalformedHistory`] if the trace violates
     /// well-formedness: overlapping operations within a session, or an
     /// operation invoked after a pending one in the same session.
+    ///
+    /// Events answered with [`Served::Retry`] are **not** history events:
+    /// the replica refused the session guard and never executed the
+    /// operation, so they contribute no `rval`, appear in no execution
+    /// trace, and are dropped here.
     pub fn from_trace<F>(trace: &RunTrace<Op>) -> Result<Self, BayouError>
     where
         F: DataType<Op = Op>,
@@ -73,6 +78,7 @@ impl<Op: Clone> History<Op> {
         let events: Vec<HEvent<Op>> = trace
             .events
             .iter()
+            .filter(|e| !matches!(e.served, Some(Served::Retry { .. })))
             .map(|e| HEvent {
                 id: e.meta.id(),
                 op: e.op.clone(),

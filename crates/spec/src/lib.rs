@@ -60,8 +60,9 @@ mod witness;
 pub use execution::AbstractExecution;
 pub use history::{HEvent, History};
 pub use predicates::{
-    check_bec, check_cpar, check_ev, check_fec, check_frval, check_ncc, check_rval, check_seq,
-    check_sess_arb, check_sin_ord, CheckOptions, CheckReport, PredicateResult,
+    check_bec, check_cpar, check_ev, check_fec, check_frval, check_mr, check_ncc, check_rval,
+    check_ryw, check_seq, check_sess_arb, check_session, check_sin_ord, CheckOptions, CheckReport,
+    PredicateResult,
 };
 pub use relation::Relation;
 pub use solver::{solve_bec_weak_seq_strong, SolveOutcome};

@@ -337,6 +337,60 @@ pub fn check_sess_arb<Op: Clone>(a: &AbstractExecution<Op>, level: Level) -> Pre
     PredicateResult::new(format!("SessArb({level})"), violations)
 }
 
+/// **RYW** — *read your writes*: everything earlier in the session is
+/// visible, `so ⊆ vis`.
+///
+/// The session-guard machinery makes this a *guarantee* rather than an
+/// accident: a guarded read is refused (typed `Retry`, absent from the
+/// history) until the serving replica has incorporated the session's
+/// writes, so every event that *does* return satisfies the inclusion.
+pub fn check_ryw<Op: Clone>(a: &AbstractExecution<Op>) -> PredicateResult {
+    let so = a.history.session_order();
+    let mut violations = Vec::new();
+    for i in 0..a.history.len() {
+        for j in 0..a.history.len() {
+            if so.contains(i, j) && !a.vis.contains(i, j) {
+                violations.push(format!(
+                    "session predecessor {} not visible to {}",
+                    a.history.events()[i].id,
+                    a.history.events()[j].id
+                ));
+            }
+        }
+    }
+    PredicateResult::new("RYW", violations)
+}
+
+/// **MR** — *monotonic reads*: a session never loses sight of an event
+/// it has observed, `vis ; so ⊆ vis`.
+pub fn check_mr<Op: Clone>(a: &AbstractExecution<Op>) -> PredicateResult {
+    let so = a.history.session_order();
+    let vis_so = a.vis.compose(&so);
+    let mut violations = Vec::new();
+    for i in 0..a.history.len() {
+        for j in 0..a.history.len() {
+            if vis_so.contains(i, j) && !a.vis.contains(i, j) {
+                violations.push(format!(
+                    "{} was visible earlier in {}'s session but is not visible to it",
+                    a.history.events()[i].id,
+                    a.history.events()[j].id
+                ));
+            }
+        }
+    }
+    PredicateResult::new("MR", violations)
+}
+
+/// **`Session = RYW ∧ MR`** — the per-session guarantees the follower
+/// read path certifies (the two of the classic four that the session
+/// guard's `(min_seq, min_commit)` cursor can enforce locally).
+pub fn check_session<Op: Clone>(a: &AbstractExecution<Op>) -> CheckReport {
+    CheckReport {
+        guarantee: "Session".to_string(),
+        results: vec![check_ryw(a), check_mr(a)],
+    }
+}
+
 /// **`BEC(l, F) = EV ∧ NCC ∧ RVal(l, F)`** — Basic Eventual Consistency
 /// (§4.1).
 pub fn check_bec<F>(a: &AbstractExecution<F::Op>, level: Level, opts: &CheckOptions) -> CheckReport

@@ -24,6 +24,7 @@
 
 mod error;
 mod ids;
+mod lease;
 mod level;
 mod req;
 mod runtime;
@@ -33,6 +34,7 @@ mod wire;
 
 pub use error::BayouError;
 pub use ids::{Dot, GroupId, ReplicaId, ReqId};
+pub use lease::{LeaseConfig, ReadGuard};
 pub use level::Level;
 pub use req::{Req, ReqMeta, SharedReq};
 pub use runtime::{Context, Process, TimerId};
